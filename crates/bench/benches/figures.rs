@@ -1,0 +1,64 @@
+//! Criterion benchmarks regenerating the paper's figures (6–9). Each
+//! group prints the figure's series once, then times the underlying
+//! measurement so regressions in the pipeline show up as timing drift.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig6(c: &mut Criterion) {
+    let bars = cedar_experiments::fig6::run();
+    println!("\n{}", cedar_experiments::fig6::render(&bars));
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("prefetch-sweep", |b| {
+        b.iter(|| black_box(cedar_experiments::fig6::run()))
+    });
+    g.finish();
+}
+
+fn fig7(c: &mut Criterion) {
+    let f = cedar_experiments::fig7::run();
+    println!("\n{}", cedar_experiments::fig7::render(&f));
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("privatization-vs-expansion", |b| {
+        b.iter(|| black_box(cedar_experiments::fig7::run().expanded_relative))
+    });
+    g.finish();
+}
+
+fn fig8(c: &mut Criterion) {
+    let (series, _) = cedar_experiments::fig8::run();
+    println!("\n{}", cedar_experiments::fig8::render(&series));
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("cluster-sweep", |b| {
+        b.iter(|| black_box(cedar_experiments::fig8::run().0.len()))
+    });
+    g.finish();
+}
+
+fn fig9(c: &mut Criterion) {
+    let ms = cedar_experiments::fig9::run();
+    println!("\n{}", cedar_experiments::fig9::render(&ms));
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("flo52-variants", |b| {
+        b.iter(|| black_box(cedar_experiments::fig9::run().len()))
+    });
+    g.finish();
+}
+
+fn ablation(c: &mut Criterion) {
+    let sweeps = cedar_experiments::ablation::run_all();
+    println!("\n{}", cedar_experiments::ablation::render(&sweeps));
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("strip-length-sweep", |b| {
+        b.iter(|| black_box(cedar_experiments::ablation::strip_length().points.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig6, fig7, fig8, fig9, ablation);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Microbenchmarks of the pipeline's stages: front end, dependence
+//! analysis, restructuring passes, and the simulator's interpreter
+//! throughput. These guard the tool itself (wall-clock), not the
+//! simulated machine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cedar_restructure::PassConfig;
+use cedar_sim::MachineConfig;
+
+fn front_end(c: &mut Criterion) {
+    let src = cedar_workloads::linalg::cg(128).source;
+    let mut g = c.benchmark_group("front-end");
+    g.throughput(Throughput::Bytes(src.len() as u64));
+    g.bench_function("parse-cg", |b| {
+        b.iter(|| black_box(cedar_f77::parse_source(&src).unwrap()))
+    });
+    g.bench_function("parse+lower-cg", |b| {
+        b.iter(|| black_box(cedar_ir::compile_source(&src).unwrap()))
+    });
+    g.finish();
+}
+
+fn analysis(c: &mut Criterion) {
+    let p = cedar_workloads::linalg::ludcmp(64).compile();
+    let unit = p.unit("ludcmp").unwrap().clone();
+    let l = unit
+        .body
+        .iter()
+        .find_map(|s| s.as_loop())
+        .unwrap()
+        .clone();
+    let mut g = c.benchmark_group("analysis");
+    g.bench_function("dependence-ludcmp-kloop", |b| {
+        b.iter(|| black_box(cedar_analysis::depend::analyze_loop(&unit, &l, None).deps.len()))
+    });
+    g.bench_function("reductions-ludcmp-kloop", |b| {
+        b.iter(|| black_box(cedar_analysis::reduction::find_reductions(&l).len()))
+    });
+    g.finish();
+}
+
+fn restructurer(c: &mut Criterion) {
+    let p = cedar_workloads::perfect::mdg().compile();
+    let mut g = c.benchmark_group("restructurer");
+    g.bench_function("automatic-mdg", |b| {
+        b.iter(|| {
+            black_box(
+                cedar_restructure::restructure(&p, &PassConfig::automatic_1991())
+                    .report
+                    .loops
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("manual-mdg", |b| {
+        b.iter(|| {
+            black_box(
+                cedar_restructure::restructure(&p, &PassConfig::manual_improved())
+                    .report
+                    .loops
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn simulator(c: &mut Criterion) {
+    // Interpreter throughput on a serial scalar kernel and on a
+    // vector-heavy kernel.
+    let scalar = cedar_ir::compile_source(
+        "
+      PROGRAM S
+      PARAMETER (N = 256)
+      REAL A(N, N), CHKSUM
+      DO 20 J = 1, N
+        DO 10 I = 1, N
+          A(I, J) = REAL(I) * 0.5 + REAL(J)
+   10   CONTINUE
+   20 CONTINUE
+      CHKSUM = A(N, N)
+      END
+",
+    )
+    .unwrap();
+    let vector = cedar_ir::compile_source(
+        "
+      PROGRAM V
+      PARAMETER (N = 65536)
+      REAL A(N), B(N), CHKSUM
+      B(1:N) = 0.5
+      A(1:N) = B(1:N) * 2.0 + 1.0
+      CHKSUM = A(N)
+      END
+",
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(256 * 256));
+    g.bench_function("scalar-interpret-64k-stmts", |b| {
+        b.iter(|| {
+            black_box(
+                cedar_sim::run(&scalar, MachineConfig::cedar_config1())
+                    .unwrap()
+                    .cycles(),
+            )
+        })
+    });
+    g.throughput(Throughput::Elements(65536));
+    g.bench_function("vector-interpret-64k-lanes", |b| {
+        b.iter(|| {
+            black_box(
+                cedar_sim::run(&vector, MachineConfig::cedar_config1())
+                    .unwrap()
+                    .cycles(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, front_end, analysis, restructurer, simulator);
+criterion_main!(benches);

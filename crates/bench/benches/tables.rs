@@ -1,0 +1,76 @@
+//! Criterion benchmarks regenerating the paper's tables.
+//!
+//! Running `cargo bench --bench tables` first *prints* Table 1 and
+//! Table 2 exactly as the experiment binaries do (so the bench run
+//! doubles as artifact regeneration), then times representative cells
+//! of each table's pipeline (compile → restructure → simulate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cedar_restructure::PassConfig;
+use cedar_sim::MachineConfig;
+
+fn regenerate_and_bench_table1(c: &mut Criterion) {
+    // Full-table regeneration (printed once).
+    let rows = cedar_experiments::table1::run();
+    println!("\n{}", cedar_experiments::table1::render(&rows));
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    // One representative cell per cost class: a dense elimination and a
+    // recurrence-bound solver, at reduced sizes.
+    g.bench_function("ludcmp-cell", |b| {
+        let w = cedar_workloads::linalg::ludcmp(48);
+        let mc = MachineConfig::cedar_config1_scaled();
+        let cfg = PassConfig::automatic_1991();
+        b.iter(|| {
+            let (s, p) = cedar_experiments::pipeline::run_workload(&w, &cfg, &mc);
+            black_box(s.cycles / p.cycles)
+        });
+    });
+    g.bench_function("tridag-cell", |b| {
+        let w = cedar_workloads::linalg::tridag(128);
+        let mc = MachineConfig::cedar_config1_scaled();
+        let cfg = PassConfig::automatic_1991();
+        b.iter(|| {
+            let (s, p) = cedar_experiments::pipeline::run_workload(&w, &cfg, &mc);
+            black_box(s.cycles / p.cycles)
+        });
+    });
+    g.finish();
+}
+
+fn regenerate_and_bench_table2(c: &mut Criterion) {
+    let rows = cedar_experiments::table2::run();
+    println!("\n{}", cedar_experiments::table2::render(&rows));
+    let (ser, crit, par) = cedar_experiments::table2::qcd_footnote();
+    println!(
+        "QCD footnote: serialized {ser:.2}x, critical section {crit:.2}x, \
+         parallel RNG {par:.2}x\n"
+    );
+
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("mdg-auto-vs-manual", |b| {
+        let w = cedar_workloads::perfect::mdg();
+        let mc = MachineConfig::cedar_config1_scaled();
+        b.iter(|| {
+            let (_, a) = cedar_experiments::pipeline::run_workload(
+                &w,
+                &PassConfig::automatic_1991(),
+                &mc,
+            );
+            let (_, m) = cedar_experiments::pipeline::run_workload(
+                &w,
+                &PassConfig::manual_improved(),
+                &mc,
+            );
+            black_box(a.cycles / m.cycles)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, regenerate_and_bench_table1, regenerate_and_bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,312 @@
+//! Loop-class selection and the §3.4 candidate-version cost heuristic.
+//!
+//! "To find the right match between loop levels and hardware levels, the
+//! restructurer considers a whole loop nest at one time ... Currently,
+//! the restructurer uses simple heuristics to identify transformed
+//! program versions worth further consideration," capped at a
+//! user-settable limit (default 50).
+
+use crate::config::{PassConfig, Target};
+use cedar_ir::visit::walk_stmt_exprs;
+use cedar_ir::{Expr, Loop, LoopClass, Stmt, Unit};
+
+/// How a parallel (DOALL-legal) nest should be scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NestPlan {
+    /// Single loop stripmined into `XDOALL i = lo, hi, strip` with a
+    /// vector-statement body (§3.2's canonical form).
+    XdoallVector,
+    /// Single loop as XDOALL with a scalar body (body not
+    /// vectorizable).
+    XdoallScalar,
+    /// Two-level nest: outer SDOALL, inner CDOALL; optionally the inner
+    /// body vectorized.
+    SdoallCdoall {
+        /// The innermost statements also run in vector mode.
+        inner_vector: bool,
+    },
+    /// FX/80: single loop stripmined into CDOALL + vector strips.
+    CdoallVector,
+    /// FX/80 or small loops: plain CDOALL scalar body.
+    CdoallScalar,
+}
+
+/// Machine constants the heuristic uses (kept in sync with
+/// `cedar-sim`'s defaults; they only need to be *relatively* right).
+const CDO_START: f64 = 60.0;
+const SDO_START: f64 = 2200.0;
+const XDO_START: f64 = 2800.0;
+const VEC_SPEEDUP: f64 = 2.5;
+const CES_PER_CLUSTER: f64 = 8.0;
+const CLUSTERS: f64 = 4.0;
+/// Total CEs of the Cedar model, used by granularity heuristics.
+pub const MACHINE_CES: i64 = (CLUSTERS * CES_PER_CLUSTER) as i64;
+const DEFAULT_TRIP: f64 = 100.0;
+
+/// Rough per-iteration cost of a body: statements weighted by operation
+/// and reference counts. Only relative magnitudes matter.
+pub fn body_cost(_unit: &Unit, body: &[Stmt]) -> f64 {
+    fn stmt_cost(s: &Stmt) -> f64 {
+        let mut cost = 2.0; // statement overhead
+        // walk_stmt_exprs already visits every sub-expression node.
+        walk_stmt_exprs(s, false, &mut |e: &Expr| {
+            cost += match e {
+                Expr::Bin(..) | Expr::Un(..) => 1.0,
+                Expr::Elem { .. } | Expr::Section { .. } => 3.0,
+                Expr::Intr { .. } => 4.0,
+                Expr::Call { .. } => 30.0,
+                _ => 0.0,
+            };
+        });
+        match s {
+            Stmt::Loop(inner) => {
+                let trip = const_trip(inner).unwrap_or(DEFAULT_TRIP as i64).max(1) as f64;
+                cost += trip * block_cost(&inner.body)
+                    + block_cost(&inner.preamble)
+                    + block_cost(&inner.postamble);
+            }
+            Stmt::If { then_body, elifs, else_body, .. } => {
+                // Weight by the heavier branch.
+                let mut branch = block_cost(then_body).max(block_cost(else_body));
+                for (_, b) in elifs {
+                    branch = branch.max(block_cost(b));
+                }
+                cost += branch;
+            }
+            Stmt::DoWhile { body, .. } => {
+                cost += DEFAULT_TRIP * block_cost(body);
+            }
+            _ => {}
+        }
+        cost
+    }
+    fn block_cost(body: &[Stmt]) -> f64 {
+        body.iter().map(stmt_cost).sum()
+    }
+    block_cost(body)
+}
+
+fn const_trip(l: &Loop) -> Option<i64> {
+    let a = l.start.as_const_int()?;
+    let b = l.end.as_const_int()?;
+    let s = l.step.as_ref().map_or(Some(1), |e| e.as_const_int())?;
+    if s == 0 {
+        return None;
+    }
+    Some(((b - a + s) / s).max(0))
+}
+
+/// Candidate plans with estimated execution times; the driver takes the
+/// cheapest and accounts versions against `max_versions`.
+pub fn choose_plan(
+    unit: &Unit,
+    l: &Loop,
+    inner_parallel: bool,
+    body_vectorizable: bool,
+    inner_vectorizable: bool,
+    cfg: &PassConfig,
+) -> (NestPlan, usize) {
+    let trip = const_trip(l).map(|t| t as f64).unwrap_or(DEFAULT_TRIP);
+    let cost = body_cost(unit, &l.body).max(1.0);
+    let mut candidates: Vec<(NestPlan, f64)> = Vec::new();
+
+    match cfg.target {
+        Target::Fx80 => {
+            if body_vectorizable && cfg.stripmine {
+                candidates.push((
+                    NestPlan::CdoallVector,
+                    CDO_START + trip * cost / (CES_PER_CLUSTER * VEC_SPEEDUP),
+                ));
+            }
+            candidates.push((NestPlan::CdoallScalar, CDO_START + trip * cost / CES_PER_CLUSTER));
+        }
+        Target::Cedar => {
+            if inner_parallel {
+                let iv = inner_vectorizable && cfg.stripmine;
+                let inner_gain = if iv { VEC_SPEEDUP } else { 1.0 };
+                candidates.push((
+                    NestPlan::SdoallCdoall { inner_vector: iv },
+                    SDO_START
+                        + CDO_START
+                        + trip * cost / (CLUSTERS * CES_PER_CLUSTER * inner_gain),
+                ));
+            }
+            if body_vectorizable && cfg.stripmine {
+                candidates.push((
+                    NestPlan::XdoallVector,
+                    XDO_START + trip * cost / (CLUSTERS * CES_PER_CLUSTER * VEC_SPEEDUP),
+                ));
+                // Small loops: one cluster with vector strips avoids the
+                // library startup.
+                candidates.push((
+                    NestPlan::CdoallVector,
+                    CDO_START + trip * cost / (CES_PER_CLUSTER * VEC_SPEEDUP),
+                ));
+            }
+            candidates.push((
+                NestPlan::XdoallScalar,
+                XDO_START + trip * cost / (CLUSTERS * CES_PER_CLUSTER),
+            ));
+            candidates.push((NestPlan::CdoallScalar, CDO_START + trip * cost / CES_PER_CLUSTER));
+        }
+    }
+
+    let considered = candidates.len().min(cfg.max_versions);
+    let best = candidates
+        .into_iter()
+        .take(cfg.max_versions)
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(p, _)| p)
+        .unwrap_or(NestPlan::CdoallScalar);
+    (best, considered)
+}
+
+/// §3.3: "the restructurer lowers its estimate of the benefit owing to
+/// parallel execution by a synchronization delay factor — the size of
+/// the synchronized region (as a fraction of one iteration) divided by
+/// the number of processors that may be executing it concurrently."
+/// DOACROSS is worthwhile when the discounted speedup still beats 1.
+pub fn doacross_worthwhile(
+    unit: &Unit,
+    l: &Loop,
+    sync_region: &[Stmt],
+    processors: f64,
+) -> bool {
+    let total = body_cost(unit, &l.body).max(1.0);
+    let region = body_cost(unit, sync_region).min(total);
+    // Ideal speedup P, discounted: effective = P / (1 + P * region/total).
+    // region == total → 1 (serial); region == 0 → P.
+    let p = processors.max(1.0);
+    let eff = p / (1.0 + p * (region / total));
+    eff > 1.5
+}
+
+/// Is interchanging a serial-outer/parallel-inner 2-nest profitable?
+///
+/// Compares the non-interchanged form (outer serial, inner parallel on
+/// one cluster, vectorized when possible) against the interchanged form
+/// (inner moved outward; either one cluster at cluster-memory cost or
+/// machine-wide at globalized cost). Interchange typically wins when
+/// the inner loops are too *short* to amortize their per-instance
+/// startup — §4.2.4's granularity argument applied to nests.
+pub fn interchange_profitable(
+    unit: &Unit,
+    outer: &Loop,
+    inner: &Loop,
+    inner_vectorizable: bool,
+) -> bool {
+    let trip_out = const_trip(outer).map(|t| t as f64).unwrap_or(DEFAULT_TRIP);
+    let trip_in = const_trip(inner).map(|t| t as f64).unwrap_or(DEFAULT_TRIP);
+    let c = body_cost(unit, &inner.body).max(1.0);
+    let work = trip_out * trip_in * c;
+
+    let inner_gain = if inner_vectorizable { VEC_SPEEDUP } else { 1.0 };
+    let est_noninter =
+        trip_out * (CDO_START + trip_in * c / (CES_PER_CLUSTER * inner_gain));
+
+    // Interchanged: the serialized outer runs inside each iteration.
+    // Cross-cluster execution globalizes the data (≈4× dearer scalar
+    // traffic in the cost model); single-cluster stays cheap.
+    const GLOBAL_PENALTY: f64 = 4.0;
+    let est_xdo = XDO_START + work * GLOBAL_PENALTY / (CLUSTERS * CES_PER_CLUSTER);
+    let est_cdo = CDO_START + work / CES_PER_CLUSTER;
+    let est_inter = est_xdo.min(est_cdo);
+
+    est_inter < est_noninter
+}
+
+/// Critical sections serialize their region *and* pay a lock per
+/// iteration; demand a clearly-positive discounted speedup.
+pub fn critical_worthwhile(
+    unit: &Unit,
+    l: &Loop,
+    locked_region: &[Stmt],
+    processors: f64,
+) -> bool {
+    let total = body_cost(unit, &l.body).max(1.0);
+    let region = body_cost(unit, locked_region).min(total) + 15.0; // lock overhead
+    let p = processors.max(1.0);
+    let eff = p / (1.0 + p * (region / total));
+    eff > 3.0
+}
+
+/// The Cedar loop class for the DOACROSS form (cluster hardware sync is
+/// cheap; cross-cluster cascades rarely pay — §3.4).
+pub fn doacross_class(target: Target) -> LoopClass {
+    match target {
+        Target::Cedar | Target::Fx80 => LoopClass::CDoacross,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_ir::compile_free;
+
+    fn setup(src: &str) -> (cedar_ir::Program, Loop) {
+        let p = compile_free(src).unwrap();
+        let l = p.units[0]
+            .body
+            .iter()
+            .find_map(|s| s.as_loop())
+            .unwrap()
+            .clone();
+        (p, l)
+    }
+
+    #[test]
+    fn vectorizable_single_loop_prefers_xdoall_vector() {
+        let (p, l) = setup(
+            "subroutine s(a, b)\nreal a(100000), b(100000)\ndo i = 1, 100000\n\
+             a(i) = b(i)\nend do\nend\n",
+        );
+        let (plan, n) = choose_plan(&p.units[0], &l, false, true, false, &PassConfig::automatic_1991());
+        assert_eq!(plan, NestPlan::XdoallVector);
+        assert!(n >= 2);
+    }
+
+    #[test]
+    fn tiny_trip_prefers_cheap_startup() {
+        let (p, l) = setup(
+            "subroutine s(a, b)\nreal a(8), b(8)\ndo i = 1, 8\na(i) = b(i)\nend do\nend\n",
+        );
+        let (plan, _) =
+            choose_plan(&p.units[0], &l, false, false, false, &PassConfig::automatic_1991());
+        assert_eq!(plan, NestPlan::CdoallScalar);
+    }
+
+    #[test]
+    fn nested_parallel_prefers_sdoall_cdoall() {
+        let (p, l) = setup(
+            "subroutine s(a, n)\nreal a(1000, 1000)\ndo j = 1, 1000\ndo i = 1, 1000\n\
+             a(i, j) = 1.0\nend do\nend do\nend\n",
+        );
+        let (plan, _) =
+            choose_plan(&p.units[0], &l, true, false, true, &PassConfig::automatic_1991());
+        assert_eq!(plan, NestPlan::SdoallCdoall { inner_vector: true });
+    }
+
+    #[test]
+    fn fx80_uses_cluster_classes_only() {
+        let (p, l) = setup(
+            "subroutine s(a, b)\nreal a(100000), b(100000)\ndo i = 1, 100000\n\
+             a(i) = b(i)\nend do\nend\n",
+        );
+        let cfg = PassConfig::automatic_1991().for_target(Target::Fx80);
+        let (plan, _) = choose_plan(&p.units[0], &l, false, true, false, &cfg);
+        assert_eq!(plan, NestPlan::CdoallVector);
+    }
+
+    #[test]
+    fn doacross_discount() {
+        let (p, l) = setup(
+            "subroutine s(a, b, c, n)\nreal a(n), b(n), c(n)\ndo i = 2, n\n\
+             c(i) = a(i) * 2.0 + sqrt(a(i))\nb(i) = b(i - 1) + c(i)\nend do\nend\n",
+        );
+        // small sync region (one stmt of two) on 8 CEs: worthwhile
+        let region = vec![l.body[1].clone()];
+        assert!(doacross_worthwhile(&p.units[0], &l, &region, 8.0));
+        // whole body synchronized: not worthwhile
+        assert!(!doacross_worthwhile(&p.units[0], &l, &l.body.clone(), 8.0));
+    }
+}

@@ -1,0 +1,4 @@
+fn main() {
+    let sweeps = cedar_experiments::ablation::run_all();
+    print!("{}", cedar_experiments::ablation::render(&sweeps));
+}

@@ -1,0 +1,24 @@
+//! Regenerate every table and figure of the paper in one run.
+fn main() {
+    let t0 = std::time::Instant::now();
+    let rows = cedar_experiments::table1::run();
+    println!("{}", cedar_experiments::table1::render(&rows));
+    let rows = cedar_experiments::table2::run();
+    println!("{}", cedar_experiments::table2::render(&rows));
+    let (ser, crit, par) = cedar_experiments::table2::qcd_footnote();
+    println!(
+        "QCD footnote (Cedar): RNG cycle serialized {ser:.2}x (paper 1.8), \
+         critical section {crit:.2}x (paper 4.5), parallel RNG {par:.2}x (paper 20.8)\n"
+    );
+    let bars = cedar_experiments::fig6::run();
+    println!("{}", cedar_experiments::fig6::render(&bars));
+    let f = cedar_experiments::fig7::run();
+    println!("{}", cedar_experiments::fig7::render(&f));
+    let (series, _) = cedar_experiments::fig8::run();
+    println!("{}", cedar_experiments::fig8::render(&series));
+    let ms = cedar_experiments::fig9::run();
+    println!("{}", cedar_experiments::fig9::render(&ms));
+    let sweeps = cedar_experiments::ablation::run_all();
+    println!("{}", cedar_experiments::ablation::render(&sweeps));
+    eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

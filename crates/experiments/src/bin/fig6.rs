@@ -1,0 +1,4 @@
+fn main() {
+    let bars = cedar_experiments::fig6::run();
+    print!("{}", cedar_experiments::fig6::render(&bars));
+}

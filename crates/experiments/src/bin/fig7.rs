@@ -1,0 +1,4 @@
+fn main() {
+    let f = cedar_experiments::fig7::run();
+    print!("{}", cedar_experiments::fig7::render(&f));
+}

@@ -1,0 +1,4 @@
+fn main() {
+    let (series, _) = cedar_experiments::fig8::run();
+    print!("{}", cedar_experiments::fig8::render(&series));
+}

@@ -1,0 +1,4 @@
+fn main() {
+    let ms = cedar_experiments::fig9::run();
+    print!("{}", cedar_experiments::fig9::render(&ms));
+}

@@ -1,0 +1,4 @@
+fn main() {
+    let rows = cedar_experiments::table1::run();
+    print!("{}", cedar_experiments::table1::render(&rows));
+}

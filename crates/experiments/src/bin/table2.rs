@@ -1,0 +1,9 @@
+fn main() {
+    let rows = cedar_experiments::table2::run();
+    print!("{}", cedar_experiments::table2::render(&rows));
+    let (ser, crit, par) = cedar_experiments::table2::qcd_footnote();
+    println!(
+        "\nQCD footnote (Cedar): RNG cycle serialized {ser:.2}x (paper 1.8), \
+         critical section {crit:.2}x (paper 4.5), parallel RNG {par:.2}x (paper 20.8)"
+    );
+}

@@ -1,0 +1,115 @@
+//! Compile → restructure → simulate plumbing shared by every
+//! experiment.
+
+use cedar_ir::Program;
+use cedar_restructure::{restructure, PassConfig};
+use cedar_sim::{ExecStats, MachineConfig};
+use cedar_workloads::Workload;
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Timed cycles (timer regions when present, else whole run).
+    pub cycles: f64,
+    /// Full simulator counters.
+    pub stats: ExecStats,
+    /// Watched result variables (name → values).
+    pub results: Vec<(String, Vec<f64>)>,
+}
+
+/// Run an already-lowered program (optionally restructuring first).
+pub fn run_program(
+    program: &Program,
+    cfg: Option<&PassConfig>,
+    mc: &MachineConfig,
+    watch: &[&str],
+) -> Outcome {
+    let transformed;
+    let to_run = match cfg {
+        Some(c) => {
+            transformed = restructure(program, c);
+            &transformed.program
+        }
+        None => program,
+    };
+    let sim = cedar_sim::run(to_run, mc.clone()).unwrap_or_else(|e| {
+        panic!(
+            "simulation failed: {e}\n---\n{}",
+            cedar_ir::print::print_program(to_run)
+        )
+    });
+    let results = watch
+        .iter()
+        .filter_map(|w| sim.read_f64(w).map(|v| (w.to_string(), v)))
+        .collect();
+    // Timer regions (CALL TSTART/TSTOP) report routine time, as the
+    // paper does for Table 1; programs without timers report total time.
+    let cycles = if sim.stats.region_cycles > 0.0 {
+        sim.stats.region_cycles
+    } else {
+        sim.cycles()
+    };
+    Outcome { cycles, stats: sim.stats.clone(), results }
+}
+
+/// Run one workload under a pass configuration, verifying semantic
+/// equivalence against the serial execution on the same machine.
+/// Returns `(serial, variant)` outcomes.
+pub fn run_workload(
+    w: &Workload,
+    cfg: &PassConfig,
+    mc: &MachineConfig,
+) -> (Outcome, Outcome) {
+    let program = w.compile();
+    let serial = run_program(&program, None, mc, &w.watch);
+    let variant = run_program(&program, Some(cfg), mc, &w.watch);
+    assert_equivalent(w.name, &serial, &variant);
+    (serial, variant)
+}
+
+/// Compare watched results with a relative tolerance (reductions
+/// reassociate, so bit-exactness is not expected).
+pub fn assert_equivalent(name: &str, a: &Outcome, b: &Outcome) {
+    for ((wa, va), (wb, vb)) in a.results.iter().zip(&b.results) {
+        assert_eq!(wa, wb);
+        assert_eq!(va.len(), vb.len(), "{name}: {wa} length mismatch");
+        for (x, y) in va.iter().zip(vb) {
+            assert!(
+                (x - y).abs() <= 1e-3 * x.abs().max(1.0),
+                "{name}: {wa}: {x} vs {y} — restructured program computes different results"
+            );
+        }
+    }
+}
+
+/// Format a speedup for display: one decimal below 100, integral above
+/// (matching the paper's Table 1 style).
+pub fn fmt_speedup(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 10.0 {
+        format!("{s:.1}")
+    } else {
+        format!("{s:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(fmt_speedup(1079.3), "1079");
+        assert_eq!(fmt_speedup(29.44), "29.4");
+        assert_eq!(fmt_speedup(9.16), "9.16");
+    }
+
+    #[test]
+    fn pipeline_runs_and_checks_equivalence() {
+        let w = cedar_workloads::linalg::tridag(64);
+        let mc = MachineConfig::cedar_config1_scaled();
+        let (ser, var) = run_workload(&w, &PassConfig::automatic_1991(), &mc);
+        assert!(ser.cycles > 0.0 && var.cycles > 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Front-end diagnostics.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Front-end result type.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A front-end error with the source line it was detected on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Source line the error was detected on.
+    pub span: Span,
+    /// What went wrong.
+    pub kind: ErrorKind,
+}
+
+/// Error categories the front end reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed token (bad character, unterminated string, bad number).
+    Lex(String),
+    /// Grammar violation.
+    Parse(String),
+    /// Syntactically valid Fortran we deliberately do not support
+    /// (arithmetic IF, computed GOTO, Hollerith, ...).
+    Unsupported(String),
+    /// Block structure errors: unclosed DO/IF, mismatched END, label
+    /// problems.
+    Structure(String),
+}
+
+impl Error {
+    /// A lexical error at `span`.
+    pub fn lex(span: Span, msg: impl Into<String>) -> Self {
+        Error { span, kind: ErrorKind::Lex(msg.into()) }
+    }
+    /// A syntax error at `span`.
+    pub fn parse(span: Span, msg: impl Into<String>) -> Self {
+        Error { span, kind: ErrorKind::Parse(msg.into()) }
+    }
+    /// A deliberately unsupported construct at `span`.
+    pub fn unsupported(span: Span, msg: impl Into<String>) -> Self {
+        Error { span, kind: ErrorKind::Unsupported(msg.into()) }
+    }
+    /// A block-structure error at `span`.
+    pub fn structure(span: Span, msg: impl Into<String>) -> Self {
+        Error { span, kind: ErrorKind::Structure(msg.into()) }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (tag, msg) = match &self.kind {
+            ErrorKind::Lex(m) => ("lexical error", m),
+            ErrorKind::Parse(m) => ("syntax error", m),
+            ErrorKind::Unsupported(m) => ("unsupported construct", m),
+            ErrorKind::Structure(m) => ("structure error", m),
+        };
+        write!(f, "{}: {tag}: {msg}", self.span)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_kind() {
+        let e = Error::parse(Span::new(7), "expected `)`");
+        assert_eq!(e.to_string(), "line 7: syntax error: expected `)`");
+        let e = Error::unsupported(Span::new(2), "arithmetic IF");
+        assert!(e.to_string().contains("unsupported construct"));
+    }
+}

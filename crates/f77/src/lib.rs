@@ -1,0 +1,114 @@
+#![warn(missing_docs)]
+//! Fortran 77 front end for the Cedar restructurer.
+//!
+//! This crate parses the input dialect of the Cedar Fortran translation
+//! system described in *Restructuring Fortran Programs for Cedar*
+//! (Eigenmann, Hoeflinger, Jaxon, Li, Padua; ICPP 1991):
+//!
+//! * fixed-form Fortran 77 (comment cards, labels in columns 1–5,
+//!   continuation in column 6),
+//! * the Fortran 90 vector subset the restructurer accepts as input
+//!   (array sections `a(i:j:k)`, whole-array expressions, `WHERE`),
+//! * the MIL-STD-1753 `DO WHILE` / `END DO` extensions (accepted by the
+//!   1988 KAP the paper's restructurer is based on), and
+//! * the **Cedar Fortran** output dialect of the restructurer
+//!   (`CDOALL`/`SDOALL`/`XDOALL`/`*DOACROSS` loops with loop-local
+//!   declarations and preambles, `GLOBAL`/`CLUSTER`/`PROCESS COMMON`
+//!   visibility declarations), so that restructurer output can be parsed
+//!   back for round-trip testing.
+//!
+//! The entry points are [`parse_source`] (a whole source file of program
+//! units) and [`parse_free`] (the same grammar with free-form line
+//! handling, convenient in tests).
+//!
+//! # Dialect restrictions
+//!
+//! The classic Fortran 66/77 features that would require a token-free
+//! scanner are not supported: blanks are significant (`DO10I=1,10` must be
+//! written `DO 10 I = 1, 10`), Hollerith constants are rejected, and
+//! variables may not be named after statement keywords. Arithmetic IF,
+//! computed GOTO, and `ASSIGN` are parsed and reported as unsupported.
+//! All workloads shipped in `cedar-workloads` are written in this dialect.
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod span;
+pub mod token;
+
+pub use ast::*;
+pub use error::{Error, Result};
+pub use span::Span;
+
+/// Parse a fixed-form Fortran 77 / Cedar Fortran source file into a list
+/// of program units.
+pub fn parse_source(src: &str) -> Result<SourceFile> {
+    let lines = lexer::assemble_fixed_form(src)?;
+    parse_lines(lines)
+}
+
+/// Parse free-form source: every physical line is one statement, `&` at
+/// end of line continues, `!` starts a comment. Labels are a leading
+/// integer token. Useful for tests and embedded snippets.
+pub fn parse_free(src: &str) -> Result<SourceFile> {
+    let lines = lexer::assemble_free_form(src)?;
+    parse_lines(lines)
+}
+
+fn parse_lines(lines: Vec<lexer::LogicalLine>) -> Result<SourceFile> {
+    let mut stmts = Vec::with_capacity(lines.len());
+    for line in &lines {
+        let toks = lexer::tokenize(&line.text, line.line)?;
+        if toks.is_empty() {
+            continue;
+        }
+        stmts.push(parser::RawStmt {
+            label: line.label,
+            tokens: toks,
+            line: line.line,
+        });
+    }
+    parser::parse_units(stmts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let src = "
+      PROGRAM MAIN
+      INTEGER I
+      I = 1
+      END
+";
+        let f = parse_source(src).unwrap();
+        assert_eq!(f.units.len(), 1);
+        assert_eq!(f.units[0].name, "main");
+    }
+
+    #[test]
+    fn free_form_matches_fixed_form() {
+        let fixed = "
+      SUBROUTINE S(A, N)
+      REAL A(N)
+      DO 10 I = 1, N
+      A(I) = A(I) + 1.0
+   10 CONTINUE
+      END
+";
+        let free = "
+subroutine s(a, n)
+real a(n)
+do 10 i = 1, n
+a(i) = a(i) + 1.0
+10 continue
+end
+";
+        let a = parse_source(fixed).unwrap();
+        let b = parse_free(free).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

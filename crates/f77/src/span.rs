@@ -1,0 +1,50 @@
+//! Source positions. Fortran is line-oriented; a 1-based line number is
+//! enough to produce useful diagnostics for fixed-form sources.
+
+use std::fmt;
+
+/// A source location: the 1-based line of the first card of the logical
+/// line the construct came from.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// 1-based source line (0 = compiler-generated).
+    pub line: u32,
+}
+
+impl Span {
+    /// The "no source location" marker for generated code.
+    pub const NONE: Span = Span { line: 0 };
+
+    /// Span for a 1-based line number.
+    pub fn new(line: u32) -> Self {
+        Span { line }
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.line)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "<generated>")
+        } else {
+            write!(f, "line {}", self.line)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Span::new(12).to_string(), "line 12");
+        assert_eq!(Span::NONE.to_string(), "<generated>");
+        assert_eq!(format!("{:?}", Span::new(3)), "L3");
+    }
+}

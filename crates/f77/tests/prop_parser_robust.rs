@@ -1,0 +1,82 @@
+//! Robustness: the front end must return a diagnostic — never panic,
+//! never loop — on arbitrary input. The strategies below aim at the
+//! parser's soft spots: near-valid programs with random statement soup,
+//! random punctuation storms, and pathological label/continuation use.
+
+use cedar_f77::{parse_free, parse_source};
+use proptest::prelude::*;
+
+/// Fragments that look almost like Fortran — the interesting failure
+/// space (pure noise dies in the lexer immediately).
+fn stmt_soup() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("x = 1.0".to_string()),
+        Just("do 10 i = 1, n".to_string()),
+        Just("do i = 1,".to_string()),
+        Just("10 continue".to_string()),
+        Just("end do".to_string()),
+        Just("if (x .gt.".to_string()),
+        Just("if (x) then".to_string()),
+        Just("else".to_string()),
+        Just("end if".to_string()),
+        Just("call f(".to_string()),
+        Just("real a(".to_string()),
+        Just("common //".to_string()),
+        Just("cdoall i = 1, 8".to_string()),
+        Just("end cdoall".to_string()),
+        Just("loop".to_string()),
+        Just("endloop".to_string()),
+        Just("where (a .gt. 0.0) a = 1".to_string()),
+        Just("a(1:2:3:4) = 5".to_string()),
+        Just("x = ((((1".to_string()),
+        Just("goto 99".to_string()),
+        Just("return".to_string()),
+        Just("end".to_string()),
+        "[a-z =()+,0-9.*]{0,24}",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn parser_never_panics_on_statement_soup(
+        stmts in prop::collection::vec(stmt_soup(), 0..12),
+        wrap in any::<bool>(),
+    ) {
+        let mut src = String::new();
+        if wrap {
+            src.push_str("subroutine s(a, n)\n");
+        }
+        for st in &stmts {
+            src.push_str(st);
+            src.push('\n');
+        }
+        if wrap {
+            src.push_str("end\n");
+        }
+        // Ok or Err are both fine; panics and hangs are not.
+        let _ = parse_free(&src);
+    }
+
+    #[test]
+    fn fixed_form_never_panics_on_random_columns(
+        lines in prop::collection::vec("[ 0-9a-zC*!&=().,+]{0,80}", 0..16),
+    ) {
+        let src = lines.join("\n");
+        let _ = parse_source(&src);
+    }
+
+    #[test]
+    fn labels_and_continuations_never_panic(
+        label in 0u32..100000,
+        cont in "[&1x]",
+        body in "[a-z0-9 =+]{0,30}",
+    ) {
+        // A labelled card followed by a continuation card.
+        let src = format!(
+            "      PROGRAM P\n{label:>5} X = 1.0\n     {cont}{body}\n      END\n"
+        );
+        let _ = parse_source(&src);
+    }
+}

@@ -1,0 +1,502 @@
+//! Cedar Fortran source emission.
+//!
+//! Renders a [`Program`] back to fixed-form Cedar Fortran text — the
+//! restructurer's user-visible output format, and the basis of the
+//! round-trip property tests (emit → parse → lower → compare).
+
+use crate::expr::{BinOp, Expr, Index, UnOp};
+use crate::program::{Program, Unit, UnitKind};
+use crate::stmt::{LValue, Loop, Stmt, SyncOp};
+use crate::symbol::{Placement, SymKind, Symbol};
+use crate::types::{Ty, Value};
+use cedar_f77::ast::LoopClass;
+use std::fmt::Write;
+
+/// Render the whole program as Cedar Fortran source.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for u in &p.units {
+        print_unit(u, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one unit.
+pub fn print_unit(u: &Unit, out: &mut String) {
+    let mut pr = Printer { unit: u, out, indent: 0 };
+    pr.unit_header();
+    pr.decls();
+    pr.body(&u.body);
+    pr.line("end");
+}
+
+struct Printer<'a> {
+    unit: &'a Unit,
+    out: &'a mut String,
+    indent: usize,
+}
+
+impl Printer<'_> {
+    /// Emit one statement line with the fixed-form 6-column prefix.
+    fn line(&mut self, text: &str) {
+        let _ = writeln!(self.out, "      {}{}", "  ".repeat(self.indent), text);
+    }
+
+    fn unit_header(&mut self) {
+        let u = self.unit;
+        let args: Vec<&str> = u.args.iter().map(|a| u.symbol(*a).name.as_str()).collect();
+        let arglist = if args.is_empty() {
+            String::new()
+        } else {
+            format!("({})", args.join(", "))
+        };
+        match u.kind {
+            UnitKind::Program => self.line(&format!("program {}", u.name)),
+            UnitKind::Subroutine => self.line(&format!("subroutine {}{arglist}", u.name)),
+            UnitKind::Function => {
+                let ret = u
+                    .result
+                    .map(|r| u.symbol(r).ty)
+                    .unwrap_or(Ty::Real);
+                self.line(&format!("{ret} function {}{arglist}", u.name));
+            }
+        }
+    }
+
+    fn decls(&mut self) {
+        // Type declarations for every non-loop-local symbol (loop locals
+        // print inside their loops).
+        let mut globals: Vec<&str> = Vec::new();
+        let mut clusters: Vec<&str> = Vec::new();
+        for s in &self.unit.symbols {
+            if matches!(s.kind, SymKind::LoopLocal) {
+                continue;
+            }
+            self.line(&decl_text(self.unit, s));
+            match s.placement {
+                Placement::Global => globals.push(&s.name),
+                Placement::Cluster => clusters.push(&s.name),
+                _ => {}
+            }
+        }
+        if !globals.is_empty() {
+            self.line(&format!("global {}", globals.join(", ")));
+        }
+        if !clusters.is_empty() {
+            self.line(&format!("cluster {}", clusters.join(", ")));
+        }
+        // COMMON membership, grouped by block in member order.
+        let mut blocks: Vec<(&str, Vec<(usize, &Symbol)>)> = Vec::new();
+        for s in &self.unit.symbols {
+            if let SymKind::Common { block, member } = &s.kind {
+                match blocks.iter_mut().find(|(b, _)| b == block) {
+                    Some((_, v)) => v.push((*member, s)),
+                    None => blocks.push((block, vec![(*member, s)])),
+                }
+            }
+        }
+        for (block, mut members) in blocks {
+            members.sort_by_key(|(m, _)| *m);
+            let names: Vec<&str> = members.iter().map(|(_, s)| s.name.as_str()).collect();
+            self.line(&format!("common /{block}/ {}", names.join(", ")));
+        }
+        // DATA initializers.
+        for s in &self.unit.symbols {
+            if !s.init.is_empty() && !s.is_param() {
+                let vals: Vec<String> = s.init.iter().map(value_text).collect();
+                self.line(&format!("data {} /{}/", s.name, vals.join(", ")));
+            }
+        }
+    }
+
+    fn body(&mut self, stmts: &[Stmt]) {
+        self.indent += 1;
+        for s in stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign { lhs, rhs, .. } => {
+                let text = format!("{} = {}", lvalue_text(self.unit, lhs), expr_text(self.unit, rhs));
+                self.line(&text);
+            }
+            Stmt::WhereAssign { mask, lhs, rhs, .. } => {
+                let text = format!(
+                    "where ({}) {} = {}",
+                    expr_text(self.unit, mask),
+                    lvalue_text(self.unit, lhs),
+                    expr_text(self.unit, rhs)
+                );
+                self.line(&text);
+            }
+            Stmt::If { cond, then_body, elifs, else_body, .. } => {
+                let c = expr_text(self.unit, cond);
+                self.line(&format!("if ({c}) then"));
+                self.body(then_body);
+                for (ec, eb) in elifs {
+                    let c = expr_text(self.unit, ec);
+                    self.line(&format!("else if ({c}) then"));
+                    self.body(eb);
+                }
+                if !else_body.is_empty() {
+                    self.line("else");
+                    self.body(else_body);
+                }
+                self.line("end if");
+            }
+            Stmt::Loop(l) => self.print_loop(l),
+            Stmt::DoWhile { cond, body, .. } => {
+                let c = expr_text(self.unit, cond);
+                self.line(&format!("do while ({c})"));
+                self.body(body);
+                self.line("end do");
+            }
+            Stmt::Call { callee, args, .. } => {
+                let a: Vec<String> = args.iter().map(|e| expr_text(self.unit, e)).collect();
+                if a.is_empty() {
+                    self.line(&format!("call {callee}"));
+                } else {
+                    self.line(&format!("call {callee}({})", a.join(", ")));
+                }
+            }
+            Stmt::TaskStart { callee, args, lib, .. } => {
+                let kw = if *lib { "mtskstart" } else { "ctskstart" };
+                let mut a: Vec<String> = vec![callee.clone()];
+                a.extend(args.iter().map(|e| expr_text(self.unit, e)));
+                self.line(&format!("call {kw}({})", a.join(", ")));
+            }
+            Stmt::TaskWait { .. } => self.line("call tskwait"),
+            Stmt::Sync(op) => {
+                let text = match op {
+                    SyncOp::Await { point, dist } => {
+                        format!("call await({point}, {})", expr_text(self.unit, dist))
+                    }
+                    SyncOp::Advance { point } => format!("call advance({point})"),
+                    SyncOp::Lock { id } => format!("call lock({id})"),
+                    SyncOp::Unlock { id } => format!("call unlock({id})"),
+                };
+                self.line(&text);
+            }
+            Stmt::Return => self.line("return"),
+            Stmt::Stop => self.line("stop"),
+            Stmt::Io { .. } => self.line("print *"),
+        }
+    }
+
+    fn print_loop(&mut self, l: &Loop) {
+        let u = self.unit;
+        let kw = l.class.keyword();
+        let mut head = format!(
+            "{kw} {} = {}, {}",
+            u.symbol(l.var).name,
+            expr_text(u, &l.start),
+            expr_text(u, &l.end)
+        );
+        if let Some(st) = &l.step {
+            let _ = write!(head, ", {}", expr_text(u, st));
+        }
+        self.line(&head);
+        self.indent += 1;
+        for loc in &l.locals {
+            let text = decl_text(u, u.symbol(*loc));
+            self.line(&text);
+        }
+        let has_markers = !l.preamble.is_empty() || !l.postamble.is_empty();
+        self.indent -= 1;
+        if has_markers {
+            self.body(&l.preamble);
+            self.line("loop");
+        }
+        self.body(&l.body);
+        if has_markers {
+            self.line("endloop");
+            self.body(&l.postamble);
+        }
+        if l.class == LoopClass::Seq {
+            self.line("end do");
+        } else {
+            self.line(&format!("end {kw}"));
+        }
+    }
+}
+
+fn decl_text(u: &Unit, s: &Symbol) -> String {
+    let mut t = format!("{} {}", s.ty, s.name);
+    if s.is_array() {
+        let dims: Vec<String> = s
+            .dims
+            .iter()
+            .map(|d| {
+                let lo = d.lower.as_const_int();
+                let hi = d.upper.as_ref().map(|e| expr_text(u, e));
+                match (lo, hi) {
+                    (Some(1), Some(h)) => h,
+                    (_, Some(h)) => format!("{}:{h}", expr_text(u, &d.lower)),
+                    (Some(1), None) => "*".to_string(),
+                    (_, None) => format!("{}:*", expr_text(u, &d.lower)),
+                }
+            })
+            .collect();
+        let _ = write!(t, "({})", dims.join(", "));
+    }
+    t
+}
+
+fn value_text(v: &Value) -> String {
+    match v {
+        Value::I(i) => i.to_string(),
+        Value::R(r) => real_text(*r, false),
+        Value::B(true) => ".true.".into(),
+        Value::B(false) => ".false.".into(),
+    }
+}
+
+fn real_text(v: f64, double: bool) -> String {
+    let mut s = format!("{v:?}"); // Debug for f64 always keeps a decimal point
+    if double {
+        if let Some(epos) = s.find(['e', 'E']) {
+            s.replace_range(epos..=epos, "d");
+        } else {
+            s.push_str("d0");
+        }
+    }
+    s
+}
+
+/// Render an lvalue.
+pub fn lvalue_text(u: &Unit, l: &LValue) -> String {
+    match l {
+        LValue::Scalar(s) => u.symbol(*s).name.clone(),
+        LValue::Elem { arr, idx } => elem_text(u, *arr, idx),
+        LValue::Section { arr, idx } => section_text(u, *arr, idx),
+    }
+}
+
+fn elem_text(u: &Unit, arr: crate::SymbolId, idx: &[Expr]) -> String {
+    let subs: Vec<String> = idx.iter().map(|e| expr_text(u, e)).collect();
+    format!("{}({})", u.symbol(arr).name, subs.join(", "))
+}
+
+fn section_text(u: &Unit, arr: crate::SymbolId, idx: &[Index]) -> String {
+    let subs: Vec<String> = idx
+        .iter()
+        .map(|i| match i {
+            Index::At(e) => expr_text(u, e),
+            Index::Range { lo, hi, step } => {
+                let mut s = String::new();
+                if let Some(e) = lo {
+                    s.push_str(&expr_text(u, e));
+                }
+                s.push(':');
+                if let Some(e) = hi {
+                    s.push_str(&expr_text(u, e));
+                }
+                if let Some(e) = step {
+                    s.push(':');
+                    s.push_str(&expr_text(u, e));
+                }
+                s
+            }
+        })
+        .collect();
+    format!("{}({})", u.symbol(arr).name, subs.join(", "))
+}
+
+/// Render an expression with minimal parenthesization.
+pub fn expr_text(u: &Unit, e: &Expr) -> String {
+    expr_prec(u, e, 0)
+}
+
+/// Operator precedence for printing (higher binds tighter).
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Eqv | BinOp::Neqv => 1,
+        BinOp::Or => 2,
+        BinOp::And => 3,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 5,
+        BinOp::Add | BinOp::Sub => 6,
+        BinOp::Mul | BinOp::Div => 7,
+        BinOp::Pow => 9,
+    }
+}
+
+fn op_text(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => " + ",
+        BinOp::Sub => " - ",
+        BinOp::Mul => " * ",
+        BinOp::Div => " / ",
+        BinOp::Pow => " ** ",
+        BinOp::Eq => " .eq. ",
+        BinOp::Ne => " .ne. ",
+        BinOp::Lt => " .lt. ",
+        BinOp::Le => " .le. ",
+        BinOp::Gt => " .gt. ",
+        BinOp::Ge => " .ge. ",
+        BinOp::And => " .and. ",
+        BinOp::Or => " .or. ",
+        BinOp::Eqv => " .eqv. ",
+        BinOp::Neqv => " .neqv. ",
+    }
+}
+
+fn expr_prec(u: &Unit, e: &Expr, min: u8) -> String {
+    match e {
+        Expr::ConstI(v) => {
+            if *v < 0 {
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::ConstR { value, double } => {
+            if *value < 0.0 {
+                format!("({})", real_text(*value, *double))
+            } else {
+                real_text(*value, *double)
+            }
+        }
+        Expr::ConstB(true) => ".true.".into(),
+        Expr::ConstB(false) => ".false.".into(),
+        Expr::Scalar(s) => u.symbol(*s).name.clone(),
+        Expr::Elem { arr, idx } => elem_text(u, *arr, idx),
+        Expr::Section { arr, idx } => section_text(u, *arr, idx),
+        Expr::Un(UnOp::Neg, inner) => {
+            let s = format!("-{}", expr_prec(u, inner, 8));
+            if min > 6 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Un(UnOp::Not, inner) => {
+            let s = format!(".not. {}", expr_prec(u, inner, 4));
+            if min > 4 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Bin(op, l, r) => {
+            let p = prec(*op);
+            // Left-assoc: right side needs p+1 (except POW: right-assoc).
+            let (lp, rp) = if *op == BinOp::Pow { (p + 1, p) } else { (p, p + 1) };
+            let s = format!(
+                "{}{}{}",
+                expr_prec(u, l, lp),
+                op_text(*op),
+                expr_prec(u, r, rp)
+            );
+            if p < min {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Intr { f, args, par } => {
+            let a: Vec<String> = args.iter().map(|x| expr_text(u, x)).collect();
+            // Runtime-library reductions exist in per-level scheduling
+            // variants (§3.3); the variant is part of the name so the
+            // emitted source round-trips: `$v` vector, `$c` one cluster,
+            // `$x` whole machine.
+            let suffix = if f.is_reduction() {
+                match par {
+                    crate::ParMode::Serial => "",
+                    crate::ParMode::Vector => "$v",
+                    crate::ParMode::ClusterParallel => "$c",
+                    crate::ParMode::CedarParallel => "$x",
+                }
+            } else {
+                ""
+            };
+            format!("{}{suffix}({})", f.name(), a.join(", "))
+        }
+        Expr::Call { unit, args } => {
+            let a: Vec<String> = args.iter().map(|x| expr_text(u, x)).collect();
+            format!("{unit}({})", a.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_free;
+
+    fn round_trip(src: &str) -> (Program, Program) {
+        let p1 = compile_free(src).unwrap();
+        let text = print_program(&p1);
+        let p2 = crate::compile_source(&text)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{text}"));
+        (p1, p2)
+    }
+
+    /// Structural equality modulo spans: compare printed forms.
+    fn assert_same_print(p1: &Program, p2: &Program) {
+        assert_eq!(print_program(p1), print_program(p2));
+    }
+
+    #[test]
+    fn round_trip_sequential_unit() {
+        let (p1, p2) = round_trip(
+            "subroutine daxpy(n, a, x, y)\ninteger n\nreal a, x(n), y(n)\n\
+             do 10 i = 1, n\ny(i) = y(i) + a * x(i)\n10 continue\nreturn\nend\n",
+        );
+        assert_same_print(&p1, &p2);
+    }
+
+    #[test]
+    fn round_trip_parallel_loop() {
+        let (p1, p2) = round_trip(
+            "subroutine s(a, b, n)\nreal a(n), b(n)\nglobal a, b, n\n\
+             xdoall i = 1, n, 32\ninteger i3\nreal t(32)\n\
+             i3 = min(32, n - i + 1)\nt(1:i3) = b(i:i+i3-1)\na(i:i+i3-1) = sqrt(t(1:i3))\n\
+             end xdoall\nend\n",
+        );
+        assert_same_print(&p1, &p2);
+    }
+
+    #[test]
+    fn round_trip_doacross_sync() {
+        let (p1, p2) = round_trip(
+            "subroutine s(a, b, n)\nreal a(n), b(n)\ncdoacross i = 2, n\n\
+             call await(1, 1)\nb(i) = a(i) + b(i - 1)\ncall advance(1)\nend cdoacross\nend\n",
+        );
+        assert_same_print(&p1, &p2);
+    }
+
+    #[test]
+    fn round_trip_if_where_common() {
+        let (p1, p2) = round_trip(
+            "subroutine s(x, n)\nreal x(n)\ncommon /blk/ w(100), k\n\
+             if (k .gt. 0) then\nwhere (x(1:n) .gt. 0.0) x(1:n) = sqrt(x(1:n))\n\
+             else\nk = 1\nend if\nw(1) = x(1)\nend\n",
+        );
+        assert_same_print(&p1, &p2);
+    }
+
+    #[test]
+    fn precedence_printing_is_minimal_and_correct() {
+        let p = compile_free(
+            "subroutine s(a, b, c, x)\nx = (a + b) * c - a / (b - c) ** 2\nend\n",
+        )
+        .unwrap();
+        let text = print_program(&p);
+        assert!(
+            text.contains("x = (a + b) * c - a / (b - c) ** 2"),
+            "got: {text}"
+        );
+    }
+
+    #[test]
+    fn negative_constants_parenthesized() {
+        let p = compile_free("subroutine s(x)\nx = x * (-1.5)\nend\n").unwrap();
+        let text = print_program(&p);
+        // must not print `x * -1.5` (illegal adjacent operators in F77)
+        assert!(text.contains("x * (-1.5)"), "got: {text}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-unit symbol tables.
+
+use crate::expr::Expr;
+use crate::types::{Ty, Value};
+use cedar_f77::Span;
+use std::fmt;
+
+/// Index of a symbol within its unit's table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(pub u32);
+
+impl SymbolId {
+    /// The table index this id addresses.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Where a datum lives in the Cedar memory hierarchy (paper §2.1 / §3.2).
+/// `Default` means "not yet decided"; the globalization pass or the
+/// simulator's interface-data default resolves it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Placement {
+    /// Unresolved; treated as the user-settable interface-data default
+    /// (cluster memory unless an experiment overrides it).
+    #[default]
+    Default,
+    /// One copy in global memory, visible machine-wide (`GLOBAL`).
+    Global,
+    /// One copy per cluster in cluster memory (`CLUSTER`, the Cedar
+    /// Fortran default for non-loop data).
+    Cluster,
+    /// Loop-local: one copy per participating CE (`CDO`/`XDO` locals) or
+    /// per cluster (`SDO` locals). Produced by privatization.
+    Private,
+    /// Partitioned across cluster memories by leading dimension blocks
+    /// (§4.2.3 data distribution); each cluster owns a contiguous block
+    /// and accesses to the owned block cost cluster-memory latency.
+    Partitioned,
+}
+
+/// How the symbol is bound.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // payload fields are described by the variant docs
+pub enum SymKind {
+    /// Ordinary local variable or array.
+    Local,
+    /// Dummy argument (0-based position in the argument list).
+    Arg(usize),
+    /// Member of a COMMON block at a given member position.
+    Common { block: String, member: usize },
+    /// Named constant (PARAMETER); the evaluated value.
+    Param(Value),
+    /// The function-result variable of a FUNCTION unit.
+    FuncResult,
+    /// Compiler-introduced loop-local (privatized) storage.
+    LoopLocal,
+}
+
+/// One array dimension with (possibly symbolic) bounds. `lower` defaults
+/// to 1; `upper == None` means assumed-size (`*`), legal only for dummy
+/// arguments in the last dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dim {
+    /// Lower bound (1 unless declared otherwise).
+    pub lower: Expr,
+    /// Upper bound; `None` for assumed size (`*`).
+    pub upper: Option<Expr>,
+}
+
+impl Dim {
+    /// `1..=upper`.
+    pub fn simple(upper: Expr) -> Self {
+        Dim { lower: Expr::ConstI(1), upper: Some(upper) }
+    }
+}
+
+/// A declared entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Symbol {
+    /// Name, lower-cased (compiler temporaries contain `$`).
+    pub name: String,
+    /// Value type.
+    pub ty: Ty,
+    /// Empty for scalars.
+    pub dims: Vec<Dim>,
+    /// How the symbol is bound.
+    pub kind: SymKind,
+    /// Memory-hierarchy placement.
+    pub placement: Placement,
+    /// DATA / PARAMETER initial values, flattened column-major.
+    pub init: Vec<Value>,
+    /// Declaration line.
+    pub span: Span,
+}
+
+impl Symbol {
+    /// Does the symbol have dimensions?
+    pub fn is_array(&self) -> bool {
+        !self.dims.is_empty()
+    }
+
+    /// Is this a PARAMETER constant?
+    pub fn is_param(&self) -> bool {
+        matches!(self.kind, SymKind::Param(_))
+    }
+
+    /// Constant number of elements if every bound is a literal.
+    pub fn const_len(&self) -> Option<u64> {
+        let mut n: u64 = 1;
+        for d in &self.dims {
+            let lo = d.lower.as_const_int()?;
+            let hi = d.upper.as_ref()?.as_const_int()?;
+            n = n.checked_mul(u64::try_from(hi - lo + 1).ok()?)?;
+        }
+        Some(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_len_of_literal_bounds() {
+        let s = Symbol {
+            name: "a".into(),
+            ty: Ty::Real,
+            dims: vec![Dim::simple(Expr::ConstI(10)), Dim::simple(Expr::ConstI(4))],
+            kind: SymKind::Local,
+            placement: Placement::Default,
+            init: vec![],
+            span: Span::NONE,
+        };
+        assert_eq!(s.const_len(), Some(40));
+    }
+
+    #[test]
+    fn symbolic_bounds_have_no_const_len() {
+        let s = Symbol {
+            name: "a".into(),
+            ty: Ty::Real,
+            dims: vec![Dim::simple(Expr::Scalar(SymbolId(0)))],
+            kind: SymKind::Arg(0),
+            placement: Placement::Default,
+            init: vec![],
+            span: Span::NONE,
+        };
+        assert_eq!(s.const_len(), None);
+    }
+}

@@ -1,0 +1,2045 @@
+//! The IR interpreter with the Cedar cycle-cost model.
+//!
+//! See the crate docs for the execution model. The interpreter computes
+//! *real values* (so restructured programs can be checked for semantic
+//! equivalence against their serial originals) while charging simulated
+//! cycles for every operation, memory access, loop dispatch, and
+//! synchronization event.
+
+use crate::config::MachineConfig;
+use crate::stats::ExecStats;
+use crate::store::{SlotId, StorageRef, Store, VarBind};
+use crate::value_ops;
+use cedar_ir::{
+    BinOp, Expr, Index, Intrinsic, LValue, Loop, LoopClass, ParMode, Placement, Program, Stmt,
+    SymKind, SymbolId, SyncOp, Ty, Unit, UnitKind, Value, Visibility,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Simulation error with a message and (when available) a source line.
+#[derive(Debug, Clone)]
+pub struct SimError {
+    /// What went wrong.
+    pub msg: String,
+    /// Source line of the offending statement (if known).
+    pub span: cedar_ir::Span,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: simulation error: {}", self.span, self.msg)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+type Result<T> = std::result::Result<T, SimError>;
+
+fn err<T>(span: cedar_ir::Span, msg: impl Into<String>) -> Result<T> {
+    Err(SimError { msg: msg.into(), span })
+}
+
+/// One activation record: per-symbol bindings of the current unit.
+#[derive(Clone)]
+struct Frame {
+    unit: usize,
+    binds: Vec<Option<VarBind>>,
+}
+
+/// Execution context: where and when we are.
+#[derive(Clone, Copy)]
+struct Ctx {
+    /// Cluster of the executing CE.
+    cluster: usize,
+    /// Simulated time on the executing CE.
+    time: f64,
+    /// Number of CEs concurrently active in the enclosing parallel
+    /// region (1 when serial) — drives global-memory contention.
+    active: usize,
+}
+
+/// Vector of values (one per lane of a vector statement).
+type VecVal = Vec<Value>;
+
+/// State of an executing DOACROSS loop: advance times per sync point
+/// and per iteration, plus iteration end times as a fallback.
+struct DoacrossState {
+    advance_times: BTreeMap<u32, Vec<Option<f64>>>,
+    iter_end: Vec<f64>,
+    cur_iter: usize,
+    trip: usize,
+}
+
+/// The simulator.
+pub struct Simulator<'p> {
+    /// The program being executed.
+    pub program: &'p Program,
+    /// The machine model.
+    pub config: MachineConfig,
+    /// Counters accumulated by the run.
+    pub stats: ExecStats,
+    store: Store,
+    /// COMMON member bindings (block → member binds), shared by every
+    /// unit that declares the block.
+    commons: BTreeMap<String, Vec<VarBind>>,
+    /// The main (or entry) frame, kept after the run for inspection.
+    entry_frame: Option<Frame>,
+    /// Critical-section release times.
+    lock_release: BTreeMap<u32, f64>,
+    /// Stack of active DOACROSS loops (innermost last).
+    doacross: Vec<DoacrossState>,
+    /// Completion times of outstanding subroutine-level tasks.
+    task_ends: Vec<f64>,
+    call_depth: usize,
+}
+
+impl<'p> Simulator<'p> {
+    /// Build a simulator and allocate COMMON storage.
+    pub fn new(program: &'p Program, config: MachineConfig) -> Result<Simulator<'p>> {
+        let mut sim = Simulator {
+            program,
+            store: Store::new(config.clusters),
+            config,
+            stats: ExecStats::default(),
+            commons: BTreeMap::new(),
+            entry_frame: None,
+            lock_release: BTreeMap::new(),
+            doacross: Vec::new(),
+            task_ends: Vec::new(),
+            call_depth: 0,
+        };
+        sim.allocate_commons()?;
+        Ok(sim)
+    }
+
+    /// Total simulated cycles so far.
+    pub fn cycles(&self) -> f64 {
+        self.stats.cycles
+    }
+
+    /// Run the PROGRAM unit.
+    pub fn run_main(&mut self) -> Result<()> {
+        let (idx, unit) = self
+            .program
+            .units
+            .iter()
+            .enumerate()
+            .find(|(_, u)| u.kind == UnitKind::Program)
+            .ok_or_else(|| SimError {
+                msg: "program has no PROGRAM unit".into(),
+                span: cedar_ir::Span::NONE,
+            })?;
+        let mut ctx = Ctx { cluster: 0, time: 0.0, active: 1 };
+        let mut frame = self.new_frame(idx, &mut ctx)?;
+        let flow = self.exec_block(&mut frame, &unit.body.clone(), &mut ctx)?;
+        let _ = flow;
+        self.stats.cycles = ctx.time;
+        self.entry_frame = Some(frame);
+        Ok(())
+    }
+
+    /// Read a named variable of the entry unit after a run; arrays are
+    /// returned flattened (column-major), scalars as one element.
+    pub fn read_var(&self, name: &str) -> Option<Vec<Value>> {
+        let frame = self.entry_frame.as_ref()?;
+        let unit = &self.program.units[frame.unit];
+        let sym = unit.find_symbol(name)?;
+        let bind = frame.binds[sym.index()].as_ref()?;
+        let slot = self.resolve_slot(bind, 0);
+        let data = self.store.slot(slot);
+        let len = if bind.dims.is_empty() { 1 } else { bind.total_len() };
+        Some(
+            (bind.offset..bind.offset + len.min(data.len() - bind.offset))
+                .map(|i| data.get(i))
+                .collect(),
+        )
+    }
+
+    /// As [`Simulator::read_var`] but coerced to f64.
+    pub fn read_f64(&self, name: &str) -> Option<Vec<f64>> {
+        self.read_var(name)
+            .map(|v| v.into_iter().map(|x| x.as_f64()).collect())
+    }
+
+    // ================== frames & storage ==================
+
+    fn allocate_commons(&mut self) -> Result<()> {
+        // Take member shapes from the first unit that declares each block.
+        let block_names: Vec<String> = self.program.commons.keys().cloned().collect();
+        for bname in block_names {
+            let vis = self.program.commons[&bname].visibility;
+            // Find the first declaring unit and its member symbols.
+            let mut members: Vec<(usize, &cedar_ir::Symbol, usize)> = Vec::new(); // (member, sym, unit idx)
+            'outer: for (ui, u) in self.program.units.iter().enumerate() {
+                let mut found: Vec<(usize, &cedar_ir::Symbol)> = u
+                    .symbols
+                    .iter()
+                    .filter_map(|s| match &s.kind {
+                        SymKind::Common { block, member } if *block == bname => {
+                            Some((*member, s))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                if !found.is_empty() {
+                    found.sort_by_key(|(m, _)| *m);
+                    members = found.into_iter().map(|(m, s)| (m, s, ui)).collect();
+                    break 'outer;
+                }
+            }
+            let mut binds = Vec::new();
+            for (_, sym, ui) in members {
+                // COMMON dims must be compile-time constant.
+                let dims = self.const_dims(&self.program.units[ui], sym)?;
+                let total: usize = dims.iter().map(|&(lo, hi)| (hi - lo + 1) as usize).product();
+                let placement = match vis {
+                    Visibility::Global => Placement::Global,
+                    Visibility::Cluster => Placement::Cluster,
+                };
+                let sref = self.alloc_storage(sym.ty, total.max(1), placement, 0);
+                let bind = VarBind { sref, offset: 0, dims, ty: sym.ty, placement };
+                // DATA initializers.
+                self.apply_init(&bind, &sym.init);
+                binds.push(bind);
+            }
+            self.commons.insert(bname, binds);
+        }
+        Ok(())
+    }
+
+    fn const_dims(&self, unit: &Unit, sym: &cedar_ir::Symbol) -> Result<Vec<(i64, i64)>> {
+        let mut dims = Vec::new();
+        for d in &sym.dims {
+            let lo = const_eval_static(unit, &d.lower).ok_or_else(|| SimError {
+                msg: format!("COMMON array `{}` has non-constant bounds", sym.name),
+                span: sym.span,
+            })?;
+            let hi = match &d.upper {
+                Some(e) => const_eval_static(unit, e).ok_or_else(|| SimError {
+                    msg: format!("COMMON array `{}` has non-constant bounds", sym.name),
+                    span: sym.span,
+                })?,
+                None => {
+                    return err(sym.span, format!("COMMON array `{}` is assumed-size", sym.name))
+                }
+            };
+            dims.push((lo, hi));
+        }
+        Ok(dims)
+    }
+
+    /// Release the pool bytes of a binding created by `alloc_storage`
+    /// (used when loop locals and routine locals go out of scope, so the
+    /// paging model sees live working sets, not allocation history).
+    fn release_binding(&mut self, bind: &VarBind, home_cluster: usize) {
+        let len = if bind.dims.is_empty() { 1 } else { bind.total_len().max(1) };
+        let bytes = len as u64 * bind.ty.size_bytes();
+        match (&bind.sref, bind.placement) {
+            (StorageRef::One(_), Placement::Global | Placement::Partitioned) => {
+                self.store.release_global(bytes);
+            }
+            (StorageRef::One(_), _) => {
+                self.store.release_cluster(home_cluster, bytes);
+            }
+            (StorageRef::PerCluster(v), _) => {
+                for c in 0..v.len() {
+                    self.store.release_cluster(c, bytes);
+                }
+            }
+            (StorageRef::PerParticipant(v), _) => {
+                for _ in v {
+                    self.store.release_cluster(home_cluster, bytes);
+                }
+            }
+        }
+    }
+
+    /// Allocate storage of a placement class; `home_cluster` is used for
+    /// Private allocations (they live in that cluster's pool).
+    fn alloc_storage(
+        &mut self,
+        ty: Ty,
+        len: usize,
+        placement: Placement,
+        home_cluster: usize,
+    ) -> StorageRef {
+        let bytes = len as u64 * ty.size_bytes();
+        match placement {
+            Placement::Global | Placement::Partitioned => {
+                self.store.charge_global(bytes);
+                StorageRef::One(self.store.alloc(ty, len))
+            }
+            Placement::Cluster | Placement::Default => {
+                // One copy per cluster; each charged to its own pool.
+                let slots = (0..self.config.clusters)
+                    .map(|c| {
+                        self.store.charge_cluster(c, bytes);
+                        self.store.alloc(ty, len)
+                    })
+                    .collect();
+                StorageRef::PerCluster(slots)
+            }
+            Placement::Private => {
+                self.store.charge_cluster(home_cluster, bytes);
+                StorageRef::One(self.store.alloc(ty, len))
+            }
+        }
+    }
+
+    fn apply_init(&mut self, bind: &VarBind, init: &[Value]) {
+        if init.is_empty() {
+            return;
+        }
+        let slots: Vec<SlotId> = match &bind.sref {
+            StorageRef::One(s) => vec![*s],
+            StorageRef::PerCluster(v) | StorageRef::PerParticipant(v) => v.clone(),
+        };
+        for slot in slots {
+            let data = self.store.slot_mut(slot);
+            for (i, v) in init.iter().enumerate() {
+                if bind.offset + i < data.len() {
+                    data.set(bind.offset + i, value_ops::coerce(*v, bind.ty));
+                }
+            }
+        }
+    }
+
+    /// Build a frame for unit `idx`, allocating its local storage.
+    /// Argument symbols are left unbound (the caller binds them).
+    fn new_frame(&mut self, idx: usize, ctx: &mut Ctx) -> Result<Frame> {
+        let unit = &self.program.units[idx];
+        let mut frame = Frame { unit: idx, binds: vec![None; unit.symbols.len()] };
+        // Two passes: scalars first (so array dims referencing scalar
+        // PARAMETERs / locals resolve), then arrays.
+        for pass in 0..2 {
+            for (si, sym) in unit.symbols.iter().enumerate() {
+                if frame.binds[si].is_some() {
+                    continue;
+                }
+                let is_array = sym.is_array();
+                if (pass == 0 && is_array) || (pass == 1 && !is_array) {
+                    continue;
+                }
+                match &sym.kind {
+                    SymKind::Arg(_) => continue, // caller binds
+                    SymKind::Param(v) => {
+                        // Constants live in a tiny private slot.
+                        let sref = self.alloc_storage(sym.ty, 1, Placement::Private, ctx.cluster);
+                        let bind = VarBind {
+                            sref,
+                            offset: 0,
+                            dims: vec![],
+                            ty: sym.ty,
+                            placement: Placement::Private,
+                        };
+                        self.apply_init(&bind, &[*v]);
+                        frame.binds[si] = Some(bind);
+                    }
+                    SymKind::Common { block, member } => {
+                        let b = self
+                            .commons
+                            .get(block)
+                            .and_then(|v| v.get(*member))
+                            .cloned()
+                            .ok_or_else(|| SimError {
+                                msg: format!("COMMON /{block}/ member {member} unbound"),
+                                span: sym.span,
+                            })?;
+                        frame.binds[si] = Some(b);
+                    }
+                    SymKind::Local | SymKind::FuncResult | SymKind::LoopLocal => {
+                        // Loop locals are bound lazily at loop entry; skip.
+                        if matches!(sym.kind, SymKind::LoopLocal) {
+                            continue;
+                        }
+                        let placement = match sym.placement {
+                            Placement::Default => Placement::Cluster,
+                            p => p,
+                        };
+                        let dims = self.eval_dims(&frame, unit, si, ctx)?;
+                        let total: usize =
+                            dims.iter().map(|&(lo, hi)| ((hi - lo + 1).max(0)) as usize).product();
+                        let sref =
+                            self.alloc_storage(sym.ty, total.max(1), placement, ctx.cluster);
+                        let bind = VarBind { sref, offset: 0, dims, ty: sym.ty, placement };
+                        self.apply_init(&bind, &sym.init);
+                        frame.binds[si] = Some(bind);
+                    }
+                }
+            }
+        }
+        Ok(frame)
+    }
+
+    /// Evaluate the declared dims of symbol `si` in the frame.
+    fn eval_dims(
+        &mut self,
+        frame: &Frame,
+        unit: &Unit,
+        si: usize,
+        ctx: &mut Ctx,
+    ) -> Result<Vec<(i64, i64)>> {
+        let sym = &unit.symbols[si];
+        let mut dims = Vec::with_capacity(sym.dims.len());
+        for d in &sym.dims {
+            let lo = self.eval_scalar(frame, &d.lower, ctx)?.as_i64();
+            let hi = match &d.upper {
+                Some(e) => self.eval_scalar(frame, e, ctx)?.as_i64(),
+                None => {
+                    return err(
+                        sym.span,
+                        format!("assumed-size array `{}` without caller binding", sym.name),
+                    )
+                }
+            };
+            dims.push((lo, hi));
+        }
+        Ok(dims)
+    }
+
+    fn resolve_slot(&self, bind: &VarBind, cluster: usize) -> SlotId {
+        match &bind.sref {
+            StorageRef::One(s) => *s,
+            StorageRef::PerCluster(v) => v[cluster.min(v.len() - 1)],
+            StorageRef::PerParticipant(v) => v[0], // rebound per participant
+        }
+    }
+
+    // ================== cost model ==================
+
+    /// Memory cost of `n` element accesses to storage of the given
+    /// placement. `vector` selects the pipelined path; `read` matters
+    /// for prefetch (reads only).
+    fn mem_cost(&mut self, placement: Placement, n: u64, vector: bool, read: bool, ctx: &Ctx) -> f64 {
+        let cfg = &self.config;
+        let contention = (ctx.active as f64 / cfg.global_streams).max(1.0);
+        let (per_elem, paged_pool) = match placement {
+            Placement::Private => {
+                self.stats.private_accesses += n;
+                (cfg.cache_hit, None)
+            }
+            Placement::Cluster | Placement::Default => {
+                self.stats.cluster_accesses += n;
+                let base = if vector { cfg.cluster_mem * 0.5 } else { cfg.cluster_mem };
+                (base, Some(ctx.cluster))
+            }
+            Placement::Global | Placement::Partitioned => {
+                if vector {
+                    self.stats.global_vector_elems += n;
+                    let base = if cfg.prefetch && read {
+                        self.stats.prefetched_elems += n;
+                        cfg.global_prefetch
+                    } else {
+                        cfg.global_vector
+                    };
+                    (base * contention, None)
+                } else {
+                    // Scalar global accesses are latency-bound; the
+                    // interleaved banks absorb their low request rate, so
+                    // no contention multiplier applies.
+                    self.stats.global_scalar_accesses += n;
+                    (cfg.global_scalar, None)
+                }
+            }
+        };
+        // Paging surcharge.
+        let thrash = match paged_pool {
+            Some(c) => Store::thrash_factor(self.store.cluster_pool[c], cfg.cluster_capacity),
+            None if matches!(placement, Placement::Global | Placement::Partitioned) => {
+                Store::thrash_factor(self.store.global_pool, cfg.global_capacity)
+            }
+            None => 0.0,
+        };
+        let mut cost = per_elem * n as f64;
+        if thrash > 0.0 {
+            self.stats.paged_accesses += thrash * n as f64;
+            cost += thrash * self.config.page_fault_cost * n as f64;
+        }
+        cost
+    }
+
+    /// Cost of an element access through a specific bind. Partitioned
+    /// placement models the paper's §4.2.3 measurement directly: "this
+    /// variant has 50% of its data references localized to the cluster
+    /// memory" — half of each access streams from the owning cluster's
+    /// memory, half still crosses the global interconnect.
+    fn bind_access_cost(
+        &mut self,
+        bind: &VarBind,
+        _lin: usize,
+        vector: bool,
+        read: bool,
+        ctx: &Ctx,
+    ) -> f64 {
+        if bind.placement == Placement::Partitioned {
+            let local = self.mem_cost(Placement::Cluster, 1, vector, read, ctx);
+            let remote = self.mem_cost(Placement::Global, 1, vector, read, ctx);
+            return 0.5 * (local + remote);
+        }
+        self.mem_cost(bind.placement, 1, vector, read, ctx)
+    }
+
+    // ================== scalar evaluation ==================
+
+    fn bind_of<'f>(&self, frame: &'f Frame, sym: SymbolId) -> Result<&'f VarBind> {
+        frame.binds[sym.index()].as_ref().ok_or_else(|| SimError {
+            msg: format!(
+                "variable `{}` used before binding",
+                self.program.units[frame.unit].symbol(sym).name
+            ),
+            span: cedar_ir::Span::NONE,
+        })
+    }
+
+    fn eval_scalar(&mut self, frame: &Frame, e: &Expr, ctx: &mut Ctx) -> Result<Value> {
+        match e {
+            Expr::ConstI(v) => Ok(Value::I(*v)),
+            Expr::ConstR { value, .. } => Ok(Value::R(*value)),
+            Expr::ConstB(b) => Ok(Value::B(*b)),
+            Expr::Scalar(s) => {
+                let bind = self.bind_of(frame, *s)?.clone();
+                // Scalars are register/cache resident.
+                ctx.time += self.config.cache_hit;
+                let slot = self.resolve_slot(&bind, ctx.cluster);
+                Ok(self.store.slot(slot).get(bind.offset))
+            }
+            Expr::Elem { arr, idx } => {
+                let mut subs = Vec::with_capacity(idx.len());
+                for ie in idx {
+                    subs.push(self.eval_scalar(frame, ie, ctx)?.as_i64());
+                    self.stats.scalar_ops += 1;
+                    ctx.time += self.config.scalar_op; // address arithmetic
+                }
+                let bind = self.bind_of(frame, *arr)?.clone();
+                let lin = self.linearize(frame, *arr, &bind, &subs)?;
+                ctx.time += self.bind_access_cost(&bind, lin, false, true, ctx);
+                let slot = self.resolve_slot(&bind, ctx.cluster);
+                Ok(self.store.slot(slot).get(lin))
+            }
+            Expr::Un(op, inner) => {
+                let v = self.eval_scalar(frame, inner, ctx)?;
+                self.stats.scalar_ops += 1;
+                ctx.time += self.config.scalar_op;
+                Ok(value_ops::un(*op, v))
+            }
+            Expr::Bin(op, l, r) => {
+                let lv = self.eval_scalar(frame, l, ctx)?;
+                let rv = self.eval_scalar(frame, r, ctx)?;
+                self.stats.scalar_ops += 1;
+                ctx.time += self.config.scalar_op;
+                value_ops::bin(*op, lv, rv).map_err(|m| SimError { msg: m, span: cedar_ir::Span::NONE })
+            }
+            Expr::Intr { f, args, par } => self.eval_intrinsic(frame, *f, args, *par, ctx),
+            Expr::Call { unit, args } => self.eval_call(frame, unit, args, ctx),
+            Expr::Section { .. } => err(
+                cedar_ir::Span::NONE,
+                "vector section in scalar context (internal error)",
+            ),
+        }
+    }
+
+    fn linearize(
+        &self,
+        frame: &Frame,
+        arr: SymbolId,
+        bind: &VarBind,
+        subs: &[i64],
+    ) -> Result<usize> {
+        let unit = &self.program.units[frame.unit];
+        if subs.len() != bind.dims.len() {
+            return err(
+                cedar_ir::Span::NONE,
+                format!(
+                    "`{}`: rank mismatch ({} subscripts, rank {})",
+                    unit.symbol(arr).name,
+                    subs.len(),
+                    bind.dims.len()
+                ),
+            );
+        }
+        bind.linearize(subs, false).ok_or_else(|| SimError {
+            msg: format!(
+                "subscript out of bounds: `{}`({:?}) with dims {:?}",
+                unit.symbol(arr).name,
+                subs,
+                bind.dims
+            ),
+            span: cedar_ir::Span::NONE,
+        })
+    }
+
+    // ================== vector evaluation ==================
+
+    /// Resolve the index list of a section into per-dimension iteration
+    /// descriptors and a total lane count. Returns (per-lane subscript
+    /// generator data): for each dim either Fixed(v) or Range{lo, len,
+    /// step}.
+    fn section_lanes(
+        &mut self,
+        frame: &Frame,
+        arr: SymbolId,
+        idx: &[Index],
+        ctx: &mut Ctx,
+    ) -> Result<(Vec<SectionDim>, usize)> {
+        let bind = self.bind_of(frame, arr)?.clone();
+        let mut dims = Vec::with_capacity(idx.len());
+        let mut lanes = 1usize;
+        for (k, i) in idx.iter().enumerate() {
+            let (dlo, dhi) = *bind.dims.get(k).ok_or_else(|| SimError {
+                msg: "section rank mismatch".into(),
+                span: cedar_ir::Span::NONE,
+            })?;
+            match i {
+                Index::At(e) if e.is_vector_valued() => {
+                    // Vector-valued subscript: hardware gather. Lane
+                    // count comes from the subscript vector itself.
+                    let n = self
+                        .infer_lanes(frame, e, ctx)?
+                        .ok_or_else(|| SimError {
+                            msg: "gather subscript has no vector length".into(),
+                            span: cedar_ir::Span::NONE,
+                        })?;
+                    let vals = self.eval_vec(frame, e, n, ctx)?;
+                    dims.push(SectionDim::Gather(
+                        vals.into_iter().map(|v| v.as_i64()).collect(),
+                    ));
+                    lanes = lanes.max(n);
+                }
+                Index::At(e) => {
+                    let v = self.eval_scalar(frame, e, ctx)?.as_i64();
+                    dims.push(SectionDim::Fixed(v));
+                }
+                Index::Range { lo, hi, step } => {
+                    let lo = match lo {
+                        Some(e) => self.eval_scalar(frame, e, ctx)?.as_i64(),
+                        None => dlo,
+                    };
+                    let hi = match hi {
+                        Some(e) => self.eval_scalar(frame, e, ctx)?.as_i64(),
+                        None => dhi,
+                    };
+                    let step = match step {
+                        Some(e) => self.eval_scalar(frame, e, ctx)?.as_i64(),
+                        None => 1,
+                    };
+                    if step == 0 {
+                        return err(cedar_ir::Span::NONE, "section stride of zero");
+                    }
+                    let len = ((hi - lo + step) / step).max(0) as usize;
+                    dims.push(SectionDim::Range { lo, step });
+                    lanes = lanes
+                        .checked_mul(len)
+                        .ok_or_else(|| SimError {
+                            msg: "section too large".into(),
+                            span: cedar_ir::Span::NONE,
+                        })?;
+                    // Only the *first* range dim multiplies independently;
+                    // multiple ranges form a cartesian product in
+                    // column-major order, which checked_mul handles.
+                    // (len recorded through lanes only.)
+                    dims.last_mut().map(|d| {
+                        if let SectionDim::Range { .. } = d {}
+                        Some(())
+                    });
+                    // Store len separately:
+                    if let Some(SectionDim::Range { .. }) = dims.last() {
+                        // re-push with len via tuple replacement below
+                    }
+                    let last = dims.pop().unwrap();
+                    if let SectionDim::Range { lo, step } = last {
+                        dims.push(SectionDim::RangeLen { lo, step, len });
+                    } else {
+                        dims.push(last);
+                    }
+                }
+            }
+        }
+        Ok((dims, lanes))
+    }
+
+    /// Gather the linear indices of all lanes of a section, column-major.
+    fn section_linear_indices(
+        &self,
+        bind: &VarBind,
+        dims: &[SectionDim],
+        lanes: usize,
+    ) -> Result<Vec<usize>> {
+        let mut out = Vec::with_capacity(lanes);
+        // Odometer over range dims (column-major: leftmost fastest).
+        let mut counters: Vec<usize> = dims.iter().map(|_| 0).collect();
+        let mut subs: Vec<i64> = Vec::with_capacity(dims.len());
+        for lane in 0..lanes {
+            subs.clear();
+            for (d, &c) in dims.iter().zip(&counters) {
+                match d {
+                    SectionDim::Fixed(v) => subs.push(*v),
+                    SectionDim::RangeLen { lo, step, .. } => {
+                        subs.push(lo + (c as i64) * step)
+                    }
+                    SectionDim::Range { lo, step } => subs.push(lo + (c as i64) * step),
+                    SectionDim::Gather(vals) => subs.push(vals[lane.min(vals.len() - 1)]),
+                }
+            }
+            let lin = bind.linearize(&subs, false).ok_or_else(|| SimError {
+                msg: format!("section lane out of bounds: {subs:?} dims {:?}", bind.dims),
+                span: cedar_ir::Span::NONE,
+            })?;
+            out.push(lin);
+            // increment odometer (leftmost range dim fastest)
+            for (k, d) in dims.iter().enumerate() {
+                let lim = match d {
+                    SectionDim::RangeLen { len, .. } => *len,
+                    SectionDim::Gather(_) => 1, // advanced by the lane counter
+                    _ => 1,
+                };
+                if lim <= 1 {
+                    continue;
+                }
+                counters[k] += 1;
+                if counters[k] < lim {
+                    break;
+                }
+                counters[k] = 0;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluate an expression as a vector of `lanes` values. Sections
+    /// gather; scalars broadcast (evaluated once).
+    fn eval_vec(&mut self, frame: &Frame, e: &Expr, lanes: usize, ctx: &mut Ctx) -> Result<VecVal> {
+        match e {
+            Expr::Section { arr, idx } => {
+                let (dims, n) = self.section_lanes(frame, arr_id(*arr), idx, ctx)?;
+                if n != lanes {
+                    return err(
+                        cedar_ir::Span::NONE,
+                        format!("vector length mismatch: {n} vs {lanes}"),
+                    );
+                }
+                let bind = self.bind_of(frame, *arr)?.clone();
+                let lins = self.section_linear_indices(&bind, &dims, lanes)?;
+                // Cost: one vector stream. Gathers cannot use the
+                // sequential prefetch unit.
+                let is_gather = dims.iter().any(|d| matches!(d, SectionDim::Gather(_)));
+                ctx.time += self.config.vector_startup / 4.0; // per-operand share
+                let saved_prefetch = self.config.prefetch;
+                if is_gather {
+                    self.config.prefetch = false;
+                }
+                let cost = if bind.placement == Placement::Partitioned {
+                    let local = self.mem_cost(Placement::Cluster, lanes as u64, true, true, ctx);
+                    let remote = self.mem_cost(Placement::Global, lanes as u64, true, true, ctx);
+                    0.5 * (local + remote)
+                } else {
+                    self.mem_cost(bind.placement, lanes as u64, true, true, ctx)
+                };
+                self.config.prefetch = saved_prefetch;
+                ctx.time += cost;
+                let slot = self.resolve_slot(&bind, ctx.cluster);
+                let data = self.store.slot(slot);
+                Ok(lins.iter().map(|&l| data.get(l)).collect())
+            }
+            Expr::Un(op, inner) => {
+                let v = self.eval_vec(frame, inner, lanes, ctx)?;
+                self.stats.vector_elems += lanes as u64;
+                ctx.time += self.config.vector_op * lanes as f64;
+                Ok(v.into_iter().map(|x| value_ops::un(*op, x)).collect())
+            }
+            Expr::Bin(op, l, r) => {
+                let lv = self.eval_vec(frame, l, lanes, ctx)?;
+                let rv = self.eval_vec(frame, r, lanes, ctx)?;
+                self.stats.vector_elems += lanes as u64;
+                ctx.time += self.config.vector_op * lanes as f64;
+                lv.into_iter()
+                    .zip(rv)
+                    .map(|(a, b)| {
+                        value_ops::bin(*op, a, b)
+                            .map_err(|m| SimError { msg: m, span: cedar_ir::Span::NONE })
+                    })
+                    .collect()
+            }
+            Expr::Intr { f: Intrinsic::Iota, args, .. } => {
+                let lo = self
+                    .eval_scalar(frame, args.first().ok_or_else(|| SimError {
+                        msg: "iota needs (lo, hi)".into(),
+                        span: cedar_ir::Span::NONE,
+                    })?, ctx)?
+                    .as_i64();
+                ctx.time += self.config.vector_op * lanes as f64;
+                self.stats.vector_elems += lanes as u64;
+                Ok((0..lanes as i64).map(|k| Value::I(lo + k)).collect())
+            }
+            Expr::Intr { f, args, par } => {
+                if f.is_reduction() {
+                    // A reduction inside a vector expression produces a
+                    // broadcast scalar.
+                    let v = self.eval_intrinsic(frame, *f, args, *par, ctx)?;
+                    return Ok(vec![v; lanes]);
+                }
+                let mut cols: Vec<VecVal> = Vec::with_capacity(args.len());
+                for a in args {
+                    cols.push(self.eval_vec(frame, a, lanes, ctx)?);
+                }
+                self.stats.vector_elems += lanes as u64;
+                ctx.time += self.config.vector_op * lanes as f64 * 2.0; // intrinsics cost more
+                let mut out = Vec::with_capacity(lanes);
+                let mut argv = Vec::with_capacity(cols.len());
+                for lane in 0..lanes {
+                    argv.clear();
+                    for c in &cols {
+                        argv.push(c[lane]);
+                    }
+                    out.push(
+                        value_ops::intrinsic(*f, &argv)
+                            .map_err(|m| SimError { msg: m, span: cedar_ir::Span::NONE })?,
+                    );
+                }
+                Ok(out)
+            }
+            // Scalar subexpression: evaluate once, broadcast.
+            other => {
+                let v = self.eval_scalar(frame, other, ctx)?;
+                Ok(vec![v; lanes])
+            }
+        }
+    }
+
+    /// Count lanes of the first section found in an expression.
+    fn infer_lanes(&mut self, frame: &Frame, e: &Expr, ctx: &mut Ctx) -> Result<Option<usize>> {
+        match e {
+            Expr::Intr { f: Intrinsic::Iota, args, .. } => {
+                let lo = self.eval_scalar(frame, &args[0], ctx)?.as_i64();
+                let hi = self.eval_scalar(frame, &args[1], ctx)?.as_i64();
+                Ok(Some(usize::try_from((hi - lo + 1).max(0)).unwrap_or(0)))
+            }
+            Expr::Section { arr, idx } => {
+                let (_, n) = self.section_lanes(frame, arr_id(*arr), idx, ctx)?;
+                Ok(Some(n))
+            }
+            Expr::Un(_, inner) => self.infer_lanes(frame, inner, ctx),
+            Expr::Bin(_, l, r) => {
+                if let Some(n) = self.infer_lanes(frame, l, ctx)? {
+                    Ok(Some(n))
+                } else {
+                    self.infer_lanes(frame, r, ctx)
+                }
+            }
+            Expr::Intr { f, args, .. } if !f.is_reduction() => {
+                for a in args {
+                    if let Some(n) = self.infer_lanes(frame, a, ctx)? {
+                        return Ok(Some(n));
+                    }
+                }
+                Ok(None)
+            }
+            _ => Ok(None),
+        }
+    }
+
+    // ================== intrinsics & calls ==================
+
+    fn eval_intrinsic(
+        &mut self,
+        frame: &Frame,
+        f: Intrinsic,
+        args: &[Expr],
+        par: ParMode,
+        ctx: &mut Ctx,
+    ) -> Result<Value> {
+        if f.is_reduction() {
+            return self.eval_reduction(frame, f, args, par, ctx);
+        }
+        if f == Intrinsic::Iota {
+            return err(cedar_ir::Span::NONE, "iota used in scalar context");
+        }
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(self.eval_scalar(frame, a, ctx)?);
+        }
+        self.stats.scalar_ops += 2;
+        ctx.time += self.config.scalar_op * 2.0;
+        value_ops::intrinsic(f, &vals).map_err(|m| SimError { msg: m, span: cedar_ir::Span::NONE })
+    }
+
+    /// Vector reduction intrinsics (`SUM`, `DOTPRODUCT`, ...) with the
+    /// §3.3 two-level parallel library scheme when `par` says so.
+    fn eval_reduction(
+        &mut self,
+        frame: &Frame,
+        f: Intrinsic,
+        args: &[Expr],
+        par: ParMode,
+        ctx: &mut Ctx,
+    ) -> Result<Value> {
+        // Evaluate operand vectors WITHOUT charging serial gather costs:
+        // we charge an explicit cost model by mode below. To keep the
+        // implementation simple we still evaluate via eval_vec (which
+        // charges vector-mode memory costs) and then adjust mode costs.
+        let lanes = match args.first() {
+            Some(a) => self
+                .infer_lanes(frame, a, ctx)?
+                .ok_or_else(|| SimError {
+                    msg: format!("{}: argument is not a vector", f.name()),
+                    span: cedar_ir::Span::NONE,
+                })?,
+            None => return err(cedar_ir::Span::NONE, "reduction without arguments"),
+        };
+        let mut cols = Vec::with_capacity(args.len());
+        let mem_t0 = ctx.time;
+        for a in args {
+            cols.push(self.eval_vec(frame, a, lanes, ctx)?);
+        }
+        let mem_cost = ctx.time - mem_t0;
+
+        // Value.
+        let value = match f {
+            Intrinsic::Sum => Value::R(cols[0].iter().map(|v| v.as_f64()).sum()),
+            Intrinsic::Product => Value::R(cols[0].iter().map(|v| v.as_f64()).product()),
+            Intrinsic::DotProduct => {
+                if cols.len() != 2 {
+                    return err(cedar_ir::Span::NONE, "dotproduct needs two vectors");
+                }
+                Value::R(
+                    cols[0]
+                        .iter()
+                        .zip(&cols[1])
+                        .map(|(a, b)| a.as_f64() * b.as_f64())
+                        .sum(),
+                )
+            }
+            Intrinsic::MaxVal => Value::R(
+                cols[0]
+                    .iter()
+                    .map(|v| v.as_f64())
+                    .fold(f64::NEG_INFINITY, f64::max),
+            ),
+            Intrinsic::MinVal => Value::R(
+                cols[0].iter().map(|v| v.as_f64()).fold(f64::INFINITY, f64::min),
+            ),
+            Intrinsic::MaxLoc | Intrinsic::MinLoc => {
+                let mut best = 0usize;
+                for (i, v) in cols[0].iter().enumerate() {
+                    let better = if f == Intrinsic::MaxLoc {
+                        v.as_f64() > cols[0][best].as_f64()
+                    } else {
+                        v.as_f64() < cols[0][best].as_f64()
+                    };
+                    if better {
+                        best = i;
+                    }
+                }
+                Value::I(best as i64 + 1)
+            }
+            _ => unreachable!(),
+        };
+
+        // Cost by execution mode. eval_vec already charged one CE's
+        // vector-stream memory cost (mem_cost); parallel modes divide
+        // that work across participants and add startup + combining.
+        let n = lanes as f64;
+        let flop_per_elem = if f == Intrinsic::DotProduct { 2.0 } else { 1.0 };
+        let cfg = &self.config;
+        match par {
+            ParMode::Serial => {
+                // Undo the vector-memory discount: serial gathers cost
+                // scalar accesses and scalar flops.
+                ctx.time += n * (cfg.scalar_op * flop_per_elem);
+                ctx.time += mem_cost; // scalar path ≈ 2× vector path
+                self.stats.scalar_ops += lanes as u64;
+            }
+            ParMode::Vector => {
+                ctx.time += cfg.vector_startup + n * cfg.vector_op * flop_per_elem;
+                self.stats.vector_elems += lanes as u64;
+            }
+            ParMode::ClusterParallel | ParMode::CedarParallel => {
+                let p = if par == ParMode::ClusterParallel {
+                    cfg.ces_per_cluster as f64
+                } else {
+                    cfg.total_ces() as f64
+                };
+                let startup = if par == ParMode::ClusterParallel {
+                    cfg.cdo_start
+                } else {
+                    cfg.xdo_start
+                };
+                // Memory streams parallelize too: refund the serial
+                // stream and charge the parallel one.
+                ctx.time -= mem_cost;
+                ctx.time += mem_cost / p * (p / cfg.global_streams).max(1.0);
+                ctx.time += startup
+                    + (n / p) * cfg.vector_op * flop_per_elem
+                    + (cfg.clusters as f64).log2().ceil().max(1.0) * cfg.barrier;
+                self.stats.vector_elems += lanes as u64;
+                self.stats.parallel_loops += 1;
+            }
+        }
+        Ok(value)
+    }
+
+    fn eval_call(
+        &mut self,
+        frame: &Frame,
+        callee: &str,
+        args: &[Expr],
+        ctx: &mut Ctx,
+    ) -> Result<Value> {
+        let ridx = self
+            .program
+            .units
+            .iter()
+            .position(|u| u.name == callee)
+            .ok_or_else(|| SimError {
+                msg: format!("call to unknown function `{callee}`"),
+                span: cedar_ir::Span::NONE,
+            })?;
+        let flow_result = self.invoke(frame, ridx, args, ctx)?;
+        flow_result.ok_or_else(|| SimError {
+            msg: format!("function `{callee}` returned no value"),
+            span: cedar_ir::Span::NONE,
+        })
+    }
+
+    /// Invoke unit `ridx` with actual arguments; returns the function
+    /// result value if the unit is a FUNCTION.
+    fn invoke(
+        &mut self,
+        caller: &Frame,
+        ridx: usize,
+        args: &[Expr],
+        ctx: &mut Ctx,
+    ) -> Result<Option<Value>> {
+        self.call_depth += 1;
+        if self.call_depth > 200 {
+            self.call_depth -= 1;
+            return err(cedar_ir::Span::NONE, "call depth exceeded (recursion?)");
+        }
+        self.stats.calls += 1;
+        ctx.time += self.config.call_overhead;
+
+        let callee_unit = &self.program.units[ridx];
+        let mut frame = Frame { unit: ridx, binds: vec![None; callee_unit.symbols.len()] };
+
+        // Pass 1: bind arguments (aliases or value temps).
+        if args.len() != callee_unit.args.len() {
+            self.call_depth -= 1;
+            return err(
+                callee_unit.span,
+                format!(
+                    "`{}` called with {} args, expects {}",
+                    callee_unit.name,
+                    args.len(),
+                    callee_unit.args.len()
+                ),
+            );
+        }
+        for (pos, actual) in args.iter().enumerate() {
+            let dummy = callee_unit.args[pos];
+            let bind = self.bind_actual(caller, actual, ctx)?;
+            frame.binds[dummy.index()] = Some(bind);
+        }
+
+        // Pass 2: allocate locals (needs args for adjustable dims), then
+        // fix up dummy array dims as declared by the callee.
+        let local_frame = {
+            // Allocate non-arg symbols via new_frame-like logic but into
+            // the existing frame.
+            let mut f2 = self.new_frame_into(frame, ctx)?;
+            // Adjustable dummy dims: reshape each bound arg to the
+            // callee's declared dims.
+            for (pos, _) in args.iter().enumerate() {
+                let dummy = callee_unit.args[pos];
+                let sym = callee_unit.symbol(dummy);
+                if sym.is_array() {
+                    let declared = self.eval_dummy_dims(&f2, ridx, dummy, ctx)?;
+                    if let Some(b) = f2.binds[dummy.index()].as_mut() {
+                        b.dims = declared;
+                        b.ty = sym.ty;
+                    }
+                } else if let Some(b) = f2.binds[dummy.index()].as_mut() {
+                    b.dims = Vec::new();
+                    b.ty = sym.ty;
+                }
+            }
+            f2
+        };
+        let mut frame = local_frame;
+
+        let body = callee_unit.body.clone();
+        self.exec_block(&mut frame, &body, ctx)?;
+
+        let result = match callee_unit.result {
+            Some(r) => {
+                let bind = self.bind_of(&frame, r)?.clone();
+                let slot = self.resolve_slot(&bind, ctx.cluster);
+                Some(self.store.slot(slot).get(bind.offset))
+            }
+            None => None,
+        };
+        // Locals go out of scope: release their pool accounting so the
+        // paging model tracks the live working set. Argument aliases and
+        // COMMON bindings are the caller's / program's storage.
+        for (si, sym) in callee_unit.symbols.iter().enumerate() {
+            if matches!(
+                sym.kind,
+                SymKind::Local | SymKind::FuncResult | SymKind::Param(_)
+            ) {
+                if let Some(b) = frame.binds[si].clone() {
+                    self.release_binding(&b, ctx.cluster);
+                }
+            }
+        }
+        self.call_depth -= 1;
+        Ok(result)
+    }
+
+    /// Allocate local storage for every unbound non-arg symbol of the
+    /// frame's unit (args are already bound).
+    fn new_frame_into(&mut self, mut frame: Frame, ctx: &mut Ctx) -> Result<Frame> {
+        let idx = frame.unit;
+        let fresh = self.new_frame(idx, ctx)?;
+        for (i, b) in fresh.binds.into_iter().enumerate() {
+            if frame.binds[i].is_none() {
+                frame.binds[i] = b;
+            }
+        }
+        Ok(frame)
+    }
+
+    /// Declared dims of a dummy argument, evaluated in the callee frame;
+    /// assumed-size last dimension resolves against the actual length.
+    fn eval_dummy_dims(
+        &mut self,
+        frame: &Frame,
+        ridx: usize,
+        dummy: SymbolId,
+        ctx: &mut Ctx,
+    ) -> Result<Vec<(i64, i64)>> {
+        let unit = &self.program.units[ridx];
+        let sym = unit.symbol(dummy);
+        let mut dims = Vec::with_capacity(sym.dims.len());
+        let bind = self.bind_of(frame, dummy)?.clone();
+        for (k, d) in sym.dims.iter().enumerate() {
+            let lo = self.eval_scalar(frame, &d.lower, ctx)?.as_i64();
+            let hi = match &d.upper {
+                Some(e) => self.eval_scalar(frame, e, ctx)?.as_i64(),
+                None => {
+                    // Assumed size: fill from the actual's remaining
+                    // length.
+                    debug_assert_eq!(k + 1, sym.dims.len());
+                    let slot = self.resolve_slot(&bind, ctx.cluster);
+                    let total = self.store.slot(slot).len().saturating_sub(bind.offset);
+                    let lead: usize = dims
+                        .iter()
+                        .map(|&(l, h): &(i64, i64)| ((h - l + 1).max(0)) as usize)
+                        .product();
+                    let rem = total.checked_div(lead).unwrap_or(0);
+                    lo + rem as i64 - 1
+                }
+            };
+            dims.push((lo, hi));
+        }
+        Ok(dims)
+    }
+
+    /// Bind one actual argument: produce an aliasing VarBind (or a value
+    /// temp for expression actuals).
+    fn bind_actual(&mut self, caller: &Frame, actual: &Expr, ctx: &mut Ctx) -> Result<VarBind> {
+        match actual {
+            Expr::Scalar(s) => Ok(self.bind_of(caller, *s)?.clone()),
+            Expr::Section { arr, idx } => {
+                // Whole-array pass (full section) or sub-section starting
+                // point; we alias from the section's first element.
+                let bind = self.bind_of(caller, *arr)?.clone();
+                let (dims, lanes) = self.section_lanes(caller, *arr, idx, ctx)?;
+                let _ = lanes;
+                let mut subs = Vec::with_capacity(dims.len());
+                for d in &dims {
+                    match d {
+                        SectionDim::Fixed(v) => subs.push(*v),
+                        SectionDim::RangeLen { lo, .. } | SectionDim::Range { lo, .. } => {
+                            subs.push(*lo)
+                        }
+                        SectionDim::Gather(vals) => {
+                            subs.push(vals.first().copied().unwrap_or(1))
+                        }
+                    }
+                }
+                let lin = bind.linearize(&subs, false).unwrap_or(bind.offset);
+                let mut nb = bind.clone();
+                nb.offset = lin;
+                Ok(nb)
+            }
+            Expr::Elem { arr, idx } => {
+                let mut subs = Vec::with_capacity(idx.len());
+                for e in idx {
+                    subs.push(self.eval_scalar(caller, e, ctx)?.as_i64());
+                }
+                let bind = self.bind_of(caller, *arr)?.clone();
+                let lin = self.linearize(caller, *arr, &bind, &subs)?;
+                let mut nb = bind.clone();
+                nb.offset = lin;
+                Ok(nb)
+            }
+            other => {
+                // Expression actual: by-value temp.
+                let v = self.eval_scalar(caller, other, ctx)?;
+                let ty = v.ty();
+                let sref = self.alloc_storage(ty, 1, Placement::Private, ctx.cluster);
+                let bind = VarBind { sref, offset: 0, dims: vec![], ty, placement: Placement::Private };
+                self.apply_init(&bind, &[v]);
+                Ok(bind)
+            }
+        }
+    }
+
+    // ================== statement execution ==================
+
+    fn exec_block(&mut self, frame: &mut Frame, body: &[Stmt], ctx: &mut Ctx) -> Result<Flow> {
+        for s in body {
+            match self.exec_stmt(frame, s, ctx)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, frame: &mut Frame, s: &Stmt, ctx: &mut Ctx) -> Result<Flow> {
+        match s {
+            Stmt::Assign { lhs, rhs, span } => {
+                self.exec_assign(frame, lhs, rhs, None, ctx)
+                    .map_err(|e| with_span(e, *span))?;
+                Ok(Flow::Normal)
+            }
+            Stmt::WhereAssign { mask, lhs, rhs, span } => {
+                self.exec_assign(frame, lhs, rhs, Some(mask), ctx)
+                    .map_err(|e| with_span(e, *span))?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If { cond, then_body, elifs, else_body, span } => {
+                let c = self
+                    .eval_scalar(frame, cond, ctx)
+                    .map_err(|e| with_span(e, *span))?;
+                ctx.time += self.config.scalar_op; // branch
+                if c.as_bool() {
+                    return self.exec_block(frame, then_body, ctx);
+                }
+                for (ec, eb) in elifs {
+                    let v = self
+                        .eval_scalar(frame, ec, ctx)
+                        .map_err(|e| with_span(e, *span))?;
+                    if v.as_bool() {
+                        return self.exec_block(frame, eb, ctx);
+                    }
+                }
+                self.exec_block(frame, else_body, ctx)
+            }
+            Stmt::Loop(l) => self.exec_loop(frame, l, ctx),
+            Stmt::DoWhile { cond, body, span } => {
+                let mut iters = 0u64;
+                loop {
+                    let c = self
+                        .eval_scalar(frame, cond, ctx)
+                        .map_err(|e| with_span(e, *span))?;
+                    if !c.as_bool() {
+                        return Ok(Flow::Normal);
+                    }
+                    match self.exec_block(frame, body, ctx)? {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                    iters += 1;
+                    if iters > self.config.max_while_iters {
+                        return err(*span, "DO WHILE exceeded iteration bound");
+                    }
+                }
+            }
+            Stmt::Call { callee, args, span } => {
+                if cedar_ir::is_timer_call(callee) {
+                    match callee.as_str() {
+                        "tstart" => self.stats.region_open = Some(ctx.time),
+                        _ => {
+                            if let Some(t0) = self.stats.region_open.take() {
+                                self.stats.region_cycles += ctx.time - t0;
+                            }
+                        }
+                    }
+                    return Ok(Flow::Normal);
+                }
+                let ridx = self
+                    .program
+                    .units
+                    .iter()
+                    .position(|u| u.name == *callee)
+                    .ok_or_else(|| SimError {
+                        msg: format!("CALL to unknown subroutine `{callee}`"),
+                        span: *span,
+                    })?;
+                self.invoke(frame, ridx, args, ctx)
+                    .map_err(|e| with_span(e, *span))?;
+                Ok(Flow::Normal)
+            }
+            Stmt::TaskStart { callee, args, lib, span } => {
+                self.exec_task_start(frame, callee, args, *lib, ctx)
+                    .map_err(|e| with_span(e, *span))?;
+                Ok(Flow::Normal)
+            }
+            Stmt::TaskWait { .. } => {
+                // Join every outstanding task.
+                for t in self.task_ends.drain(..) {
+                    if t > ctx.time {
+                        ctx.time = t;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Sync(op) => {
+                self.exec_sync(frame, op, ctx)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Return => Ok(Flow::Return),
+            Stmt::Stop => Ok(Flow::Stop),
+            Stmt::Io { .. } => {
+                self.stats.io_statements += 1;
+                ctx.time += self.config.io_cost;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn exec_assign(
+        &mut self,
+        frame: &mut Frame,
+        lhs: &LValue,
+        rhs: &Expr,
+        mask: Option<&Expr>,
+        ctx: &mut Ctx,
+    ) -> Result<()> {
+        match lhs {
+            LValue::Scalar(sv) => {
+                let v = self.eval_scalar(frame, rhs, ctx)?;
+                let bind = self.bind_of(frame, *sv)?.clone();
+                ctx.time += self.config.cache_hit;
+                let slot = self.resolve_slot(&bind, ctx.cluster);
+                self.store
+                    .slot_mut(slot)
+                    .set(bind.offset, value_ops::coerce(v, bind.ty));
+                Ok(())
+            }
+            LValue::Elem { arr, idx } => {
+                let mut subs = Vec::with_capacity(idx.len());
+                for e in idx {
+                    subs.push(self.eval_scalar(frame, e, ctx)?.as_i64());
+                    ctx.time += self.config.scalar_op;
+                    self.stats.scalar_ops += 1;
+                }
+                let v = self.eval_scalar(frame, rhs, ctx)?;
+                let bind = self.bind_of(frame, *arr)?.clone();
+                let lin = self.linearize(frame, *arr, &bind, &subs)?;
+                ctx.time += self.bind_access_cost(&bind, lin, false, false, ctx);
+                let slot = self.resolve_slot(&bind, ctx.cluster);
+                self.store.slot_mut(slot).set(lin, value_ops::coerce(v, bind.ty));
+                Ok(())
+            }
+            LValue::Section { arr, idx } => {
+                let (dims, lanes) = self.section_lanes(frame, *arr, idx, ctx)?;
+                let bind = self.bind_of(frame, *arr)?.clone();
+                let lins = self.section_linear_indices(&bind, &dims, lanes)?;
+                let vals = self.eval_vec(frame, rhs, lanes, ctx)?;
+                let mvals = match mask {
+                    Some(m) => Some(self.eval_vec(frame, m, lanes, ctx)?),
+                    None => None,
+                };
+                // Store stream cost.
+                ctx.time += self.config.vector_startup;
+                if bind.placement == Placement::Partitioned {
+                    let local = self.mem_cost(Placement::Cluster, lanes as u64, true, false, ctx);
+                    let remote = self.mem_cost(Placement::Global, lanes as u64, true, false, ctx);
+                    ctx.time += 0.5 * (local + remote);
+                } else {
+                    ctx.time += self.mem_cost(bind.placement, lanes as u64, true, false, ctx);
+                }
+                let slot = self.resolve_slot(&bind, ctx.cluster);
+                let data = self.store.slot_mut(slot);
+                for (k, (&lin, v)) in lins.iter().zip(vals).enumerate() {
+                    if mvals.as_ref().is_some_and(|m| !m[k].as_bool()) {
+                        continue;
+                    }
+                    data.set(lin, value_ops::coerce(v, bind.ty));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// §2.2.2 subroutine-level tasking: run the thread's body on a
+    /// forked virtual clock; the starter only pays the dispatch cost.
+    /// The `mtskstart` path enforces the paper's deadlock rule: "
+    /// synchronization instructions are not allowed in threads started
+    /// with mtskstart".
+    fn exec_task_start(
+        &mut self,
+        frame: &Frame,
+        callee: &str,
+        args: &[Expr],
+        lib: bool,
+        ctx: &mut Ctx,
+    ) -> Result<()> {
+        let ridx = self
+            .program
+            .units
+            .iter()
+            .position(|u| u.name == callee)
+            .ok_or_else(|| SimError {
+                msg: format!("task start of unknown subroutine `{callee}`"),
+                span: cedar_ir::Span::NONE,
+            })?;
+        if lib {
+            let mut has_sync = false;
+            cedar_ir::visit::walk_stmts(&self.program.units[ridx].body, &mut |st| {
+                if matches!(st, Stmt::Sync(_)) {
+                    has_sync = true;
+                }
+            });
+            if has_sync {
+                return err(
+                    self.program.units[ridx].span,
+                    format!(
+                        "synchronization instructions are not allowed in threads \
+                         started with mtskstart (`{callee}` would deadlock)"
+                    ),
+                );
+            }
+        }
+        self.stats.tasks_started += 1;
+        let startup = if lib { self.config.mtsk_start } else { self.config.ctsk_start };
+        // The thread runs on its own clock starting after dispatch.
+        let mut tctx = Ctx { cluster: ctx.cluster, time: ctx.time + startup, active: ctx.active };
+        self.invoke(frame, ridx, args, &mut tctx)?;
+        self.task_ends.push(tctx.time);
+        // The starter continues after the dispatch handshake only.
+        ctx.time += if lib { 40.0 } else { 200.0 };
+        Ok(())
+    }
+
+    fn exec_sync(&mut self, _frame: &Frame, op: &SyncOp, ctx: &mut Ctx) -> Result<()> {
+        match op {
+            SyncOp::Await { point, dist } => {
+                self.stats.awaits += 1;
+                ctx.time += self.config.await_cost;
+                let d = match dist {
+                    Expr::ConstI(v) => *v,
+                    e => {
+                        // Distance may be an expression; evaluate against
+                        // an empty frame is unsafe — use frame.
+                        let mut c2 = *ctx;
+                        let f = Frame { unit: 0, binds: vec![] };
+                        let _ = f;
+                        // Fall back: evaluate with the real frame.
+                        let v = self.eval_scalar(_frame, e, &mut c2)?;
+                        ctx.time = c2.time;
+                        v.as_i64()
+                    }
+                };
+                if let Some(st) = self.doacross.last() {
+                    let k = st.cur_iter as i64;
+                    let target = k - d;
+                    if target >= 0 {
+                        let t = st
+                            .advance_times
+                            .get(point)
+                            .and_then(|v| v.get(target as usize).copied().flatten())
+                            .or_else(|| st.iter_end.get(target as usize).copied());
+                        if let Some(t) = t {
+                            if t > ctx.time {
+                                self.stats.await_stall_cycles += t - ctx.time;
+                                ctx.time = t;
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            SyncOp::Advance { point } => {
+                self.stats.advances += 1;
+                ctx.time += self.config.advance_cost;
+                let t = ctx.time;
+                if let Some(st) = self.doacross.last_mut() {
+                    let k = st.cur_iter;
+                    let trip = st.trip;
+                    let v = st
+                        .advance_times
+                        .entry(*point)
+                        .or_insert_with(|| vec![None; trip]);
+                    if k < v.len() {
+                        v[k] = Some(t);
+                    }
+                }
+                Ok(())
+            }
+            SyncOp::Lock { id } => {
+                self.stats.lock_acquisitions += 1;
+                let free = self.lock_release.get(id).copied().unwrap_or(0.0);
+                if free > ctx.time {
+                    self.stats.lock_stall_cycles += free - ctx.time;
+                    ctx.time = free;
+                }
+                ctx.time += self.config.lock_cost;
+                Ok(())
+            }
+            SyncOp::Unlock { id } => {
+                self.lock_release.insert(*id, ctx.time);
+                Ok(())
+            }
+        }
+    }
+
+    // ================== loops ==================
+
+    fn exec_loop(&mut self, frame: &mut Frame, l: &Loop, ctx: &mut Ctx) -> Result<Flow> {
+        let start = self.eval_scalar(frame, &l.start, ctx)?.as_i64();
+        let end = self.eval_scalar(frame, &l.end, ctx)?.as_i64();
+        let step = match &l.step {
+            Some(e) => self.eval_scalar(frame, e, ctx)?.as_i64(),
+            None => 1,
+        };
+        if step == 0 {
+            return err(l.span, "DO step of zero");
+        }
+        let trip = ((end - start + step) / step).max(0) as usize;
+
+        if l.class == LoopClass::Seq {
+            return self.exec_seq_loop(frame, l, start, step, trip, ctx);
+        }
+        self.exec_parallel_loop(frame, l, start, step, trip, ctx)
+    }
+
+    fn set_loop_var(&mut self, frame: &Frame, var: SymbolId, value: i64, ctx: &Ctx) -> Result<()> {
+        let bind = self.bind_of(frame, var)?.clone();
+        let slot = self.resolve_slot(&bind, ctx.cluster);
+        self.store
+            .slot_mut(slot)
+            .set(bind.offset, value_ops::coerce(Value::I(value), bind.ty));
+        Ok(())
+    }
+
+    fn exec_seq_loop(
+        &mut self,
+        frame: &mut Frame,
+        l: &Loop,
+        start: i64,
+        step: i64,
+        trip: usize,
+        ctx: &mut Ctx,
+    ) -> Result<Flow> {
+        // Sequential loops may carry (ignored) locals from privatization
+        // of an enclosing transform; bind them once.
+        let locals = self.bind_locals(frame, l, 1, ctx)?;
+        let mut flow = Flow::Normal;
+        for k in 0..trip {
+            self.set_loop_var(frame, l.var, start + (k as i64) * step, ctx)?;
+            ctx.time += self.config.scalar_op * 2.0; // increment + test
+            self.stats.scalar_ops += 2;
+            match self.exec_block(frame, &l.body, ctx)? {
+                Flow::Normal => {}
+                other => {
+                    flow = other;
+                    break;
+                }
+            }
+        }
+        for (_, per_part) in &locals {
+            for b in per_part {
+                self.release_binding(b, ctx.cluster);
+            }
+        }
+        Ok(flow)
+    }
+
+    /// Bind per-participant storage for loop locals. Returns the slots
+    /// per local so the scheduler can rebind per participant.
+    fn bind_locals(
+        &mut self,
+        frame: &mut Frame,
+        l: &Loop,
+        participants: usize,
+        ctx: &mut Ctx,
+    ) -> Result<Vec<(SymbolId, Vec<VarBind>)>> {
+        let unit_idx = frame.unit;
+        let mut out = Vec::with_capacity(l.locals.len());
+        for &loc in &l.locals {
+            let sym = self.program.units[unit_idx].symbol(loc).clone();
+            let mut per_part = Vec::with_capacity(participants);
+            for p in 0..participants {
+                let home = self.participant_cluster(l.class, p, ctx);
+                // Dims may reference outer scalars (e.g. strip length).
+                let mut dims = Vec::with_capacity(sym.dims.len());
+                for d in &sym.dims {
+                    let lo = self.eval_scalar(frame, &d.lower, ctx)?.as_i64();
+                    let hi = match &d.upper {
+                        Some(e) => self.eval_scalar(frame, e, ctx)?.as_i64(),
+                        None => return err(sym.span, "assumed-size loop local"),
+                    };
+                    dims.push((lo, hi));
+                }
+                let total: usize =
+                    dims.iter().map(|&(lo, hi)| ((hi - lo + 1).max(0)) as usize).product();
+                let sref = self.alloc_storage(sym.ty, total.max(1), Placement::Private, home);
+                per_part.push(VarBind {
+                    sref,
+                    offset: 0,
+                    dims,
+                    ty: sym.ty,
+                    placement: Placement::Private,
+                });
+            }
+            // Bind participant 0 by default.
+            frame.binds[loc.index()] = Some(per_part[0].clone());
+            out.push((loc, per_part));
+        }
+        Ok(out)
+    }
+
+    /// Cluster a participant executes on.
+    fn participant_cluster(&self, class: LoopClass, p: usize, ctx: &Ctx) -> usize {
+        match class {
+            LoopClass::CDoall | LoopClass::CDoacross | LoopClass::Seq => ctx.cluster,
+            LoopClass::SDoall | LoopClass::SDoacross => p % self.config.clusters,
+            LoopClass::XDoall | LoopClass::XDoacross => {
+                (p / self.config.ces_per_cluster) % self.config.clusters
+            }
+        }
+    }
+
+    fn exec_parallel_loop(
+        &mut self,
+        frame: &mut Frame,
+        l: &Loop,
+        start: i64,
+        step: i64,
+        trip: usize,
+        ctx: &mut Ctx,
+    ) -> Result<Flow> {
+        let cfg = &self.config;
+        let (participants, startup, dispatch) = match l.class {
+            LoopClass::CDoall | LoopClass::CDoacross => {
+                (cfg.ces_per_cluster, cfg.cdo_start, cfg.cdo_dispatch)
+            }
+            LoopClass::SDoall | LoopClass::SDoacross => {
+                (cfg.clusters, cfg.sdo_start, cfg.lib_dispatch)
+            }
+            LoopClass::XDoall | LoopClass::XDoacross => {
+                (cfg.total_ces(), cfg.xdo_start, cfg.lib_dispatch)
+            }
+            LoopClass::Seq => unreachable!(),
+        };
+        let participants = participants.max(1);
+        self.stats.parallel_loops += 1;
+        self.stats.parallel_iterations += trip as u64;
+
+        let is_ordered = l.class.is_ordered();
+        if is_ordered {
+            self.doacross.push(DoacrossState {
+                advance_times: BTreeMap::new(),
+                iter_end: vec![0.0; trip],
+                cur_iter: 0,
+                trip,
+            });
+        }
+
+        let locals = self.bind_locals(frame, l, participants, ctx)?;
+        let child_active = ctx.active * participants;
+
+        // Per-participant clocks begin after startup.
+        let t0 = ctx.time + startup;
+        let mut clocks = vec![t0; participants];
+
+        // Preamble: once per participant.
+        if !l.preamble.is_empty() {
+            for p in 0..participants {
+                for (loc, per_part) in &locals {
+                    frame.binds[loc.index()] = Some(per_part[p].clone());
+                }
+                let mut cctx = Ctx {
+                    cluster: self.participant_cluster(l.class, p, ctx),
+                    time: clocks[p],
+                    active: child_active,
+                };
+                self.exec_block(frame, &l.preamble, &mut cctx)?;
+                clocks[p] = cctx.time;
+            }
+        }
+
+        let mut flow = Flow::Normal;
+        for k in 0..trip {
+            // Deterministic self-scheduling: earliest-clock participant
+            // takes the next iteration (ties: lowest id).
+            let p = (0..participants)
+                .min_by(|&a, &b| {
+                    clocks[a]
+                        .partial_cmp(&clocks[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                })
+                .unwrap();
+            for (loc, per_part) in &locals {
+                frame.binds[loc.index()] = Some(per_part[p].clone());
+            }
+            let mut cctx = Ctx {
+                cluster: self.participant_cluster(l.class, p, ctx),
+                time: clocks[p] + dispatch,
+                active: child_active,
+            };
+            if is_ordered {
+                if let Some(st) = self.doacross.last_mut() {
+                    st.cur_iter = k;
+                }
+            }
+            self.set_loop_var(frame, l.var, start + (k as i64) * step, &cctx)?;
+            let f = self.exec_block(frame, &l.body, &mut cctx)?;
+            clocks[p] = cctx.time;
+            if is_ordered {
+                if let Some(st) = self.doacross.last_mut() {
+                    st.iter_end[k] = cctx.time;
+                }
+            }
+            if !matches!(f, Flow::Normal) {
+                flow = f;
+                break;
+            }
+        }
+
+        // Postamble: once per participant.
+        if !l.postamble.is_empty() {
+            for p in 0..participants {
+                for (loc, per_part) in &locals {
+                    frame.binds[loc.index()] = Some(per_part[p].clone());
+                }
+                let mut cctx = Ctx {
+                    cluster: self.participant_cluster(l.class, p, ctx),
+                    time: clocks[p],
+                    active: child_active,
+                };
+                self.exec_block(frame, &l.postamble, &mut cctx)?;
+                clocks[p] = cctx.time;
+            }
+        }
+
+        if is_ordered {
+            self.doacross.pop();
+        }
+        // Locals go out of scope.
+        for (_, per_part) in &locals {
+            for (p, b) in per_part.iter().enumerate() {
+                let home = self.participant_cluster(l.class, p, ctx);
+                self.release_binding(b, home);
+            }
+        }
+        // Join barrier.
+        let end = clocks.iter().cloned().fold(t0, f64::max) + self.config.barrier;
+        ctx.time = end;
+        Ok(flow)
+    }
+}
+
+/// Per-dimension descriptor of a section.
+#[derive(Debug, Clone)]
+enum SectionDim {
+    Fixed(i64),
+    Range { lo: i64, step: i64 },
+    RangeLen { lo: i64, step: i64, len: usize },
+    /// Vector-valued subscript (gather/scatter through an index vector).
+    Gather(Vec<i64>),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Flow {
+    Normal,
+    Return,
+    Stop,
+}
+
+fn with_span(mut e: SimError, span: cedar_ir::Span) -> SimError {
+    if e.span == cedar_ir::Span::NONE {
+        e.span = span;
+    }
+    e
+}
+
+fn arr_id(s: SymbolId) -> SymbolId {
+    s
+}
+
+
+
+/// Static constant evaluation against PARAMETER symbols only (used for
+/// COMMON dims before any frame exists).
+fn const_eval_static(unit: &Unit, e: &Expr) -> Option<i64> {
+    match e {
+        Expr::ConstI(v) => Some(*v),
+        Expr::Scalar(s) => match &unit.symbol(*s).kind {
+            SymKind::Param(v) => Some(v.as_i64()),
+            _ => None,
+        },
+        Expr::Un(cedar_ir::UnOp::Neg, inner) => Some(-const_eval_static(unit, inner)?),
+        Expr::Bin(op, l, r) => {
+            let a = const_eval_static(unit, l)?;
+            let b = const_eval_static(unit, r)?;
+            Some(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a.checked_div(b)?,
+                _ => return None,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_ir::compile_free;
+
+    fn run_src(src: &str) -> Simulator<'_> {
+        // Leak the program so the simulator can borrow it in tests.
+        let p = Box::leak(Box::new(compile_free(src).unwrap()));
+        crate::run(p, MachineConfig::cedar_config1()).unwrap()
+    }
+
+    #[test]
+    fn scalar_arithmetic_and_assignment() {
+        let sim = run_src(
+            "program p\nreal x, y\nx = 3.0\ny = x * 2.0 + 1.0\nend\n",
+        );
+        assert_eq!(sim.read_f64("y").unwrap(), vec![7.0]);
+        assert!(sim.cycles() > 0.0);
+    }
+
+    #[test]
+    fn do_loop_and_array() {
+        let sim = run_src(
+            "program p\nparameter (n = 10)\nreal a(n)\ndo i = 1, n\n\
+             a(i) = i * 1.0\nend do\ns = 0.0\ndo i = 1, n\ns = s + a(i)\nend do\nend\n",
+        );
+        assert_eq!(sim.read_f64("s").unwrap(), vec![55.0]);
+    }
+
+    #[test]
+    fn nested_loops_column_major() {
+        let sim = run_src(
+            "program p\nparameter (n = 3)\nreal a(n, n)\ndo j = 1, n\ndo i = 1, n\n\
+             a(i, j) = i * 10.0 + j\nend do\nend do\nx = a(2, 3)\nend\n",
+        );
+        assert_eq!(sim.read_f64("x").unwrap(), vec![23.0]);
+        let a = sim.read_f64("a").unwrap();
+        // column-major: a(1,1), a(2,1), a(3,1), a(1,2)...
+        assert_eq!(a[0], 11.0);
+        assert_eq!(a[1], 21.0);
+        assert_eq!(a[3], 12.0);
+    }
+
+    #[test]
+    fn vector_assignment_and_sections() {
+        let sim = run_src(
+            "program p\nparameter (n = 8)\nreal a(n), b(n)\ndo i = 1, n\n\
+             b(i) = i * 1.0\nend do\na(1:n) = b(1:n) * 2.0\nx = a(5)\n\
+             a(1:4) = b(5:8)\ny = a(2)\nend\n",
+        );
+        assert_eq!(sim.read_f64("x").unwrap(), vec![10.0]);
+        assert_eq!(sim.read_f64("y").unwrap(), vec![6.0]);
+    }
+
+    #[test]
+    fn where_masked_assignment() {
+        let sim = run_src(
+            "program p\nparameter (n = 4)\nreal a(n)\na(1) = -1.0\na(2) = 4.0\n\
+             a(3) = -9.0\na(4) = 16.0\nwhere (a(1:n) .gt. 0.0) a(1:n) = sqrt(a(1:n))\nend\n",
+        );
+        assert_eq!(sim.read_f64("a").unwrap(), vec![-1.0, 2.0, -9.0, 4.0]);
+    }
+
+    #[test]
+    fn if_elseif_else() {
+        let sim = run_src(
+            "program p\nx = -3.0\nif (x .gt. 0.0) then\ns = 1.0\n\
+             else if (x .lt. 0.0) then\ns = -1.0\nelse\ns = 0.0\nend if\nend\n",
+        );
+        assert_eq!(sim.read_f64("s").unwrap(), vec![-1.0]);
+    }
+
+    #[test]
+    fn subroutine_call_by_reference() {
+        let sim = run_src(
+            "program p\nparameter (n = 5)\nreal x(n)\ndo i = 1, n\nx(i) = i * 1.0\nend do\n\
+             call dbl(x, n)\ny = x(3)\nend\n\
+             subroutine dbl(a, m)\nreal a(m)\ndo i = 1, m\na(i) = a(i) * 2.0\nend do\nend\n",
+        );
+        assert_eq!(sim.read_f64("y").unwrap(), vec![6.0]);
+    }
+
+    #[test]
+    fn array_element_actual_aliases_slice() {
+        // Pass a(1,2): callee sees column 2.
+        let sim = run_src(
+            "program p\nparameter (n = 3)\nreal a(n, n)\ndo j = 1, n\ndo i = 1, n\n\
+             a(i, j) = j * 100.0 + i\nend do\nend do\ncall zap(a(1, 2), n)\n\
+             x = a(2, 2)\ny = a(2, 1)\nend\n\
+             subroutine zap(col, m)\nreal col(m)\ndo i = 1, m\ncol(i) = 0.0\nend do\nend\n",
+        );
+        assert_eq!(sim.read_f64("x").unwrap(), vec![0.0]);
+        assert_eq!(sim.read_f64("y").unwrap(), vec![102.0]);
+    }
+
+    #[test]
+    fn function_call_returns_value() {
+        let sim = run_src(
+            "program p\nx = f(3.0) + f(4.0)\nend\n\
+             real function f(v)\nf = v * v\nend\n",
+        );
+        assert_eq!(sim.read_f64("x").unwrap(), vec![25.0]);
+    }
+
+    #[test]
+    fn common_block_shared_across_units() {
+        let sim = run_src(
+            "program p\ncommon /blk/ w(4), total\ndo i = 1, 4\nw(i) = i * 1.0\nend do\n\
+             call addup\nx = total\nend\n\
+             subroutine addup\ncommon /blk/ v(4), t\nt = v(1) + v(2) + v(3) + v(4)\nend\n",
+        );
+        assert_eq!(sim.read_f64("x").unwrap(), vec![10.0]);
+    }
+
+    #[test]
+    fn parallel_loop_gives_speedup_and_same_result() {
+        let serial = run_src(
+            "program p\nparameter (n = 512)\nreal a(n), b(n)\ndo i = 1, n\n\
+             b(i) = i * 1.0\nend do\ndo i = 1, n\na(i) = sqrt(b(i)) + b(i)\nend do\n\
+             s = a(100)\nend\n",
+        );
+        let par = run_src(
+            "program p\nparameter (n = 512)\nreal a(n), b(n)\nglobal a, b\ndo i = 1, n\n\
+             b(i) = i * 1.0\nend do\ncdoall i = 1, n\na(i) = sqrt(b(i)) + b(i)\nend cdoall\n\
+             s = a(100)\nend\n",
+        );
+        assert_eq!(serial.read_f64("s").unwrap(), par.read_f64("s").unwrap());
+        assert!(par.stats.parallel_loops >= 1);
+    }
+
+    #[test]
+    fn doacross_cascade_preserves_order_and_stalls() {
+        let sim = run_src(
+            "program p\nparameter (n = 64)\nreal a(n), b(n)\ndo i = 1, n\n\
+             a(i) = i * 1.0\nb(i) = 0.0\nend do\nb(1) = 1.0\n\
+             cdoacross i = 2, n\ncall await(1, 1)\nb(i) = a(i) + b(i - 1)\n\
+             call advance(1)\nend cdoacross\nx = b(n)\nend\n",
+        );
+        // b(n) = 1 + sum(2..n) = 1 + (n(n+1)/2 - 1)
+        let n = 64.0_f64;
+        assert_eq!(sim.read_f64("x").unwrap(), vec![n * (n + 1.0) / 2.0]);
+        assert!(sim.stats.awaits > 0);
+        assert!(sim.stats.await_stall_cycles > 0.0);
+    }
+
+    #[test]
+    fn loop_local_privatization_semantics() {
+        let sim = run_src(
+            "program p\nparameter (n = 32)\nreal a(n), b(n)\nglobal a, b\n\
+             do i = 1, n\nb(i) = i * 1.0\nend do\n\
+             cdoall i = 1, n\nreal t\nt = b(i)\na(i) = t * t\nend cdoall\nx = a(7)\nend\n",
+        );
+        assert_eq!(sim.read_f64("x").unwrap(), vec![49.0]);
+    }
+
+    #[test]
+    fn reduction_intrinsics() {
+        let sim = run_src(
+            "program p\nparameter (n = 10)\nreal a(n), b(n)\ndo i = 1, n\n\
+             a(i) = 1.0\nb(i) = i * 1.0\nend do\n\
+             s = sum(b(1:n))\nd = dotproduct(a(1:n), b(1:n))\n\
+             x = maxval(b(1:n))\nend\n",
+        );
+        assert_eq!(sim.read_f64("s").unwrap(), vec![55.0]);
+        assert_eq!(sim.read_f64("d").unwrap(), vec![55.0]);
+        assert_eq!(sim.read_f64("x").unwrap(), vec![10.0]);
+    }
+
+    #[test]
+    fn do_while_terminates() {
+        let sim = run_src(
+            "program p\nx = 100.0\nk = 0\ndo while (x .gt. 1.0)\nx = x / 2.0\n\
+             k = k + 1\nend do\nend\n",
+        );
+        assert_eq!(sim.read_var("k").unwrap(), vec![Value::I(7)]);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let p = compile_free(
+            "program p\nreal a(3)\ndo i = 1, 5\na(i) = 0.0\nend do\nend\n",
+        )
+        .unwrap();
+        let e = crate::run(&p, MachineConfig::cedar_config1());
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn global_data_costs_more_than_cluster() {
+        let src_cluster = "program p\nparameter (n = 1024)\nreal a(n), b(n)\n\
+             do i = 1, n\nb(i) = 1.0\nend do\na(1:n) = b(1:n) * 2.0\nend\n";
+        let src_global = "program p\nparameter (n = 1024)\nreal a(n), b(n)\nglobal a, b\n\
+             do i = 1, n\nb(i) = 1.0\nend do\na(1:n) = b(1:n) * 2.0\nend\n";
+        let c = run_src(src_cluster);
+        let g = run_src(src_global);
+        assert!(g.cycles() > c.cycles());
+        assert!(g.stats.global_traffic() > 0);
+    }
+
+    #[test]
+    fn prefetch_reduces_global_vector_cost() {
+        let src = "program p\nparameter (n = 4096)\nreal a(n), b(n)\nglobal a, b\n\
+             do i = 1, n\nb(i) = 1.0\nend do\na(1:n) = b(1:n) * 2.0\nend\n";
+        let p = Box::leak(Box::new(compile_free(src).unwrap()));
+        let with = crate::run(p, MachineConfig::cedar_config1()).unwrap();
+        let without =
+            crate::run(p, MachineConfig::cedar_config1().without_prefetch()).unwrap();
+        assert!(without.cycles() > with.cycles());
+        assert!(with.stats.prefetched_elems > 0);
+        assert_eq!(without.stats.prefetched_elems, 0);
+    }
+
+    #[test]
+    fn paging_surcharge_applies_when_pool_overflows() {
+        let src = "program p\nparameter (n = 8192)\nreal a(n)\ndo i = 1, n\n\
+             a(i) = 1.0\nend do\ns = a(1)\nend\n";
+        let p = Box::leak(Box::new(compile_free(src).unwrap()));
+        let big = crate::run(p, MachineConfig::cedar_config1()).unwrap();
+        // Shrink cluster memory below the array footprint.
+        let mut small_cfg = MachineConfig::cedar_config1();
+        small_cfg.cluster_capacity = 1024;
+        let small = crate::run(p, small_cfg).unwrap();
+        assert!(small.cycles() > big.cycles() * 2.0);
+        assert!(small.stats.paged_accesses > 0.0);
+        assert_eq!(big.stats.paged_accesses, 0.0);
+    }
+
+    #[test]
+    fn critical_section_locks_serialize() {
+        let sim = run_src(
+            "program p\nparameter (n = 64)\nreal a(n)\nglobal a\ns = 0.0\n\
+             do i = 1, n\na(i) = 1.0\nend do\n\
+             cdoall i = 1, n\ncall lock(1)\ns = s + a(i)\ncall unlock(1)\nend cdoall\nend\n",
+        );
+        assert_eq!(sim.read_f64("s").unwrap(), vec![64.0]);
+        assert!(sim.stats.lock_acquisitions == 64);
+    }
+
+    #[test]
+    fn stop_halts_execution() {
+        let sim = run_src("program p\nx = 1.0\nstop\nx = 2.0\nend\n");
+        assert_eq!(sim.read_f64("x").unwrap(), vec![1.0]);
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! Deterministic cycle-cost simulator of the Cedar hierarchical
+//! multiprocessor.
+//!
+//! The simulator executes the shared IR (`cedar-ir`) directly — the same
+//! programs the restructurer produces — and reports **simulated cycles**
+//! from an explicit cost model of the Cedar architecture described in
+//! the paper's §1–§2:
+//!
+//! * four clusters of eight computational elements (CEs), each CE with
+//!   scalar and vector units;
+//! * per-cluster memory and shared data cache; machine-wide global
+//!   memory behind a two-stage interconnect with bounded bandwidth;
+//! * a vector **prefetch** unit that streams 32-element blocks from
+//!   global memory into a CE-local buffer (§2.2.3);
+//! * hardware microtasking for `CDOALL`/`CDOACROSS` (cheap startup via
+//!   the concurrency control bus) vs. runtime-library helper-task
+//!   microtasking for `SDOALL`/`XDOALL` (expensive startup, §2.2.1/.2);
+//! * `await`/`advance` cascade synchronization and lock/unlock critical
+//!   sections;
+//! * a paging model: each memory pool (per-cluster, global) has a
+//!   capacity; allocating beyond it makes accesses to that pool pay a
+//!   thrashing surcharge — this reproduces the paper's `mprove`/CG
+//!   super-linear speedups, which came from the serial version paging
+//!   while the parallel version's data fit in global memory.
+//!
+//! Execution is **deterministic**: parallel loops self-schedule onto
+//! per-CE virtual clocks (lowest-clock CE takes the next iteration;
+//! ties break by CE id), and iterations execute in index order in the
+//! host, so results are exactly reproducible and DOACROSS cascade waits
+//! resolve without real concurrency.
+
+pub mod config;
+pub mod exec;
+pub mod stats;
+pub mod store;
+pub mod value_ops;
+
+pub use config::MachineConfig;
+pub use exec::{SimError, Simulator};
+pub use stats::ExecStats;
+
+use cedar_ir::Program;
+
+/// Run a program's main unit to completion; returns the simulator for
+/// result inspection plus the simulated cycle count in
+/// [`ExecStats::cycles`].
+pub fn run(program: &Program, config: MachineConfig) -> Result<Simulator<'_>, SimError> {
+    let mut sim = Simulator::new(program, config)?;
+    sim.run_main()?;
+    Ok(sim)
+}
+

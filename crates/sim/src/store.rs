@@ -1,0 +1,254 @@
+//! Simulated storage: typed slots, placement-aware bindings, and the
+//! capacity pools behind the paging model.
+
+use cedar_ir::{Placement, Ty, Value};
+
+/// One contiguous storage slot (column-major array or scalar cell).
+#[derive(Debug, Clone)]
+pub enum ArrayData {
+    /// REAL / DOUBLE PRECISION payload.
+    R(Vec<f64>),
+    /// INTEGER payload.
+    I(Vec<i64>),
+    /// LOGICAL payload.
+    B(Vec<bool>),
+}
+
+impl ArrayData {
+    /// Zero-initialized storage of `len` elements of type `ty`.
+    pub fn new(ty: Ty, len: usize) -> ArrayData {
+        match ty {
+            Ty::Real | Ty::Double => ArrayData::R(vec![0.0; len]),
+            Ty::Int => ArrayData::I(vec![0; len]),
+            Ty::Logical => ArrayData::B(vec![false; len]),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            ArrayData::R(v) => v.len(),
+            ArrayData::I(v) => v.len(),
+            ArrayData::B(v) => v.len(),
+        }
+    }
+
+    /// True when the slot has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element at linear index `i`.
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            ArrayData::R(v) => Value::R(v[i]),
+            ArrayData::I(v) => Value::I(v[i]),
+            ArrayData::B(v) => Value::B(v[i]),
+        }
+    }
+
+    /// Store `val` (coerced to the slot type) at linear index `i`.
+    pub fn set(&mut self, i: usize, val: Value) {
+        match self {
+            ArrayData::R(v) => v[i] = val.as_f64(),
+            ArrayData::I(v) => v[i] = val.as_i64(),
+            ArrayData::B(v) => v[i] = val.as_bool(),
+        }
+    }
+}
+
+/// Handle of a slot in the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotId(pub u32);
+
+/// Where a symbol's storage lives: one machine-wide copy, one copy per
+/// cluster, or one per participant of the current parallel loop.
+#[derive(Debug, Clone)]
+pub enum StorageRef {
+    /// A single machine-wide copy.
+    One(SlotId),
+    /// One copy per cluster, indexed by cluster number.
+    PerCluster(Vec<SlotId>),
+    /// One copy per participant of the active parallel loop.
+    PerParticipant(Vec<SlotId>),
+}
+
+/// A symbol's binding within an activation frame.
+#[derive(Debug, Clone)]
+pub struct VarBind {
+    /// Where the storage lives.
+    pub sref: StorageRef,
+    /// Element offset into the slot (nonzero when an array element was
+    /// passed as an actual argument — the classic `a(1, j)` column-slice
+    /// idiom).
+    pub offset: usize,
+    /// Resolved dimension bounds (lower, upper) at bind time, for
+    /// subscript linearization. Scalars have none.
+    pub dims: Vec<(i64, i64)>,
+    /// Element type.
+    pub ty: Ty,
+    /// Memory class used by the cost model.
+    pub placement: Placement,
+}
+
+impl VarBind {
+    /// Column-major linearization of a subscript list against the bound
+    /// dims; `None` when out of declared bounds (the last dimension of
+    /// assumed-size arrays is unchecked).
+    pub fn linearize(&self, subs: &[i64], assumed_last: bool) -> Option<usize> {
+        debug_assert_eq!(subs.len(), self.dims.len());
+        let mut lin: i64 = 0;
+        let mut stride: i64 = 1;
+        for (k, (&s, &(lo, hi))) in subs.iter().zip(&self.dims).enumerate() {
+            let last = k + 1 == self.dims.len();
+            if s < lo || (!last || !assumed_last) && s > hi {
+                return None;
+            }
+            lin += (s - lo) * stride;
+            stride *= hi - lo + 1;
+        }
+        usize::try_from(lin).ok().map(|l| l + self.offset)
+    }
+
+    /// Element count implied by the bound dimensions.
+    pub fn total_len(&self) -> usize {
+        self.dims
+            .iter()
+            .map(|&(lo, hi)| (hi - lo + 1).max(0) as usize)
+            .product()
+    }
+}
+
+/// The slot arena plus the capacity pools of the paging model.
+#[derive(Debug, Default)]
+pub struct Store {
+    slots: Vec<ArrayData>,
+    /// Bytes allocated per cluster memory pool.
+    pub cluster_pool: Vec<u64>,
+    /// Bytes allocated in the global pool.
+    pub global_pool: u64,
+}
+
+impl Store {
+    /// Empty store with one capacity pool per cluster.
+    pub fn new(clusters: usize) -> Store {
+        Store { slots: Vec::new(), cluster_pool: vec![0; clusters], global_pool: 0 }
+    }
+
+    /// Allocate a zeroed slot.
+    pub fn alloc(&mut self, ty: Ty, len: usize) -> SlotId {
+        let id = SlotId(self.slots.len() as u32);
+        self.slots.push(ArrayData::new(ty, len));
+        id
+    }
+
+    /// Read access to a slot.
+    pub fn slot(&self, id: SlotId) -> &ArrayData {
+        &self.slots[id.0 as usize]
+    }
+
+    /// Write access to a slot.
+    pub fn slot_mut(&mut self, id: SlotId) -> &mut ArrayData {
+        &mut self.slots[id.0 as usize]
+    }
+
+    /// Account `bytes` to a pool; returns nothing — thrash factors are
+    /// queried per access.
+    pub fn charge_cluster(&mut self, cluster: usize, bytes: u64) {
+        self.cluster_pool[cluster] += bytes;
+    }
+
+    /// Account `bytes` to the global pool.
+    pub fn charge_global(&mut self, bytes: u64) {
+        self.global_pool += bytes;
+    }
+
+    /// Return `bytes` to a cluster pool (scope exit).
+    pub fn release_cluster(&mut self, cluster: usize, bytes: u64) {
+        self.cluster_pool[cluster] = self.cluster_pool[cluster].saturating_sub(bytes);
+    }
+
+    /// Return `bytes` to the global pool (scope exit).
+    pub fn release_global(&mut self, bytes: u64) {
+        self.global_pool = self.global_pool.saturating_sub(bytes);
+    }
+
+    /// Thrashing probability of a pool: 0 while the working set fits,
+    /// then the probability an access misses physical memory,
+    /// `1 − capacity/allocated`.
+    pub fn thrash_factor(allocated: u64, capacity: u64) -> f64 {
+        if allocated <= capacity || allocated == 0 {
+            0.0
+        } else {
+            1.0 - capacity as f64 / allocated as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearize_column_major() {
+        let b = VarBind {
+            sref: StorageRef::One(SlotId(0)),
+            offset: 0,
+            dims: vec![(1, 3), (1, 2)],
+            ty: Ty::Real,
+            placement: Placement::Default,
+        };
+        // a(i, j) → (i-1) + (j-1)*3
+        assert_eq!(b.linearize(&[1, 1], false), Some(0));
+        assert_eq!(b.linearize(&[3, 1], false), Some(2));
+        assert_eq!(b.linearize(&[1, 2], false), Some(3));
+        assert_eq!(b.linearize(&[3, 2], false), Some(5));
+        assert_eq!(b.linearize(&[4, 1], false), None);
+        assert_eq!(b.linearize(&[0, 1], false), None);
+    }
+
+    #[test]
+    fn linearize_with_lower_bounds_and_offset() {
+        let b = VarBind {
+            sref: StorageRef::One(SlotId(0)),
+            offset: 10,
+            dims: vec![(0, 4)],
+            ty: Ty::Real,
+            placement: Placement::Default,
+        };
+        assert_eq!(b.linearize(&[0], false), Some(10));
+        assert_eq!(b.linearize(&[4], false), Some(14));
+    }
+
+    #[test]
+    fn assumed_size_skips_last_bound_check() {
+        let b = VarBind {
+            sref: StorageRef::One(SlotId(0)),
+            offset: 0,
+            dims: vec![(1, 1)],
+            ty: Ty::Real,
+            placement: Placement::Default,
+        };
+        assert_eq!(b.linearize(&[5], true), Some(4));
+        assert_eq!(b.linearize(&[5], false), None);
+    }
+
+    #[test]
+    fn thrash_factor_behaviour() {
+        assert_eq!(Store::thrash_factor(100, 200), 0.0);
+        assert_eq!(Store::thrash_factor(200, 200), 0.0);
+        assert!((Store::thrash_factor(400, 200) - 0.5).abs() < 1e-12);
+        assert_eq!(Store::thrash_factor(0, 0), 0.0);
+    }
+
+    #[test]
+    fn typed_slots_round_trip() {
+        let mut st = Store::new(2);
+        let s = st.alloc(Ty::Int, 4);
+        st.slot_mut(s).set(2, Value::I(7));
+        assert_eq!(st.slot(s).get(2), Value::I(7));
+        let r = st.alloc(Ty::Real, 1);
+        st.slot_mut(r).set(0, Value::I(3));
+        assert_eq!(st.slot(r).get(0), Value::R(3.0));
+    }
+}

@@ -1,0 +1,253 @@
+//! Scalar value operations with Fortran semantics.
+
+use cedar_ir::{BinOp, Intrinsic, Ty, UnOp, Value};
+
+/// Apply a binary operator. Integer pairs stay integral for `+ - * /`
+/// (Fortran integer division truncates); any real operand promotes.
+pub fn bin(op: BinOp, l: Value, r: Value) -> Result<Value, String> {
+    use BinOp::*;
+    Ok(match op {
+        Add | Sub | Mul | Div => match (l, r) {
+            (Value::I(a), Value::I(b)) => Value::I(match op {
+                Add => a.wrapping_add(b),
+                Sub => a.wrapping_sub(b),
+                Mul => a.wrapping_mul(b),
+                Div => {
+                    if b == 0 {
+                        return Err("integer division by zero".into());
+                    }
+                    a / b
+                }
+                _ => unreachable!(),
+            }),
+            (a, b) => {
+                let (a, b) = (a.as_f64(), b.as_f64());
+                Value::R(match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    Div => a / b,
+                    _ => unreachable!(),
+                })
+            }
+        },
+        Pow => match (l, r) {
+            (Value::I(a), Value::I(b)) => {
+                if b >= 0 {
+                    let mut acc: i64 = 1;
+                    for _ in 0..b.min(63) {
+                        acc = acc.wrapping_mul(a);
+                    }
+                    Value::I(acc)
+                } else if a.abs() == 1 {
+                    Value::I(if b % 2 == 0 { 1 } else { a })
+                } else if a == 0 {
+                    return Err("0 ** negative".into());
+                } else {
+                    Value::I(0)
+                }
+            }
+            (a, Value::I(b)) => Value::R(a.as_f64().powi(b as i32)),
+            (a, b) => Value::R(a.as_f64().powf(b.as_f64())),
+        },
+        Eq => Value::B(cmp(l, r) == std::cmp::Ordering::Equal),
+        Ne => Value::B(cmp(l, r) != std::cmp::Ordering::Equal),
+        Lt => Value::B(cmp(l, r) == std::cmp::Ordering::Less),
+        Le => Value::B(cmp(l, r) != std::cmp::Ordering::Greater),
+        Gt => Value::B(cmp(l, r) == std::cmp::Ordering::Greater),
+        Ge => Value::B(cmp(l, r) != std::cmp::Ordering::Less),
+        And => Value::B(l.as_bool() && r.as_bool()),
+        Or => Value::B(l.as_bool() || r.as_bool()),
+        Eqv => Value::B(l.as_bool() == r.as_bool()),
+        Neqv => Value::B(l.as_bool() != r.as_bool()),
+    })
+}
+
+fn cmp(l: Value, r: Value) -> std::cmp::Ordering {
+    match (l, r) {
+        (Value::I(a), Value::I(b)) => a.cmp(&b),
+        (a, b) => a
+            .as_f64()
+            .partial_cmp(&b.as_f64())
+            .unwrap_or(std::cmp::Ordering::Equal),
+    }
+}
+
+/// Apply a unary operation with Fortran semantics.
+pub fn un(op: UnOp, v: Value) -> Value {
+    match op {
+        UnOp::Neg => match v {
+            Value::I(a) => Value::I(-a),
+            Value::R(a) => Value::R(-a),
+            Value::B(b) => Value::I(-(b as i64)),
+        },
+        UnOp::Not => Value::B(!v.as_bool()),
+    }
+}
+
+/// Evaluate an elemental (non-reduction) intrinsic on scalar arguments.
+pub fn intrinsic(f: Intrinsic, args: &[Value]) -> Result<Value, String> {
+    use Intrinsic::*;
+    let a0 = || -> Result<Value, String> {
+        args.first().copied().ok_or_else(|| format!("{}: missing argument", f.name()))
+    };
+    let r0 = || a0().map(|v| v.as_f64());
+    Ok(match f {
+        Abs => match a0()? {
+            Value::I(v) => Value::I(v.abs()),
+            v => Value::R(v.as_f64().abs()),
+        },
+        // Domain violations follow IEEE semantics (NaN) rather than
+        // trapping: masked WHERE assignments evaluate the full RHS
+        // vector and discard masked-off lanes, exactly like the Cedar
+        // vector hardware.
+        Sqrt => Value::R(r0()?.sqrt()),
+        Exp => Value::R(r0()?.exp()),
+        Log => Value::R(r0()?.ln()),
+        Log10 => Value::R(r0()?.log10()),
+        Sin => Value::R(r0()?.sin()),
+        Cos => Value::R(r0()?.cos()),
+        Tan => Value::R(r0()?.tan()),
+        Atan => Value::R(r0()?.atan()),
+        Atan2 => {
+            let y = r0()?;
+            let x = args.get(1).map(|v| v.as_f64()).ok_or("atan2 needs 2 args")?;
+            Value::R(y.atan2(x))
+        }
+        Sinh => Value::R(r0()?.sinh()),
+        Cosh => Value::R(r0()?.cosh()),
+        Tanh => Value::R(r0()?.tanh()),
+        Sign => {
+            let a = r0()?;
+            let b = args.get(1).map(|v| v.as_f64()).ok_or("sign needs 2 args")?;
+            let m = a.abs();
+            match a0()? {
+                Value::I(_) => Value::I(if b >= 0.0 { m as i64 } else { -(m as i64) }),
+                _ => Value::R(if b >= 0.0 { m } else { -m }),
+            }
+        }
+        Mod => match (a0()?, args.get(1).copied().ok_or("mod needs 2 args")?) {
+            (Value::I(a), Value::I(b)) => {
+                if b == 0 {
+                    return Err("mod by zero".into());
+                }
+                Value::I(a % b)
+            }
+            (a, b) => Value::R(a.as_f64() % b.as_f64()),
+        },
+        Min | Max => {
+            if args.is_empty() {
+                return Err(format!("{} needs arguments", f.name()));
+            }
+            let all_int = args.iter().all(|v| matches!(v, Value::I(_)));
+            if all_int {
+                let it = args.iter().map(|v| v.as_i64());
+                Value::I(if f == Min { it.min() } else { it.max() }.unwrap())
+            } else {
+                let mut best = args[0].as_f64();
+                for v in &args[1..] {
+                    let x = v.as_f64();
+                    best = if f == Min { best.min(x) } else { best.max(x) };
+                }
+                Value::R(best)
+            }
+        }
+        Int => Value::I(a0()?.as_i64()),
+        Nint => Value::I(r0()?.round() as i64),
+        Real | Dble => Value::R(r0()?),
+        other => return Err(format!("{} is not elemental", other.name())),
+    })
+}
+
+/// Coerce a value to the storage type of a target.
+pub fn coerce(v: Value, ty: Ty) -> Value {
+    match ty {
+        Ty::Int => Value::I(v.as_i64()),
+        Ty::Real | Ty::Double => Value::R(v.as_f64()),
+        Ty::Logical => Value::B(v.as_bool()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_division_truncates() {
+        assert_eq!(bin(BinOp::Div, Value::I(7), Value::I(2)).unwrap(), Value::I(3));
+        assert_eq!(bin(BinOp::Div, Value::I(-7), Value::I(2)).unwrap(), Value::I(-3));
+        assert!(bin(BinOp::Div, Value::I(1), Value::I(0)).is_err());
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes() {
+        assert_eq!(
+            bin(BinOp::Add, Value::I(1), Value::R(0.5)).unwrap(),
+            Value::R(1.5)
+        );
+    }
+
+    #[test]
+    fn integer_power() {
+        assert_eq!(bin(BinOp::Pow, Value::I(2), Value::I(10)).unwrap(), Value::I(1024));
+        assert_eq!(bin(BinOp::Pow, Value::I(5), Value::I(0)).unwrap(), Value::I(1));
+        assert_eq!(bin(BinOp::Pow, Value::I(2), Value::I(-1)).unwrap(), Value::I(0));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(bin(BinOp::Lt, Value::I(1), Value::I(2)).unwrap(), Value::B(true));
+        assert_eq!(bin(BinOp::Ge, Value::R(2.0), Value::R(2.0)).unwrap(), Value::B(true));
+        assert_eq!(
+            bin(BinOp::And, Value::B(true), Value::B(false)).unwrap(),
+            Value::B(false)
+        );
+    }
+
+    #[test]
+    fn sign_and_mod_follow_f77() {
+        assert_eq!(
+            intrinsic(Intrinsic::Sign, &[Value::R(3.0), Value::R(-1.0)]).unwrap(),
+            Value::R(-3.0)
+        );
+        assert_eq!(
+            intrinsic(Intrinsic::Mod, &[Value::I(7), Value::I(3)]).unwrap(),
+            Value::I(1)
+        );
+        assert_eq!(
+            intrinsic(Intrinsic::Mod, &[Value::I(-7), Value::I(3)]).unwrap(),
+            Value::I(-1)
+        );
+    }
+
+    #[test]
+    fn minmax_type_rules() {
+        assert_eq!(
+            intrinsic(Intrinsic::Max, &[Value::I(1), Value::I(5), Value::I(3)]).unwrap(),
+            Value::I(5)
+        );
+        assert_eq!(
+            intrinsic(Intrinsic::Min, &[Value::R(1.5), Value::I(2)]).unwrap(),
+            Value::R(1.5)
+        );
+    }
+
+    #[test]
+    fn domain_violations_follow_ieee() {
+        assert!(intrinsic(Intrinsic::Sqrt, &[Value::R(-1.0)])
+            .unwrap()
+            .as_f64()
+            .is_nan());
+        assert_eq!(
+            intrinsic(Intrinsic::Log, &[Value::R(0.0)]).unwrap(),
+            Value::R(f64::NEG_INFINITY)
+        );
+    }
+
+    #[test]
+    fn coercion() {
+        assert_eq!(coerce(Value::R(2.9), Ty::Int), Value::I(2));
+        assert_eq!(coerce(Value::I(3), Ty::Real), Value::R(3.0));
+        assert_eq!(coerce(Value::I(0), Ty::Logical), Value::B(false));
+    }
+}

@@ -1,0 +1,234 @@
+//! Property tests for the simulator: computed values must match a Rust
+//! reference implementation, and scheduling invariants must hold.
+
+use cedar_sim::MachineConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A serial DAXPY computes exactly what Rust computes.
+    #[test]
+    fn daxpy_matches_reference(n in 1usize..200, alpha in -4.0f64..4.0) {
+        let src = format!(
+            "program p\nparameter (n = {n})\nreal x(n), y(n)\n\
+             do i = 1, n\nx(i) = 0.5 * real(i)\ny(i) = real(n - i)\nend do\n\
+             do i = 1, n\ny(i) = y(i) + ({alpha:?}) * x(i)\nend do\nend\n"
+        );
+        let p = cedar_ir::compile_free(&src).unwrap();
+        let sim = cedar_sim::run(&p, MachineConfig::cedar_config1()).unwrap();
+        let y = sim.read_f64("y").unwrap();
+        // f32 storage: REAL arrays hold f64 in this simulator, but the
+        // arithmetic follows f64; compute the same reference.
+        for (i, &got) in y.iter().enumerate() {
+            let i1 = (i + 1) as f64;
+            let expect = (n as f64 - i1) + alpha * (0.5 * i1);
+            prop_assert!((got - expect).abs() < 1e-9,
+                "y[{i}] = {got}, expected {expect}");
+        }
+    }
+
+    /// A CDOALL over independent iterations computes the same values as
+    /// the serial loop and never runs slower than 1/P of serial minus
+    /// overheads... conservatively: parallel <= serial cycles.
+    #[test]
+    fn cdoall_semantics_and_speed(n in 64usize..512) {
+        let serial = format!(
+            "program p\nparameter (n = {n})\nreal a(n), b(n)\n\
+             do i = 1, n\nb(i) = real(i) * 0.25\nend do\n\
+             do i = 1, n\na(i) = sqrt(b(i)) + b(i) * b(i)\nend do\nend\n"
+        );
+        let par = serial.replace("do i = 1, n\na(i)", "cdoall i = 1, n\na(i)")
+            .replace("a(i) = sqrt(b(i)) + b(i) * b(i)\nend do", "a(i) = sqrt(b(i)) + b(i) * b(i)\nend cdoall");
+        let ps = cedar_ir::compile_free(&serial).unwrap();
+        let pp = cedar_ir::compile_free(&par).unwrap();
+        let mc = MachineConfig::cedar_config1();
+        let rs = cedar_sim::run(&ps, mc.clone()).unwrap();
+        let rp = cedar_sim::run(&pp, mc).unwrap();
+        prop_assert_eq!(rs.read_f64("a").unwrap(), rp.read_f64("a").unwrap());
+        prop_assert!(rp.cycles() < rs.cycles(),
+            "parallel {} !< serial {}", rp.cycles(), rs.cycles());
+    }
+
+    /// DOACROSS with a distance-1 cascade computes the exact prefix
+    /// recurrence for any trip count.
+    #[test]
+    fn doacross_prefix_sum_exact(n in 2usize..300) {
+        let src = format!(
+            "program p\nparameter (n = {n})\nreal a(n), s(n)\n\
+             do i = 1, n\na(i) = real(i)\ns(i) = 0.0\nend do\ns(1) = a(1)\n\
+             cdoacross i = 2, n\ncall await(1, 1)\ns(i) = s(i - 1) + a(i)\n\
+             call advance(1)\nend cdoacross\nend\n"
+        );
+        let p = cedar_ir::compile_free(&src).unwrap();
+        let sim = cedar_sim::run(&p, MachineConfig::cedar_config1()).unwrap();
+        let s = sim.read_f64("s").unwrap();
+        for (i, &got) in s.iter().enumerate() {
+            let k = (i + 1) as f64;
+            prop_assert_eq!(got, k * (k + 1.0) / 2.0);
+        }
+    }
+
+    /// Vector statements and the equivalent scalar loops produce
+    /// identical values.
+    #[test]
+    fn vector_equals_scalar(n in 1usize..300, c in -3.0f64..3.0) {
+        let scalar = format!(
+            "program p\nparameter (n = {n})\nreal a(n), b(n)\n\
+             do i = 1, n\nb(i) = real(i) + ({c:?})\nend do\n\
+             do i = 1, n\na(i) = b(i) * 2.0 + 1.0\nend do\nend\n"
+        );
+        let vector = format!(
+            "program p\nparameter (n = {n})\nreal a(n), b(n)\n\
+             b(1:n) = iota(1, n) + ({c:?})\n\
+             a(1:n) = b(1:n) * 2.0 + 1.0\nend\n"
+        );
+        let ps = cedar_ir::compile_free(&scalar).unwrap();
+        let pv = cedar_ir::compile_free(&vector).unwrap();
+        let mc = MachineConfig::cedar_config1();
+        let rs = cedar_sim::run(&ps, mc.clone()).unwrap();
+        let rv = cedar_sim::run(&pv, mc).unwrap();
+        prop_assert_eq!(rs.read_f64("a").unwrap(), rv.read_f64("a").unwrap());
+    }
+
+    /// The paging surcharge is monotone: shrinking cluster capacity
+    /// never makes a cluster-resident program faster.
+    #[test]
+    fn paging_monotone(cap_kb in 1u64..64) {
+        let src = "program p\nparameter (n = 8192)\nreal a(n)\n\
+                   do i = 1, n\na(i) = real(i)\nend do\ns = a(n)\nend\n";
+        let p = cedar_ir::compile_free(src).unwrap();
+        let mut small = MachineConfig::cedar_config1();
+        small.cluster_capacity = cap_kb * 1024;
+        let mut big = small.clone();
+        big.cluster_capacity = small.cluster_capacity * 2;
+        let t_small = cedar_sim::run(&p, small).unwrap().cycles();
+        let t_big = cedar_sim::run(&p, big).unwrap().cycles();
+        prop_assert!(t_small >= t_big,
+            "smaller memory must not be faster: {t_small} vs {t_big}");
+    }
+}
+
+// ---------- subroutine-level tasking (§2.2.2) ----------
+
+#[test]
+fn ctskstart_tasks_overlap_and_tskwait_joins() {
+    let src = "
+      PROGRAM TSK
+      PARAMETER (N = 2048)
+      REAL A(N), B(N), SA, SB
+      GLOBAL A, B
+      CALL CTSKSTART(FILL, A, N, 1.0)
+      CALL CTSKSTART(FILL, B, N, 2.0)
+      CALL TSKWAIT
+      SA = A(N)
+      SB = B(N)
+      END
+
+      SUBROUTINE FILL(X, N, C)
+      INTEGER N
+      REAL X(N), C
+      DO 10 I = 1, N
+        X(I) = C * REAL(I)
+   10 CONTINUE
+      END
+";
+    let p = cedar_ir::compile_source(src).unwrap();
+    let sim = cedar_sim::run(&p, MachineConfig::cedar_config1()).unwrap();
+    assert_eq!(sim.read_f64("sa").unwrap(), vec![2048.0]);
+    assert_eq!(sim.read_f64("sb").unwrap(), vec![4096.0]);
+    assert_eq!(sim.stats.tasks_started, 2);
+
+    // Sequential CALLs for comparison: two overlapped tasks must be
+    // faster than the two bodies run back to back.
+    let seq_src = src
+        .replace("CALL CTSKSTART(FILL, A, N, 1.0)", "CALL FILL(A, N, 1.0)")
+        .replace("CALL CTSKSTART(FILL, B, N, 2.0)", "CALL FILL(B, N, 2.0)")
+        .replace("CALL TSKWAIT\n", "");
+    let p2 = cedar_ir::compile_source(&seq_src).unwrap();
+    let seq = cedar_sim::run(&p2, MachineConfig::cedar_config1()).unwrap();
+    assert!(
+        sim.cycles() < seq.cycles(),
+        "tasked {} !< sequential {}",
+        sim.cycles(),
+        seq.cycles()
+    );
+}
+
+#[test]
+fn mtskstart_rejects_synchronization() {
+    // The paper's deadlock rule: no synchronization in mtskstart threads.
+    let src = "
+      PROGRAM TSK
+      REAL A(8)
+      CALL MTSKSTART(BAD, A, 8)
+      CALL TSKWAIT
+      END
+
+      SUBROUTINE BAD(X, N)
+      INTEGER N
+      REAL X(N)
+      CALL LOCK(1)
+      X(1) = 1.0
+      CALL UNLOCK(1)
+      END
+";
+    let p = cedar_ir::compile_source(src).unwrap();
+    let e = cedar_sim::run(&p, MachineConfig::cedar_config1());
+    assert!(e.is_err(), "mtskstart with locks must be rejected");
+    let msg = format!("{}", e.err().unwrap());
+    assert!(msg.contains("mtskstart"), "{msg}");
+}
+
+#[test]
+fn mtskstart_is_cheaper_than_ctskstart() {
+    let tmpl = "
+      PROGRAM TSK
+      REAL A(64)
+      GLOBAL A
+      CALL {START}(FILL, A, 64)
+      CALL TSKWAIT
+      S = A(64)
+      END
+
+      SUBROUTINE FILL(X, N)
+      INTEGER N
+      REAL X(N)
+      DO 10 I = 1, N
+        X(I) = REAL(I)
+   10 CONTINUE
+      END
+";
+    let run_one = |kw: &str| {
+        let src = tmpl.replace("{START}", kw);
+        let p = cedar_ir::compile_source(&src).unwrap();
+        cedar_sim::run(&p, MachineConfig::cedar_config1()).unwrap().cycles()
+    };
+    let ctsk = run_one("CTSKSTART");
+    let mtsk = run_one("MTSKSTART");
+    assert!(mtsk < ctsk, "mtskstart {mtsk} !< ctskstart {ctsk}");
+}
+
+#[test]
+fn tasking_round_trips_through_cedar_fortran() {
+    let src = "
+      PROGRAM TSK
+      REAL A(32)
+      CALL CTSKSTART(FILL, A, 32)
+      CALL TSKWAIT
+      S = A(1)
+      END
+
+      SUBROUTINE FILL(X, N)
+      INTEGER N
+      REAL X(N)
+      X(1) = 7.0
+      END
+";
+    let p1 = cedar_ir::compile_source(src).unwrap();
+    let text1 = cedar_ir::print::print_program(&p1);
+    let p2 = cedar_ir::compile_source(&text1).unwrap();
+    assert_eq!(text1, cedar_ir::print::print_program(&p2));
+    let sim = cedar_sim::run(&p2, MachineConfig::cedar_config1()).unwrap();
+    assert_eq!(sim.read_f64("s").unwrap(), vec![7.0]);
+}

@@ -1,0 +1,19 @@
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or("MDG".into());
+    let manual = std::env::args().nth(2).as_deref() == Some("manual");
+    let w = cedar_workloads::table2_workloads().into_iter()
+        .chain(cedar_workloads::table1_workloads())
+        .find(|w| w.name == name).unwrap();
+    let cfg = if manual { cedar_restructure::PassConfig::manual_improved() } else { cedar_restructure::PassConfig::automatic_1991() };
+    let p = w.compile();
+    let r = cedar_restructure::restructure(&p, &cfg);
+    println!("{}", r.report);
+    if std::env::args().nth(3).as_deref() == Some("src") {
+        println!("{}", cedar_ir::print::print_program(&r.program));
+    }
+    let mc = cedar_sim::MachineConfig::cedar_config1_scaled();
+    let s0 = cedar_sim::run(&p, mc.clone()).unwrap();
+    let s1 = cedar_sim::run(&r.program, mc).unwrap();
+    println!("serial {:.0}  variant {:.0}  speedup {:.2}", s0.cycles(), s1.cycles(), s0.cycles()/s1.cycles());
+    println!("serial paged={:.0} variant paged={:.0}", s0.stats.paged_accesses, s1.stats.paged_accesses);
+}

@@ -1,0 +1,75 @@
+//! A command-line front door to the restructurer: read fixed-form
+//! Fortran 77, emit Cedar Fortran.
+//!
+//! ```text
+//! cargo run --release --example parallelize_file -- [FILE.f] [flags]
+//!
+//!   FILE.f        fixed-form Fortran 77 source (reads a built-in MDG
+//!                 sample when omitted)
+//!   --manual      enable the §4.1 "manually improved" technique set
+//!   --fx80        target the Alliant FX/80 (cluster classes only)
+//!   --report      print per-loop decisions instead of the output code
+//!   --simulate    also run serial vs. restructured on the Cedar model
+//! ```
+
+use cedar_restructure::{restructure, PassConfig, Target};
+use cedar_sim::MachineConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|s| s.starts_with("--")).collect();
+    let file = args.iter().find(|s| !s.starts_with("--"));
+
+    let src = match file {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}"))),
+        None => {
+            eprintln!("(no input file given; using the built-in MDG sample)");
+            cedar_workloads::perfect::mdg().source
+        }
+    };
+
+    let program = match cedar_ir::compile_source(&src) {
+        Ok(p) => p,
+        Err(e) => die(&format!("front end: {e}")),
+    };
+
+    let mut cfg = if flags.contains(&"--manual") {
+        PassConfig::manual_improved()
+    } else {
+        PassConfig::automatic_1991()
+    };
+    if flags.contains(&"--fx80") {
+        cfg = cfg.for_target(Target::Fx80);
+    }
+
+    let result = restructure(&program, &cfg);
+    if flags.contains(&"--report") {
+        print!("{}", result.report);
+    } else {
+        print!("{}", cedar_ir::print::print_program(&result.program));
+    }
+
+    if flags.contains(&"--simulate") {
+        let mc = if flags.contains(&"--fx80") {
+            MachineConfig::fx80_scaled()
+        } else {
+            MachineConfig::cedar_config1_scaled()
+        };
+        let serial = cedar_sim::run(&program, mc.clone())
+            .unwrap_or_else(|e| die(&format!("serial simulation: {e}")));
+        let par = cedar_sim::run(&result.program, mc)
+            .unwrap_or_else(|e| die(&format!("parallel simulation: {e}")));
+        eprintln!(
+            "serial {:.0} cycles, restructured {:.0} cycles, speedup {:.2}x",
+            serial.cycles(),
+            par.cycles(),
+            serial.cycles() / par.cycles()
+        );
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("parallelize_file: {msg}");
+    std::process::exit(1);
+}

@@ -1,0 +1,46 @@
+//! The MDG story end-to-end (paper §4.1.2–4.1.3): "very little speedup
+//! is possible" without array privatization and multi-statement
+//! reductions.
+//!
+//! Runs the MDG proxy under the automatic 1991 pipeline and under the
+//! manually-improved technique set, prints both decision reports, and
+//! compares simulated speedups — reproducing one row of Table 2.
+//!
+//! Run with: `cargo run --release --example perfect_mdg`
+
+use cedar_restructure::{restructure, PassConfig};
+use cedar_sim::MachineConfig;
+
+fn main() {
+    let w = cedar_workloads::perfect::mdg();
+    let program = w.compile();
+    let mc = MachineConfig::cedar_config1_scaled();
+
+    let serial = cedar_sim::run(&program, mc.clone()).expect("serial");
+    println!("serial: {:.0} cycles\n", serial.cycles());
+
+    for (label, cfg) in [
+        ("automatic (1991 restructurer)", PassConfig::automatic_1991()),
+        ("manually improved (§4.1 techniques)", PassConfig::manual_improved()),
+    ] {
+        let r = restructure(&program, &cfg);
+        println!("=== {label} ===");
+        print!("{}", r.report);
+        let sim = cedar_sim::run(&r.program, mc.clone()).expect("restructured");
+        // Same answers?
+        let a = serial.read_f64("chksum").unwrap()[0];
+        let b = sim.read_f64("chksum").unwrap()[0];
+        assert!((a - b).abs() <= 1e-3 * a.abs(), "checksum mismatch: {a} vs {b}");
+        println!(
+            "cycles: {:.0}   speedup over serial: {:.2}x\n",
+            sim.cycles(),
+            serial.cycles() / sim.cycles()
+        );
+    }
+
+    println!(
+        "Paper Table 2 row (Cedar): automatic 1.0x, manually improved 20.6x —\n\
+         the manual/automatic *gap* is the reproduced claim: array privatization\n\
+         plus multi-statement array reductions unlock MDG's major loop."
+    );
+}
