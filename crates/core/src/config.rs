@@ -65,6 +65,14 @@ pub struct PassConfig {
     pub loop_fusion: bool,
     /// Data partitioning across cluster memories (§4.2.3).
     pub data_partitioning: bool,
+
+    // ---- safe fallback (cedar-verify) ----
+    /// Loop nests forced to stay serial, keyed by `(unit name, header
+    /// line)`. The differential validator adds entries here when a
+    /// restructured nest diverges or deadlocks under perturbed
+    /// schedules, then re-restructures with the nest degraded to its
+    /// serial form.
+    pub suppress_nests: Vec<(String, u32)>,
 }
 
 impl PassConfig {
@@ -91,6 +99,7 @@ impl PassConfig {
             coalesce: false,
             loop_fusion: false,
             data_partitioning: false,
+            suppress_nests: Vec::new(),
         }
     }
 
@@ -129,6 +138,18 @@ impl PassConfig {
     /// Builder-style target override.
     pub fn for_target(mut self, t: Target) -> PassConfig {
         self.target = t;
+        self
+    }
+
+    /// True when the nest headed at `(unit, line)` must stay serial.
+    pub fn is_suppressed(&self, unit: &str, line: u32) -> bool {
+        self.suppress_nests.iter().any(|(u, l)| u == unit && *l == line)
+    }
+
+    /// Builder-style suppression of one nest (see
+    /// [`PassConfig::suppress_nests`]).
+    pub fn suppressing(mut self, unit: &str, line: u32) -> PassConfig {
+        self.suppress_nests.push((unit.to_string(), line));
         self
     }
 }

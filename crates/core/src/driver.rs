@@ -113,6 +113,24 @@ impl DriverCtx<'_> {
             return vec![Stmt::Loop(l)];
         }
 
+        // Suppressed nests (differential-validation fallback) stay
+        // serial wholesale — including their inner loops, so the nest
+        // runs exactly as written.
+        if self.cfg.is_suppressed(&unit.name, l.span.line) {
+            self.report.record(
+                &unit.name,
+                l.span,
+                LoopDecision::Serial { reason: "suppressed by differential validation".into() },
+                Vec::new(),
+            );
+            self.report.record_fallback(
+                &unit.name,
+                l.span,
+                "nest reverted to serial (validation fallback)",
+            );
+            return vec![Stmt::Loop(l)];
+        }
+
         let mut techniques: Vec<Technique> = Vec::new();
         let mut pre: Vec<Stmt> = Vec::new();
         let mut post: Vec<Stmt> = Vec::new();

@@ -96,6 +96,18 @@ pub struct LoopRecord {
     pub techniques: Vec<Technique>,
 }
 
+/// A nest the differential validator degraded back to serial form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FallbackRecord {
+    /// Enclosing unit name.
+    pub unit: String,
+    /// Loop header line.
+    pub span: Span,
+    /// Why validation rejected the restructured nest (e.g. the seed and
+    /// failure kind of the diverging perturbed run).
+    pub reason: String,
+}
+
 /// Whole-program transformation report.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -103,6 +115,8 @@ pub struct Report {
     pub loops: Vec<LoopRecord>,
     /// Candidate program versions considered by the selector (§3.4).
     pub versions_considered: usize,
+    /// Nests reverted to serial by differential validation.
+    pub fallbacks: Vec<FallbackRecord>,
 }
 
 impl Report {
@@ -128,6 +142,15 @@ impl Report {
     /// Count of loops left sequential.
     pub fn serial(&self) -> usize {
         self.loops.len() - self.parallelized()
+    }
+
+    /// Record a validation-driven serial fallback.
+    pub fn record_fallback(&mut self, unit: &str, span: Span, reason: impl Into<String>) {
+        self.fallbacks.push(FallbackRecord {
+            unit: unit.to_string(),
+            span,
+            reason: reason.into(),
+        });
     }
 }
 
@@ -163,6 +186,12 @@ impl fmt::Display for Report {
                 write!(f, " [{}]", ts.join(", "))?;
             }
             writeln!(f)?;
+        }
+        if !self.fallbacks.is_empty() {
+            writeln!(f, "validation fallbacks ({}):", self.fallbacks.len())?;
+            for fb in &self.fallbacks {
+                writeln!(f, "  [{}:{}] reverted to serial: {}", fb.unit, fb.span, fb.reason)?;
+            }
         }
         Ok(())
     }

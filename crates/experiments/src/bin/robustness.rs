@@ -1,0 +1,49 @@
+//! Robustness sweep: differentially validate every Table 1 / Table 2
+//! workload under N perturbation seeds and emit a JSON report.
+//!
+//! Usage: `robustness [N_SEEDS] [--json PATH]` (default 8 seeds; JSON
+//! goes to `target/robustness.json` unless overridden).
+
+fn main() {
+    let mut n_seeds: u64 = 8;
+    let mut json_path = String::from("target/robustness.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => {
+                if let Some(p) = args.next() {
+                    json_path = p;
+                }
+            }
+            other => {
+                if let Ok(n) = other.parse() {
+                    n_seeds = n;
+                }
+            }
+        }
+    }
+
+    let rows = cedar_experiments::robustness::run(n_seeds);
+    print!("{}", cedar_experiments::robustness::render(&rows));
+
+    let degraded = rows.iter().filter(|r| r.degraded).count();
+    let fallbacks: usize = rows.iter().map(|r| r.fallbacks).sum();
+    let bitwise = rows.iter().filter(|r| r.bit_identical).count();
+    println!(
+        "\n{} workloads x {} seeds: {} bit-identical, {} fallback(s), {} degraded",
+        rows.len(),
+        n_seeds,
+        bitwise,
+        fallbacks,
+        degraded
+    );
+
+    let json = cedar_experiments::robustness::to_json(&rows, n_seeds);
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&json_path, json) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+}

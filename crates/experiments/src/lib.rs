@@ -18,7 +18,10 @@
 //!   variants on both machines;
 //! * [`ablation`] — knob sweeps for the restructurer's design choices
 //!   (strip length, version cap, interchange, inlining, interconnect
-//!   saturation).
+//!   saturation);
+//! * [`robustness`] — differential validation of every workload under
+//!   seeded schedule perturbations (`cedar-verify`), with a JSON
+//!   report of fallbacks and result deviations.
 //!
 //! Every cell re-verifies semantic equivalence against the serial run
 //! before reporting a speedup — a cell that computes different answers
@@ -30,6 +33,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod pipeline;
+pub mod robustness;
 pub mod table1;
 pub mod table2;
 

@@ -1,0 +1,186 @@
+//! Robustness sweep: every Table 1 / Table 2 workload is restructured,
+//! then differentially validated under N seeded schedule perturbations
+//! (`cedar-verify`). The sweep reports, per workload, whether the
+//! restructured program survived all perturbed schedules, how far its
+//! results moved (reductions reassociate, so small relative error is
+//! expected there), and any nests the validator had to revert to
+//! serial — emitted both as a text table and as a JSON report.
+
+use cedar_sim::MachineConfig;
+use cedar_verify::{restructure_validated, ValidationConfig, Validated};
+use cedar_workloads::Workload;
+
+/// One validated workload.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload name (Table 1/2 row).
+    pub workload: String,
+    /// Which suite it came from (`table1` / `table2`).
+    pub suite: &'static str,
+    /// Pass configuration label (`automatic` / `manual`).
+    pub config: &'static str,
+    /// Restructure→check rounds (1 = accepted first try).
+    pub attempts: usize,
+    /// Nests reverted to serial during validation.
+    pub fallbacks: usize,
+    /// Validation abandoned all parallelism.
+    pub degraded: bool,
+    /// Every perturbed run matched the unperturbed run bit for bit
+    /// (expected exactly for reduction-free programs).
+    pub bit_identical: bool,
+    /// Largest relative deviation over all seeds.
+    pub max_rel_err: f64,
+    /// Per-seed `(seed, cycles, bit_identical, max_rel_err)`.
+    pub seed_runs: Vec<(u64, f64, bool, f64)>,
+}
+
+fn validate(w: &Workload, suite: &'static str, config: &'static str, seeds: &[u64]) -> Row {
+    let program = w.compile();
+    let cfg = match config {
+        "manual" => cedar_restructure::PassConfig::manual_improved(),
+        _ => cedar_restructure::PassConfig::automatic_1991(),
+    };
+    let vcfg = ValidationConfig { seeds: seeds.to_vec(), ..Default::default() };
+    let v: Validated = restructure_validated(
+        &program,
+        &cfg,
+        &MachineConfig::cedar_config1_scaled(),
+        &w.watch,
+        &vcfg,
+    )
+    .unwrap_or_else(|e| panic!("workload `{}`: serial reference failed: {e}", w.name));
+    let max_rel_err = v
+        .validation
+        .seed_runs
+        .iter()
+        .map(|r| r.max_rel_err)
+        .fold(0.0f64, f64::max);
+    Row {
+        workload: w.name.to_string(),
+        suite,
+        config,
+        attempts: v.validation.attempts,
+        fallbacks: v.validation.fallbacks.len(),
+        degraded: v.validation.degraded_to_serial,
+        bit_identical: v.validation.all_bit_identical(),
+        max_rel_err,
+        seed_runs: v
+            .validation
+            .seed_runs
+            .iter()
+            .map(|r| (r.seed, r.cycles, r.bit_identical, r.max_rel_err))
+            .collect(),
+    }
+}
+
+/// Validate both suites under `n_seeds` perturbation seeds.
+pub fn run(n_seeds: u64) -> Vec<Row> {
+    let seeds: Vec<u64> = (1..=n_seeds).collect();
+    let mut rows = Vec::new();
+    for w in cedar_workloads::table1_workloads() {
+        rows.push(validate(&w, "table1", "automatic", &seeds));
+    }
+    for w in cedar_workloads::table2_workloads() {
+        rows.push(validate(&w, "table2", "manual", &seeds));
+    }
+    rows
+}
+
+/// Text rendering.
+pub fn render(rows: &[Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.suite.to_string(),
+                r.config.to_string(),
+                r.attempts.to_string(),
+                r.fallbacks.to_string(),
+                if r.degraded { "yes" } else { "no" }.to_string(),
+                if r.bit_identical { "yes" } else { "no" }.to_string(),
+                format!("{:.2e}", r.max_rel_err),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &[
+            "workload", "suite", "config", "attempts", "fallbacks", "degraded",
+            "bit-identical", "max-rel-err",
+        ],
+        &body,
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() { format!("{x:e}") } else { "null".to_string() }
+}
+
+/// JSON rendering (no external dependencies).
+pub fn to_json(rows: &[Row], n_seeds: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"seeds\": {n_seeds},\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"suite\": \"{}\", \"config\": \"{}\", \
+             \"attempts\": {}, \"fallbacks\": {}, \"degraded_to_serial\": {}, \
+             \"bit_identical\": {}, \"max_rel_err\": {}, \"seed_runs\": [",
+            json_escape(&r.workload),
+            r.suite,
+            r.config,
+            r.attempts,
+            r.fallbacks,
+            r.degraded,
+            r.bit_identical,
+            json_f64(r.max_rel_err),
+        ));
+        for (j, (seed, cycles, bit, err)) in r.seed_runs.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"seed\": {seed}, \"cycles\": {}, \"bit_identical\": {bit}, \
+                 \"max_rel_err\": {}}}",
+                json_f64(*cycles),
+                json_f64(*err),
+            ));
+            if j + 1 < r.seed_runs.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("]}");
+        out.push_str(if k + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_smoke_and_json_shape() {
+        // Two seeds over a couple of representative workloads keeps the
+        // smoke test fast; the binary sweeps everything.
+        let seeds = [1u64, 2];
+        let w = cedar_workloads::linalg::tridag(48);
+        let row = validate(&w, "table1", "automatic", &seeds);
+        assert_eq!(row.seed_runs.len(), 2);
+        assert!(!row.degraded, "tridag must not degrade: {row:?}");
+        let json = to_json(&[row], 2);
+        assert!(json.contains("\"name\": \"tridag\""));
+        assert!(json.contains("\"seed_runs\": ["));
+        assert!(json.ends_with("}\n"));
+    }
+}

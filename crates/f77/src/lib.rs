@@ -56,6 +56,73 @@ pub fn parse_free(src: &str) -> Result<SourceFile> {
     parse_lines(lines)
 }
 
+/// The result of a recovering parse: every program unit that could be
+/// built plus every diagnostic encountered along the way.
+///
+/// Produced by [`parse_source_recovering`] / [`parse_free_recovering`].
+/// When `errors` is empty the file is exactly what the strict entry
+/// points would have returned; otherwise `file` holds a best-effort
+/// partial parse (statements and units that failed are skipped).
+#[derive(Debug)]
+pub struct ParseOutcome {
+    /// Units recovered from the parts of the file that parsed.
+    pub file: SourceFile,
+    /// All diagnostics: lexical errors first (collected while tokenizing
+    /// each logical line), then parser diagnostics in detection order.
+    pub errors: Vec<Error>,
+}
+
+impl ParseOutcome {
+    /// True if the whole file parsed cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Parse fixed-form source with statement-boundary recovery: instead of
+/// stopping at the first error like [`parse_source`], collect a
+/// diagnostic per offending statement and keep going, so one run reports
+/// every problem in the file.
+pub fn parse_source_recovering(src: &str) -> ParseOutcome {
+    match lexer::assemble_fixed_form(src) {
+        Ok(lines) => parse_lines_recovering(lines),
+        Err(e) => ParseOutcome { file: SourceFile { units: Vec::new() }, errors: vec![e] },
+    }
+}
+
+/// Parse free-form source with statement-boundary recovery (the
+/// recovering counterpart of [`parse_free`]).
+pub fn parse_free_recovering(src: &str) -> ParseOutcome {
+    match lexer::assemble_free_form(src) {
+        Ok(lines) => parse_lines_recovering(lines),
+        Err(e) => ParseOutcome { file: SourceFile { units: Vec::new() }, errors: vec![e] },
+    }
+}
+
+fn parse_lines_recovering(lines: Vec<lexer::LogicalLine>) -> ParseOutcome {
+    let mut errors = Vec::new();
+    let mut stmts = Vec::with_capacity(lines.len());
+    for line in &lines {
+        match lexer::tokenize(&line.text, line.line) {
+            Ok(toks) => {
+                if !toks.is_empty() {
+                    stmts.push(parser::RawStmt {
+                        label: line.label,
+                        tokens: toks,
+                        line: line.line,
+                    });
+                }
+            }
+            // A statement that does not even tokenize is dropped whole;
+            // the parser resynchronizes at the next logical line.
+            Err(e) => errors.push(e),
+        }
+    }
+    let (file, mut parse_errors) = parser::parse_units_recovering(stmts);
+    errors.append(&mut parse_errors);
+    ParseOutcome { file, errors }
+}
+
 fn parse_lines(lines: Vec<lexer::LogicalLine>) -> Result<SourceFile> {
     let mut stmts = Vec::with_capacity(lines.len());
     for line in &lines {
@@ -87,6 +154,82 @@ mod tests {
         let f = parse_source(src).unwrap();
         assert_eq!(f.units.len(), 1);
         assert_eq!(f.units[0].name, "main");
+    }
+
+    #[test]
+    fn recovery_reports_multiple_diagnostics_per_file() {
+        // Three independent problems: a lexical error (stray `?`), a
+        // malformed assignment, and an unrecognized statement. Strict
+        // parsing stops at the first; the recovering parse reports all
+        // three and still builds the unit around them.
+        let src = "
+program p
+x = 1.0 ?
+y = = 2.0
+frobnicate the loop
+z = 3.0
+end
+";
+        let out = parse_free_recovering(src);
+        assert_eq!(out.errors.len(), 3, "diagnostics: {:?}", out.errors);
+        assert!(!out.is_clean());
+        // Every diagnostic carries the line it was detected on.
+        let lines: Vec<u32> = out.errors.iter().map(|e| e.span.line).collect();
+        assert_eq!(lines, vec![3, 4, 5]);
+        // The unit survives with the statements that did parse.
+        assert_eq!(out.file.units.len(), 1);
+        assert_eq!(out.file.units[0].body.len(), 1); // only `z = 3.0` survives
+        // Strict parsing reports only the first problem.
+        let strict = parse_free(src).unwrap_err();
+        assert_eq!(strict.span.line, 3);
+    }
+
+    #[test]
+    fn recovery_resyncs_at_next_unit() {
+        // A broken subroutine header loses that unit, but parsing
+        // resynchronizes past its END and the next unit still parses.
+        let src = "
+subroutine 42bad(a)
+x = 1.0
+end
+subroutine good(a, n)
+real a(n)
+a(1) = 1.0
+end
+";
+        let out = parse_free_recovering(src);
+        assert!(!out.errors.is_empty());
+        assert_eq!(out.file.units.len(), 1);
+        assert_eq!(out.file.units[0].name, "good");
+    }
+
+    #[test]
+    fn recovery_reports_truncated_file_once() {
+        let src = "
+program p
+do i = 1, 10
+x = 1.0
+";
+        let out = parse_free_recovering(src);
+        assert_eq!(out.errors.len(), 1, "diagnostics: {:?}", out.errors);
+        // The partial unit still carries the loop body parsed so far.
+        assert_eq!(out.file.units.len(), 1);
+    }
+
+    #[test]
+    fn recovery_is_identity_on_clean_source() {
+        let src = "
+program p
+real a(10)
+do i = 1, 10
+a(i) = i * 2.0
+end do
+end
+";
+        let out = parse_free_recovering(src);
+        assert!(out.is_clean(), "diagnostics: {:?}", out.errors);
+        let strict = parse_free(src).unwrap();
+        assert_eq!(format!("{:?}", out.file), format!("{strict:?}"));
     }
 
     #[test]

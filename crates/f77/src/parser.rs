@@ -111,7 +111,7 @@ const PARALLEL_DO_KEYWORDS: &[(&str, LoopClass)] = &[
 /// Parse the full statement stream into program units.
 pub fn parse_units(raw: Vec<RawStmt>) -> Result<SourceFile> {
     let raw = rewrite_labeled_dos(raw)?;
-    let mut p = Units { stmts: raw, pos: 0 };
+    let mut p = Units { stmts: raw, pos: 0, recover: false, errors: Vec::new(), reported_eof: false };
     let mut units = Vec::new();
     while !p.at_end() {
         units.push(p.parse_unit()?);
@@ -119,14 +119,68 @@ pub fn parse_units(raw: Vec<RawStmt>) -> Result<SourceFile> {
     Ok(SourceFile { units })
 }
 
+/// Parse the full statement stream with **statement-boundary recovery**:
+/// instead of stopping at the first error, record a diagnostic, skip the
+/// offending statement (the token stream is one `RawStmt` per logical
+/// line, so any failure leaves the cursor at a statement boundary), and
+/// keep parsing. A program-unit header that fails resynchronizes past
+/// the unit's `END`.
+///
+/// Returns every unit that could be built plus all diagnostics in the
+/// order they were detected. An empty error list means the result is
+/// identical to what [`parse_units`] would return.
+pub fn parse_units_recovering(raw: Vec<RawStmt>) -> (SourceFile, Vec<Error>) {
+    let (raw, errors) = rewrite_labeled_dos_recovering(raw);
+    let mut p = Units { stmts: raw, pos: 0, recover: true, errors, reported_eof: false };
+    let mut units = Vec::new();
+    while !p.at_end() {
+        let start = p.pos;
+        match p.parse_unit() {
+            Ok(u) => units.push(u),
+            Err(e) => {
+                p.errors.push(e);
+                // Resync: skip to just past the next top-level END so the
+                // following unit gets a clean start.
+                if p.pos == start {
+                    p.pos += 1;
+                }
+                while let Some(st) = p.peek() {
+                    let is_end = st.keyword().as_deref() == Some("end");
+                    p.pos += 1;
+                    if is_end {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    (SourceFile { units }, p.errors)
+}
+
 /// Stage 2: turn `DO <label> v = ...` + terminator-labeled statement into
 /// `DO v = ...` ... stmt ... `END DO`(s). Loops sharing one terminator
 /// close together, the terminating statement executing inside the
 /// innermost loop (F77 semantics).
 fn rewrite_labeled_dos(raw: Vec<RawStmt>) -> Result<Vec<RawStmt>> {
+    let (out, mut errors) = rewrite_labeled_dos_recovering(raw);
+    match errors.is_empty() {
+        true => Ok(out),
+        false => Err(errors.remove(0)),
+    }
+}
+
+/// Label-rewrite core shared by the strict and recovering parsers: every
+/// structural problem becomes a diagnostic and the rewrite keeps going —
+/// an out-of-range label is dropped, a `DO`-terminates-`DO` keeps both
+/// loops open, and loops still open at end of file are closed with
+/// synthesized `END DO`s so the statement parser sees balanced blocks.
+fn rewrite_labeled_dos_recovering(raw: Vec<RawStmt>) -> (Vec<RawStmt>, Vec<Error>) {
     let mut out = Vec::with_capacity(raw.len());
+    let mut errors = Vec::new();
     let mut stack: Vec<u32> = Vec::new();
+    let mut last_line = 0u32;
     for mut st in raw {
+        last_line = st.line;
         // `DO 100 I = ...` / `DO 100 WHILE (...)`?
         let is_do = st
             .tokens
@@ -134,10 +188,16 @@ fn rewrite_labeled_dos(raw: Vec<RawStmt>) -> Result<Vec<RawStmt>> {
             .is_some_and(|t| t.is_kw("do"));
         if is_do {
             if let Some(Tok::Int(lbl)) = st.tokens.get(1) {
-                let lbl = u32::try_from(*lbl)
-                    .map_err(|_| Error::structure(st.span(), "DO label out of range"))?;
-                stack.push(lbl);
-                st.tokens.remove(1);
+                match u32::try_from(*lbl) {
+                    Ok(lbl) => {
+                        stack.push(lbl);
+                        st.tokens.remove(1);
+                    }
+                    Err(_) => {
+                        errors.push(Error::structure(st.span(), "DO label out of range"));
+                        st.tokens.remove(1);
+                    }
+                }
             }
         }
         let this_label = st.label;
@@ -146,10 +206,12 @@ fn rewrite_labeled_dos(raw: Vec<RawStmt>) -> Result<Vec<RawStmt>> {
         if terminates {
             let l = this_label.unwrap();
             if st.tokens.first().is_some_and(|t| t.is_kw("do")) {
-                return Err(Error::structure(
+                errors.push(Error::structure(
                     span,
                     "a DO statement may not terminate another DO loop",
                 ));
+                out.push(st);
+                continue;
             }
             out.push(st);
             while stack.last() == Some(&l) {
@@ -164,18 +226,29 @@ fn rewrite_labeled_dos(raw: Vec<RawStmt>) -> Result<Vec<RawStmt>> {
             out.push(st);
         }
     }
-    if let Some(l) = stack.last() {
-        return Err(Error::structure(
+    for l in stack.iter().rev() {
+        errors.push(Error::structure(
             Span::NONE,
             format!("DO loop terminated by label {l} never closed"),
         ));
+        out.push(RawStmt {
+            label: None,
+            tokens: vec![Tok::Ident("end".into()), Tok::Ident("do".into())],
+            line: last_line,
+        });
     }
-    Ok(out)
+    (out, errors)
 }
 
 struct Units {
     stmts: Vec<RawStmt>,
     pos: usize,
+    /// Statement-boundary recovery: record diagnostics in `errors` and
+    /// keep parsing instead of propagating the first failure.
+    recover: bool,
+    errors: Vec<Error>,
+    /// An unexpected end of file is reported once, not once per open block.
+    reported_eof: bool,
 }
 
 impl Units {
@@ -248,7 +321,11 @@ impl Units {
                 }
                 Some(k) if DECL_KEYWORDS.contains(&k) => {
                     let st = self.next().unwrap();
-                    decls.push(parse_decl(&st)?);
+                    match parse_decl(&st) {
+                        Ok(d) => decls.push(d),
+                        Err(e) if self.recover => self.errors.push(e),
+                        Err(e) => return Err(e),
+                    }
                 }
                 _ => break,
             }
@@ -258,10 +335,21 @@ impl Units {
         match self.next() {
             Some(st) if st.keyword().as_deref() == Some("end") => {}
             Some(st) => {
-                return Err(Error::structure(st.span(), "expected END of program unit"))
+                let e = Error::structure(st.span(), "expected END of program unit");
+                if !self.recover {
+                    return Err(e);
+                }
+                self.errors.push(e);
             }
             None => {
-                return Err(Error::structure(span, "program unit not terminated by END"))
+                let e = Error::structure(span, "program unit not terminated by END");
+                if !self.recover {
+                    return Err(e);
+                }
+                // parse_block already reported the unexpected EOF.
+                if !self.reported_eof {
+                    self.errors.push(e);
+                }
             }
         }
         Ok(ProgramUnit { kind, name, args, decls, body, span })
@@ -273,10 +361,20 @@ impl Units {
         let mut out = Vec::new();
         loop {
             let Some(st) = self.peek() else {
-                return Err(Error::structure(
+                let e = Error::structure(
                     Span::NONE,
                     format!("unexpected end of file; expected one of {terminators:?}"),
-                ));
+                );
+                if !self.recover {
+                    return Err(e);
+                }
+                // Report the truncation once, then hand back whatever the
+                // block held so the enclosing construct can finish.
+                if !self.reported_eof {
+                    self.reported_eof = true;
+                    self.errors.push(e);
+                }
+                return Ok(out);
             };
             if let Some(kw) = st.keyword() {
                 if terminators.contains(&kw.as_str()) {
@@ -287,7 +385,14 @@ impl Units {
                     continue;
                 }
             }
-            out.push(self.parse_stmt()?);
+            // `parse_stmt` consumes whole `RawStmt`s, so after a failure
+            // the cursor is already at the next statement boundary:
+            // record the diagnostic and carry on from there.
+            match self.parse_stmt() {
+                Ok(s) => out.push(s),
+                Err(e) if self.recover => self.errors.push(e),
+                Err(e) => return Err(e),
+            }
         }
     }
 

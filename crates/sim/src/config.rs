@@ -1,7 +1,5 @@
 //! Machine configurations and the cycle-cost model parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// All cost-model parameters of a simulated machine. The named
 /// constructors encode the two Cedar configurations the paper used plus
 /// the Alliant FX/80 baseline (one Cedar-like cluster).
@@ -10,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// constructors divide capacities by [`MachineConfig::DEFAULT_SCALE`] so
 /// that reduced workload sizes keep the paper's working-set /
 /// capacity ratios (see DESIGN.md §2).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MachineConfig {
     /// Label printed in harness output.
     pub name: String,
@@ -100,6 +98,9 @@ pub struct MachineConfig {
     // ---- interpreter safety ----
     /// DO WHILE iteration bound (runaway-loop backstop).
     pub max_while_iters: u64,
+    /// Watchdog budget on total executed statements; a run exceeding it
+    /// fails with a `Limit` error instead of spinning forever.
+    pub watchdog_ops: u64,
 }
 
 impl MachineConfig {
@@ -146,6 +147,7 @@ impl MachineConfig {
             global_capacity: 64 << 20,
             page_fault_cost: 400.0,
             max_while_iters: 50_000_000,
+            watchdog_ops: 4_000_000_000,
         }
     }
 

@@ -1,0 +1,144 @@
+//! Structured simulation errors.
+//!
+//! Every failure path of the interpreter produces a [`SimError`] with a
+//! [`SimErrorKind`] classifying the fault, so harnesses (and the
+//! `cedar-verify` differential validator) can react to *what* went
+//! wrong — a deadlock under a perturbed schedule means an illegal
+//! transform, an out-of-bounds subscript means a broken program —
+//! instead of string-matching messages or catching panics.
+
+use cedar_ir::Span;
+use std::fmt;
+
+/// Classification of a simulation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimErrorKind {
+    /// A cascade `await` can never be satisfied: no `advance` of the
+    /// awaited point was recorded in the dependence window. The
+    /// watchdog reports this instead of stalling forever.
+    Deadlock,
+    /// Array subscript or section lane outside the bound extents.
+    OutOfBounds,
+    /// Use of a value or binding that was never established (unbound
+    /// variable, function that returned no value).
+    Uninit,
+    /// Shape or arity violation: rank mismatch, vector length mismatch,
+    /// wrong intrinsic argument count.
+    TypeError,
+    /// Integer division, `MOD`, or `0 ** negative` by/of zero.
+    DivByZero,
+    /// A construct the simulator (or the Cedar runtime it models)
+    /// rejects, e.g. synchronization inside `mtskstart` threads.
+    Unsupported,
+    /// A watchdog bound tripped: DO WHILE iteration cap, call depth,
+    /// total-operation budget, or a section too large to materialize.
+    Limit,
+    /// Structurally invalid input program (unknown callee, missing
+    /// PROGRAM unit, zero DO step, malformed COMMON, ...).
+    BadProgram,
+}
+
+impl SimErrorKind {
+    /// Stable lower-case tag (used in Display and JSON reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimErrorKind::Deadlock => "deadlock",
+            SimErrorKind::OutOfBounds => "out-of-bounds",
+            SimErrorKind::Uninit => "uninitialized",
+            SimErrorKind::TypeError => "type-error",
+            SimErrorKind::DivByZero => "div-by-zero",
+            SimErrorKind::Unsupported => "unsupported",
+            SimErrorKind::Limit => "limit-exceeded",
+            SimErrorKind::BadProgram => "bad-program",
+        }
+    }
+}
+
+impl fmt::Display for SimErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Simulation error: a fault class, a message, and (when available) the
+/// source line of the offending statement.
+#[derive(Debug, Clone)]
+pub struct SimError {
+    /// What class of fault this is.
+    pub kind: SimErrorKind,
+    /// What went wrong.
+    pub msg: String,
+    /// Source line of the offending statement (if known).
+    pub span: Span,
+}
+
+impl SimError {
+    /// Build an error of the given kind.
+    pub fn new(kind: SimErrorKind, span: Span, msg: impl Into<String>) -> SimError {
+        SimError { kind, msg: msg.into(), span }
+    }
+
+    /// True when this is a watchdog-detected deadlock.
+    pub fn is_deadlock(&self) -> bool {
+        self.kind == SimErrorKind::Deadlock
+    }
+
+    /// Attach a location-free operation error to a statement span.
+    pub fn from_op(e: OpError, span: Span) -> SimError {
+        SimError { kind: e.kind, msg: e.msg, span }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: simulation error [{}]: {}", self.span, self.kind, self.msg)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A kinded error without a source location, produced by the pure value
+/// operations ([`crate::value_ops`]); the interpreter attaches the
+/// statement span via [`SimError::from_op`].
+#[derive(Debug, Clone)]
+pub struct OpError {
+    /// Fault class.
+    pub kind: SimErrorKind,
+    /// Message.
+    pub msg: String,
+}
+
+impl OpError {
+    /// Build an operation error.
+    pub fn new(kind: SimErrorKind, msg: impl Into<String>) -> OpError {
+        OpError { kind, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_tag_and_span() {
+        let e = SimError::new(SimErrorKind::Deadlock, Span::new(7), "await(3) stuck");
+        let text = e.to_string();
+        assert!(text.contains("deadlock"), "{text}");
+        assert!(text.contains("await(3) stuck"), "{text}");
+        assert!(e.is_deadlock());
+    }
+
+    #[test]
+    fn op_error_attaches_span() {
+        let op = OpError::new(SimErrorKind::DivByZero, "integer division by zero");
+        let e = SimError::from_op(op, Span::new(12));
+        assert_eq!(e.kind, SimErrorKind::DivByZero);
+        assert_eq!(e.span, Span::new(12));
+    }
+}

@@ -7,6 +7,7 @@
 //! synchronization event.
 
 use crate::config::MachineConfig;
+use crate::fault::{FaultConfig, FaultState};
 use crate::stats::ExecStats;
 use crate::store::{SlotId, StorageRef, Store, VarBind};
 use crate::value_ops;
@@ -15,29 +16,19 @@ use cedar_ir::{
     SymKind, SymbolId, SyncOp, Ty, Unit, UnitKind, Value, Visibility,
 };
 use std::collections::BTreeMap;
-use std::fmt;
 
-/// Simulation error with a message and (when available) a source line.
-#[derive(Debug, Clone)]
-pub struct SimError {
-    /// What went wrong.
-    pub msg: String,
-    /// Source line of the offending statement (if known).
-    pub span: cedar_ir::Span,
-}
-
-impl fmt::Display for SimError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: simulation error: {}", self.span, self.msg)
-    }
-}
-
-impl std::error::Error for SimError {}
+pub use crate::error::{SimError, SimErrorKind};
 
 type Result<T> = std::result::Result<T, SimError>;
 
+/// Shorthand for the default (bad-program) error class.
 fn err<T>(span: cedar_ir::Span, msg: impl Into<String>) -> Result<T> {
-    Err(SimError { msg: msg.into(), span })
+    Err(SimError::new(SimErrorKind::BadProgram, span, msg))
+}
+
+/// Shorthand for a specific error class.
+fn kerr<T>(kind: SimErrorKind, span: cedar_ir::Span, msg: impl Into<String>) -> Result<T> {
+    Err(SimError::new(kind, span, msg))
 }
 
 /// One activation record: per-symbol bindings of the current unit.
@@ -63,10 +54,10 @@ struct Ctx {
 type VecVal = Vec<Value>;
 
 /// State of an executing DOACROSS loop: advance times per sync point
-/// and per iteration, plus iteration end times as a fallback.
+/// and per iteration. An `await` that finds no advance recorded in its
+/// dependence window is a deadlock (see [`Simulator::exec_sync`]).
 struct DoacrossState {
     advance_times: BTreeMap<u32, Vec<Option<f64>>>,
-    iter_end: Vec<f64>,
     cur_iter: usize,
     trip: usize,
 }
@@ -92,6 +83,10 @@ pub struct Simulator<'p> {
     /// Completion times of outstanding subroutine-level tasks.
     task_ends: Vec<f64>,
     call_depth: usize,
+    /// Seeded perturbation injector (None = unperturbed).
+    faults: Option<FaultState>,
+    /// Statements executed so far (watchdog budget).
+    ops_executed: u64,
 }
 
 impl<'p> Simulator<'p> {
@@ -108,9 +103,17 @@ impl<'p> Simulator<'p> {
             doacross: Vec::new(),
             task_ends: Vec::new(),
             call_depth: 0,
+            faults: None,
+            ops_executed: 0,
         };
         sim.allocate_commons()?;
         Ok(sim)
+    }
+
+    /// Enable seeded fault injection for the coming run. Call before
+    /// [`Simulator::run_main`]; inactive profiles are ignored.
+    pub fn set_faults(&mut self, cfg: FaultConfig) {
+        self.faults = if cfg.is_active() { Some(FaultState::new(cfg)) } else { None };
     }
 
     /// Total simulated cycles so far.
@@ -126,9 +129,12 @@ impl<'p> Simulator<'p> {
             .iter()
             .enumerate()
             .find(|(_, u)| u.kind == UnitKind::Program)
-            .ok_or_else(|| SimError {
-                msg: "program has no PROGRAM unit".into(),
-                span: cedar_ir::Span::NONE,
+            .ok_or_else(|| {
+                SimError::new(
+                    SimErrorKind::BadProgram,
+                    cedar_ir::Span::NONE,
+                    "program has no PROGRAM unit",
+                )
             })?;
         let mut ctx = Ctx { cluster: 0, time: 0.0, active: 1 };
         let mut frame = self.new_frame(idx, &mut ctx)?;
@@ -149,8 +155,9 @@ impl<'p> Simulator<'p> {
         let slot = self.resolve_slot(bind, 0);
         let data = self.store.slot(slot);
         let len = if bind.dims.is_empty() { 1 } else { bind.total_len() };
+        let avail = data.len().saturating_sub(bind.offset);
         Some(
-            (bind.offset..bind.offset + len.min(data.len() - bind.offset))
+            (bind.offset..bind.offset + len.min(avail))
                 .map(|i| data.get(i))
                 .collect(),
         )
@@ -211,14 +218,20 @@ impl<'p> Simulator<'p> {
     fn const_dims(&self, unit: &Unit, sym: &cedar_ir::Symbol) -> Result<Vec<(i64, i64)>> {
         let mut dims = Vec::new();
         for d in &sym.dims {
-            let lo = const_eval_static(unit, &d.lower).ok_or_else(|| SimError {
-                msg: format!("COMMON array `{}` has non-constant bounds", sym.name),
-                span: sym.span,
+            let lo = const_eval_static(unit, &d.lower).ok_or_else(|| {
+                SimError::new(
+                    SimErrorKind::BadProgram,
+                    sym.span,
+                    format!("COMMON array `{}` has non-constant bounds", sym.name),
+                )
             })?;
             let hi = match &d.upper {
-                Some(e) => const_eval_static(unit, e).ok_or_else(|| SimError {
-                    msg: format!("COMMON array `{}` has non-constant bounds", sym.name),
-                    span: sym.span,
+                Some(e) => const_eval_static(unit, e).ok_or_else(|| {
+                    SimError::new(
+                        SimErrorKind::BadProgram,
+                        sym.span,
+                        format!("COMMON array `{}` has non-constant bounds", sym.name),
+                    )
                 })?,
                 None => {
                     return err(sym.span, format!("COMMON array `{}` is assumed-size", sym.name))
@@ -342,9 +355,12 @@ impl<'p> Simulator<'p> {
                             .get(block)
                             .and_then(|v| v.get(*member))
                             .cloned()
-                            .ok_or_else(|| SimError {
-                                msg: format!("COMMON /{block}/ member {member} unbound"),
-                                span: sym.span,
+                            .ok_or_else(|| {
+                                SimError::new(
+                                    SimErrorKind::Uninit,
+                                    sym.span,
+                                    format!("COMMON /{block}/ member {member} unbound"),
+                                )
                             })?;
                         frame.binds[si] = Some(b);
                     }
@@ -456,6 +472,12 @@ impl<'p> Simulator<'p> {
             self.stats.paged_accesses += thrash * n as f64;
             cost += thrash * self.config.page_fault_cost * n as f64;
         }
+        if let Some(f) = self.faults.as_mut() {
+            if f.cfg.mem_jitter > 0.0 {
+                // Legal perturbation: network/bank contention noise.
+                cost *= 1.0 + f.cfg.mem_jitter * f.rng.unit_f64();
+            }
+        }
         cost
     }
 
@@ -483,13 +505,44 @@ impl<'p> Simulator<'p> {
     // ================== scalar evaluation ==================
 
     fn bind_of<'f>(&self, frame: &'f Frame, sym: SymbolId) -> Result<&'f VarBind> {
-        frame.binds[sym.index()].as_ref().ok_or_else(|| SimError {
-            msg: format!(
-                "variable `{}` used before binding",
-                self.program.units[frame.unit].symbol(sym).name
-            ),
-            span: cedar_ir::Span::NONE,
+        frame.binds[sym.index()].as_ref().ok_or_else(|| {
+            SimError::new(
+                SimErrorKind::Uninit,
+                cedar_ir::Span::NONE,
+                format!(
+                    "variable `{}` used before binding",
+                    self.program.units[frame.unit].symbol(sym).name
+                ),
+            )
         })
+    }
+
+    /// Checked element read through a resolved slot.
+    fn load(&self, slot: SlotId, lin: usize) -> Result<Value> {
+        self.store.slot(slot).try_get(lin).ok_or_else(|| {
+            SimError::new(
+                SimErrorKind::OutOfBounds,
+                cedar_ir::Span::NONE,
+                format!(
+                    "linear index {lin} outside storage of {} element(s)",
+                    self.store.slot(slot).len()
+                ),
+            )
+        })
+    }
+
+    /// Checked element write through a resolved slot.
+    fn store_at(&mut self, slot: SlotId, lin: usize, v: Value, ty: Ty) -> Result<()> {
+        let len = self.store.slot(slot).len();
+        if self.store.slot_mut(slot).try_set(lin, value_ops::coerce(v, ty)) {
+            Ok(())
+        } else {
+            kerr(
+                SimErrorKind::OutOfBounds,
+                cedar_ir::Span::NONE,
+                format!("linear index {lin} outside storage of {len} element(s)"),
+            )
+        }
     }
 
     fn eval_scalar(&mut self, frame: &Frame, e: &Expr, ctx: &mut Ctx) -> Result<Value> {
@@ -502,7 +555,7 @@ impl<'p> Simulator<'p> {
                 // Scalars are register/cache resident.
                 ctx.time += self.config.cache_hit;
                 let slot = self.resolve_slot(&bind, ctx.cluster);
-                Ok(self.store.slot(slot).get(bind.offset))
+                self.load(slot, bind.offset)
             }
             Expr::Elem { arr, idx } => {
                 let mut subs = Vec::with_capacity(idx.len());
@@ -515,7 +568,7 @@ impl<'p> Simulator<'p> {
                 let lin = self.linearize(frame, *arr, &bind, &subs)?;
                 ctx.time += self.bind_access_cost(&bind, lin, false, true, ctx);
                 let slot = self.resolve_slot(&bind, ctx.cluster);
-                Ok(self.store.slot(slot).get(lin))
+                self.load(slot, lin)
             }
             Expr::Un(op, inner) => {
                 let v = self.eval_scalar(frame, inner, ctx)?;
@@ -528,11 +581,13 @@ impl<'p> Simulator<'p> {
                 let rv = self.eval_scalar(frame, r, ctx)?;
                 self.stats.scalar_ops += 1;
                 ctx.time += self.config.scalar_op;
-                value_ops::bin(*op, lv, rv).map_err(|m| SimError { msg: m, span: cedar_ir::Span::NONE })
+                value_ops::bin(*op, lv, rv)
+                    .map_err(|e| SimError::from_op(e, cedar_ir::Span::NONE))
             }
             Expr::Intr { f, args, par } => self.eval_intrinsic(frame, *f, args, *par, ctx),
             Expr::Call { unit, args } => self.eval_call(frame, unit, args, ctx),
-            Expr::Section { .. } => err(
+            Expr::Section { .. } => kerr(
+                SimErrorKind::TypeError,
                 cedar_ir::Span::NONE,
                 "vector section in scalar context (internal error)",
             ),
@@ -548,7 +603,8 @@ impl<'p> Simulator<'p> {
     ) -> Result<usize> {
         let unit = &self.program.units[frame.unit];
         if subs.len() != bind.dims.len() {
-            return err(
+            return kerr(
+                SimErrorKind::TypeError,
                 cedar_ir::Span::NONE,
                 format!(
                     "`{}`: rank mismatch ({} subscripts, rank {})",
@@ -558,14 +614,17 @@ impl<'p> Simulator<'p> {
                 ),
             );
         }
-        bind.linearize(subs, false).ok_or_else(|| SimError {
-            msg: format!(
-                "subscript out of bounds: `{}`({:?}) with dims {:?}",
-                unit.symbol(arr).name,
-                subs,
-                bind.dims
-            ),
-            span: cedar_ir::Span::NONE,
+        bind.linearize(subs, false).ok_or_else(|| {
+            SimError::new(
+                SimErrorKind::OutOfBounds,
+                cedar_ir::Span::NONE,
+                format!(
+                    "subscript out of bounds: `{}`({:?}) with dims {:?}",
+                    unit.symbol(arr).name,
+                    subs,
+                    bind.dims
+                ),
+            )
         })
     }
 
@@ -586,20 +645,24 @@ impl<'p> Simulator<'p> {
         let mut dims = Vec::with_capacity(idx.len());
         let mut lanes = 1usize;
         for (k, i) in idx.iter().enumerate() {
-            let (dlo, dhi) = *bind.dims.get(k).ok_or_else(|| SimError {
-                msg: "section rank mismatch".into(),
-                span: cedar_ir::Span::NONE,
+            let (dlo, dhi) = *bind.dims.get(k).ok_or_else(|| {
+                SimError::new(
+                    SimErrorKind::TypeError,
+                    cedar_ir::Span::NONE,
+                    "section rank mismatch",
+                )
             })?;
             match i {
                 Index::At(e) if e.is_vector_valued() => {
                     // Vector-valued subscript: hardware gather. Lane
                     // count comes from the subscript vector itself.
-                    let n = self
-                        .infer_lanes(frame, e, ctx)?
-                        .ok_or_else(|| SimError {
-                            msg: "gather subscript has no vector length".into(),
-                            span: cedar_ir::Span::NONE,
-                        })?;
+                    let n = self.infer_lanes(frame, e, ctx)?.ok_or_else(|| {
+                        SimError::new(
+                            SimErrorKind::TypeError,
+                            cedar_ir::Span::NONE,
+                            "gather subscript has no vector length",
+                        )
+                    })?;
                     let vals = self.eval_vec(frame, e, n, ctx)?;
                     dims.push(SectionDim::Gather(
                         vals.into_iter().map(|v| v.as_i64()).collect(),
@@ -627,31 +690,16 @@ impl<'p> Simulator<'p> {
                         return err(cedar_ir::Span::NONE, "section stride of zero");
                     }
                     let len = ((hi - lo + step) / step).max(0) as usize;
-                    dims.push(SectionDim::Range { lo, step });
-                    lanes = lanes
-                        .checked_mul(len)
-                        .ok_or_else(|| SimError {
-                            msg: "section too large".into(),
-                            span: cedar_ir::Span::NONE,
-                        })?;
-                    // Only the *first* range dim multiplies independently;
-                    // multiple ranges form a cartesian product in
-                    // column-major order, which checked_mul handles.
-                    // (len recorded through lanes only.)
-                    dims.last_mut().map(|d| {
-                        if let SectionDim::Range { .. } = d {}
-                        Some(())
-                    });
-                    // Store len separately:
-                    if let Some(SectionDim::Range { .. }) = dims.last() {
-                        // re-push with len via tuple replacement below
-                    }
-                    let last = dims.pop().unwrap();
-                    if let SectionDim::Range { lo, step } = last {
-                        dims.push(SectionDim::RangeLen { lo, step, len });
-                    } else {
-                        dims.push(last);
-                    }
+                    // Multiple range dims form a cartesian product in
+                    // column-major order; checked_mul bounds the total.
+                    lanes = lanes.checked_mul(len).ok_or_else(|| {
+                        SimError::new(
+                            SimErrorKind::Limit,
+                            cedar_ir::Span::NONE,
+                            "section too large",
+                        )
+                    })?;
+                    dims.push(SectionDim::RangeLen { lo, step, len });
                 }
             }
         }
@@ -677,13 +725,17 @@ impl<'p> Simulator<'p> {
                     SectionDim::RangeLen { lo, step, .. } => {
                         subs.push(lo + (c as i64) * step)
                     }
-                    SectionDim::Range { lo, step } => subs.push(lo + (c as i64) * step),
-                    SectionDim::Gather(vals) => subs.push(vals[lane.min(vals.len() - 1)]),
+                    SectionDim::Gather(vals) => subs.push(
+                        vals.get(lane).or_else(|| vals.last()).copied().unwrap_or(0),
+                    ),
                 }
             }
-            let lin = bind.linearize(&subs, false).ok_or_else(|| SimError {
-                msg: format!("section lane out of bounds: {subs:?} dims {:?}", bind.dims),
-                span: cedar_ir::Span::NONE,
+            let lin = bind.linearize(&subs, false).ok_or_else(|| {
+                SimError::new(
+                    SimErrorKind::OutOfBounds,
+                    cedar_ir::Span::NONE,
+                    format!("section lane out of bounds: {subs:?} dims {:?}", bind.dims),
+                )
             })?;
             out.push(lin);
             // increment odometer (leftmost range dim fastest)
@@ -713,7 +765,8 @@ impl<'p> Simulator<'p> {
             Expr::Section { arr, idx } => {
                 let (dims, n) = self.section_lanes(frame, arr_id(*arr), idx, ctx)?;
                 if n != lanes {
-                    return err(
+                    return kerr(
+                        SimErrorKind::TypeError,
                         cedar_ir::Span::NONE,
                         format!("vector length mismatch: {n} vs {lanes}"),
                     );
@@ -738,8 +791,7 @@ impl<'p> Simulator<'p> {
                 self.config.prefetch = saved_prefetch;
                 ctx.time += cost;
                 let slot = self.resolve_slot(&bind, ctx.cluster);
-                let data = self.store.slot(slot);
-                Ok(lins.iter().map(|&l| data.get(l)).collect())
+                lins.iter().map(|&l| self.load(slot, l)).collect()
             }
             Expr::Un(op, inner) => {
                 let v = self.eval_vec(frame, inner, lanes, ctx)?;
@@ -756,17 +808,19 @@ impl<'p> Simulator<'p> {
                     .zip(rv)
                     .map(|(a, b)| {
                         value_ops::bin(*op, a, b)
-                            .map_err(|m| SimError { msg: m, span: cedar_ir::Span::NONE })
+                            .map_err(|e| SimError::from_op(e, cedar_ir::Span::NONE))
                     })
                     .collect()
             }
             Expr::Intr { f: Intrinsic::Iota, args, .. } => {
-                let lo = self
-                    .eval_scalar(frame, args.first().ok_or_else(|| SimError {
-                        msg: "iota needs (lo, hi)".into(),
-                        span: cedar_ir::Span::NONE,
-                    })?, ctx)?
-                    .as_i64();
+                let first = args.first().ok_or_else(|| {
+                    SimError::new(
+                        SimErrorKind::TypeError,
+                        cedar_ir::Span::NONE,
+                        "iota needs (lo, hi)",
+                    )
+                })?;
+                let lo = self.eval_scalar(frame, first, ctx)?.as_i64();
                 ctx.time += self.config.vector_op * lanes as f64;
                 self.stats.vector_elems += lanes as u64;
                 Ok((0..lanes as i64).map(|k| Value::I(lo + k)).collect())
@@ -793,7 +847,7 @@ impl<'p> Simulator<'p> {
                     }
                     out.push(
                         value_ops::intrinsic(*f, &argv)
-                            .map_err(|m| SimError { msg: m, span: cedar_ir::Span::NONE })?,
+                            .map_err(|e| SimError::from_op(e, cedar_ir::Span::NONE))?,
                     );
                 }
                 Ok(out)
@@ -852,7 +906,11 @@ impl<'p> Simulator<'p> {
             return self.eval_reduction(frame, f, args, par, ctx);
         }
         if f == Intrinsic::Iota {
-            return err(cedar_ir::Span::NONE, "iota used in scalar context");
+            return kerr(
+                SimErrorKind::TypeError,
+                cedar_ir::Span::NONE,
+                "iota used in scalar context",
+            );
         }
         let mut vals = Vec::with_capacity(args.len());
         for a in args {
@@ -860,7 +918,7 @@ impl<'p> Simulator<'p> {
         }
         self.stats.scalar_ops += 2;
         ctx.time += self.config.scalar_op * 2.0;
-        value_ops::intrinsic(f, &vals).map_err(|m| SimError { msg: m, span: cedar_ir::Span::NONE })
+        value_ops::intrinsic(f, &vals).map_err(|e| SimError::from_op(e, cedar_ir::Span::NONE))
     }
 
     /// Vector reduction intrinsics (`SUM`, `DOTPRODUCT`, ...) with the
@@ -878,13 +936,20 @@ impl<'p> Simulator<'p> {
         // implementation simple we still evaluate via eval_vec (which
         // charges vector-mode memory costs) and then adjust mode costs.
         let lanes = match args.first() {
-            Some(a) => self
-                .infer_lanes(frame, a, ctx)?
-                .ok_or_else(|| SimError {
-                    msg: format!("{}: argument is not a vector", f.name()),
-                    span: cedar_ir::Span::NONE,
-                })?,
-            None => return err(cedar_ir::Span::NONE, "reduction without arguments"),
+            Some(a) => self.infer_lanes(frame, a, ctx)?.ok_or_else(|| {
+                SimError::new(
+                    SimErrorKind::TypeError,
+                    cedar_ir::Span::NONE,
+                    format!("{}: argument is not a vector", f.name()),
+                )
+            })?,
+            None => {
+                return kerr(
+                    SimErrorKind::TypeError,
+                    cedar_ir::Span::NONE,
+                    "reduction without arguments",
+                )
+            }
         };
         let mut cols = Vec::with_capacity(args.len());
         let mem_t0 = ctx.time;
@@ -899,7 +964,11 @@ impl<'p> Simulator<'p> {
             Intrinsic::Product => Value::R(cols[0].iter().map(|v| v.as_f64()).product()),
             Intrinsic::DotProduct => {
                 if cols.len() != 2 {
-                    return err(cedar_ir::Span::NONE, "dotproduct needs two vectors");
+                    return kerr(
+                        SimErrorKind::TypeError,
+                        cedar_ir::Span::NONE,
+                        "dotproduct needs two vectors",
+                    );
                 }
                 Value::R(
                     cols[0]
@@ -932,7 +1001,13 @@ impl<'p> Simulator<'p> {
                 }
                 Value::I(best as i64 + 1)
             }
-            _ => unreachable!(),
+            other => {
+                return kerr(
+                    SimErrorKind::TypeError,
+                    cedar_ir::Span::NONE,
+                    format!("{} is not a reduction", other.name()),
+                )
+            }
         };
 
         // Cost by execution mode. eval_vec already charged one CE's
@@ -990,14 +1065,20 @@ impl<'p> Simulator<'p> {
             .units
             .iter()
             .position(|u| u.name == callee)
-            .ok_or_else(|| SimError {
-                msg: format!("call to unknown function `{callee}`"),
-                span: cedar_ir::Span::NONE,
+            .ok_or_else(|| {
+                SimError::new(
+                    SimErrorKind::BadProgram,
+                    cedar_ir::Span::NONE,
+                    format!("call to unknown function `{callee}`"),
+                )
             })?;
         let flow_result = self.invoke(frame, ridx, args, ctx)?;
-        flow_result.ok_or_else(|| SimError {
-            msg: format!("function `{callee}` returned no value"),
-            span: cedar_ir::Span::NONE,
+        flow_result.ok_or_else(|| {
+            SimError::new(
+                SimErrorKind::Uninit,
+                cedar_ir::Span::NONE,
+                format!("function `{callee}` returned no value"),
+            )
         })
     }
 
@@ -1013,7 +1094,11 @@ impl<'p> Simulator<'p> {
         self.call_depth += 1;
         if self.call_depth > 200 {
             self.call_depth -= 1;
-            return err(cedar_ir::Span::NONE, "call depth exceeded (recursion?)");
+            return kerr(
+                SimErrorKind::Limit,
+                cedar_ir::Span::NONE,
+                "call depth exceeded (recursion?)",
+            );
         }
         self.stats.calls += 1;
         ctx.time += self.config.call_overhead;
@@ -1024,7 +1109,8 @@ impl<'p> Simulator<'p> {
         // Pass 1: bind arguments (aliases or value temps).
         if args.len() != callee_unit.args.len() {
             self.call_depth -= 1;
-            return err(
+            return kerr(
+                SimErrorKind::TypeError,
                 callee_unit.span,
                 format!(
                     "`{}` called with {} args, expects {}",
@@ -1073,7 +1159,7 @@ impl<'p> Simulator<'p> {
             Some(r) => {
                 let bind = self.bind_of(&frame, r)?.clone();
                 let slot = self.resolve_slot(&bind, ctx.cluster);
-                Some(self.store.slot(slot).get(bind.offset))
+                Some(self.load(slot, bind.offset)?)
             }
             None => None,
         };
@@ -1158,9 +1244,7 @@ impl<'p> Simulator<'p> {
                 for d in &dims {
                     match d {
                         SectionDim::Fixed(v) => subs.push(*v),
-                        SectionDim::RangeLen { lo, .. } | SectionDim::Range { lo, .. } => {
-                            subs.push(*lo)
-                        }
+                        SectionDim::RangeLen { lo, .. } => subs.push(*lo),
                         SectionDim::Gather(vals) => {
                             subs.push(vals.first().copied().unwrap_or(1))
                         }
@@ -1207,6 +1291,17 @@ impl<'p> Simulator<'p> {
     }
 
     fn exec_stmt(&mut self, frame: &mut Frame, s: &Stmt, ctx: &mut Ctx) -> Result<Flow> {
+        // Watchdog: a global statement budget bounds every run, so even
+        // adversarial inputs terminate with a structured error instead
+        // of wedging the harness.
+        self.ops_executed += 1;
+        if self.ops_executed > self.config.watchdog_ops {
+            return kerr(
+                SimErrorKind::Limit,
+                s.span(),
+                format!("watchdog: statement budget of {} exceeded", self.config.watchdog_ops),
+            );
+        }
         match s {
             Stmt::Assign { lhs, rhs, span } => {
                 self.exec_assign(frame, lhs, rhs, None, ctx)
@@ -1252,7 +1347,11 @@ impl<'p> Simulator<'p> {
                     }
                     iters += 1;
                     if iters > self.config.max_while_iters {
-                        return err(*span, "DO WHILE exceeded iteration bound");
+                        return kerr(
+                            SimErrorKind::Limit,
+                            *span,
+                            "DO WHILE exceeded iteration bound",
+                        );
                     }
                 }
             }
@@ -1273,9 +1372,12 @@ impl<'p> Simulator<'p> {
                     .units
                     .iter()
                     .position(|u| u.name == *callee)
-                    .ok_or_else(|| SimError {
-                        msg: format!("CALL to unknown subroutine `{callee}`"),
-                        span: *span,
+                    .ok_or_else(|| {
+                        SimError::new(
+                            SimErrorKind::BadProgram,
+                            *span,
+                            format!("CALL to unknown subroutine `{callee}`"),
+                        )
                     })?;
                 self.invoke(frame, ridx, args, ctx)
                     .map_err(|e| with_span(e, *span))?;
@@ -1323,10 +1425,7 @@ impl<'p> Simulator<'p> {
                 let bind = self.bind_of(frame, *sv)?.clone();
                 ctx.time += self.config.cache_hit;
                 let slot = self.resolve_slot(&bind, ctx.cluster);
-                self.store
-                    .slot_mut(slot)
-                    .set(bind.offset, value_ops::coerce(v, bind.ty));
-                Ok(())
+                self.store_at(slot, bind.offset, v, bind.ty)
             }
             LValue::Elem { arr, idx } => {
                 let mut subs = Vec::with_capacity(idx.len());
@@ -1340,8 +1439,7 @@ impl<'p> Simulator<'p> {
                 let lin = self.linearize(frame, *arr, &bind, &subs)?;
                 ctx.time += self.bind_access_cost(&bind, lin, false, false, ctx);
                 let slot = self.resolve_slot(&bind, ctx.cluster);
-                self.store.slot_mut(slot).set(lin, value_ops::coerce(v, bind.ty));
-                Ok(())
+                self.store_at(slot, lin, v, bind.ty)
             }
             LValue::Section { arr, idx } => {
                 let (dims, lanes) = self.section_lanes(frame, *arr, idx, ctx)?;
@@ -1362,12 +1460,11 @@ impl<'p> Simulator<'p> {
                     ctx.time += self.mem_cost(bind.placement, lanes as u64, true, false, ctx);
                 }
                 let slot = self.resolve_slot(&bind, ctx.cluster);
-                let data = self.store.slot_mut(slot);
                 for (k, (&lin, v)) in lins.iter().zip(vals).enumerate() {
                     if mvals.as_ref().is_some_and(|m| !m[k].as_bool()) {
                         continue;
                     }
-                    data.set(lin, value_ops::coerce(v, bind.ty));
+                    self.store_at(slot, lin, v, bind.ty)?;
                 }
                 Ok(())
             }
@@ -1392,9 +1489,12 @@ impl<'p> Simulator<'p> {
             .units
             .iter()
             .position(|u| u.name == callee)
-            .ok_or_else(|| SimError {
-                msg: format!("task start of unknown subroutine `{callee}`"),
-                span: cedar_ir::Span::NONE,
+            .ok_or_else(|| {
+                SimError::new(
+                    SimErrorKind::BadProgram,
+                    cedar_ir::Span::NONE,
+                    format!("task start of unknown subroutine `{callee}`"),
+                )
             })?;
         if lib {
             let mut has_sync = false;
@@ -1404,7 +1504,8 @@ impl<'p> Simulator<'p> {
                 }
             });
             if has_sync {
-                return err(
+                return kerr(
+                    SimErrorKind::Unsupported,
                     self.program.units[ridx].span,
                     format!(
                         "synchronization instructions are not allowed in threads \
@@ -1445,17 +1546,44 @@ impl<'p> Simulator<'p> {
                 };
                 if let Some(st) = self.doacross.last() {
                     let k = st.cur_iter as i64;
-                    let target = k - d;
-                    if target >= 0 {
-                        let t = st
-                            .advance_times
-                            .get(point)
-                            .and_then(|v| v.get(target as usize).copied().flatten())
-                            .or_else(|| st.iter_end.get(target as usize).copied());
-                        if let Some(t) = t {
-                            if t > ctx.time {
-                                self.stats.await_stall_cycles += t - ctx.time;
-                                ctx.time = t;
+                    // The cascade counter holds the highest iteration
+                    // that advanced; `await(p, d)` in iteration k waits
+                    // for counter ≥ k−d. A negative target is satisfied
+                    // by the counter's pre-loop state. Otherwise any
+                    // advance of an iteration in [k−d, k] satisfies the
+                    // wait; the unblock time is the earliest such
+                    // recorded advance. No advance in the window means
+                    // the wait can never be satisfied: the watchdog
+                    // reports a deadlock instead of stalling forever.
+                    if k - d >= 0 {
+                        let lo = (k - d) as usize;
+                        let hi = (k as usize).min(st.trip.saturating_sub(1));
+                        let t = st.advance_times.get(point).and_then(|v| {
+                            v.get(lo..=hi)?
+                                .iter()
+                                .flatten()
+                                .copied()
+                                .fold(None, |m: Option<f64>, x| {
+                                    Some(m.map_or(x, |m| m.min(x)))
+                                })
+                        });
+                        match t {
+                            Some(t) => {
+                                if t > ctx.time {
+                                    self.stats.await_stall_cycles += t - ctx.time;
+                                    ctx.time = t;
+                                }
+                            }
+                            None => {
+                                return kerr(
+                                    SimErrorKind::Deadlock,
+                                    cedar_ir::Span::NONE,
+                                    format!(
+                                        "await(point {point}, distance {d}) at iteration \
+                                         {k}: no advance({point}) recorded in iterations \
+                                         [{lo}, {hi}] — the wait can never be satisfied"
+                                    ),
+                                );
                             }
                         }
                     }
@@ -1465,7 +1593,21 @@ impl<'p> Simulator<'p> {
             SyncOp::Advance { point } => {
                 self.stats.advances += 1;
                 ctx.time += self.config.advance_cost;
-                let t = ctx.time;
+                let mut t = ctx.time;
+                // Fault injection: an advance's *visibility* may be
+                // delayed, or the signal dropped entirely (the illegal
+                // perturbation that turns dependent awaits into
+                // watchdog-reported deadlocks). The advancing CE's own
+                // clock is unaffected either way.
+                if let Some(f) = self.faults.as_mut() {
+                    if f.rng.chance(f.cfg.drop_advance) {
+                        self.stats.dropped_advances += 1;
+                        return Ok(());
+                    }
+                    if f.cfg.advance_delay > 0.0 {
+                        t += f.rng.unit_f64() * f.cfg.advance_delay;
+                    }
+                }
                 if let Some(st) = self.doacross.last_mut() {
                     let k = st.cur_iter;
                     let trip = st.trip;
@@ -1519,10 +1661,7 @@ impl<'p> Simulator<'p> {
     fn set_loop_var(&mut self, frame: &Frame, var: SymbolId, value: i64, ctx: &Ctx) -> Result<()> {
         let bind = self.bind_of(frame, var)?.clone();
         let slot = self.resolve_slot(&bind, ctx.cluster);
-        self.store
-            .slot_mut(slot)
-            .set(bind.offset, value_ops::coerce(Value::I(value), bind.ty));
-        Ok(())
+        self.store_at(slot, bind.offset, Value::I(value), bind.ty)
     }
 
     fn exec_seq_loop(
@@ -1613,6 +1752,30 @@ impl<'p> Simulator<'p> {
         }
     }
 
+    /// Self-scheduling pick: the participant with the lowest virtual
+    /// clock takes the next iteration. Ties break by lowest id, or by a
+    /// seeded shuffle when fault injection randomizes tie-breaks (a
+    /// legal perturbation — any tied participant is a valid choice).
+    fn pick_participant(&mut self, clocks: &[f64]) -> usize {
+        let salted = match self.faults.as_mut() {
+            Some(f) if f.cfg.random_tie_break => {
+                Some((0..clocks.len()).map(|_| f.rng.next_u64()).collect::<Vec<_>>())
+            }
+            _ => None,
+        };
+        (0..clocks.len())
+            .min_by(|&a, &b| {
+                clocks[a]
+                    .partial_cmp(&clocks[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| match &salted {
+                        Some(s) => s[a].cmp(&s[b]),
+                        None => a.cmp(&b),
+                    })
+            })
+            .unwrap_or(0)
+    }
+
     fn exec_parallel_loop(
         &mut self,
         frame: &mut Frame,
@@ -1633,7 +1796,13 @@ impl<'p> Simulator<'p> {
             LoopClass::XDoall | LoopClass::XDoacross => {
                 (cfg.total_ces(), cfg.xdo_start, cfg.lib_dispatch)
             }
-            LoopClass::Seq => unreachable!(),
+            LoopClass::Seq => {
+                return kerr(
+                    SimErrorKind::BadProgram,
+                    l.span,
+                    "sequential loop reached the parallel scheduler",
+                )
+            }
         };
         let participants = participants.max(1);
         self.stats.parallel_loops += 1;
@@ -1643,7 +1812,6 @@ impl<'p> Simulator<'p> {
         if is_ordered {
             self.doacross.push(DoacrossState {
                 advance_times: BTreeMap::new(),
-                iter_end: vec![0.0; trip],
                 cur_iter: 0,
                 trip,
             });
@@ -1655,6 +1823,15 @@ impl<'p> Simulator<'p> {
         // Per-participant clocks begin after startup.
         let t0 = ctx.time + startup;
         let mut clocks = vec![t0; participants];
+        if let Some(f) = self.faults.as_mut() {
+            if f.cfg.clock_jitter > 0.0 {
+                // Legal perturbation: skew each participant's start
+                // clock, reshuffling the self-scheduled partition.
+                for c in clocks.iter_mut() {
+                    *c += f.rng.unit_f64() * f.cfg.clock_jitter * startup.max(1.0);
+                }
+            }
+        }
 
         // Preamble: once per participant.
         if !l.preamble.is_empty() {
@@ -1675,15 +1852,9 @@ impl<'p> Simulator<'p> {
         let mut flow = Flow::Normal;
         for k in 0..trip {
             // Deterministic self-scheduling: earliest-clock participant
-            // takes the next iteration (ties: lowest id).
-            let p = (0..participants)
-                .min_by(|&a, &b| {
-                    clocks[a]
-                        .partial_cmp(&clocks[b])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.cmp(&b))
-                })
-                .unwrap();
+            // takes the next iteration (ties: lowest id, or a seeded
+            // shuffle under fault injection).
+            let p = self.pick_participant(&clocks);
             for (loc, per_part) in &locals {
                 frame.binds[loc.index()] = Some(per_part[p].clone());
             }
@@ -1700,11 +1871,6 @@ impl<'p> Simulator<'p> {
             self.set_loop_var(frame, l.var, start + (k as i64) * step, &cctx)?;
             let f = self.exec_block(frame, &l.body, &mut cctx)?;
             clocks[p] = cctx.time;
-            if is_ordered {
-                if let Some(st) = self.doacross.last_mut() {
-                    st.iter_end[k] = cctx.time;
-                }
-            }
             if !matches!(f, Flow::Normal) {
                 flow = f;
                 break;
@@ -1748,7 +1914,6 @@ impl<'p> Simulator<'p> {
 #[derive(Debug, Clone)]
 enum SectionDim {
     Fixed(i64),
-    Range { lo: i64, step: i64 },
     RangeLen { lo: i64, step: i64, len: usize },
     /// Vector-valued subscript (gather/scatter through an index vector).
     Gather(Vec<i64>),
@@ -2041,5 +2206,60 @@ mod tests {
     fn stop_halts_execution() {
         let sim = run_src("program p\nx = 1.0\nstop\nx = 2.0\nend\n");
         assert_eq!(sim.read_f64("x").unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn missing_advance_deadlocks_instead_of_hanging() {
+        // An await whose matching advance was removed can never be
+        // satisfied; the watchdog must report a bounded Deadlock error,
+        // not stall the cascade forever.
+        let p = compile_free(
+            "program p\nparameter (n = 16)\nreal a(n), b(n)\ndo i = 1, n\n\
+             a(i) = i * 1.0\nb(i) = 0.0\nend do\nb(1) = 1.0\n\
+             cdoacross i = 2, n\ncall await(1, 1)\nb(i) = a(i) + b(i - 1)\n\
+             end cdoacross\nx = b(n)\nend\n",
+        )
+        .unwrap();
+        let err = match crate::run(&p, MachineConfig::cedar_config1()) {
+            Err(e) => e,
+            Ok(_) => panic!("run without advance should deadlock"),
+        };
+        assert_eq!(err.kind, SimErrorKind::Deadlock);
+        assert!(err.is_deadlock());
+        assert!(err.to_string().contains("await"), "{err}");
+    }
+
+    #[test]
+    fn fault_injection_is_seed_deterministic() {
+        let src = "program p\nparameter (n = 256)\nreal a(n), b(n)\nglobal a, b\n\
+             do i = 1, n\nb(i) = i * 1.0\nend do\n\
+             cdoall i = 1, n\na(i) = sqrt(b(i)) + b(i)\nend cdoall\nx = a(100)\nend\n";
+        let p = Box::leak(Box::new(compile_free(src).unwrap()));
+        let base = crate::run(p, MachineConfig::cedar_config1()).unwrap();
+        let f1 = crate::run_with_faults(p, MachineConfig::cedar_config1(), FaultConfig::legal(9))
+            .unwrap();
+        let f2 = crate::run_with_faults(p, MachineConfig::cedar_config1(), FaultConfig::legal(9))
+            .unwrap();
+        // Same seed → identical schedule and cost; values match the
+        // unperturbed run exactly (legal perturbations, no reductions).
+        assert_eq!(f1.cycles(), f2.cycles());
+        assert_ne!(f1.cycles(), base.cycles());
+        assert_eq!(f1.read_f64("x"), base.read_f64("x"));
+        assert_eq!(f1.read_f64("a"), base.read_f64("a"));
+    }
+
+    #[test]
+    fn watchdog_statement_budget_trips() {
+        let mut cfg = MachineConfig::cedar_config1();
+        cfg.watchdog_ops = 100;
+        let p = compile_free(
+            "program p\ns = 0.0\ndo i = 1, 1000\ns = s + 1.0\nend do\nend\n",
+        )
+        .unwrap();
+        let err = match crate::run(&p, cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("watchdog budget of 100 statements should trip"),
+        };
+        assert_eq!(err.kind, SimErrorKind::Limit);
     }
 }

@@ -1,0 +1,175 @@
+//! Deterministic, seeded fault and perturbation injection.
+//!
+//! The simulator's scheduling is normally fully deterministic: parallel
+//! loops self-schedule onto per-participant virtual clocks, the lowest
+//! clock takes the next iteration, and ties break by participant id.
+//! A [`FaultConfig`] perturbs that schedule *reproducibly* (same seed →
+//! same run) without touching the values a **legal** restructured
+//! program computes:
+//!
+//! * per-participant **clock jitter** at parallel-loop startup;
+//! * **randomized tie-breaks** in the self-scheduler;
+//! * **delayed** or **dropped** `advance` signal delivery in DOACROSSes
+//!   (dropping is an *illegal* perturbation — it makes every dependent
+//!   `await` unsatisfiable, which the watchdog reports as
+//!   [`crate::SimErrorKind::Deadlock`]);
+//! * **memory-latency jitter** scaling every charged access cost.
+//!
+//! Legal schedule perturbations (everything except `drop_advance`)
+//! never change results for driver-emitted DOALL/DOACROSS programs
+//! whose loops carry no reduction postambles: iterations still execute
+//! in index order, and privatized storage is written before read within
+//! each iteration. Divergence or deadlock under such a perturbation is
+//! therefore evidence of an illegal transform — the property
+//! `cedar-verify` exploits.
+
+/// SplitMix64: tiny, high-quality, seedable PRNG (public-domain
+/// constants from Steele, Lea & Flood's SplittableRandom).
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// PRNG seeded with `seed`.
+    pub fn new(seed: u64) -> FaultRng {
+        FaultRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` (53-bit mantissa).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.unit_f64() < p
+    }
+}
+
+/// A seeded perturbation profile. All magnitudes are relative and may
+/// be zero (disabled); `FaultConfig::default()` perturbs nothing.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// PRNG seed; the entire perturbation stream derives from it.
+    pub seed: u64,
+    /// Per-participant start-clock jitter, as a fraction of the loop's
+    /// startup cost (0.2 → up to 20% extra skew per participant).
+    pub clock_jitter: f64,
+    /// Randomize self-scheduling tie-breaks instead of lowest-id-first.
+    pub random_tie_break: bool,
+    /// Maximum extra cycles added to an `advance`'s visibility time.
+    pub advance_delay: f64,
+    /// Probability an `advance` signal is dropped entirely. This is an
+    /// **illegal** perturbation: dependent awaits deadlock (by design —
+    /// it exercises the watchdog path).
+    pub drop_advance: f64,
+    /// Relative jitter on every memory access cost (0.1 → each charged
+    /// access costs up to 10% extra).
+    pub mem_jitter: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            seed: 0,
+            clock_jitter: 0.0,
+            random_tie_break: false,
+            advance_delay: 0.0,
+            drop_advance: 0.0,
+            mem_jitter: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A *legal* perturbation profile: clock jitter, randomized
+    /// tie-breaks, delayed advances, and memory jitter — everything
+    /// that reorders the schedule without breaking synchronization.
+    pub fn legal(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            clock_jitter: 0.25,
+            random_tie_break: true,
+            advance_delay: 50.0,
+            drop_advance: 0.0,
+            mem_jitter: 0.1,
+        }
+    }
+
+    /// The legal profile plus advance-drop probability `p` (illegal:
+    /// used to exercise the deadlock watchdog).
+    pub fn with_drops(seed: u64, p: f64) -> FaultConfig {
+        FaultConfig { drop_advance: p, ..Self::legal(seed) }
+    }
+
+    /// True when any perturbation is enabled.
+    pub fn is_active(&self) -> bool {
+        self.clock_jitter > 0.0
+            || self.random_tie_break
+            || self.advance_delay > 0.0
+            || self.drop_advance > 0.0
+            || self.mem_jitter > 0.0
+    }
+}
+
+/// Live injection state carried by a running simulator.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    /// The profile.
+    pub cfg: FaultConfig,
+    /// The deterministic draw stream.
+    pub rng: FaultRng,
+}
+
+impl FaultState {
+    /// Injection state for a profile (seeds the RNG from it).
+    pub fn new(cfg: FaultConfig) -> FaultState {
+        let rng = FaultRng::new(cfg.seed);
+        FaultState { cfg, rng }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_seed_sensitive() {
+        let mut a = FaultRng::new(42);
+        let mut b = FaultRng::new(42);
+        let mut c = FaultRng::new(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_draws_stay_in_range() {
+        let mut r = FaultRng::new(7);
+        for _ in 0..1000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn profiles() {
+        assert!(!FaultConfig::default().is_active());
+        let l = FaultConfig::legal(1);
+        assert!(l.is_active() && l.drop_advance == 0.0);
+        let d = FaultConfig::with_drops(1, 1.0);
+        assert!(d.drop_advance == 1.0);
+    }
+}

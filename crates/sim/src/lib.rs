@@ -29,15 +29,26 @@
 //! ties break by CE id), and iterations execute in index order in the
 //! host, so results are exactly reproducible and DOACROSS cascade waits
 //! resolve without real concurrency.
+//!
+//! Determinism extends to **fault injection** ([`fault`]): a seeded
+//! [`FaultConfig`] perturbs the schedule (clock jitter, randomized
+//! tie-breaks, delayed advances, memory-latency noise) reproducibly,
+//! and every failure path — including cascade deadlocks, which a
+//! watchdog detects instead of hanging — surfaces as a structured
+//! [`SimError`] with a [`SimErrorKind`].
 
 pub mod config;
+pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod stats;
 pub mod store;
 pub mod value_ops;
 
 pub use config::MachineConfig;
-pub use exec::{SimError, Simulator};
+pub use error::{OpError, SimError, SimErrorKind};
+pub use exec::Simulator;
+pub use fault::{FaultConfig, FaultRng};
 pub use stats::ExecStats;
 
 use cedar_ir::Program;
@@ -47,6 +58,22 @@ use cedar_ir::Program;
 /// [`ExecStats::cycles`].
 pub fn run(program: &Program, config: MachineConfig) -> Result<Simulator<'_>, SimError> {
     let mut sim = Simulator::new(program, config)?;
+    sim.run_main()?;
+    Ok(sim)
+}
+
+/// Like [`run`], but under a seeded fault-injection profile. With a
+/// [`FaultConfig`] whose perturbations are all *legal* (see
+/// [`fault`]), a correctly restructured program must produce the same
+/// results as the unperturbed run; divergence or a
+/// [`SimErrorKind::Deadlock`] indicates an illegal transform.
+pub fn run_with_faults(
+    program: &Program,
+    config: MachineConfig,
+    faults: FaultConfig,
+) -> Result<Simulator<'_>, SimError> {
+    let mut sim = Simulator::new(program, config)?;
+    sim.set_faults(faults);
     sim.run_main()?;
     Ok(sim)
 }

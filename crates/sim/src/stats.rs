@@ -1,9 +1,7 @@
 //! Execution statistics and event counters.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated over one simulated run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecStats {
     /// Total simulated wall-clock cycles of the run (critical path
     /// through the parallel schedule).
@@ -39,6 +37,9 @@ pub struct ExecStats {
     pub awaits: u64,
     /// Cascade `advance` operations executed.
     pub advances: u64,
+    /// `advance` signals dropped by fault injection (illegal
+    /// perturbation; nonzero only under `FaultConfig::drop_advance`).
+    pub dropped_advances: u64,
     /// Critical-section lock acquisitions.
     pub lock_acquisitions: u64,
     /// Cycles CEs spent stalled in cascade awaits (summed over CEs).

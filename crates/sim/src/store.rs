@@ -38,7 +38,8 @@ impl ArrayData {
         self.len() == 0
     }
 
-    /// Element at linear index `i`.
+    /// Element at linear index `i`. Panics when out of range; the
+    /// interpreter's fallible paths use [`ArrayData::try_get`].
     pub fn get(&self, i: usize) -> Value {
         match self {
             ArrayData::R(v) => Value::R(v[i]),
@@ -47,13 +48,44 @@ impl ArrayData {
         }
     }
 
+    /// Element at linear index `i`, or `None` when `i` is outside the
+    /// slot (e.g. a sub-array actual bound to a larger declared shape).
+    pub fn try_get(&self, i: usize) -> Option<Value> {
+        match self {
+            ArrayData::R(v) => v.get(i).map(|&x| Value::R(x)),
+            ArrayData::I(v) => v.get(i).map(|&x| Value::I(x)),
+            ArrayData::B(v) => v.get(i).map(|&x| Value::B(x)),
+        }
+    }
+
     /// Store `val` (coerced to the slot type) at linear index `i`.
+    /// Panics when out of range; the interpreter's fallible paths use
+    /// [`ArrayData::try_set`].
     pub fn set(&mut self, i: usize, val: Value) {
         match self {
             ArrayData::R(v) => v[i] = val.as_f64(),
             ArrayData::I(v) => v[i] = val.as_i64(),
             ArrayData::B(v) => v[i] = val.as_bool(),
         }
+    }
+
+    /// Store `val` at linear index `i`; `false` when out of range.
+    pub fn try_set(&mut self, i: usize, val: Value) -> bool {
+        match self {
+            ArrayData::R(v) => match v.get_mut(i) {
+                Some(x) => *x = val.as_f64(),
+                None => return false,
+            },
+            ArrayData::I(v) => match v.get_mut(i) {
+                Some(x) => *x = val.as_i64(),
+                None => return false,
+            },
+            ArrayData::B(v) => match v.get_mut(i) {
+                Some(x) => *x = val.as_bool(),
+                None => return false,
+            },
+        }
+        true
     }
 }
 
@@ -250,5 +282,15 @@ mod tests {
         let r = st.alloc(Ty::Real, 1);
         st.slot_mut(r).set(0, Value::I(3));
         assert_eq!(st.slot(r).get(0), Value::R(3.0));
+    }
+
+    #[test]
+    fn checked_accessors_reject_out_of_range() {
+        let mut st = Store::new(1);
+        let s = st.alloc(Ty::Int, 2);
+        assert!(st.slot_mut(s).try_set(1, Value::I(9)));
+        assert_eq!(st.slot(s).try_get(1), Some(Value::I(9)));
+        assert!(!st.slot_mut(s).try_set(2, Value::I(9)));
+        assert_eq!(st.slot(s).try_get(2), None);
     }
 }

@@ -1,10 +1,19 @@
 //! Scalar value operations with Fortran semantics.
 
+use crate::error::{OpError, SimErrorKind};
 use cedar_ir::{BinOp, Intrinsic, Ty, UnOp, Value};
+
+fn div_zero(msg: &str) -> OpError {
+    OpError::new(SimErrorKind::DivByZero, msg)
+}
+
+fn type_err(msg: String) -> OpError {
+    OpError::new(SimErrorKind::TypeError, msg)
+}
 
 /// Apply a binary operator. Integer pairs stay integral for `+ - * /`
 /// (Fortran integer division truncates); any real operand promotes.
-pub fn bin(op: BinOp, l: Value, r: Value) -> Result<Value, String> {
+pub fn bin(op: BinOp, l: Value, r: Value) -> Result<Value, OpError> {
     use BinOp::*;
     Ok(match op {
         Add | Sub | Mul | Div => match (l, r) {
@@ -14,7 +23,7 @@ pub fn bin(op: BinOp, l: Value, r: Value) -> Result<Value, String> {
                 Mul => a.wrapping_mul(b),
                 Div => {
                     if b == 0 {
-                        return Err("integer division by zero".into());
+                        return Err(div_zero("integer division by zero"));
                     }
                     a / b
                 }
@@ -42,7 +51,7 @@ pub fn bin(op: BinOp, l: Value, r: Value) -> Result<Value, String> {
                 } else if a.abs() == 1 {
                     Value::I(if b % 2 == 0 { 1 } else { a })
                 } else if a == 0 {
-                    return Err("0 ** negative".into());
+                    return Err(div_zero("0 ** negative"));
                 } else {
                     Value::I(0)
                 }
@@ -86,10 +95,12 @@ pub fn un(op: UnOp, v: Value) -> Value {
 }
 
 /// Evaluate an elemental (non-reduction) intrinsic on scalar arguments.
-pub fn intrinsic(f: Intrinsic, args: &[Value]) -> Result<Value, String> {
+pub fn intrinsic(f: Intrinsic, args: &[Value]) -> Result<Value, OpError> {
     use Intrinsic::*;
-    let a0 = || -> Result<Value, String> {
-        args.first().copied().ok_or_else(|| format!("{}: missing argument", f.name()))
+    let a0 = || -> Result<Value, OpError> {
+        args.first()
+            .copied()
+            .ok_or_else(|| type_err(format!("{}: missing argument", f.name())))
     };
     let r0 = || a0().map(|v| v.as_f64());
     Ok(match f {
@@ -111,7 +122,10 @@ pub fn intrinsic(f: Intrinsic, args: &[Value]) -> Result<Value, String> {
         Atan => Value::R(r0()?.atan()),
         Atan2 => {
             let y = r0()?;
-            let x = args.get(1).map(|v| v.as_f64()).ok_or("atan2 needs 2 args")?;
+            let x = args
+                .get(1)
+                .map(|v| v.as_f64())
+                .ok_or_else(|| type_err("atan2 needs 2 args".into()))?;
             Value::R(y.atan2(x))
         }
         Sinh => Value::R(r0()?.sinh()),
@@ -119,17 +133,23 @@ pub fn intrinsic(f: Intrinsic, args: &[Value]) -> Result<Value, String> {
         Tanh => Value::R(r0()?.tanh()),
         Sign => {
             let a = r0()?;
-            let b = args.get(1).map(|v| v.as_f64()).ok_or("sign needs 2 args")?;
+            let b = args
+                .get(1)
+                .map(|v| v.as_f64())
+                .ok_or_else(|| type_err("sign needs 2 args".into()))?;
             let m = a.abs();
             match a0()? {
                 Value::I(_) => Value::I(if b >= 0.0 { m as i64 } else { -(m as i64) }),
                 _ => Value::R(if b >= 0.0 { m } else { -m }),
             }
         }
-        Mod => match (a0()?, args.get(1).copied().ok_or("mod needs 2 args")?) {
+        Mod => match (
+            a0()?,
+            args.get(1).copied().ok_or_else(|| type_err("mod needs 2 args".into()))?,
+        ) {
             (Value::I(a), Value::I(b)) => {
                 if b == 0 {
-                    return Err("mod by zero".into());
+                    return Err(div_zero("mod by zero"));
                 }
                 Value::I(a % b)
             }
@@ -137,7 +157,7 @@ pub fn intrinsic(f: Intrinsic, args: &[Value]) -> Result<Value, String> {
         },
         Min | Max => {
             if args.is_empty() {
-                return Err(format!("{} needs arguments", f.name()));
+                return Err(type_err(format!("{} needs arguments", f.name())));
             }
             let all_int = args.iter().all(|v| matches!(v, Value::I(_)));
             if all_int {
@@ -155,7 +175,12 @@ pub fn intrinsic(f: Intrinsic, args: &[Value]) -> Result<Value, String> {
         Int => Value::I(a0()?.as_i64()),
         Nint => Value::I(r0()?.round() as i64),
         Real | Dble => Value::R(r0()?),
-        other => return Err(format!("{} is not elemental", other.name())),
+        other => {
+            return Err(OpError::new(
+                SimErrorKind::Unsupported,
+                format!("{} is not elemental", other.name()),
+            ))
+        }
     })
 }
 
@@ -241,6 +266,22 @@ mod tests {
         assert_eq!(
             intrinsic(Intrinsic::Log, &[Value::R(0.0)]).unwrap(),
             Value::R(f64::NEG_INFINITY)
+        );
+    }
+
+    #[test]
+    fn errors_carry_kinds() {
+        assert_eq!(
+            bin(BinOp::Div, Value::I(1), Value::I(0)).unwrap_err().kind,
+            SimErrorKind::DivByZero
+        );
+        assert_eq!(
+            intrinsic(Intrinsic::Mod, &[Value::I(1)]).unwrap_err().kind,
+            SimErrorKind::TypeError
+        );
+        assert_eq!(
+            intrinsic(Intrinsic::Sum, &[Value::R(1.0)]).unwrap_err().kind,
+            SimErrorKind::Unsupported
         );
     }
 

@@ -1,0 +1,472 @@
+#![warn(missing_docs)]
+//! Differential validation of restructured programs, with graceful
+//! degradation to serial form.
+//!
+//! The restructurer ([`cedar_restructure`]) is supposed to preserve
+//! semantics; this crate *checks* that claim dynamically instead of
+//! trusting it. [`restructure_validated`] runs the restructured program
+//! against the serial original and then re-runs it under K **seeded
+//! schedule perturbations** ([`cedar_sim::fault`]): clock jitter,
+//! randomized self-scheduling tie-breaks, delayed `advance` delivery,
+//! and memory-latency noise. A legally restructured program is
+//! insensitive to all of these — any divergence, runtime fault, or
+//! watchdog-detected deadlock is evidence of an illegal transform.
+//!
+//! On failure the validator does not give up: it reverts the implicated
+//! loop nest to its serial form (via `PassConfig::suppress_nests`),
+//! re-restructures, and tries again — so the output program is always
+//! runnable, merely less parallel, and every downgrade is recorded both
+//! in the [`ValidationReport`] and in the restructurer's own
+//! [`Report`](cedar_restructure::Report) fallback list.
+//!
+//! Bit-exactness caveat: perturbed schedules change which participant
+//! executes which iterations. For reduction loops the per-participant
+//! partial sums then accumulate different subsets, and merging them —
+//! even in fixed participant order — reassociates floating-point
+//! addition. Reduction-free nests are bit-identical across legal
+//! perturbations (the property tested in `tests/prop_schedules.rs`);
+//! nests with reductions are compared under [`ValidationConfig::rel_tol`].
+
+use cedar_ir::Program;
+use cedar_restructure::{restructure, LoopDecision, PassConfig, Report};
+use cedar_sim::{FaultConfig, MachineConfig, SimError};
+use std::fmt;
+
+/// How hard to shake the program.
+#[derive(Debug, Clone)]
+pub struct ValidationConfig {
+    /// Perturbation seeds; one full run per seed.
+    pub seeds: Vec<u64>,
+    /// Relative tolerance when comparing watched results (reductions
+    /// reassociate under perturbed schedules, so exact equality is only
+    /// expected of reduction-free nests).
+    pub rel_tol: f64,
+    /// Maximum nests to revert to serial before degrading the whole
+    /// program.
+    pub max_fallbacks: usize,
+    /// Probability of dropping `advance` signals (chaos knob). Zero for
+    /// real validation; nonzero deliberately breaks DOACROSS cascades
+    /// to exercise the deadlock-watchdog fallback path.
+    pub drop_advance: f64,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> ValidationConfig {
+        ValidationConfig {
+            seeds: (1..=8).collect(),
+            rel_tol: 1e-3,
+            max_fallbacks: 8,
+            drop_advance: 0.0,
+        }
+    }
+}
+
+impl ValidationConfig {
+    /// The fault profile used for seed `s`.
+    fn profile(&self, s: u64) -> FaultConfig {
+        if self.drop_advance > 0.0 {
+            FaultConfig::with_drops(s, self.drop_advance)
+        } else {
+            FaultConfig::legal(s)
+        }
+    }
+}
+
+/// One perturbed run of the accepted program.
+#[derive(Debug, Clone)]
+pub struct SeedRun {
+    /// Perturbation seed.
+    pub seed: u64,
+    /// Simulated cycles under this schedule.
+    pub cycles: f64,
+    /// Watched results matched the unperturbed run bit for bit.
+    pub bit_identical: bool,
+    /// Largest relative deviation from the unperturbed run.
+    pub max_rel_err: f64,
+}
+
+/// One nest the validator reverted to serial.
+#[derive(Debug, Clone)]
+pub struct FallbackNote {
+    /// Enclosing unit name.
+    pub unit: String,
+    /// Loop header line.
+    pub line: u32,
+    /// The failure that triggered the downgrade.
+    pub reason: String,
+}
+
+/// What validation did and found.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// Restructure→check rounds executed (1 = accepted first try).
+    pub attempts: usize,
+    /// Nests reverted to serial, in downgrade order.
+    pub fallbacks: Vec<FallbackNote>,
+    /// Per-seed runs of the accepted program.
+    pub seed_runs: Vec<SeedRun>,
+    /// All parallelism was abandoned (every nest suppression exhausted
+    /// or the fallback budget ran out).
+    pub degraded_to_serial: bool,
+}
+
+impl ValidationReport {
+    /// True when every seed run matched bit for bit.
+    pub fn all_bit_identical(&self) -> bool {
+        self.seed_runs.iter().all(|r| r.bit_identical)
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "validation: {} attempt(s), {} seed run(s), {} fallback(s){}",
+            self.attempts,
+            self.seed_runs.len(),
+            self.fallbacks.len(),
+            if self.degraded_to_serial { " [degraded to serial]" } else { "" },
+        )?;
+        for fb in &self.fallbacks {
+            writeln!(f, "  fallback [{}:line {}]: {}", fb.unit, fb.line, fb.reason)?;
+        }
+        for r in &self.seed_runs {
+            writeln!(
+                f,
+                "  seed {}: {:.0} cycles, {}",
+                r.seed,
+                r.cycles,
+                if r.bit_identical {
+                    "bit-identical".to_string()
+                } else {
+                    format!("max rel err {:.2e}", r.max_rel_err)
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A restructured program that survived differential validation.
+#[derive(Debug, Clone)]
+pub struct Validated {
+    /// The accepted (possibly partially degraded) program.
+    pub program: Program,
+    /// The restructurer's decision log for the accepted configuration,
+    /// including its `fallbacks` records.
+    pub report: Report,
+    /// What validation observed.
+    pub validation: ValidationReport,
+}
+
+/// Why a candidate program was rejected.
+enum Failure {
+    /// A run died with a structured error (deadlock, out-of-bounds, ...).
+    Sim { seed: Option<u64>, err: SimError },
+    /// A run completed but computed different results.
+    Divergence { seed: Option<u64>, var: String, max_rel_err: f64 },
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let seed = |s: &Option<u64>| match s {
+            Some(s) => format!("perturbed run (seed {s})"),
+            None => "unperturbed run".to_string(),
+        };
+        match self {
+            Failure::Sim { seed: s, err } => write!(f, "{} failed: {}", seed(s), err),
+            Failure::Divergence { seed: s, var, max_rel_err } => write!(
+                f,
+                "{} diverged: `{var}` off by {max_rel_err:.2e} (relative)",
+                seed(s)
+            ),
+        }
+    }
+}
+
+impl Failure {
+    /// Source line implicated by the failure, when known.
+    fn line(&self) -> Option<u32> {
+        match self {
+            Failure::Sim { err, .. } if err.span.line > 0 => Some(err.span.line),
+            _ => None,
+        }
+    }
+}
+
+/// Watched results of one run.
+type Watched = Vec<(String, Vec<f64>)>;
+
+fn run_watched(
+    program: &Program,
+    mc: &MachineConfig,
+    faults: Option<FaultConfig>,
+    watch: &[&str],
+) -> Result<(Watched, f64), SimError> {
+    let mut sim = cedar_sim::Simulator::new(program, mc.clone())?;
+    if let Some(f) = faults {
+        sim.set_faults(f);
+    }
+    sim.run_main()?;
+    let results = watch
+        .iter()
+        .filter_map(|w| sim.read_f64(w).map(|v| (w.to_string(), v)))
+        .collect();
+    Ok((results, sim.cycles()))
+}
+
+/// Compare two watched-result sets; returns `(bit_identical,
+/// max_rel_err, worst_var)`.
+fn compare(a: &Watched, b: &Watched) -> (bool, f64, String) {
+    let mut max_err = 0.0f64;
+    let mut worst = String::new();
+    let mut bitwise = true;
+    for ((na, va), (_, vb)) in a.iter().zip(b) {
+        if va.len() != vb.len() {
+            return (false, f64::INFINITY, na.clone());
+        }
+        for (x, y) in va.iter().zip(vb) {
+            if x.to_bits() != y.to_bits() {
+                bitwise = false;
+            }
+            let err = (x - y).abs() / x.abs().max(1.0);
+            if err > max_err {
+                max_err = err;
+                worst = na.clone();
+            }
+        }
+    }
+    (bitwise, max_err, worst)
+}
+
+/// Check one candidate program: unperturbed against the serial
+/// reference, then every seed against the unperturbed candidate.
+fn check(
+    candidate: &Program,
+    mc: &MachineConfig,
+    watch: &[&str],
+    vcfg: &ValidationConfig,
+    reference: &Watched,
+) -> Result<Vec<SeedRun>, Failure> {
+    let (base, _) = run_watched(candidate, mc, None, watch)
+        .map_err(|err| Failure::Sim { seed: None, err })?;
+    let (_, err, var) = compare(reference, &base);
+    if err > vcfg.rel_tol {
+        return Err(Failure::Divergence { seed: None, var, max_rel_err: err });
+    }
+
+    let mut runs = Vec::with_capacity(vcfg.seeds.len());
+    for &s in &vcfg.seeds {
+        let (got, cycles) = run_watched(candidate, mc, Some(vcfg.profile(s)), watch)
+            .map_err(|err| Failure::Sim { seed: Some(s), err })?;
+        let (bit_identical, max_rel_err, var) = compare(&base, &got);
+        if max_rel_err > vcfg.rel_tol {
+            return Err(Failure::Divergence { seed: Some(s), var, max_rel_err });
+        }
+        runs.push(SeedRun { seed: s, cycles, bit_identical, max_rel_err });
+    }
+    Ok(runs)
+}
+
+/// Parallelized nest headers `(unit, line)` of a report, in visit order.
+fn parallel_nests(report: &Report) -> Vec<(String, u32)> {
+    report
+        .loops
+        .iter()
+        .filter(|l| !matches!(l.decision, LoopDecision::Serial { .. }))
+        .map(|l| (l.unit.clone(), l.span.line))
+        .collect()
+}
+
+/// Pick the nest to revert for a failure: the parallelized nest whose
+/// header is closest above the failing line, else the first candidate
+/// (greedy — the loop keeps reverting until validation passes).
+fn pick_nest(candidates: &[(String, u32)], failure: &Failure) -> (String, u32) {
+    if let Some(line) = failure.line() {
+        if let Some(best) = candidates
+            .iter()
+            .filter(|(_, l)| *l <= line)
+            .max_by_key(|(_, l)| *l)
+        {
+            return best.clone();
+        }
+    }
+    candidates[0].clone()
+}
+
+/// Restructure `program` under `cfg` and differentially validate the
+/// result across perturbed schedules, reverting nests to serial until
+/// the program validates. Fails only when the *serial reference itself*
+/// cannot run — a broken input program, not a broken transform.
+pub fn restructure_validated(
+    program: &Program,
+    cfg: &PassConfig,
+    mc: &MachineConfig,
+    watch: &[&str],
+    vcfg: &ValidationConfig,
+) -> Result<Validated, SimError> {
+    let (reference, _) = run_watched(program, mc, None, watch)?;
+
+    let mut cfg = cfg.clone();
+    let mut fallbacks: Vec<FallbackNote> = Vec::new();
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let rr = restructure(program, &cfg);
+        match check(&rr.program, mc, watch, vcfg, &reference) {
+            Ok(seed_runs) => {
+                return Ok(Validated {
+                    program: rr.program,
+                    report: rr.report,
+                    validation: ValidationReport {
+                        attempts,
+                        fallbacks,
+                        seed_runs,
+                        degraded_to_serial: false,
+                    },
+                })
+            }
+            Err(failure) => {
+                let suppressed = &cfg.suppress_nests;
+                let candidates: Vec<(String, u32)> = parallel_nests(&rr.report)
+                    .into_iter()
+                    .filter(|c| !suppressed.contains(c))
+                    .collect();
+                if candidates.is_empty() || fallbacks.len() >= vcfg.max_fallbacks {
+                    // Out of suspects (or budget): abandon all
+                    // parallelism. The serial identity always validates
+                    // — perturbations only reorder parallel schedules.
+                    let rr = restructure(program, &PassConfig::serial());
+                    let mut report = rr.report;
+                    report.record_fallback(
+                        "<program>",
+                        cedar_ir::Span::NONE,
+                        format!("degraded to fully serial: {failure}"),
+                    );
+                    fallbacks.push(FallbackNote {
+                        unit: "<program>".into(),
+                        line: 0,
+                        reason: format!("degraded to fully serial: {failure}"),
+                    });
+                    let seed_runs =
+                        check(&rr.program, mc, watch, vcfg, &reference).unwrap_or_default();
+                    return Ok(Validated {
+                        program: rr.program,
+                        report,
+                        validation: ValidationReport {
+                            attempts,
+                            fallbacks,
+                            seed_runs,
+                            degraded_to_serial: true,
+                        },
+                    });
+                }
+                let (unit, line) = pick_nest(&candidates, &failure);
+                fallbacks.push(FallbackNote {
+                    unit: unit.clone(),
+                    line,
+                    reason: failure.to_string(),
+                });
+                cfg.suppress_nests.push((unit, line));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_ir::compile_free;
+
+    fn doall_src() -> &'static str {
+        // Reduction-free, trivially parallelizable.
+        "program p\nparameter (n = 256)\nreal a(n), b(n)\ndo i = 1, n\n\
+         b(i) = i * 1.0\nend do\ndo i = 1, n\na(i) = sqrt(b(i)) + b(i)\nend do\n\
+         x = a(100)\ny = a(7)\nend\n"
+    }
+
+    fn doacross_src() -> &'static str {
+        // Distance-1 recurrence behind enough independent work that the
+        // profitability model accepts a DOACROSS cascade (the sync
+        // region must be a small fraction of the body).
+        "program p\nparameter (n = 96)\nreal a(n), b(n), c(n)\ndo i = 1, n\n\
+         b(i) = i * 1.0\nc(i) = i * 0.5\nend do\na(1) = 1.0\ndo i = 2, n\n\
+         t = sqrt(b(i)) + sqrt(c(i)) + sin(b(i)) * cos(c(i)) + exp(c(i) * 0.01)\n\
+         a(i) = a(i - 1) * 0.5 + t\nend do\nx = a(n)\nend\n"
+    }
+
+    #[test]
+    fn clean_doall_validates_bit_identically() {
+        let p = compile_free(doall_src()).unwrap();
+        let vcfg = ValidationConfig { seeds: vec![1, 2, 3, 4], ..Default::default() };
+        let v = restructure_validated(
+            &p,
+            &PassConfig::automatic_1991(),
+            &MachineConfig::cedar_config1_scaled(),
+            &["x", "y"],
+            &vcfg,
+        )
+        .unwrap();
+        assert!(v.validation.fallbacks.is_empty(), "{}", v.validation);
+        assert_eq!(v.validation.attempts, 1);
+        assert_eq!(v.validation.seed_runs.len(), 4);
+        assert!(
+            v.validation.all_bit_identical(),
+            "reduction-free nest must be schedule-insensitive:\n{}",
+            v.validation
+        );
+    }
+
+    #[test]
+    fn clean_doacross_validates() {
+        let p = compile_free(doacross_src()).unwrap();
+        let v = restructure_validated(
+            &p,
+            &PassConfig::automatic_1991(),
+            &MachineConfig::cedar_config1_scaled(),
+            &["x"],
+            &ValidationConfig { seeds: vec![1, 2, 3], ..Default::default() },
+        )
+        .unwrap();
+        assert!(v.validation.fallbacks.is_empty(), "{}", v.validation);
+        assert!(v.validation.all_bit_identical(), "{}", v.validation);
+    }
+
+    #[test]
+    fn dropped_advances_force_serial_fallback() {
+        let p = compile_free(doacross_src()).unwrap();
+        // Dropping every advance makes any emitted DOACROSS deadlock
+        // under perturbation; validation must detect it via the
+        // watchdog and revert the nest rather than hang or panic.
+        let vcfg = ValidationConfig {
+            seeds: vec![1, 2],
+            drop_advance: 1.0,
+            ..Default::default()
+        };
+        let v = restructure_validated(
+            &p,
+            &PassConfig::automatic_1991(),
+            &MachineConfig::cedar_config1_scaled(),
+            &["x"],
+            &vcfg,
+        )
+        .unwrap();
+        assert!(
+            !v.validation.fallbacks.is_empty(),
+            "expected a fallback, got:\n{}",
+            v.validation
+        );
+        assert!(
+            v.validation.fallbacks[0].reason.contains("deadlock"),
+            "fallback should be deadlock-triggered: {}",
+            v.validation.fallbacks[0].reason
+        );
+        // The downgrade is visible in the restructurer's own report.
+        assert!(!v.report.fallbacks.is_empty() || v.validation.degraded_to_serial);
+        // And the accepted program still computes the right answer.
+        let mc = MachineConfig::cedar_config1_scaled();
+        let (got, _) = run_watched(&v.program, &mc, None, &["x"]).unwrap();
+        let (reference, _) = run_watched(&p, &mc, None, &["x"]).unwrap();
+        assert_eq!(got, reference);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property: for **reduction-free** programs the restructurer emits
+//! (DOALL and DOACROSS nests), K legally fault-injected schedules —
+//! clock jitter, randomized tie-breaks, delayed advances, memory
+//! jitter — compute **bit-identical** results to the unperturbed run.
+//!
+//! This is the dynamic core of `cedar-verify`: iterations execute in
+//! index order regardless of which participant takes them, and without
+//! reduction postambles no floating-point operation reassociates, so a
+//! legal schedule perturbation cannot change a single output bit.
+//! (Reduction loops intentionally fail this stronger property — their
+//! per-participant partials depend on the iteration partition — which
+//! is why the validator compares them under a tolerance instead.)
+
+use proptest::prelude::*;
+
+use cedar_restructure::{restructure, PassConfig};
+use cedar_sim::{FaultConfig, MachineConfig};
+
+/// Reduction-free elementwise bodies for the DOALL loop.
+const EXPRS: &[&str] = &[
+    "sqrt(b(i)) + c(i)",
+    "b(i) * c(i) + 1.5",
+    "sin(b(i) * 0.01) + c(i)",
+    "b(i) / (c(i) + 1.0)",
+    "abs(b(i) - c(i)) + 0.5",
+];
+
+fn source(n: usize, expr: &str, with_recurrence: bool) -> String {
+    let recurrence = if with_recurrence {
+        // Distance-1 recurrence behind enough independent work that
+        // the driver emits a DOACROSS cascade for it.
+        "d(1) = 1.0\ndo i = 2, n\n\
+         t = sqrt(b(i)) + sqrt(c(i)) + sin(b(i)) * cos(c(i)) + exp(c(i) * 0.001)\n\
+         d(i) = d(i - 1) * 0.5 + t\nend do\nz = d(n)\n"
+    } else {
+        "z = 0.0\n"
+    };
+    format!(
+        "program q\nparameter (n = {n})\nreal a(n), b(n), c(n), d(n)\n\
+         do i = 1, n\nb(i) = i * 1.0\nc(i) = 2.0 + i * 0.25\nend do\n\
+         do i = 1, n\na(i) = {expr}\nend do\n{recurrence}\
+         x = a(1)\ny = a(n)\nend\n"
+    )
+}
+
+/// Restructure, then check every seed's perturbed schedule reproduces
+/// the unperturbed restructured run bit for bit.
+fn check_bit_identical(src: &str, seeds: &[u64]) {
+    let program = cedar_ir::compile_free(src).unwrap();
+    let mc = MachineConfig::cedar_config1_scaled();
+    let r = restructure(&program, &PassConfig::automatic_1991());
+    assert!(
+        r.report.parallelized() >= 1,
+        "generated program must parallelize:\n{}",
+        r.report
+    );
+
+    let base = cedar_sim::run(&r.program, mc.clone()).unwrap_or_else(|e| {
+        panic!(
+            "unperturbed run failed: {e}\n{}",
+            cedar_ir::print::print_program(&r.program)
+        )
+    });
+    let base_vals: Vec<Vec<f64>> = ["a", "x", "y", "z"]
+        .iter()
+        .map(|v| base.read_f64(v).unwrap())
+        .collect();
+
+    for &s in seeds {
+        let sim = cedar_sim::run_with_faults(&r.program, mc.clone(), FaultConfig::legal(s))
+            .unwrap_or_else(|e| panic!("perturbed run (seed {s}) failed: {e}"));
+        for (name, expect) in ["a", "x", "y", "z"].iter().zip(&base_vals) {
+            let got = sim.read_f64(name).unwrap();
+            assert_eq!(got.len(), expect.len());
+            for (g, e) in got.iter().zip(expect) {
+                assert_eq!(
+                    g.to_bits(),
+                    e.to_bits(),
+                    "seed {s}: `{name}` diverged under a legal perturbation: {g} vs {e}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn doall_schedules_are_bit_identical(
+        n in 32usize..200,
+        expr_idx in 0usize..EXPRS.len(),
+        seeds in prop::collection::vec(any::<u64>(), 3),
+    ) {
+        check_bit_identical(&source(n, EXPRS[expr_idx], false), &seeds);
+    }
+
+    #[test]
+    fn doacross_schedules_are_bit_identical(
+        n in 48usize..160,
+        expr_idx in 0usize..EXPRS.len(),
+        seeds in prop::collection::vec(any::<u64>(), 3),
+    ) {
+        check_bit_identical(&source(n, EXPRS[expr_idx], true), &seeds);
+    }
+}
+
+/// Deterministic spot check with the issue's required seed count: a
+/// restructured reduction-free nest stays bit-identical across 8
+/// perturbation seeds.
+#[test]
+fn eight_seeds_bit_identical() {
+    let seeds: Vec<u64> = (1..=8).collect();
+    check_bit_identical(&source(128, EXPRS[0], true), &seeds);
+}

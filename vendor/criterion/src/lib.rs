@@ -1,0 +1,180 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real crate
+//! cannot be fetched. This replacement keeps the workspace's benches
+//! compiling and runnable: it times each `bench_function` over a small
+//! number of wall-clock samples and prints a median + spread line, with
+//! none of criterion's statistics, plotting, or baseline storage.
+
+use std::time::Instant;
+
+/// Throughput annotation (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed_ns: 0.0, iters: 0 };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed_ns / b.iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+        let lo = samples.first().copied().unwrap_or(0.0);
+        let hi = samples.last().copied().unwrap_or(0.0);
+        let mut line = format!(
+            "  {id}: {} [{} .. {}]",
+            fmt_ns(median),
+            fmt_ns(lo),
+            fmt_ns(hi)
+        );
+        if let Some(t) = self.throughput {
+            let (amount, unit) = match t {
+                Throughput::Bytes(n) => (n as f64, "MB/s"),
+                Throughput::Elements(n) => (n as f64, "Melem/s"),
+            };
+            if median > 0.0 {
+                line.push_str(&format!(
+                    "  {:.1} {unit}",
+                    amount / median * 1e9 / 1e6
+                ));
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (printing nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; its `iter` runs and times the body.
+pub struct Bencher {
+    elapsed_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run the routine once per sample, timing it.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed_ns += start.elapsed().as_secs_f64() * 1e9;
+        self.iters += 1;
+        std::hint::black_box(out);
+    }
+}
+
+/// Re-export so `criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a runner (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_without_panicking() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        g.bench_function("noop", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(2_500.0), "2.50 µs");
+        assert_eq!(fmt_ns(3_000_000.0), "3.00 ms");
+        assert_eq!(fmt_ns(1.5e9), "1.50 s");
+    }
+}

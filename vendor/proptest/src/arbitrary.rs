@@ -1,0 +1,56 @@
+//! `any::<T>()` for the primitive types the workspace uses.
+
+use crate::strategy::BoxedStrategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Debug + Clone + 'static {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    BoxedStrategy::from_fn(T::arbitrary)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spanning several magnitudes — good
+        // enough for property inputs without NaN/Inf plumbing.
+        (rng.unit_f64() - 0.5) * 2e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn bool_hits_both_sides() {
+        let s = any::<bool>();
+        let mut rng = TestRng::new(1);
+        let vals: Vec<bool> = (0..64).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.iter().any(|&b| b) && vals.iter().any(|&b| !b));
+    }
+}

@@ -1,0 +1,60 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// Size specification for collection strategies: an exact length, a
+/// half-open range, or an inclusive range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// A vector of values from `element`, with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>> {
+    let size = size.into();
+    BoxedStrategy::from_fn(move |rng| {
+        let len = size.min + rng.below((size.max - size.min + 1) as u64) as usize;
+        (0..len).map(|_| element.generate(rng)).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn lengths_respect_spec() {
+        let mut rng = TestRng::new(3);
+        let exact = vec(Just(1u8), 4);
+        let ranged = vec(Just(1u8), 1..5);
+        for _ in 0..100 {
+            assert_eq!(exact.generate(&mut rng).len(), 4);
+            let n = ranged.generate(&mut rng).len();
+            assert!((1..5).contains(&n));
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The `Strategy` trait, `Just`, boxed strategies, and combinators.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of test values.
+///
+/// Unlike the real crate there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of the RNG state.
+pub trait Strategy: Clone + 'static {
+    /// The type of generated values.
+    type Value: Debug + Clone + 'static;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        let s = self;
+        BoxedStrategy::from_fn(move |rng| s.generate(rng))
+    }
+
+    /// Map generated values through a function.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        U: Debug + Clone + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+        Self: Sized,
+    {
+        let s = self;
+        BoxedStrategy::from_fn(move |rng| f(s.generate(rng)))
+    }
+
+    /// Keep only values passing the predicate; retries generation, and
+    /// panics (in lieu of proptest's global rejection cap) if the
+    /// predicate rejects 1000 draws in a row.
+    fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> BoxedStrategy<Self::Value>
+    where
+        F: Fn(&Self::Value) -> bool + 'static,
+        Self: Sized,
+    {
+        let s = self;
+        let whence = whence.into();
+        BoxedStrategy::from_fn(move |rng| {
+            for _ in 0..1000 {
+                let v = s.generate(rng);
+                if f(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 consecutive values: {whence}")
+        })
+    }
+
+    /// Build recursive values: `self` is the leaf strategy, and `f`
+    /// wraps an inner strategy into a one-level-deeper one. `depth`
+    /// bounds the recursion; the size/branch hints are accepted for API
+    /// compatibility but unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        R: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        Self: Sized,
+    {
+        let mut layer = self.clone().boxed();
+        for _ in 0..depth {
+            // Each layer picks leaves half the time so expected depth
+            // stays small even when `depth` is large.
+            layer = union(vec![self.clone().boxed(), f(layer).boxed()]);
+        }
+        layer
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T> {
+    generator: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wrap a generator function.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy { generator: Rc::new(f) }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { generator: Rc::clone(&self.generator) }
+    }
+}
+
+impl<T: Debug + Clone + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generator)(rng)
+    }
+    fn boxed(self) -> BoxedStrategy<T> {
+        self
+    }
+}
+
+/// A strategy producing exactly one value (mirrors `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Debug + Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among strategies of the same value type (backs
+/// `prop_oneof!`).
+pub fn union<T: Debug + Clone + 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy::from_fn(move |rng| {
+        let k = rng.below(arms.len() as u64) as usize;
+        arms[k].generate(rng)
+    })
+}
+
+// ---- numeric ranges ----
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.int_in(self.start as i128, self.end as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                rng.int_in(lo as i128, hi as i128 + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// ---- regex-class string strategies ----
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate_from_pattern(self, rng)
+    }
+}
+
+// ---- tuples ----
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..200 {
+            let v = (1usize..5).generate(&mut rng);
+            assert!((1..5).contains(&v));
+            let w = (-3i64..=3).generate(&mut rng);
+            assert!((-3..=3).contains(&w));
+            let (a, b) = ((0u32..10), (0.0f64..1.0)).generate(&mut rng);
+            assert!(a < 10 && (0.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let s = union(vec![Just(1u8).boxed(), Just(2u8).boxed(), Just(3u8).boxed()]);
+        let mut rng = TestRng::new(7);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        let leaf = Just("x".to_string()).boxed();
+        let s = leaf.prop_recursive(4, 48, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a}+{b})"))
+        });
+        let mut rng = TestRng::new(9);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v.contains('x'));
+        }
+    }
+
+    #[test]
+    fn filter_retries() {
+        let s = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut rng) % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Tiny regex-subset generator backing `&str` strategies.
+//!
+//! Supports the forms the workspace's tests use: literal characters,
+//! character classes `[...]` with ranges (`a-z`, `0-9`) and literal
+//! members, and `{m}` / `{m,n}` quantifiers on the preceding element.
+//! Anything else panics loudly so a new pattern is noticed immediately.
+
+use crate::test_runner::TestRng;
+
+enum Element {
+    /// A set of candidate characters, one picked per repetition.
+    Class(Vec<char>),
+    /// A literal character.
+    Lit(char),
+}
+
+struct Piece {
+    element: Element,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut k = 0;
+    while k < chars.len() {
+        let element = match chars[k] {
+            '[' => {
+                let close = chars[k + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern `{pattern}`"))
+                    + k
+                    + 1;
+                let mut set = Vec::new();
+                let body = &chars[k + 1..close];
+                let mut j = 0;
+                while j < body.len() {
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        let (lo, hi) = (body[j], body[j + 2]);
+                        assert!(lo <= hi, "bad range {lo}-{hi} in `{pattern}`");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(body[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in `{pattern}`");
+                k = close + 1;
+                Element::Class(set)
+            }
+            '{' | '}' | ']' | '*' | '+' | '?' | '|' | '\\' | '(' | ')' => {
+                panic!("unsupported regex construct `{}` in `{pattern}`", chars[k])
+            }
+            c => {
+                k += 1;
+                Element::Lit(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if k < chars.len() && chars[k] == '{' {
+            let close = chars[k + 1..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed `{{` in pattern `{pattern}`"))
+                + k
+                + 1;
+            let body: String = chars[k + 1..close].iter().collect();
+            k = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier"),
+                    n.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let m: usize = body.trim().parse().expect("bad quantifier");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad quantifier {{{min},{max}}} in `{pattern}`");
+        pieces.push(Piece { element, min, max });
+    }
+    pieces
+}
+
+/// Generate a random string matching the (subset) pattern.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+        for _ in 0..count {
+            match &piece.element {
+                Element::Lit(c) => out.push(*c),
+                Element::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z][a-z0-9]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn class_with_literals_and_spaces() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..100 {
+            let s = generate_from_pattern("[ 0-9a-zC*!&=().,+]{0,80}", &mut rng);
+            assert!(s.len() <= 80);
+            for c in s.chars() {
+                assert!(
+                    " *!&=().,+C".contains(c) || c.is_ascii_digit() || c.is_ascii_lowercase(),
+                    "unexpected `{c}`"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_class_defaults_to_one_char() {
+        let mut rng = TestRng::new(6);
+        for _ in 0..50 {
+            let s = generate_from_pattern("[&1x]", &mut rng);
+            assert_eq!(s.chars().count(), 1);
+            assert!("&1x".contains(&s));
+        }
+    }
+}
