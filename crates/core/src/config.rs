@@ -73,6 +73,10 @@ pub struct PassConfig {
     /// schedules, then re-restructures with the nest degraded to its
     /// serial form.
     pub suppress_nests: Vec<(String, u32)>,
+    /// Run the post-transformation synchronization audit
+    /// ([`crate::sync_audit`]) and record uncovered dependences in the
+    /// report.
+    pub audit_sync: bool,
 }
 
 impl PassConfig {
@@ -100,6 +104,7 @@ impl PassConfig {
             loop_fusion: false,
             data_partitioning: false,
             suppress_nests: Vec::new(),
+            audit_sync: true,
         }
     }
 

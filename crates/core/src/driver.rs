@@ -31,6 +31,21 @@ pub fn restructure(p: &Program, cfg: &PassConfig) -> RestructureResult {
     let mut program = p.clone();
     let mut report = Report::default();
     if !cfg.parallelize {
+        // Pass-through still honors nest suppression: the validator
+        // must be able to demote a hand-written directive nest it
+        // implicated in a race or divergence even when no transforms
+        // run.
+        if !cfg.suppress_nests.is_empty() {
+            for unit in &mut program.units {
+                let name = unit.name.clone();
+                demote_suppressed_directives(&name, &mut unit.body, cfg, &mut report);
+            }
+        }
+        // Pass-through still audits: the input may carry hand-written
+        // directive loops whose synchronization deserves checking.
+        if cfg.audit_sync {
+            crate::sync_audit::audit(&program, &mut report);
+        }
         return RestructureResult { program, report };
     }
     if cfg.inline_expansion {
@@ -58,7 +73,78 @@ pub fn restructure(p: &Program, cfg: &PassConfig) -> RestructureResult {
     if cfg.globalize {
         globalize::run(&mut program, cfg);
     }
+    if cfg.audit_sync {
+        crate::sync_audit::audit(&program, &mut report);
+    }
     RestructureResult { program, report }
+}
+
+/// Remove `await`/`advance` statements from a demoted loop body. Stops
+/// at nested *ordered* loops — their cascades still order their own
+/// iterations. Locks stay: serially they only cost cycles, and they may
+/// guard updates shared with other parallel loops.
+fn strip_cascades(body: &mut Vec<Stmt>) {
+    body.retain(|s| !matches!(s, Stmt::Sync(SyncOp::Await { .. } | SyncOp::Advance { .. })));
+    for s in body {
+        match s {
+            Stmt::If { then_body, elifs, else_body, .. } => {
+                strip_cascades(then_body);
+                for (_, b) in elifs {
+                    strip_cascades(b);
+                }
+                strip_cascades(else_body);
+            }
+            Stmt::DoWhile { body, .. } => strip_cascades(body),
+            Stmt::Loop(l) if !l.class.is_ordered() => strip_cascades(&mut l.body),
+            _ => {}
+        }
+    }
+}
+
+/// Demote every suppressed hand-written parallel loop to serial (see
+/// the directive branch of `transform_loop`); used by the
+/// `!parallelize` pass-through, where no driver context exists.
+fn demote_suppressed_directives(
+    unit_name: &str,
+    body: &mut Vec<Stmt>,
+    cfg: &PassConfig,
+    report: &mut Report,
+) {
+    for s in body {
+        match s {
+            Stmt::Loop(l) => {
+                if l.class != LoopClass::Seq && cfg.is_suppressed(unit_name, l.span.line) {
+                    l.class = LoopClass::Seq;
+                    strip_cascades(&mut l.body);
+                    report.record(
+                        unit_name,
+                        l.span,
+                        LoopDecision::Serial {
+                            reason: "directive nest suppressed by differential validation".into(),
+                        },
+                        Vec::new(),
+                    );
+                    report.record_fallback(
+                        unit_name,
+                        l.span,
+                        "directive nest demoted to serial (validation fallback)",
+                    );
+                }
+                demote_suppressed_directives(unit_name, &mut l.body, cfg, report);
+            }
+            Stmt::If { then_body, elifs, else_body, .. } => {
+                demote_suppressed_directives(unit_name, then_body, cfg, report);
+                for (_, b) in elifs {
+                    demote_suppressed_directives(unit_name, b, cfg, report);
+                }
+                demote_suppressed_directives(unit_name, else_body, cfg, report);
+            }
+            Stmt::DoWhile { body, .. } => {
+                demote_suppressed_directives(unit_name, body, cfg, report);
+            }
+            _ => {}
+        }
+    }
 }
 
 struct DriverCtx<'a> {
@@ -107,8 +193,31 @@ impl DriverCtx<'_> {
 
         // A loop that is already parallel in the input is a user
         // directive (hand-written Cedar Fortran): keep it, but still
-        // visit serial loops nested inside its body.
+        // visit serial loops nested inside its body. A *suppressed*
+        // directive nest (the validator implicated it in a race or a
+        // divergence) is demoted to serial instead: host order
+        // satisfies every dependence, so its cascades become no-ops —
+        // and must be stripped, since an `await` outside a DOACROSS
+        // schedule would stall.
         if l.class != LoopClass::Seq {
+            if self.cfg.is_suppressed(&unit.name, l.span.line) {
+                l.class = LoopClass::Seq;
+                strip_cascades(&mut l.body);
+                self.report.record(
+                    &unit.name,
+                    l.span,
+                    LoopDecision::Serial {
+                        reason: "directive nest suppressed by differential validation".into(),
+                    },
+                    Vec::new(),
+                );
+                self.report.record_fallback(
+                    &unit.name,
+                    l.span,
+                    "directive nest demoted to serial (validation fallback)",
+                );
+                return vec![Stmt::Loop(l)];
+            }
             l.body = self.transform_block(unit, std::mem::take(&mut l.body));
             return vec![Stmt::Loop(l)];
         }
@@ -627,7 +736,7 @@ impl DriverCtx<'_> {
     }
 
     /// Parallel form used by the two-version and critical-section paths:
-    /// privatized scalars + XDOALL scalar body (no legality re-check —
+    /// privatized scalars/arrays + scalar body (no legality re-check —
     /// the caller guarantees it).
     fn forced_parallel(
         &mut self,
@@ -637,6 +746,7 @@ impl DriverCtx<'_> {
         class: LoopClass,
     ) -> Stmt {
         self.privatize_scalars(unit, &mut l, &verdict.private_scalars);
+        self.privatize_arrays(unit, &mut l, &verdict.private_arrays);
         self.vectorize_children(unit, &mut l);
         l.class = class;
         Stmt::Loop(l)

@@ -35,12 +35,13 @@ pub mod globalize;
 pub mod inline;
 pub mod legality;
 pub mod report;
+pub mod sync_audit;
 pub mod sync_insert;
 pub mod vectorize;
 
 pub use config::{PassConfig, Target};
 pub use driver::{restructure, RestructureResult};
-pub use report::{LoopDecision, Report, Technique};
+pub use report::{LoopDecision, Report, SyncAuditFinding, Technique};
 
 #[cfg(test)]
 mod tests {

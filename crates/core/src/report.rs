@@ -108,6 +108,26 @@ pub struct FallbackRecord {
     pub reason: String,
 }
 
+/// One uncovered dependence found by the post-transformation
+/// synchronization audit ([`crate::sync_audit`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncAuditFinding {
+    /// Enclosing unit name.
+    pub unit: String,
+    /// Header line of the parallel loop carrying the dependence.
+    pub line: u32,
+    /// The conflicting variable.
+    pub var: String,
+    /// What is uncovered and why.
+    pub detail: String,
+}
+
+impl fmt::Display for SyncAuditFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}:line {}] {}", self.unit, self.line, self.detail)
+    }
+}
+
 /// Whole-program transformation report.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -117,6 +137,10 @@ pub struct Report {
     pub versions_considered: usize,
     /// Nests reverted to serial by differential validation.
     pub fallbacks: Vec<FallbackRecord>,
+    /// Dependences crossing a parallel loop that the emitted program
+    /// does not synchronize ([`crate::sync_audit`]); empty for a clean
+    /// restructure.
+    pub sync_audit: Vec<SyncAuditFinding>,
 }
 
 impl Report {
@@ -191,6 +215,12 @@ impl fmt::Display for Report {
             writeln!(f, "validation fallbacks ({}):", self.fallbacks.len())?;
             for fb in &self.fallbacks {
                 writeln!(f, "  [{}:{}] reverted to serial: {}", fb.unit, fb.span, fb.reason)?;
+            }
+        }
+        if !self.sync_audit.is_empty() {
+            writeln!(f, "sync audit: {} uncovered dependence(s):", self.sync_audit.len())?;
+            for a in &self.sync_audit {
+                writeln!(f, "  {a}")?;
             }
         }
         Ok(())

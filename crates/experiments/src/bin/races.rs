@@ -1,0 +1,48 @@
+//! Race-detector sweep: every restructured Table 1 / Table 2 workload
+//! (expected clean) plus the seeded racy negatives (expected flagged),
+//! with a JSON confusion matrix.
+//!
+//! Usage: `races [--json PATH]` (JSON goes to `target/races.json`
+//! unless overridden). Exits non-zero on any false positive, false
+//! negative, or detector-induced cycle difference — suitable as a CI
+//! gate.
+
+fn main() {
+    let mut json_path = String::from("target/races.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            if let Some(p) = args.next() {
+                json_path = p;
+            }
+        }
+    }
+
+    let rows = cedar_experiments::races::run();
+    print!("{}", cedar_experiments::races::render(&rows));
+
+    let c = cedar_experiments::races::confusion(&rows);
+    let cycle_breaks = rows.iter().filter(|r| !r.cycles_identical).count();
+    println!(
+        "\nconfusion: {} true positive, {} false negative, {} false positive, \
+         {} true negative; {} cycle-count mismatch(es)",
+        c.true_positive, c.false_negative, c.false_positive, c.true_negative, cycle_breaks
+    );
+
+    let json = cedar_experiments::races::to_json(&rows);
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&json_path, json) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+
+    if c.false_negative > 0 || c.false_positive > 0 || cycle_breaks > 0 {
+        eprintln!(
+            "FAIL: {} false negative(s), {} false positive(s), {} cycle mismatch(es)",
+            c.false_negative, c.false_positive, cycle_breaks
+        );
+        std::process::exit(1);
+    }
+}

@@ -2,7 +2,9 @@
 //! workload under N perturbation seeds and emit a JSON report.
 //!
 //! Usage: `robustness [N_SEEDS] [--json PATH]` (default 8 seeds; JSON
-//! goes to `target/robustness.json` unless overridden).
+//! goes to `target/robustness.json` unless overridden). Exits non-zero
+//! when any workload needed a serial fallback or degraded entirely —
+//! every recorded divergence, deadlock, or race fails a CI gate.
 
 fn main() {
     let mut n_seeds: u64 = 8;
@@ -45,5 +47,15 @@ fn main() {
     match std::fs::write(&json_path, json) {
         Ok(()) => println!("wrote {json_path}"),
         Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+
+    if fallbacks > 0 || degraded > 0 {
+        for r in &rows {
+            for note in &r.fallback_notes {
+                eprintln!("  {}: {note}", r.workload);
+            }
+        }
+        eprintln!("FAIL: {fallbacks} fallback(s), {degraded} degraded workload(s)");
+        std::process::exit(1);
     }
 }

@@ -21,7 +21,10 @@
 //!   saturation);
 //! * [`robustness`] — differential validation of every workload under
 //!   seeded schedule perturbations (`cedar-verify`), with a JSON
-//!   report of fallbacks and result deviations.
+//!   report of fallbacks and result deviations;
+//! * [`races`] — the happens-before race detector over every
+//!   restructured workload plus hand-written racy negatives, with a
+//!   JSON confusion matrix.
 //!
 //! Every cell re-verifies semantic equivalence against the serial run
 //! before reporting a speedup — a cell that computes different answers
@@ -33,6 +36,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod pipeline;
+pub mod races;
 pub mod robustness;
 pub mod table1;
 pub mod table2;

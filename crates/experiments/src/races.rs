@@ -1,0 +1,269 @@
+//! Race-detector evaluation sweep (DESIGN.md §8).
+//!
+//! Two populations:
+//!
+//! * **Should be clean** — every Table 1 workload restructured with the
+//!   automatic configuration and every Table 2 workload with the manual
+//!   configuration, run under the happens-before detector in
+//!   collect-all mode. Any race here is a detector false positive (or a
+//!   restructurer bug — either way a failure).
+//! * **Should be flagged** — hand-written racy Cedar Fortran negatives:
+//!   a shared temporary in a `CDOALL` (expansion without
+//!   privatization), an unlocked sum reduction, a recurrence in a
+//!   `CDOALL` with no cascade, and a `CDOACROSS` whose `await` has no
+//!   matching `advance` (which the deadlock watchdog catches instead).
+//!
+//! Each run also re-executes with detection off and compares simulated
+//! cycles: the detector must be cycle-invisible. The static
+//! [`cedar_restructure::sync_audit`] pass is applied to every program
+//! as a cross-check of the dynamic verdicts. Results are rendered as a
+//! text table plus a JSON confusion matrix.
+
+use cedar_restructure::PassConfig;
+use cedar_sim::MachineConfig;
+use cedar_workloads::Workload;
+
+/// One program's detector verdicts.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload or negative name.
+    pub name: String,
+    /// `table1` / `table2` / `negative`.
+    pub suite: &'static str,
+    /// Ground truth: is this program racy by construction?
+    pub expect_race: bool,
+    /// Races the detector recorded (collect-all mode).
+    pub races: u64,
+    /// The run deadlocked (counts as flagged: the watchdog caught it).
+    pub deadlock: bool,
+    /// First race report, for the table.
+    pub first_race: Option<String>,
+    /// Uncovered dependences the static sync audit found.
+    pub audit_findings: usize,
+    /// Simulated cycles with detection off == with detection on.
+    pub cycles_identical: bool,
+}
+
+impl Row {
+    /// Did any dynamic layer flag the program?
+    pub fn flagged(&self) -> bool {
+        self.races > 0 || self.deadlock
+    }
+
+    /// Correct verdict for this program?
+    pub fn correct(&self) -> bool {
+        self.flagged() == self.expect_race
+    }
+}
+
+/// Confusion-matrix counts over a sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Racy program flagged.
+    pub true_positive: usize,
+    /// Racy program missed.
+    pub false_negative: usize,
+    /// Clean program flagged.
+    pub false_positive: usize,
+    /// Clean program passed.
+    pub true_negative: usize,
+}
+
+/// Tally the matrix.
+pub fn confusion(rows: &[Row]) -> Confusion {
+    let mut c = Confusion::default();
+    for r in rows {
+        match (r.expect_race, r.flagged()) {
+            (true, true) => c.true_positive += 1,
+            (true, false) => c.false_negative += 1,
+            (false, true) => c.false_positive += 1,
+            (false, false) => c.true_negative += 1,
+        }
+    }
+    c
+}
+
+fn examine(name: &str, suite: &'static str, expect_race: bool, program: &cedar_ir::Program, audit_findings: usize) -> Row {
+    let mc = MachineConfig::cedar_config1_scaled();
+    let plain = cedar_sim::run(program, mc.clone());
+    let traced = cedar_sim::run_collecting_races(program, mc);
+    let (races, deadlock, first_race, traced_cycles) = match &traced {
+        Ok(sim) => (
+            sim.races_detected(),
+            false,
+            sim.race_report().first().map(|r| r.to_string()),
+            Some(sim.cycles()),
+        ),
+        Err(e) => (0, e.is_deadlock(), None, None),
+    };
+    let cycles_identical = match (&plain, traced_cycles) {
+        (Ok(p), Some(t)) => p.cycles().to_bits() == t.to_bits(),
+        (Err(a), None) => traced.as_ref().err().map(|b| b.kind) == Some(a.kind),
+        _ => false,
+    };
+    Row {
+        name: name.to_string(),
+        suite,
+        expect_race,
+        races,
+        deadlock,
+        first_race,
+        audit_findings,
+        cycles_identical,
+    }
+}
+
+fn examine_workload(w: &Workload, suite: &'static str, cfg: &PassConfig) -> Row {
+    let rr = cedar_restructure::restructure(&w.compile(), cfg);
+    examine(w.name, suite, false, &rr.program, rr.report.sync_audit.len())
+}
+
+fn examine_negative(name: &str, src: &str) -> Row {
+    let program = cedar_ir::compile_free(src)
+        .unwrap_or_else(|e| panic!("negative `{name}` failed to compile: {e}"));
+    // Identity pass: no transformation, just the static audit.
+    let rr = cedar_restructure::restructure(&program, &PassConfig::serial());
+    examine(name, "negative", true, &program, rr.report.sync_audit.len())
+}
+
+/// The seeded racy negatives: each encodes one restructuring bug the
+/// paper's techniques exist to prevent.
+pub fn negatives() -> Vec<(&'static str, String)> {
+    let init = "do i = 1, n\na(i) = real(i)\nend do\n";
+    vec![
+        (
+            "shared-temp",
+            format!(
+                "program neg\nparameter (n = 64)\nreal a(n), t\n{init}\
+                 cdoall i = 1, n\nt = a(i) * 2.0\na(i) = t + 1.0\nend cdoall\nend\n"
+            ),
+        ),
+        (
+            "unlocked-reduction",
+            format!(
+                "program neg\nparameter (n = 64)\nreal a(n), s\ns = 0.0\n{init}\
+                 cdoall i = 1, n\ns = s + a(i)\nend cdoall\nend\n"
+            ),
+        ),
+        (
+            "missing-cascade",
+            format!(
+                "program neg\nparameter (n = 64)\nreal a(n)\n{init}\
+                 cdoall i = 2, n\na(i) = a(i - 1) * 0.5 + 1.0\nend cdoall\nend\n"
+            ),
+        ),
+        (
+            "missing-advance",
+            format!(
+                "program neg\nparameter (n = 64)\nreal a(n)\n{init}\
+                 cdoacross i = 2, n\ncall await(1, 1)\na(i) = a(i - 1) + 1.0\n\
+                 end cdoacross\nend\n"
+            ),
+        ),
+    ]
+}
+
+/// Sweep both workload suites and every negative.
+pub fn run() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for w in cedar_workloads::table1_workloads() {
+        rows.push(examine_workload(&w, "table1", &PassConfig::automatic_1991()));
+    }
+    for w in cedar_workloads::table2_workloads() {
+        rows.push(examine_workload(&w, "table2", &PassConfig::manual_improved()));
+    }
+    for (name, src) in negatives() {
+        rows.push(examine_negative(name, &src));
+    }
+    rows
+}
+
+/// Text rendering.
+pub fn render(rows: &[Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.suite.to_string(),
+                if r.expect_race { "racy" } else { "clean" }.to_string(),
+                r.races.to_string(),
+                if r.deadlock { "yes" } else { "no" }.to_string(),
+                r.audit_findings.to_string(),
+                if r.cycles_identical { "yes" } else { "NO" }.to_string(),
+                if r.correct() { "ok" } else { "WRONG" }.to_string(),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &["program", "suite", "truth", "races", "deadlock", "audit", "cycles-id", "verdict"],
+        &body,
+    )
+}
+
+/// JSON rendering (no external dependencies).
+pub fn to_json(rows: &[Row]) -> String {
+    let c = confusion(rows);
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"confusion\": {{\"true_positive\": {}, \"false_negative\": {}, \
+         \"false_positive\": {}, \"true_negative\": {}}},\n",
+        c.true_positive, c.false_negative, c.false_positive, c.true_negative
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"suite\": \"{}\", \"expect_race\": {}, \
+             \"races\": {}, \"deadlock\": {}, \"audit_findings\": {}, \
+             \"cycles_identical\": {}, \"flagged\": {}, \"first_race\": {}}}",
+            crate::robustness::json_escape(&r.name),
+            r.suite,
+            r.expect_race,
+            r.races,
+            r.deadlock,
+            r.audit_findings,
+            r.cycles_identical,
+            r.flagged(),
+            match &r.first_race {
+                Some(s) => format!("\"{}\"", crate::robustness::json_escape(s)),
+                None => "null".to_string(),
+            },
+        ));
+        out.push_str(if k + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negatives_are_all_flagged_and_one_workload_is_clean() {
+        let mut rows: Vec<Row> =
+            negatives().iter().map(|(n, s)| examine_negative(n, s)).collect();
+        for r in &rows {
+            assert!(r.flagged(), "negative `{}` must be flagged: {r:?}", r.name);
+            assert!(
+                r.audit_findings > 0,
+                "static audit must agree on `{}`: {r:?}",
+                r.name
+            );
+            assert!(r.cycles_identical, "detector changed cycles on `{}`", r.name);
+        }
+        let w = cedar_workloads::linalg::tridag(48);
+        rows.push(examine_workload(&w, "table1", &PassConfig::automatic_1991()));
+        let r = rows.last().unwrap();
+        assert!(!r.flagged(), "tridag restructured must be race-free: {r:?}");
+        assert!(r.cycles_identical);
+        let c = confusion(&rows);
+        assert_eq!(c.false_negative, 0);
+        assert_eq!(c.false_positive, 0);
+        assert_eq!(c.true_positive, 4);
+        assert_eq!(c.true_negative, 1);
+        let json = to_json(&rows);
+        assert!(json.contains("\"confusion\""), "{json}");
+        assert!(json.contains("\"false_positive\": 0"), "{json}");
+    }
+}

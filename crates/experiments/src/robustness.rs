@@ -30,8 +30,11 @@ pub struct Row {
     pub bit_identical: bool,
     /// Largest relative deviation over all seeds.
     pub max_rel_err: f64,
-    /// Per-seed `(seed, cycles, bit_identical, max_rel_err)`.
+    /// Per-seed `(seed, cycles, bit_identical, max_rel_err)`, sorted by
+    /// seed so report emission is deterministic.
     pub seed_runs: Vec<(u64, f64, bool, f64)>,
+    /// Human-readable fallback notes (`unit:line: reason`), sorted.
+    pub fallback_notes: Vec<String>,
 }
 
 fn validate(w: &Workload, suite: &'static str, config: &'static str, seeds: &[u64]) -> Row {
@@ -55,6 +58,22 @@ fn validate(w: &Workload, suite: &'static str, config: &'static str, seeds: &[u6
         .iter()
         .map(|r| r.max_rel_err)
         .fold(0.0f64, f64::max);
+    // Sort both lists before emission so the JSON report is byte-stable
+    // regardless of the order the validator discovered things in.
+    let mut seed_runs: Vec<(u64, f64, bool, f64)> = v
+        .validation
+        .seed_runs
+        .iter()
+        .map(|r| (r.seed, r.cycles, r.bit_identical, r.max_rel_err))
+        .collect();
+    seed_runs.sort_by_key(|&(seed, ..)| seed);
+    let mut fallback_notes: Vec<String> = v
+        .validation
+        .fallbacks
+        .iter()
+        .map(|fb| format!("{}:line {}: {}", fb.unit, fb.line, fb.reason))
+        .collect();
+    fallback_notes.sort();
     Row {
         workload: w.name.to_string(),
         suite,
@@ -64,12 +83,8 @@ fn validate(w: &Workload, suite: &'static str, config: &'static str, seeds: &[u6
         degraded: v.validation.degraded_to_serial,
         bit_identical: v.validation.all_bit_identical(),
         max_rel_err,
-        seed_runs: v
-            .validation
-            .seed_runs
-            .iter()
-            .map(|r| (r.seed, r.cycles, r.bit_identical, r.max_rel_err))
-            .collect(),
+        seed_runs,
+        fallback_notes,
     }
 }
 
@@ -112,7 +127,7 @@ pub fn render(rows: &[Row]) -> String {
     )
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => "\\\"".chars().collect::<Vec<_>>(),
@@ -155,6 +170,13 @@ pub fn to_json(rows: &[Row], n_seeds: u64) -> String {
                 json_f64(*err),
             ));
             if j + 1 < r.seed_runs.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("], \"fallback_notes\": [");
+        for (j, note) in r.fallback_notes.iter().enumerate() {
+            out.push_str(&format!("\"{}\"", json_escape(note)));
+            if j + 1 < r.fallback_notes.len() {
                 out.push_str(", ");
             }
         }

@@ -101,6 +101,10 @@ pub struct MachineConfig {
     /// Watchdog budget on total executed statements; a run exceeding it
     /// fails with a `Limit` error instead of spinning forever.
     pub watchdog_ops: u64,
+    /// Enable the happens-before data-race detector (DESIGN.md §8).
+    /// Off by default: the detector charges no simulated cycles either
+    /// way, but instrumenting every element access costs host time.
+    pub detect_races: bool,
 }
 
 impl MachineConfig {
@@ -148,6 +152,7 @@ impl MachineConfig {
             page_fault_cost: 400.0,
             max_while_iters: 50_000_000,
             watchdog_ops: 4_000_000_000,
+            detect_races: false,
         }
     }
 
@@ -226,6 +231,15 @@ impl MachineConfig {
     pub fn with_clusters(mut self, n: usize) -> MachineConfig {
         assert!(n >= 1);
         self.clusters = n;
+        self
+    }
+
+    /// Enable the happens-before data-race detector. The first race
+    /// aborts the run with [`crate::SimErrorKind::DataRace`] unless the
+    /// simulator is switched to collect-all mode
+    /// ([`crate::Simulator::collect_races`]).
+    pub fn with_race_detection(mut self) -> MachineConfig {
+        self.detect_races = true;
         self
     }
 }

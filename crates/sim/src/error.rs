@@ -7,6 +7,7 @@
 //! transform, an out-of-bounds subscript means a broken program —
 //! instead of string-matching messages or catching panics.
 
+use crate::race::RaceInfo;
 use cedar_ir::Span;
 use std::fmt;
 
@@ -36,6 +37,9 @@ pub enum SimErrorKind {
     /// Structurally invalid input program (unknown callee, missing
     /// PROGRAM unit, zero DO step, malformed COMMON, ...).
     BadProgram,
+    /// The happens-before detector found two unordered conflicting
+    /// accesses (see [`crate::race`]); details in [`SimError::race`].
+    DataRace,
 }
 
 impl SimErrorKind {
@@ -50,6 +54,7 @@ impl SimErrorKind {
             SimErrorKind::Unsupported => "unsupported",
             SimErrorKind::Limit => "limit-exceeded",
             SimErrorKind::BadProgram => "bad-program",
+            SimErrorKind::DataRace => "data-race",
         }
     }
 }
@@ -70,12 +75,24 @@ pub struct SimError {
     pub msg: String,
     /// Source line of the offending statement (if known).
     pub span: Span,
+    /// Structured race details for [`SimErrorKind::DataRace`] errors.
+    pub race: Option<Box<RaceInfo>>,
 }
 
 impl SimError {
     /// Build an error of the given kind.
     pub fn new(kind: SimErrorKind, span: Span, msg: impl Into<String>) -> SimError {
-        SimError { kind, msg: msg.into(), span }
+        SimError { kind, msg: msg.into(), span, race: None }
+    }
+
+    /// Build a data-race error from detector findings (fail-fast mode).
+    pub fn data_race(info: RaceInfo) -> SimError {
+        SimError {
+            kind: SimErrorKind::DataRace,
+            msg: info.to_string(),
+            span: info.other_span,
+            race: Some(Box::new(info)),
+        }
     }
 
     /// True when this is a watchdog-detected deadlock.
@@ -83,9 +100,14 @@ impl SimError {
         self.kind == SimErrorKind::Deadlock
     }
 
+    /// True when this is a detected data race.
+    pub fn is_race(&self) -> bool {
+        self.kind == SimErrorKind::DataRace
+    }
+
     /// Attach a location-free operation error to a statement span.
     pub fn from_op(e: OpError, span: Span) -> SimError {
-        SimError { kind: e.kind, msg: e.msg, span }
+        SimError { kind: e.kind, msg: e.msg, span, race: None }
     }
 }
 
@@ -140,5 +162,62 @@ mod tests {
         let e = SimError::from_op(op, Span::new(12));
         assert_eq!(e.kind, SimErrorKind::DivByZero);
         assert_eq!(e.span, Span::new(12));
+    }
+
+    #[test]
+    fn every_kind_has_a_distinct_stable_tag() {
+        let kinds = [
+            SimErrorKind::Deadlock,
+            SimErrorKind::OutOfBounds,
+            SimErrorKind::Uninit,
+            SimErrorKind::TypeError,
+            SimErrorKind::DivByZero,
+            SimErrorKind::Unsupported,
+            SimErrorKind::Limit,
+            SimErrorKind::BadProgram,
+            SimErrorKind::DataRace,
+        ];
+        let tags: Vec<&str> = kinds.iter().map(|k| k.as_str()).collect();
+        let mut dedup = tags.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), kinds.len(), "duplicate tag in {tags:?}");
+        // Tags feed JSON reports: lower-case, no whitespace, and the
+        // Display impl must agree with as_str.
+        for k in kinds {
+            let tag = k.as_str();
+            assert_eq!(tag, k.to_string());
+            assert!(
+                tag.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "tag {tag:?} is not a stable lower-case slug"
+            );
+            let e = SimError::new(k, Span::new(3), "boom");
+            assert!(e.to_string().contains(tag), "{e}");
+        }
+    }
+
+    #[test]
+    fn data_race_error_carries_structured_details() {
+        let info = crate::race::RaceInfo {
+            slot: 4,
+            index: 2,
+            var: Some("force".into()),
+            kind: crate::race::RaceKind::WriteWrite,
+            writer_iter: 5,
+            writer_ce: 1,
+            writer_span: Span::new(14),
+            other_iter: 6,
+            other_ce: 2,
+            other_span: Span::new(14),
+        };
+        let e = SimError::data_race(info);
+        assert!(e.is_race());
+        assert!(!e.is_deadlock());
+        let text = e.to_string();
+        assert!(text.contains("data-race"), "{text}");
+        assert!(text.contains("`force`"), "{text}");
+        assert!(text.contains("element 2"), "{text}");
+        let info = e.race.as_ref().expect("race details attached");
+        assert_eq!(info.statement_pair(), (Span::new(14), Span::new(14)));
     }
 }

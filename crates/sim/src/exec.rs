@@ -8,6 +8,7 @@
 
 use crate::config::MachineConfig;
 use crate::fault::{FaultConfig, FaultState};
+use crate::race::{RaceDetector, RaceInfo};
 use crate::stats::ExecStats;
 use crate::store::{SlotId, StorageRef, Store, VarBind};
 use crate::value_ops;
@@ -87,11 +88,19 @@ pub struct Simulator<'p> {
     faults: Option<FaultState>,
     /// Statements executed so far (watchdog budget).
     ops_executed: u64,
+    /// Happens-before race detector (None unless
+    /// [`MachineConfig::detect_races`] is set — the hot path pays one
+    /// `Option` test per access when disabled, and no simulated cycles
+    /// either way).
+    races: Option<Box<RaceDetector>>,
 }
 
 impl<'p> Simulator<'p> {
     /// Build a simulator and allocate COMMON storage.
     pub fn new(program: &'p Program, config: MachineConfig) -> Result<Simulator<'p>> {
+        let races = config
+            .detect_races
+            .then(|| Box::new(RaceDetector::new(true)));
         let mut sim = Simulator {
             program,
             store: Store::new(config.clusters),
@@ -105,6 +114,7 @@ impl<'p> Simulator<'p> {
             call_depth: 0,
             faults: None,
             ops_executed: 0,
+            races,
         };
         sim.allocate_commons()?;
         Ok(sim)
@@ -114,6 +124,27 @@ impl<'p> Simulator<'p> {
     /// [`Simulator::run_main`]; inactive profiles are ignored.
     pub fn set_faults(&mut self, cfg: FaultConfig) {
         self.faults = if cfg.is_active() { Some(FaultState::new(cfg)) } else { None };
+    }
+
+    /// Switch the race detector to **collect-all** mode: races are
+    /// recorded (see [`Simulator::race_report`]) instead of aborting the
+    /// run. Enables the detector if the config did not.
+    pub fn collect_races(&mut self) {
+        match self.races.as_mut() {
+            Some(rd) => rd.fail_fast = false,
+            None => self.races = Some(Box::new(RaceDetector::new(false))),
+        }
+    }
+
+    /// Races collected so far (empty when detection is disabled or in
+    /// fail-fast mode; capped — see [`Simulator::races_detected`]).
+    pub fn race_report(&self) -> &[RaceInfo] {
+        self.races.as_ref().map_or(&[], |rd| rd.report())
+    }
+
+    /// Total number of races the detector observed (uncapped).
+    pub fn races_detected(&self) -> u64 {
+        self.races.as_ref().map_or(0, |rd| rd.total())
     }
 
     /// Total simulated cycles so far.
@@ -208,6 +239,7 @@ impl<'p> Simulator<'p> {
                 let bind = VarBind { sref, offset: 0, dims, ty: sym.ty, placement };
                 // DATA initializers.
                 self.apply_init(&bind, &sym.init);
+                self.note_bind_name(&sym.name, &bind);
                 binds.push(bind);
             }
             self.commons.insert(bname, binds);
@@ -380,6 +412,7 @@ impl<'p> Simulator<'p> {
                             self.alloc_storage(sym.ty, total.max(1), placement, ctx.cluster);
                         let bind = VarBind { sref, offset: 0, dims, ty: sym.ty, placement };
                         self.apply_init(&bind, &sym.init);
+                        self.note_bind_name(&sym.name, &bind);
                         frame.binds[si] = Some(bind);
                     }
                 }
@@ -419,6 +452,21 @@ impl<'p> Simulator<'p> {
             StorageRef::One(s) => *s,
             StorageRef::PerCluster(v) => v[cluster.min(v.len() - 1)],
             StorageRef::PerParticipant(v) => v[0], // rebound per participant
+        }
+    }
+
+    /// Tell the race detector (when active) which source name a
+    /// binding's slots carry, so race reports can cite the variable.
+    fn note_bind_name(&mut self, name: &str, bind: &VarBind) {
+        if let Some(rd) = self.races.as_mut() {
+            match &bind.sref {
+                StorageRef::One(s) => rd.note_slot_name(*s, name),
+                StorageRef::PerCluster(v) | StorageRef::PerParticipant(v) => {
+                    for s in v {
+                        rd.note_slot_name(*s, name);
+                    }
+                }
+            }
         }
     }
 
@@ -517,9 +565,11 @@ impl<'p> Simulator<'p> {
         })
     }
 
-    /// Checked element read through a resolved slot.
-    fn load(&self, slot: SlotId, lin: usize) -> Result<Value> {
-        self.store.slot(slot).try_get(lin).ok_or_else(|| {
+    /// Checked element read through a resolved slot. Every element read
+    /// of the interpreter (scalar, indexed, section lane) funnels
+    /// through here, so this is where the race detector observes reads.
+    fn load(&mut self, slot: SlotId, lin: usize) -> Result<Value> {
+        let v = self.store.slot(slot).try_get(lin).ok_or_else(|| {
             SimError::new(
                 SimErrorKind::OutOfBounds,
                 cedar_ir::Span::NONE,
@@ -528,13 +578,29 @@ impl<'p> Simulator<'p> {
                     self.store.slot(slot).len()
                 ),
             )
-        })
+        })?;
+        if let Some(rd) = self.races.as_mut() {
+            if let Some(race) = rd.record_read(slot, lin) {
+                if let Some(e) = rd.flag(race) {
+                    return Err(e);
+                }
+            }
+        }
+        Ok(v)
     }
 
-    /// Checked element write through a resolved slot.
+    /// Checked element write through a resolved slot (the write-side
+    /// counterpart of [`Simulator::load`] for race detection).
     fn store_at(&mut self, slot: SlotId, lin: usize, v: Value, ty: Ty) -> Result<()> {
         let len = self.store.slot(slot).len();
         if self.store.slot_mut(slot).try_set(lin, value_ops::coerce(v, ty)) {
+            if let Some(rd) = self.races.as_mut() {
+                if let Some(race) = rd.record_write(slot, lin) {
+                    if let Some(e) = rd.flag(race) {
+                        return Err(e);
+                    }
+                }
+            }
             Ok(())
         } else {
             kerr(
@@ -1302,6 +1368,10 @@ impl<'p> Simulator<'p> {
                 format!("watchdog: statement budget of {} exceeded", self.config.watchdog_ops),
             );
         }
+        if let Some(rd) = self.races.as_mut() {
+            // Accesses report the statement they ran under.
+            rd.set_span(s.span());
+        }
         match s {
             Stmt::Assign { lhs, rhs, span } => {
                 self.exec_assign(frame, lhs, rhs, None, ctx)
@@ -1393,6 +1463,12 @@ impl<'p> Simulator<'p> {
                 for t in self.task_ends.drain(..) {
                     if t > ctx.time {
                         ctx.time = t;
+                    }
+                }
+                if let Some(rd) = self.races.as_mut() {
+                    // The join orders every task before what follows.
+                    if rd.in_task_group() {
+                        rd.pop_region();
                     }
                 }
                 Ok(Flow::Normal)
@@ -1516,9 +1592,24 @@ impl<'p> Simulator<'p> {
         }
         self.stats.tasks_started += 1;
         let startup = if lib { self.config.mtsk_start } else { self.config.ctsk_start };
+        // Race detection: tasks spawned before the next TaskWait are
+        // concurrent with each other and with the spawner's
+        // continuation. A task-group region models them as logical
+        // threads: the spawner is thread 0, task n is thread n.
+        let task_no = self.stats.tasks_started as u32;
+        if let Some(rd) = self.races.as_mut() {
+            if !rd.in_task_group() {
+                rd.push_region(false, true);
+            }
+            rd.switch_task_thread(task_no, 0);
+        }
         // The thread runs on its own clock starting after dispatch.
         let mut tctx = Ctx { cluster: ctx.cluster, time: ctx.time + startup, active: ctx.active };
-        self.invoke(frame, ridx, args, &mut tctx)?;
+        let body_result = self.invoke(frame, ridx, args, &mut tctx);
+        if let Some(rd) = self.races.as_mut() {
+            rd.switch_task_thread(0, 0);
+        }
+        body_result?;
         self.task_ends.push(tctx.time);
         // The starter continues after the dispatch handshake only.
         ctx.time += if lib { 40.0 } else { 200.0 };
@@ -1588,6 +1679,12 @@ impl<'p> Simulator<'p> {
                         }
                     }
                 }
+                // Race detection: the satisfied await synchronizes-with
+                // the advances of every iteration ≤ k − d.
+                let cur = self.doacross.last().map(|st| st.cur_iter as i64);
+                if let (Some(k), Some(rd)) = (cur, self.races.as_mut()) {
+                    rd.on_await(*point, k - d);
+                }
                 Ok(())
             }
             SyncOp::Advance { point } => {
@@ -1619,6 +1716,12 @@ impl<'p> Simulator<'p> {
                         v[k] = Some(t);
                     }
                 }
+                // Race detection: publish this iteration's knowledge to
+                // later awaiters (a dropped advance publishes nothing —
+                // it already returned above).
+                if let Some(rd) = self.races.as_mut() {
+                    rd.on_advance(*point);
+                }
                 Ok(())
             }
             SyncOp::Lock { id } => {
@@ -1629,10 +1732,16 @@ impl<'p> Simulator<'p> {
                     ctx.time = free;
                 }
                 ctx.time += self.config.lock_cost;
+                if let Some(rd) = self.races.as_mut() {
+                    rd.on_lock(*id);
+                }
                 Ok(())
             }
             SyncOp::Unlock { id } => {
                 self.lock_release.insert(*id, ctx.time);
+                if let Some(rd) = self.races.as_mut() {
+                    rd.on_unlock(*id);
+                }
                 Ok(())
             }
         }
@@ -1661,7 +1770,17 @@ impl<'p> Simulator<'p> {
     fn set_loop_var(&mut self, frame: &Frame, var: SymbolId, value: i64, ctx: &Ctx) -> Result<()> {
         let bind = self.bind_of(frame, var)?.clone();
         let slot = self.resolve_slot(&bind, ctx.cluster);
-        self.store_at(slot, bind.offset, Value::I(value), bind.ty)
+        // The loop variable is conceptually private per iteration (each
+        // CE holds its own copy); the host-side shared write must not
+        // register as a cross-iteration race.
+        if let Some(rd) = self.races.as_mut() {
+            rd.suspend();
+        }
+        let r = self.store_at(slot, bind.offset, Value::I(value), bind.ty);
+        if let Some(rd) = self.races.as_mut() {
+            rd.resume();
+        }
+        r
     }
 
     fn exec_seq_loop(
@@ -1673,9 +1792,15 @@ impl<'p> Simulator<'p> {
         trip: usize,
         ctx: &mut Ctx,
     ) -> Result<Flow> {
-        // Sequential loops may carry (ignored) locals from privatization
-        // of an enclosing transform; bind them once.
+        // Sequential loops may carry locals from privatization of an
+        // enclosing transform, or a preamble/postamble if a directive
+        // loop was demoted to serial (validation fallback): a serial
+        // loop is a one-participant schedule, so bind locals once and
+        // run the per-participant blocks once.
         let locals = self.bind_locals(frame, l, 1, ctx)?;
+        if !l.preamble.is_empty() {
+            self.exec_block(frame, &l.preamble, ctx)?;
+        }
         let mut flow = Flow::Normal;
         for k in 0..trip {
             self.set_loop_var(frame, l.var, start + (k as i64) * step, ctx)?;
@@ -1688,6 +1813,9 @@ impl<'p> Simulator<'p> {
                     break;
                 }
             }
+        }
+        if !l.postamble.is_empty() && matches!(flow, Flow::Normal) {
+            self.exec_block(frame, &l.postamble, ctx)?;
         }
         for (_, per_part) in &locals {
             for b in per_part {
@@ -1733,6 +1861,18 @@ impl<'p> Simulator<'p> {
                     ty: sym.ty,
                     placement: Placement::Private,
                 });
+            }
+            // Privatized loop locals are per-CE storage: iterations that
+            // share a participant reuse the slot sequentially, which is
+            // not a race (each CE accesses only its own copy). Exempt
+            // them from detection; an unprivatized shared temp keeps its
+            // ordinary placement and stays visible to the detector.
+            if let Some(rd) = self.races.as_mut() {
+                for b in &per_part {
+                    if let StorageRef::One(s) = &b.sref {
+                        rd.exempt_slot(*s);
+                    }
+                }
             }
             // Bind participant 0 by default.
             frame.binds[loc.index()] = Some(per_part[0].clone());
@@ -1849,6 +1989,14 @@ impl<'p> Simulator<'p> {
             }
         }
 
+        // Race detection: the region forks after the preamble — the
+        // preamble (partial-reduction init) and postamble (merge) run
+        // per participant but are serialized with the loop body by the
+        // hardware, so they execute in the parent's logical thread.
+        if let Some(rd) = self.races.as_mut() {
+            rd.push_region(is_ordered, false);
+        }
+
         let mut flow = Flow::Normal;
         for k in 0..trip {
             // Deterministic self-scheduling: earliest-clock participant
@@ -1868,6 +2016,9 @@ impl<'p> Simulator<'p> {
                     st.cur_iter = k;
                 }
             }
+            if let Some(rd) = self.races.as_mut() {
+                rd.begin_iteration(k as u32, p as u16);
+            }
             self.set_loop_var(frame, l.var, start + (k as i64) * step, &cctx)?;
             let f = self.exec_block(frame, &l.body, &mut cctx)?;
             clocks[p] = cctx.time;
@@ -1875,6 +2026,10 @@ impl<'p> Simulator<'p> {
                 flow = f;
                 break;
             }
+        }
+
+        if let Some(rd) = self.races.as_mut() {
+            rd.pop_region();
         }
 
         // Postamble: once per participant.

@@ -41,6 +41,7 @@ pub mod config;
 pub mod error;
 pub mod exec;
 pub mod fault;
+pub mod race;
 pub mod stats;
 pub mod store;
 pub mod value_ops;
@@ -49,6 +50,7 @@ pub use config::MachineConfig;
 pub use error::{OpError, SimError, SimErrorKind};
 pub use exec::Simulator;
 pub use fault::{FaultConfig, FaultRng};
+pub use race::{RaceInfo, RaceKind};
 pub use stats::ExecStats;
 
 use cedar_ir::Program;
@@ -74,6 +76,20 @@ pub fn run_with_faults(
 ) -> Result<Simulator<'_>, SimError> {
     let mut sim = Simulator::new(program, config)?;
     sim.set_faults(faults);
+    sim.run_main()?;
+    Ok(sim)
+}
+
+/// Run with the happens-before race detector in **collect-all** mode:
+/// races do not abort the run; inspect them afterwards via
+/// [`Simulator::race_report`] / [`Simulator::races_detected`]. Other
+/// failures (deadlock, out-of-bounds, ...) still surface as errors.
+pub fn run_collecting_races(
+    program: &Program,
+    config: MachineConfig,
+) -> Result<Simulator<'_>, SimError> {
+    let mut sim = Simulator::new(program, config.with_race_detection())?;
+    sim.collect_races();
     sim.run_main()?;
     Ok(sim)
 }

@@ -1,0 +1,659 @@
+//! Happens-before data-race detection (DESIGN.md §8).
+//!
+//! The simulator executes parallel loops *sequentially* (one iteration
+//! at a time, in index order), so the detector cannot observe races by
+//! watching interleavings — it must reconstruct the **happens-before
+//! partial order** the Cedar hardware would actually guarantee and flag
+//! every pair of conflicting accesses that the order leaves unrelated.
+//! A race flagged here is schedule-dependent on the real machine even
+//! though the simulator's canonical schedule produced the right answer
+//! (idempotent double-writes, reductions without locks, cascades with
+//! missing `advance`s, ...) — exactly the class of bugs PR 1's
+//! differential validator can miss.
+//!
+//! The logical threads are **loop iterations**, not CEs: which CE runs
+//! an iteration is a scheduling accident, and two iterations race
+//! unless synchronization orders them under *every* legal schedule.
+//! Happens-before edges come from:
+//!
+//! * **fork/join** — statements before a parallel loop precede every
+//!   iteration; every iteration precedes the join barrier;
+//! * **cascade delivery** — `await(p, d)` in iteration `k`
+//!   synchronizes-with the `advance(p)` of every iteration `≤ k − d`
+//!   (the cascade counter is monotone: when it reaches `k − d`, all
+//!   earlier iterations have advanced);
+//! * **critical sections** — `lock(id)` synchronizes-with the previous
+//!   `unlock(id)`, chaining the lock's holders.
+//!
+//! Mechanically, each active parallel region keeps a frame with the
+//! current iteration's sparse **vector clock** (what segments of sibling
+//! iterations it has observed through sync). Every access snapshots the
+//! *path* of `(region instance, iteration, segment clock)` triples down
+//! the region stack; shadow memory stores, per element, the last write
+//! and the reads since. Two accesses are ordered iff their paths
+//! diverge at a joined region (host execution order implies the join
+//! barrier), stay on one logical thread, or the recorded segment is
+//! covered by the current iteration's vector clock; otherwise they are
+//! concurrent and a conflicting pair is a race.
+//!
+//! The detector charges **zero simulated cycles** and is only
+//! instantiated when [`crate::MachineConfig::detect_races`] is set, so
+//! the hot path pays nothing when disabled and cycle counts are
+//! bit-identical either way.
+
+use crate::store::SlotId;
+use cedar_ir::Span;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Sparse vector clock: iteration → highest observed segment clock.
+type Vc = BTreeMap<u32, u32>;
+
+fn vc_join(dst: &mut Vc, src: &Vc) {
+    for (&iter, &clock) in src {
+        let e = dst.entry(iter).or_insert(0);
+        if *e < clock {
+            *e = clock;
+        }
+    }
+}
+
+/// Conflict classification of a detected race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RaceKind {
+    /// Two unordered writes to the same element.
+    WriteWrite,
+    /// A write, then an unordered read of the same element.
+    WriteRead,
+    /// A read, then an unordered write of the same element.
+    ReadWrite,
+}
+
+impl RaceKind {
+    /// Stable lower-case tag (used in Display and JSON reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RaceKind::WriteWrite => "write-write",
+            RaceKind::WriteRead => "write-read",
+            RaceKind::ReadWrite => "read-write",
+        }
+    }
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A detected data race: one storage element, two unordered accesses of
+/// which at least one is a write.
+#[derive(Debug, Clone)]
+pub struct RaceInfo {
+    /// Storage slot of the racing element.
+    pub slot: u32,
+    /// Linear element index within the slot.
+    pub index: usize,
+    /// Source name bound to the slot, when known.
+    pub var: Option<String>,
+    /// Conflict classification.
+    pub kind: RaceKind,
+    /// Iteration of the writing access (for read-write, the later write).
+    pub writer_iter: u32,
+    /// Participant (CE within the loop) that executed the write.
+    pub writer_ce: usize,
+    /// Statement of the writing access.
+    pub writer_span: Span,
+    /// Iteration of the other access.
+    pub other_iter: u32,
+    /// Participant that executed the other access.
+    pub other_ce: usize,
+    /// Statement of the other access.
+    pub other_span: Span,
+}
+
+impl RaceInfo {
+    /// The racing statement pair, for fallback notes: `(write line,
+    /// other line)`.
+    pub fn statement_pair(&self) -> (Span, Span) {
+        (self.writer_span, self.other_span)
+    }
+}
+
+impl fmt::Display for RaceInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match &self.var {
+            Some(n) => format!("`{n}`"),
+            None => format!("slot {}", self.slot),
+        };
+        let other_word = match self.kind {
+            RaceKind::WriteWrite => "write",
+            RaceKind::WriteRead | RaceKind::ReadWrite => "read",
+        };
+        write!(
+            f,
+            "{} race on {} (element {}): write in iteration {} (CE {}, {}) \
+             conflicts with {} in iteration {} (CE {}, {})",
+            self.kind,
+            name,
+            self.index,
+            self.writer_iter,
+            self.writer_ce,
+            self.writer_span,
+            other_word,
+            self.other_iter,
+            self.other_ce,
+            self.other_span,
+        )
+    }
+}
+
+/// One level of an access path: which instance of a parallel region the
+/// access ran under, in which iteration, and in which sync segment of
+/// that iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PathEntry {
+    region: u64,
+    iter: u32,
+    clock: u32,
+}
+
+/// A recorded access: its region path plus reporting metadata.
+#[derive(Debug, Clone)]
+struct Access {
+    path: Box<[PathEntry]>,
+    part: u16,
+    span: Span,
+}
+
+/// Shadow state of one storage element.
+#[derive(Debug, Clone, Default)]
+struct Cell {
+    write: Option<Access>,
+    reads: Vec<Access>,
+}
+
+/// One active parallel region (or subroutine task group).
+struct RegionFrame {
+    id: u64,
+    /// DOACROSS (ordered) regions accept cascade edges.
+    ordered: bool,
+    /// Subroutine-level task groups interleave logical threads, so
+    /// per-thread state is saved/restored instead of reset.
+    task_group: bool,
+    cur_iter: u32,
+    cur_clock: u32,
+    cur_part: u16,
+    /// Current iteration's observations of sibling segments.
+    vc: Vc,
+    /// `advance` snapshots: point → iteration → (segment clock at the
+    /// advance, vector clock at the advance).
+    advances: BTreeMap<u32, BTreeMap<u32, (u32, Vc)>>,
+    /// Last `unlock` per lock id: (iteration, segment clock, vector
+    /// clock at release).
+    locks: BTreeMap<u32, (u32, u32, Vc)>,
+    /// Saved logical-thread state for task groups.
+    saved: BTreeMap<u32, (u32, Vc)>,
+}
+
+/// Cap on collected race reports (the total count keeps counting).
+const REPORT_CAP: usize = 256;
+
+/// The happens-before detector. Owned by [`crate::Simulator`] when
+/// [`crate::MachineConfig::detect_races`] is set.
+pub struct RaceDetector {
+    stack: Vec<RegionFrame>,
+    /// Cached path mirror of `stack` (cloned into each access record).
+    path: Vec<PathEntry>,
+    /// Shadow memory, indexed by slot id then linear element.
+    shadow: Vec<Option<Vec<Cell>>>,
+    /// Best-effort slot → source-name map for reports.
+    slot_names: BTreeMap<u32, String>,
+    /// Per-CE private slots (privatized loop locals): iterations that
+    /// share a participant reuse them sequentially, never concurrently.
+    exempt: BTreeSet<u32>,
+    next_region: u64,
+    /// When > 0, accesses are not recorded (loop-variable bookkeeping).
+    suspend: u32,
+    /// Fail-fast (first race is a `SimError`) vs collect-all mode.
+    pub fail_fast: bool,
+    races: Vec<RaceInfo>,
+    total: u64,
+    cur_span: Span,
+}
+
+impl RaceDetector {
+    /// New detector; `fail_fast` turns the first race into an error.
+    pub fn new(fail_fast: bool) -> RaceDetector {
+        RaceDetector {
+            stack: Vec::new(),
+            path: Vec::new(),
+            shadow: Vec::new(),
+            slot_names: BTreeMap::new(),
+            exempt: BTreeSet::new(),
+            next_region: 0,
+            suspend: 0,
+            fail_fast,
+            races: Vec::new(),
+            total: 0,
+            cur_span: Span::NONE,
+        }
+    }
+
+    /// Races collected so far (capped; see [`RaceDetector::total`]).
+    pub fn report(&self) -> &[RaceInfo] {
+        &self.races
+    }
+
+    /// Total number of races observed (uncapped).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub(crate) fn set_span(&mut self, span: Span) {
+        self.cur_span = span;
+    }
+
+    pub(crate) fn note_slot_name(&mut self, slot: SlotId, name: &str) {
+        self.slot_names.entry(slot.0).or_insert_with(|| name.to_string());
+    }
+
+    /// Mark a slot as per-CE private (not subject to race checks).
+    /// Slot ids are never reused, so exemptions cannot go stale.
+    pub(crate) fn exempt_slot(&mut self, slot: SlotId) {
+        self.exempt.insert(slot.0);
+    }
+
+    pub(crate) fn suspend(&mut self) {
+        self.suspend += 1;
+    }
+
+    pub(crate) fn resume(&mut self) {
+        self.suspend = self.suspend.saturating_sub(1);
+    }
+
+    // ---- region lifecycle ----
+
+    fn refresh_path_top(&mut self) {
+        if let (Some(f), Some(p)) = (self.stack.last(), self.path.last_mut()) {
+            *p = PathEntry { region: f.id, iter: f.cur_iter, clock: f.cur_clock };
+        }
+    }
+
+    pub(crate) fn push_region(&mut self, ordered: bool, task_group: bool) {
+        let id = self.next_region;
+        self.next_region += 1;
+        self.stack.push(RegionFrame {
+            id,
+            ordered,
+            task_group,
+            cur_iter: 0,
+            cur_clock: 0,
+            cur_part: 0,
+            vc: Vc::new(),
+            advances: BTreeMap::new(),
+            locks: BTreeMap::new(),
+            saved: BTreeMap::new(),
+        });
+        self.path.push(PathEntry { region: id, iter: 0, clock: 0 });
+    }
+
+    pub(crate) fn pop_region(&mut self) {
+        self.stack.pop();
+        self.path.pop();
+    }
+
+    /// True when the innermost region is a subroutine task group.
+    pub(crate) fn in_task_group(&self) -> bool {
+        self.stack.last().is_some_and(|f| f.task_group)
+    }
+
+    /// Start a fresh logical thread (loop iteration) in the innermost
+    /// region. Iterations never revisit, so state resets.
+    pub(crate) fn begin_iteration(&mut self, iter: u32, part: u16) {
+        if let Some(f) = self.stack.last_mut() {
+            f.cur_iter = iter;
+            f.cur_clock = 0;
+            f.cur_part = part;
+            f.vc.clear();
+        }
+        self.refresh_path_top();
+    }
+
+    /// Switch the innermost task group to logical thread `iter`,
+    /// saving/restoring per-thread clocks (threads interleave in host
+    /// order: spawner, task 1, spawner, task 2, ...).
+    pub(crate) fn switch_task_thread(&mut self, iter: u32, part: u16) {
+        if let Some(f) = self.stack.last_mut() {
+            if f.cur_iter != iter {
+                let old_vc = std::mem::take(&mut f.vc);
+                f.saved.insert(f.cur_iter, (f.cur_clock, old_vc));
+                let (clock, vc) = f.saved.remove(&iter).unwrap_or((0, Vc::new()));
+                f.cur_iter = iter;
+                f.cur_clock = clock;
+                f.vc = vc;
+            }
+            f.cur_part = part;
+        }
+        self.refresh_path_top();
+    }
+
+    // ---- synchronization edges ----
+
+    /// `await(point, d)` satisfied in iteration `k`: join the advance
+    /// snapshots of every iteration `≤ upto = k − d` (monotone-counter
+    /// semantics). Applies to the innermost *ordered* region.
+    pub(crate) fn on_await(&mut self, point: u32, upto: i64) {
+        if upto < 0 {
+            return;
+        }
+        let Some(f) = self.stack.iter_mut().rev().find(|f| f.ordered) else {
+            return;
+        };
+        if let Some(per_iter) = f.advances.get(&point) {
+            // Collect first: `advances` and `vc` live in the same frame.
+            let edges: Vec<(u32, u32, Vc)> = per_iter
+                .range(..=(upto.min(u32::MAX as i64) as u32))
+                .map(|(&j, (clk, vc))| (j, *clk, vc.clone()))
+                .collect();
+            for (j, clk, vc) in edges {
+                vc_join(&mut f.vc, &vc);
+                let e = f.vc.entry(j).or_insert(0);
+                if *e < clk {
+                    *e = clk;
+                }
+            }
+        }
+    }
+
+    /// `advance(point)`: snapshot the advancing iteration's knowledge
+    /// and open a new segment (accesses after the advance are not
+    /// ordered by it).
+    pub(crate) fn on_advance(&mut self, point: u32) {
+        let Some(f) = self.stack.iter_mut().rev().find(|f| f.ordered) else {
+            return;
+        };
+        f.advances
+            .entry(point)
+            .or_default()
+            .insert(f.cur_iter, (f.cur_clock, f.vc.clone()));
+        f.cur_clock += 1;
+        self.refresh_path_top();
+    }
+
+    /// `lock(id)`: synchronize-with the previous holder's release.
+    pub(crate) fn on_lock(&mut self, id: u32) {
+        let Some(f) = self.stack.last_mut() else { return };
+        if let Some((iter, clock, vc)) = f.locks.get(&id).cloned() {
+            vc_join(&mut f.vc, &vc);
+            let e = f.vc.entry(iter).or_insert(0);
+            if *e < clock {
+                *e = clock;
+            }
+        }
+    }
+
+    /// `unlock(id)`: publish this iteration's knowledge to the next
+    /// holder and open a new segment.
+    pub(crate) fn on_unlock(&mut self, id: u32) {
+        let Some(f) = self.stack.last_mut() else { return };
+        f.locks.insert(id, (f.cur_iter, f.cur_clock, f.vc.clone()));
+        f.cur_clock += 1;
+        self.refresh_path_top();
+    }
+
+    // ---- the happens-before test ----
+
+    /// If the recorded access path `a` is *not* ordered before the
+    /// current context, return the two diverging iterations
+    /// `(recorded, current)`; `None` means happens-before holds.
+    fn conflict(&self, a: &[PathEntry]) -> Option<(u32, u32)> {
+        for (d, pa) in a.iter().enumerate() {
+            let Some(f) = self.stack.get(d) else {
+                // `a` ran inside a region that has since joined: the
+                // join barrier orders it before the current context.
+                return None;
+            };
+            if pa.region != f.id {
+                // A different instance at this depth also joined before
+                // the current one forked (host order is program order).
+                return None;
+            }
+            if pa.iter == f.cur_iter {
+                // Same logical thread at this level; compare deeper.
+                continue;
+            }
+            // Sibling iterations of a live region: ordered only when the
+            // current iteration observed the recorded segment via sync.
+            if f.vc.get(&pa.iter).is_some_and(|&c| pa.clock <= c) {
+                return None;
+            }
+            return Some((pa.iter, f.cur_iter));
+        }
+        // `a` is a prefix of the current path: same thread, earlier in
+        // program order (e.g. before a nested region forked).
+        None
+    }
+
+    // ---- shadow memory ----
+
+    fn cell_mut(&mut self, slot: SlotId, lin: usize) -> &mut Cell {
+        let si = slot.0 as usize;
+        if self.shadow.len() <= si {
+            self.shadow.resize_with(si + 1, || None);
+        }
+        let cells = self.shadow[si].get_or_insert_with(Vec::new);
+        if cells.len() <= lin {
+            cells.resize_with(lin + 1, Cell::default);
+        }
+        &mut cells[lin]
+    }
+
+    fn cur_access(&self) -> Access {
+        Access {
+            path: self.path.clone().into_boxed_slice(),
+            part: self.stack.last().map_or(0, |f| f.cur_part),
+            span: self.cur_span,
+        }
+    }
+
+    fn make_race(
+        &self,
+        kind: RaceKind,
+        prior: &Access,
+        prior_iter: u32,
+        cur_iter: u32,
+        slot: SlotId,
+        lin: usize,
+    ) -> RaceInfo {
+        let cur_part = self.stack.last().map_or(0, |f| f.cur_part) as usize;
+        let (writer_iter, writer_ce, writer_span, other_iter, other_ce, other_span) = match kind {
+            // Prior access is the write.
+            RaceKind::WriteWrite | RaceKind::WriteRead => (
+                prior_iter,
+                prior.part as usize,
+                prior.span,
+                cur_iter,
+                cur_part,
+                self.cur_span,
+            ),
+            // Current access is the write.
+            RaceKind::ReadWrite => (
+                cur_iter,
+                cur_part,
+                self.cur_span,
+                prior_iter,
+                prior.part as usize,
+                prior.span,
+            ),
+        };
+        RaceInfo {
+            slot: slot.0,
+            index: lin,
+            var: self.slot_names.get(&slot.0).cloned(),
+            kind,
+            writer_iter,
+            writer_ce,
+            writer_span,
+            other_iter,
+            other_ce,
+            other_span,
+        }
+    }
+
+    /// Record a read of `slot[lin]`; returns the race it completes, if
+    /// any. Serial-context accesses are ordered with everything and are
+    /// neither checked nor recorded.
+    pub(crate) fn record_read(&mut self, slot: SlotId, lin: usize) -> Option<RaceInfo> {
+        if self.suspend > 0 || self.stack.is_empty() || self.exempt.contains(&slot.0) {
+            return None;
+        }
+        let prior_write = self
+            .shadow
+            .get(slot.0 as usize)
+            .and_then(|s| s.as_ref())
+            .and_then(|cells| cells.get(lin))
+            .and_then(|c| c.write.clone());
+        let mut race = None;
+        if let Some(w) = &prior_write {
+            if let Some((wi, ci)) = self.conflict(&w.path) {
+                race = Some(self.make_race(RaceKind::WriteRead, w, wi, ci, slot, lin));
+            }
+        }
+        let cur = self.cur_access();
+        let cell = self.cell_mut(slot, lin);
+        // The host runs one iteration at a time, so consecutive reads of
+        // a cell from the same path dedupe with a last-entry check.
+        if cell.reads.last().map(|r| r.path.as_ref()) != Some(cur.path.as_ref()) {
+            cell.reads.push(cur);
+        }
+        race
+    }
+
+    /// Record a write of `slot[lin]`; returns the first race it
+    /// completes against the prior write or any unordered reader.
+    pub(crate) fn record_write(&mut self, slot: SlotId, lin: usize) -> Option<RaceInfo> {
+        if self.suspend > 0 || self.stack.is_empty() || self.exempt.contains(&slot.0) {
+            return None;
+        }
+        let (prior_write, prior_reads) = {
+            let cell = self.cell_mut(slot, lin);
+            (cell.write.take(), std::mem::take(&mut cell.reads))
+        };
+        let mut race = None;
+        if let Some(w) = &prior_write {
+            if let Some((wi, ci)) = self.conflict(&w.path) {
+                race = Some(self.make_race(RaceKind::WriteWrite, w, wi, ci, slot, lin));
+            }
+        }
+        if race.is_none() {
+            for r in &prior_reads {
+                if let Some((ri, ci)) = self.conflict(&r.path) {
+                    race = Some(self.make_race(RaceKind::ReadWrite, r, ri, ci, slot, lin));
+                    break;
+                }
+            }
+        }
+        self.cell_mut(slot, lin).write = Some(self.cur_access());
+        race
+    }
+
+    /// Count a detected race; in fail-fast mode produce the error that
+    /// aborts the run, otherwise collect (capped) and continue.
+    pub(crate) fn flag(&mut self, race: RaceInfo) -> Option<crate::SimError> {
+        self.total += 1;
+        if self.fail_fast {
+            return Some(crate::SimError::data_race(race));
+        }
+        if self.races.len() < REPORT_CAP {
+            self.races.push(race);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(path: &[PathEntry]) -> Access {
+        Access { path: path.to_vec().into_boxed_slice(), part: 0, span: Span::NONE }
+    }
+
+    #[test]
+    fn joined_regions_are_ordered() {
+        let mut d = RaceDetector::new(true);
+        d.push_region(false, false);
+        d.begin_iteration(3, 1);
+        let rec = access(&[PathEntry { region: 0, iter: 1, clock: 0 }]);
+        // Same live region, different iteration, no sync: concurrent.
+        assert_eq!(d.conflict(&rec.path), Some((1, 3)));
+        d.pop_region();
+        d.push_region(false, false);
+        d.begin_iteration(0, 0);
+        // The first region joined before the second forked.
+        assert_eq!(d.conflict(&rec.path), None);
+    }
+
+    #[test]
+    fn cascade_edge_orders_prior_segment_only() {
+        let mut d = RaceDetector::new(true);
+        d.push_region(true, false);
+        d.begin_iteration(1, 0);
+        // Iteration 1 advances point 7 after its clock-0 segment,
+        // then keeps running in segment 1.
+        d.on_advance(7);
+        let after_advance = access(&[PathEntry { region: 0, iter: 1, clock: 1 }]);
+        let before_advance = access(&[PathEntry { region: 0, iter: 1, clock: 0 }]);
+        d.begin_iteration(2, 1);
+        // Without the await, both segments are concurrent with iter 2.
+        assert!(d.conflict(&before_advance.path).is_some());
+        d.on_await(7, 1);
+        // The await orders the pre-advance segment, not the post one.
+        assert_eq!(d.conflict(&before_advance.path), None);
+        assert!(d.conflict(&after_advance.path).is_some());
+    }
+
+    #[test]
+    fn lock_chain_orders_critical_sections() {
+        let mut d = RaceDetector::new(true);
+        d.push_region(false, false);
+        d.begin_iteration(0, 0);
+        d.on_lock(9);
+        let in_cs = access(&[PathEntry { region: 0, iter: 0, clock: 0 }]);
+        d.on_unlock(9);
+        d.begin_iteration(5, 2);
+        assert!(d.conflict(&in_cs.path).is_some(), "no lock yet: concurrent");
+        d.on_lock(9);
+        assert_eq!(d.conflict(&in_cs.path), None, "lock chain orders the CS");
+        d.pop_region();
+    }
+
+    #[test]
+    fn shadow_reports_write_write_and_read_write() {
+        let mut d = RaceDetector::new(false);
+        let s = SlotId(4);
+        d.push_region(false, false);
+        d.begin_iteration(0, 0);
+        assert!(d.record_write(s, 2).is_none(), "first write races with nothing");
+        d.begin_iteration(1, 1);
+        let r = d.record_write(s, 2).expect("unordered second write");
+        assert_eq!(r.kind, RaceKind::WriteWrite);
+        assert_eq!((r.writer_iter, r.other_iter), (0, 1));
+        d.begin_iteration(2, 0);
+        assert!(d.record_read(s, 3).is_none(), "different element");
+        d.begin_iteration(3, 1);
+        let r = d.record_write(s, 3).expect("write after unordered read");
+        assert_eq!(r.kind, RaceKind::ReadWrite);
+        assert_eq!(r.writer_iter, 3);
+    }
+
+    #[test]
+    fn serial_context_is_never_racy() {
+        let mut d = RaceDetector::new(true);
+        let s = SlotId(0);
+        assert!(d.record_write(s, 0).is_none());
+        assert!(d.record_write(s, 0).is_none());
+        assert!(d.record_read(s, 0).is_none());
+    }
+}

@@ -27,9 +27,9 @@
 //! perturbations (the property tested in `tests/prop_schedules.rs`);
 //! nests with reductions are compared under [`ValidationConfig::rel_tol`].
 
-use cedar_ir::Program;
+use cedar_ir::{Program, Stmt};
 use cedar_restructure::{restructure, LoopDecision, PassConfig, Report};
-use cedar_sim::{FaultConfig, MachineConfig, SimError};
+use cedar_sim::{FaultConfig, MachineConfig, RaceInfo, SimError};
 use std::fmt;
 
 /// How hard to shake the program.
@@ -48,6 +48,11 @@ pub struct ValidationConfig {
     /// real validation; nonzero deliberately breaks DOACROSS cascades
     /// to exercise the deadlock-watchdog fallback path.
     pub drop_advance: f64,
+    /// Run the happens-before race detector over the candidate (third
+    /// validation layer): a race fails the candidate even when its
+    /// results happen to match, because the serial host order of the
+    /// simulator can mask what a real machine would interleave.
+    pub detect_races: bool,
 }
 
 impl Default for ValidationConfig {
@@ -57,6 +62,7 @@ impl Default for ValidationConfig {
             rel_tol: 1e-3,
             max_fallbacks: 8,
             drop_advance: 0.0,
+            detect_races: true,
         }
     }
 }
@@ -165,6 +171,8 @@ enum Failure {
     Sim { seed: Option<u64>, err: SimError },
     /// A run completed but computed different results.
     Divergence { seed: Option<u64>, var: String, max_rel_err: f64 },
+    /// The happens-before detector found unordered conflicting accesses.
+    Race { info: Box<RaceInfo> },
 }
 
 impl fmt::Display for Failure {
@@ -180,6 +188,7 @@ impl fmt::Display for Failure {
                 "{} diverged: `{var}` off by {max_rel_err:.2e} (relative)",
                 seed(s)
             ),
+            Failure::Race { info } => write!(f, "race detector: {info}"),
         }
     }
 }
@@ -189,6 +198,13 @@ impl Failure {
     fn line(&self) -> Option<u32> {
         match self {
             Failure::Sim { err, .. } if err.span.line > 0 => Some(err.span.line),
+            Failure::Race { info } => {
+                // Both racing statements sit under the offending nest's
+                // header; either line locates it.
+                [info.other_span.line, info.writer_span.line]
+                    .into_iter()
+                    .find(|&l| l > 0)
+            }
             _ => None,
         }
     }
@@ -255,6 +271,18 @@ fn check(
         return Err(Failure::Divergence { seed: None, var, max_rel_err: err });
     }
 
+    // Third layer: the happens-before race detector (collect-all mode,
+    // unperturbed schedule). The simulator executes iterations in host
+    // order, so a racy nest can produce matching results yet still be
+    // wrong on a real machine — the detector catches exactly that.
+    if vcfg.detect_races {
+        let traced = cedar_sim::run_collecting_races(candidate, mc.clone())
+            .map_err(|err| Failure::Sim { seed: None, err })?;
+        if let Some(first) = traced.race_report().first() {
+            return Err(Failure::Race { info: Box::new(first.clone()) });
+        }
+    }
+
     let mut runs = Vec::with_capacity(vcfg.seeds.len());
     for &s in &vcfg.seeds {
         let (got, cycles) = run_watched(candidate, mc, Some(vcfg.profile(s)), watch)
@@ -268,14 +296,49 @@ fn check(
     Ok(runs)
 }
 
-/// Parallelized nest headers `(unit, line)` of a report, in visit order.
-fn parallel_nests(report: &Report) -> Vec<(String, u32)> {
-    report
+/// Parallel nest headers `(unit, line)` eligible for suppression: the
+/// report's parallelized loops in visit order, plus any user-directive
+/// parallel loops still present in the candidate program (hand-written
+/// Cedar Fortran the restructurer passed through — the report does not
+/// list those, but the validator must be able to demote them too).
+fn parallel_nests(report: &Report, candidate: &Program) -> Vec<(String, u32)> {
+    let mut out: Vec<(String, u32)> = report
         .loops
         .iter()
         .filter(|l| !matches!(l.decision, LoopDecision::Serial { .. }))
         .map(|l| (l.unit.clone(), l.span.line))
-        .collect()
+        .collect();
+    for unit in &candidate.units {
+        collect_directive_loops(&unit.name, &unit.body, &mut out);
+    }
+    out
+}
+
+/// Append headers of parallel loops found in `body` (recursively) that
+/// are not yet listed.
+fn collect_directive_loops(unit: &str, body: &[Stmt], out: &mut Vec<(String, u32)>) {
+    for s in body {
+        match s {
+            Stmt::Loop(l) => {
+                if l.class.is_parallel() {
+                    let key = (unit.to_string(), l.span.line);
+                    if !out.contains(&key) {
+                        out.push(key);
+                    }
+                }
+                collect_directive_loops(unit, &l.body, out);
+            }
+            Stmt::If { then_body, elifs, else_body, .. } => {
+                collect_directive_loops(unit, then_body, out);
+                for (_, b) in elifs {
+                    collect_directive_loops(unit, b, out);
+                }
+                collect_directive_loops(unit, else_body, out);
+            }
+            Stmt::DoWhile { body, .. } => collect_directive_loops(unit, body, out),
+            _ => {}
+        }
+    }
 }
 
 /// Pick the nest to revert for a failure: the parallelized nest whose
@@ -328,7 +391,7 @@ pub fn restructure_validated(
             }
             Err(failure) => {
                 let suppressed = &cfg.suppress_nests;
-                let candidates: Vec<(String, u32)> = parallel_nests(&rr.report)
+                let candidates: Vec<(String, u32)> = parallel_nests(&rr.report, &rr.program)
                     .into_iter()
                     .filter(|c| !suppressed.contains(c))
                     .collect();
@@ -336,7 +399,13 @@ pub fn restructure_validated(
                     // Out of suspects (or budget): abandon all
                     // parallelism. The serial identity always validates
                     // — perturbations only reorder parallel schedules.
-                    let rr = restructure(program, &PassConfig::serial());
+                    // Hand-written directive nests survive a plain
+                    // serial pass, so suppress every known parallel
+                    // nest explicitly.
+                    let mut serial_cfg = PassConfig::serial();
+                    serial_cfg.suppress_nests =
+                        candidates.iter().chain(suppressed.iter()).cloned().collect();
+                    let rr = restructure(program, &serial_cfg);
                     let mut report = rr.report;
                     report.record_fallback(
                         "<program>",
@@ -430,6 +499,93 @@ mod tests {
         .unwrap();
         assert!(v.validation.fallbacks.is_empty(), "{}", v.validation);
         assert!(v.validation.all_bit_identical(), "{}", v.validation);
+    }
+
+    #[test]
+    fn racy_directive_nest_is_demoted_with_a_cited_race() {
+        // Hand-written Cedar Fortran with a classic bug: a shared
+        // scalar temporary in a CDOALL. Host-order execution computes
+        // the right answer, so only the race detector can reject it —
+        // and the validator must then demote the directive nest.
+        let src = "program p\nparameter (n = 64)\nreal a(n), t\n\
+                   do i = 1, n\na(i) = real(i)\nend do\n\
+                   cdoall i = 1, n\nt = a(i) * 2.0\na(i) = t + 1.0\nend cdoall\n\
+                   x = a(n)\nend\n";
+        let p = compile_free(src).unwrap();
+        let v = restructure_validated(
+            &p,
+            &PassConfig::automatic_1991(),
+            &MachineConfig::cedar_config1_scaled(),
+            &["x"],
+            &ValidationConfig { seeds: vec![1, 2], ..Default::default() },
+        )
+        .unwrap();
+        assert!(!v.validation.fallbacks.is_empty(), "{}", v.validation);
+        let note = &v.validation.fallbacks[0];
+        assert!(note.reason.contains("race detector"), "{}", note.reason);
+        assert!(note.reason.contains("`t`"), "race must cite the variable: {}", note.reason);
+        assert!(
+            note.reason.contains("conflicts with"),
+            "race must cite the statement pair: {}",
+            note.reason
+        );
+        // The demoted program is race-free and still correct.
+        let traced = cedar_sim::run_collecting_races(
+            &v.program,
+            MachineConfig::cedar_config1_scaled(),
+        )
+        .unwrap();
+        assert_eq!(traced.races_detected(), 0);
+        assert!(!v.validation.degraded_to_serial, "one nest demotion suffices:\n{}", v.validation);
+    }
+
+    #[test]
+    fn racy_directive_nest_is_demoted_even_in_pass_through() {
+        // Same racy directive program, but under a `parallelize = false`
+        // base config: the restructurer's pass-through path must still
+        // honor nest suppression, or the validator could never converge
+        // on hand-written Cedar Fortran it merely audits.
+        let src = "program p\nparameter (n = 32)\nreal a(n), t\n\
+                   do i = 1, n\na(i) = real(i)\nend do\n\
+                   cdoall i = 1, n\nt = a(i) * 2.0\na(i) = t + 1.0\nend cdoall\n\
+                   x = a(5)\nend\n";
+        let p = compile_free(src).unwrap();
+        let v = restructure_validated(
+            &p,
+            &PassConfig::serial(),
+            &MachineConfig::cedar_config1_scaled(),
+            &["a", "x"],
+            &ValidationConfig { seeds: vec![1, 2], ..Default::default() },
+        )
+        .unwrap();
+        assert!(!v.validation.fallbacks.is_empty(), "{}", v.validation);
+        assert!(v.validation.fallbacks[0].reason.contains("race detector"));
+        let traced = cedar_sim::run_collecting_races(
+            &v.program,
+            MachineConfig::cedar_config1_scaled(),
+        )
+        .unwrap();
+        assert_eq!(traced.races_detected(), 0, "demoted program must be race-free");
+    }
+
+    #[test]
+    fn race_detection_can_be_disabled() {
+        let src = "program p\nparameter (n = 64)\nreal a(n), t\n\
+                   do i = 1, n\na(i) = real(i)\nend do\n\
+                   cdoall i = 1, n\nt = a(i) * 2.0\na(i) = t + 1.0\nend cdoall\nend\n";
+        let p = compile_free(src).unwrap();
+        let v = restructure_validated(
+            &p,
+            &PassConfig::automatic_1991(),
+            &MachineConfig::cedar_config1_scaled(),
+            &[],
+            &ValidationConfig { seeds: vec![1], detect_races: false, ..Default::default() },
+        )
+        .unwrap();
+        // Without the third layer (and with nothing watched), the racy
+        // directive nest sails through — which is exactly why the layer
+        // defaults to on.
+        assert!(v.validation.fallbacks.is_empty(), "{}", v.validation);
     }
 
     #[test]

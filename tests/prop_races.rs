@@ -1,0 +1,104 @@
+//! Property test for the happens-before race detector: under *legal*
+//! fault perturbations (schedule jitter, randomized tie-breaks, delayed
+//! advances — anything a correct machine is allowed to do), the
+//! detector must stay silent on every restructured Table 1 kernel, and
+//! it must flag every seeded racy negative no matter which perturbation
+//! seed is in effect. Together the two properties pin down both sides
+//! of the detector: no false positives on programs the restructurer
+//! proved race-free, no false negatives on programs with a planted bug.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use cedar_sim::{FaultConfig, MachineConfig, SimErrorKind, Simulator};
+
+/// Run `program` with the detector in collect-all mode, optionally
+/// under a fault profile; returns `(races, deadlocked)`.
+fn traced_run(
+    program: &cedar_ir::Program,
+    faults: Option<FaultConfig>,
+) -> Result<u64, cedar_sim::SimError> {
+    let mc = MachineConfig::cedar_config1_scaled().with_race_detection();
+    let mut sim = Simulator::new(program, mc)?;
+    sim.collect_races();
+    if let Some(f) = faults {
+        sim.set_faults(f);
+    }
+    sim.run_main()?;
+    Ok(sim.races_detected())
+}
+
+/// Table 1 kernels, restructured once (they are immutable inputs; the
+/// property varies only the fault seed).
+fn restructured_table1() -> &'static Vec<(String, cedar_ir::Program)> {
+    static CACHE: OnceLock<Vec<(String, cedar_ir::Program)>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        cedar_workloads::table1_workloads()
+            .iter()
+            .map(|w| {
+                let r = cedar_restructure::restructure(
+                    &w.compile(),
+                    &cedar_restructure::PassConfig::automatic_1991(),
+                );
+                (w.name.to_string(), r.program)
+            })
+            .collect()
+    })
+}
+
+/// Racy negatives, compiled once.
+fn compiled_negatives() -> &'static Vec<(String, cedar_ir::Program)> {
+    static CACHE: OnceLock<Vec<(String, cedar_ir::Program)>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        cedar_experiments::races::negatives()
+            .iter()
+            .map(|(name, src)| {
+                let p = cedar_ir::compile_free(src)
+                    .unwrap_or_else(|e| panic!("negative `{name}` failed to compile: {e}"));
+                (name.to_string(), p)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn restructured_table1_is_race_free_under_legal_faults(
+        which in 0usize..10,
+        seed in 1u64..10_000,
+    ) {
+        let kernels = restructured_table1();
+        let (name, program) = &kernels[which % kernels.len()];
+        let races = traced_run(program, Some(FaultConfig::legal(seed)))
+            .unwrap_or_else(|e| panic!("kernel `{name}` seed {seed} failed: {e}"));
+        prop_assert_eq!(
+            races, 0,
+            "kernel `{}` reported {} race(s) under legal fault seed {}",
+            name, races, seed
+        );
+    }
+
+    #[test]
+    fn seeded_racy_negatives_are_always_flagged(
+        which in 0usize..4,
+        seed in 1u64..10_000,
+    ) {
+        let negs = compiled_negatives();
+        let (name, program) = &negs[which % negs.len()];
+        // Flagged = at least one race, or a cascade deadlock (the
+        // missing-advance negative stalls rather than racing).
+        let flagged = match traced_run(program, Some(FaultConfig::legal(seed))) {
+            Ok(races) => races > 0,
+            Err(e) if e.kind == SimErrorKind::Deadlock => true,
+            Err(e) => panic!("negative `{name}` seed {seed} failed oddly: {e}"),
+        };
+        prop_assert!(
+            flagged,
+            "racy negative `{}` escaped detection under fault seed {}",
+            name, seed
+        );
+    }
+}
