@@ -29,7 +29,7 @@ pub fn strip_length() -> Sweep {
     for strip in [4usize, 8, 16, 32, 64, 128] {
         let mut cfg = PassConfig::automatic_1991();
         cfg.strip_len = strip;
-        let prog = restructure(&program, &cfg).program;
+        let prog = crate::cache::restructured(&program, &cfg);
         let o = run_program(&prog, None, &mc, &w.watch);
         points.push((format!("strip={strip}"), o.cycles));
     }
@@ -90,7 +90,7 @@ pub fn interchange() -> Sweep {
     for (label, on) in [("interchange off", false), ("interchange on", true)] {
         let mut cfg = PassConfig::automatic_1991();
         cfg.interchange = on;
-        let prog = restructure(&program, &cfg).program;
+        let prog = crate::cache::restructured(&program, &cfg);
         let o = run_program(&prog, None, &mc, &["chksum"]);
         points.push((label.to_string(), o.cycles));
     }
@@ -113,7 +113,7 @@ pub fn inlining() -> Sweep {
     for (label, on) in [("inlining off", false), ("inlining on", true)] {
         let mut cfg = PassConfig::manual_improved();
         cfg.inline_expansion = on;
-        let prog = restructure(&program, &cfg).program;
+        let prog = crate::cache::restructured(&program, &cfg);
         let o = run_program(&prog, None, &mc, &w.watch);
         points.push((label.to_string(), o.cycles));
     }
@@ -128,8 +128,8 @@ pub fn inlining() -> Sweep {
 /// streams decides where Figure 8's global curve flattens.
 pub fn global_streams() -> Sweep {
     let w = cedar_workloads::linalg::cg(384);
-    let program = w.compile();
-    let prog = restructure(&program, &PassConfig::manual_improved()).program;
+    let program = crate::cache::compiled(&w);
+    let prog = crate::cache::restructured(&program, &PassConfig::manual_improved());
     let mut points = Vec::new();
     for streams in [4.0f64, 10.0, 32.0] {
         let mut mc = MachineConfig::cedar_config1();
@@ -179,7 +179,7 @@ pub fn coalescing() -> Sweep {
     for (label, on) in [("coalescing off", false), ("coalescing on", true)] {
         let mut cfg = PassConfig::manual_improved();
         cfg.coalesce = on;
-        let prog = restructure(&program, &cfg).program;
+        let prog = crate::cache::restructured(&program, &cfg);
         let o = run_program(&prog, None, &mc, &["chksum"]);
         points.push((label.to_string(), o.cycles));
     }
@@ -192,16 +192,19 @@ pub fn coalescing() -> Sweep {
     }
 }
 
-/// Run every ablation sweep.
+/// Run every ablation sweep. Sweeps are independent and run on
+/// [`cedar_par::par_map`]; points within a sweep stay serial (they are
+/// few, and nested parallelism degrades to serial anyway).
 pub fn run_all() -> Vec<Sweep> {
-    vec![
-        strip_length(),
-        version_cap(),
-        interchange(),
-        coalescing(),
-        inlining(),
-        global_streams(),
-    ]
+    let sweeps: Vec<fn() -> Sweep> = vec![
+        strip_length,
+        version_cap,
+        interchange,
+        coalescing,
+        inlining,
+        global_streams,
+    ];
+    cedar_par::par_map(sweeps, |f| f())
 }
 
 /// Render the sweeps as the harness's text artifact.

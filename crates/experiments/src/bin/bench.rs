@@ -1,0 +1,264 @@
+//! Perf-trajectory bench harness: times every pipeline phase (parse,
+//! analyze, restructure, simulate, verify) over the Table 1 + Table 2
+//! workload pool plus the full artifact suite, and writes the
+//! measurements to `BENCH_pipeline.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench [--out PATH] [--check BASELINE.json]
+//! ```
+//!
+//! With `--check`, every entry present in both the fresh run and the
+//! baseline is compared; any phase more than 25 % slower than the
+//! baseline fails the run (exit code 1). Entries missing from either
+//! side are ignored, so the baseline stays forward-compatible when
+//! phases are added.
+//!
+//! Phase loops run serially (stable timings); the `suite` entry runs
+//! the same artifact generators as the `all` binary and therefore uses
+//! the `cedar-par` worker pool and the shared restructure cache.
+
+use cedar_restructure::PassConfig;
+use cedar_sim::MachineConfig;
+use cedar_verify::ValidationConfig;
+use cedar_workloads::Workload;
+use std::time::Instant;
+
+/// One timed entry of the report.
+struct Entry {
+    name: &'static str,
+    /// Mean wall seconds per iteration.
+    wall_s: f64,
+    /// Iterations averaged over.
+    iters: u32,
+}
+
+/// The workload pool: every Table 1 and Table 2 row, tagged with the
+/// pass configuration its suite uses.
+fn pool() -> Vec<(Workload, PassConfig)> {
+    cedar_workloads::table1_workloads()
+        .into_iter()
+        .map(|w| (w, PassConfig::automatic_1991()))
+        .chain(
+            cedar_workloads::table2_workloads()
+                .into_iter()
+                .map(|w| (w, PassConfig::manual_improved())),
+        )
+        .collect()
+}
+
+/// Time `f` over `iters` repetitions; returns mean seconds.
+fn time<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / f64::from(iters)
+}
+
+/// Walk every top-level loop of `body`, analyzing carried dependences.
+fn analyze_body(
+    unit: &cedar_ir::Unit,
+    body: &[cedar_ir::Stmt],
+    summaries: &cedar_analysis::interproc::ProgramSummaries,
+    sink: &mut usize,
+) {
+    for s in body {
+        match s {
+            cedar_ir::Stmt::Loop(l) => {
+                let deps = cedar_analysis::depend::analyze_loop(unit, l, Some(summaries));
+                *sink += deps.deps.len();
+                analyze_body(unit, &l.body, summaries, sink);
+            }
+            cedar_ir::Stmt::If { then_body, elifs, else_body, .. } => {
+                analyze_body(unit, then_body, summaries, sink);
+                for (_, b) in elifs {
+                    analyze_body(unit, b, summaries, sink);
+                }
+                analyze_body(unit, else_body, summaries, sink);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_pipeline.json");
+    let mut check_path: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--out" => out_path = argv.next().expect("--out needs a path"),
+            "--check" => check_path = Some(argv.next().expect("--check needs a path")),
+            other => {
+                eprintln!("unknown argument `{other}` (expected --out/--check)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let jobs = cedar_par::jobs();
+    let pool = pool();
+    let mc = MachineConfig::cedar_config1_scaled();
+    let mut entries: Vec<Entry> = Vec::new();
+    let push = |entries: &mut Vec<Entry>, name, wall_s, iters| {
+        eprintln!("  {name:<24} {:>9.1} ms/iter ({iters} iters)", wall_s * 1e3);
+        entries.push(Entry { name, wall_s, iters });
+    };
+
+    eprintln!("bench: {} workloads, {jobs} job(s)", pool.len());
+
+    // --- parse + lower -------------------------------------------------
+    let mut programs = Vec::new();
+    let parse_s = time(5, || {
+        programs = pool.iter().map(|(w, _)| w.compile()).collect();
+    });
+    push(&mut entries, "parse", parse_s, 5);
+
+    // --- dependence analysis ------------------------------------------
+    let mut dep_count = 0usize;
+    let analyze_s = time(5, || {
+        dep_count = 0;
+        for p in &programs {
+            let summaries = cedar_analysis::interproc::summarize(p);
+            for unit in &p.units {
+                analyze_body(unit, &unit.body, &summaries, &mut dep_count);
+            }
+        }
+    });
+    push(&mut entries, "analyze", analyze_s, 5);
+
+    // --- restructure ---------------------------------------------------
+    let mut restructured = Vec::new();
+    let restructure_s = time(3, || {
+        restructured = pool
+            .iter()
+            .zip(&programs)
+            .map(|((_, cfg), p)| cedar_restructure::restructure(p, cfg).program)
+            .collect::<Vec<_>>();
+    });
+    push(&mut entries, "restructure", restructure_s, 3);
+
+    // --- simulate (fast paths on, then off — the interpreter ablation) -
+    let mut cycles = 0.0f64;
+    let simulate_s = time(1, || {
+        cycles = restructured
+            .iter()
+            .map(|p| cedar_sim::run(p, mc.clone()).expect("simulate").cycles())
+            .sum();
+    });
+    push(&mut entries, "simulate", simulate_s, 1);
+    let slow_mc = mc.clone().without_fast_paths();
+    let mut slow_cycles = 0.0f64;
+    let simulate_slow_s = time(1, || {
+        slow_cycles = restructured
+            .iter()
+            .map(|p| cedar_sim::run(p, slow_mc.clone()).expect("simulate").cycles())
+            .sum();
+    });
+    push(&mut entries, "simulate_no_fast_paths", simulate_slow_s, 1);
+    assert_eq!(
+        cycles.to_bits(),
+        slow_cycles.to_bits(),
+        "fast paths changed simulated cycles"
+    );
+
+    // --- verify (1 perturbation seed per workload) ---------------------
+    let vcfg = ValidationConfig { seeds: vec![1], ..Default::default() };
+    let verify_s = time(1, || {
+        for ((w, cfg), p) in pool.iter().zip(&programs) {
+            cedar_verify::restructure_validated(p, cfg, &mc, &w.watch, &vcfg)
+                .unwrap_or_else(|e| panic!("verify `{}`: {e}", w.name));
+        }
+    });
+    push(&mut entries, "verify", verify_s, 1);
+
+    // --- full artifact suite (the `all` binary's work) -----------------
+    let suite_s = time(1, || {
+        let rows = cedar_experiments::table1::run();
+        assert!(!rows.is_empty());
+        let rows = cedar_experiments::table2::run();
+        assert!(!rows.is_empty());
+        cedar_experiments::table2::qcd_footnote();
+        cedar_experiments::fig6::run();
+        cedar_experiments::fig7::run();
+        cedar_experiments::fig8::run();
+        cedar_experiments::fig9::run();
+        cedar_experiments::ablation::run_all();
+    });
+    push(&mut entries, "suite", suite_s, 1);
+
+    // The seed-commit `all` binary measured 8.3 s wall on the reference
+    // 1-core container (commit 18ab22b, /tmp cold run); the optimized
+    // suite is compared against that recorded trajectory point.
+    let seed_suite_wall_s = 8.3;
+    let fast_path_speedup = simulate_slow_s / simulate_s;
+    let suite_speedup_vs_seed = seed_suite_wall_s / suite_s;
+    eprintln!(
+        "bench: fast-path sim speedup {fast_path_speedup:.2}x, \
+         suite {suite_s:.2}s = {suite_speedup_vs_seed:.2}x vs seed {seed_suite_wall_s}s"
+    );
+
+    let mut json = String::from("{\n  \"schema\": \"cedar-bench-pipeline-v1\",\n");
+    json.push_str(&format!("  \"jobs\": {jobs},\n"));
+    json.push_str(&format!("  \"workloads\": {},\n", pool.len()));
+    json.push_str("  \"entries\": [\n");
+    for (k, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"iters\": {}}}{}\n",
+            e.name,
+            e.wall_s,
+            e.iters,
+            if k + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"fast_path_speedup\": {fast_path_speedup:.3},\n"));
+    json.push_str(&format!("  \"seed_suite_wall_s\": {seed_suite_wall_s},\n"));
+    json.push_str(&format!("  \"suite_speedup_vs_seed\": {suite_speedup_vs_seed:.3}\n"));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write report");
+    eprintln!("bench: wrote {out_path}");
+
+    if let Some(base) = check_path {
+        let baseline = std::fs::read_to_string(&base)
+            .unwrap_or_else(|e| panic!("read baseline `{base}`: {e}"));
+        let mut failures = Vec::new();
+        for e in &entries {
+            let Some(base_wall) = extract_wall(&baseline, e.name) else { continue };
+            let ratio = e.wall_s / base_wall;
+            if ratio > 1.25 {
+                failures.push(format!(
+                    "{}: {:.1} ms vs baseline {:.1} ms ({:.0}% slower)",
+                    e.name,
+                    e.wall_s * 1e3,
+                    base_wall * 1e3,
+                    (ratio - 1.0) * 100.0
+                ));
+            }
+        }
+        if failures.is_empty() {
+            eprintln!("bench: within 25% of {base} on every shared entry");
+        } else {
+            eprintln!("bench: REGRESSION vs {base}:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Pull `wall_s` for entry `name` out of a v1 report without a JSON
+/// dependency: entries are single-line objects written by this binary.
+fn extract_wall(report: &str, name: &str) -> Option<f64> {
+    let tag = format!("\"name\": \"{name}\"");
+    let line = report.lines().find(|l| l.contains(&tag))?;
+    let rest = line.split("\"wall_s\": ").nth(1)?;
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    num.parse().ok()
+}

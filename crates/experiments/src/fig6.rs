@@ -7,7 +7,7 @@
 //! TRFD has a high percentage of its references privatized."
 
 use crate::pipeline::run_program;
-use cedar_restructure::{restructure, PassConfig};
+use cedar_restructure::PassConfig;
 use cedar_sim::MachineConfig;
 
 /// One bar of Figure 6.
@@ -25,10 +25,11 @@ pub struct Bar {
     pub paper_gain: f64,
 }
 
-/// Measure both prefetch settings for each Figure-6 program.
+/// Measure both prefetch settings for each Figure-6 program. The four
+/// (program, prefetch) cells are independent jobs; the restructure of
+/// each program is shared between its two cells via [`crate::cache`].
 pub fn run() -> Vec<Bar> {
-    let mut out = Vec::new();
-    for (name, w, cfg, paper_gain) in [
+    let specs: Vec<(&'static str, cedar_workloads::Workload, PassConfig, f64)> = vec![
         (
             "Conjugate Gradient",
             cedar_workloads::linalg::cg(192),
@@ -41,30 +42,36 @@ pub fn run() -> Vec<Bar> {
             PassConfig::manual_improved(),
             1.15,
         ),
-    ] {
-        let program = restructure(&w.compile(), &cfg).program;
-        let with = run_program(
-            &program,
-            None,
-            &MachineConfig::cedar_config1_scaled(),
-            &w.watch,
-        );
-        let without = run_program(
-            &program,
-            None,
-            &MachineConfig::cedar_config1_scaled().without_prefetch(),
-            &w.watch,
-        );
-        crate::pipeline::assert_equivalent(name, &with, &without);
-        out.push(Bar {
-            program: name,
-            no_prefetch_cycles: without.cycles,
-            prefetch_cycles: with.cycles,
-            gain: without.cycles / with.cycles,
-            paper_gain,
-        });
-    }
-    out
+    ];
+    let cells: Vec<(usize, bool)> = (0..specs.len())
+        .flat_map(|k| [(k, true), (k, false)])
+        .collect();
+    let runs = cedar_par::par_map(cells, |(k, prefetch)| {
+        let (_, w, cfg, _) = &specs[k];
+        let program = crate::cache::restructured(&crate::cache::compiled(w), cfg);
+        let mc = if prefetch {
+            MachineConfig::cedar_config1_scaled()
+        } else {
+            MachineConfig::cedar_config1_scaled().without_prefetch()
+        };
+        run_program(&program, None, &mc, &w.watch)
+    });
+    specs
+        .iter()
+        .enumerate()
+        .map(|(k, (name, _, _, paper_gain))| {
+            let with = &runs[k * 2];
+            let without = &runs[k * 2 + 1];
+            crate::pipeline::assert_equivalent(name, with, without);
+            Bar {
+                program: name,
+                no_prefetch_cycles: without.cycles,
+                prefetch_cycles: with.cycles,
+                gain: without.cycles / with.cycles,
+                paper_gain: *paper_gain,
+            }
+        })
+        .collect()
 }
 
 /// Render the bars as the harness's text artifact.

@@ -100,10 +100,13 @@ pub struct Fig7 {
 /// Run both MDG interf variants and compare.
 pub fn run() -> Fig7 {
     let mc = MachineConfig::cedar_config1_scaled();
-    let ppriv = cedar_ir::compile_source(&privatized_src()).expect("privatized variant");
-    let pexp = cedar_ir::compile_source(&expanded_src()).expect("expanded variant");
-    let a = run_program(&ppriv, None, &mc, &["chksum"]);
-    let b = run_program(&pexp, None, &mc, &["chksum"]);
+    // The two variants are independent compile+run jobs.
+    let mut runs = cedar_par::par_map(vec![privatized_src(), expanded_src()], |src| {
+        let p = cedar_ir::compile_source(&src).expect("fig7 variant compiles");
+        run_program(&p, None, &mc, &["chksum"])
+    });
+    let b = runs.pop().expect("expanded outcome");
+    let a = runs.pop().expect("privatized outcome");
     assert_equivalent("fig7", &a, &b);
     Fig7 {
         privatized_cycles: a.cycles,

@@ -12,8 +12,8 @@
 //!   memories (≈50 % of references localized) — slower on one cluster,
 //!   near-linear through four.
 
-use crate::pipeline::{assert_equivalent, run_program, Outcome};
-use cedar_restructure::{restructure, PassConfig, Target};
+use crate::pipeline::{assert_equivalent, run_program};
+use cedar_restructure::{PassConfig, Target};
 use cedar_sim::MachineConfig;
 
 /// One placement strategy's scaling curve.
@@ -34,34 +34,45 @@ pub fn run() -> (Vec<Series>, f64) {
     // unscaled machine (full 16 MB cluster memories) and a size big
     // enough to amortize loop startup.
     let w = cedar_workloads::linalg::cg(384);
-    let program = w.compile();
+    let program = crate::cache::compiled(&w);
 
     // Baseline: 1-cluster-optimized, data in cluster memory (no
     // globalization; cluster loop classes only).
     let mut base_cfg = PassConfig::manual_improved().for_target(Target::Fx80);
     base_cfg.globalize = false;
-    let base_prog = restructure(&program, &base_cfg).program;
+    let base_prog = crate::cache::restructured(&program, &base_cfg);
     let base_mc = MachineConfig::cedar_config1().with_clusters(1);
     let baseline = run_program(&base_prog, None, &base_mc, &w.watch);
 
-    let run_series = |label: &'static str, cfg: &PassConfig| -> Series {
-        let prog = restructure(&program, cfg).program;
-        let mut speeds = Vec::new();
-        for c in 1..=4usize {
-            let mc = MachineConfig::cedar_config1().with_clusters(c);
-            let o: Outcome = run_program(&prog, None, &mc, &w.watch);
-            assert_equivalent(label, &baseline, &o);
-            speeds.push(baseline.cycles / o.cycles);
-        }
-        Series { label, speeds }
-    };
-
-    let global = run_series("global-memory data placement", &PassConfig::manual_improved());
     let mut part_cfg = PassConfig::manual_improved();
     part_cfg.data_partitioning = true;
-    let partitioned = run_series("data distribution", &part_cfg);
+    let series_cfgs: [(&'static str, PassConfig); 2] = [
+        ("global-memory data placement", PassConfig::manual_improved()),
+        ("data distribution", part_cfg),
+    ];
+    // 2 placements × 4 cluster counts = 8 independent curve points; the
+    // restructure of each placement is shared across its points.
+    let cells: Vec<(usize, usize)> =
+        (0..series_cfgs.len()).flat_map(|s| (1..=4).map(move |c| (s, c))).collect();
+    let outs = cedar_par::par_map(cells, |(s, c)| {
+        let prog = crate::cache::restructured(&program, &series_cfgs[s].1);
+        let mc = MachineConfig::cedar_config1().with_clusters(c);
+        run_program(&prog, None, &mc, &w.watch)
+    });
+    let series = series_cfgs
+        .iter()
+        .enumerate()
+        .map(|(s, (label, _))| {
+            let mut speeds = Vec::new();
+            for o in &outs[s * 4..s * 4 + 4] {
+                assert_equivalent(label, &baseline, o);
+                speeds.push(baseline.cycles / o.cycles);
+            }
+            Series { label, speeds }
+        })
+        .collect();
 
-    (vec![global, partitioned], baseline.cycles)
+    (series, baseline.cycles)
 }
 
 /// Render the curves as the harness's text artifact.

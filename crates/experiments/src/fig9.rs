@@ -12,7 +12,7 @@
 //! SDO loops."
 
 use crate::pipeline::{assert_equivalent, run_program};
-use cedar_restructure::{restructure, PassConfig, Target};
+use cedar_restructure::{PassConfig, Target};
 use cedar_sim::MachineConfig;
 
 /// Figure 9 result for one machine.
@@ -43,30 +43,35 @@ fn variants(target: Target) -> [PassConfig; 3] {
 /// Measure the three fusion variants on both machines.
 pub fn run() -> Vec<Machine> {
     let w = cedar_workloads::perfect::flo52();
-    let program = w.compile();
-    let mut out = Vec::new();
-    for (mname, target, mc) in [
+    let program = crate::cache::compiled(&w);
+    let machines = [
         ("Alliant FX/80", Target::Fx80, MachineConfig::fx80_scaled()),
         ("Cedar", Target::Cedar, MachineConfig::cedar_config1_scaled()),
-    ] {
-        let [ca, cb, cc] = variants(target);
-        let run_v = |cfg: &PassConfig| {
-            let p = restructure(&program, cfg).program;
-            run_program(&p, None, &mc, &w.watch)
-        };
-        let oa = run_v(&ca);
-        let ob = run_v(&cb);
-        let oc = run_v(&cc);
-        assert_equivalent("fig9-b", &oa, &ob);
-        assert_equivalent("fig9-c", &oa, &oc);
-        out.push(Machine {
-            machine: mname,
-            a: 1.0,
-            b: oa.cycles / ob.cycles,
-            c: oa.cycles / oc.cycles,
-        });
-    }
-    out
+    ];
+    // 2 machines × 3 variants = 6 independent cells.
+    let cells: Vec<(usize, usize)> =
+        (0..machines.len()).flat_map(|m| (0..3).map(move |v| (m, v))).collect();
+    let outs = cedar_par::par_map(cells, |(m, v)| {
+        let (_, target, mc) = &machines[m];
+        let cfg = &variants(*target)[v];
+        let p = crate::cache::restructured(&program, cfg);
+        run_program(&p, None, mc, &w.watch)
+    });
+    machines
+        .iter()
+        .enumerate()
+        .map(|(m, (mname, _, _))| {
+            let (oa, ob, oc) = (&outs[m * 3], &outs[m * 3 + 1], &outs[m * 3 + 2]);
+            assert_equivalent("fig9-b", oa, ob);
+            assert_equivalent("fig9-c", oa, oc);
+            Machine {
+                machine: mname,
+                a: 1.0,
+                b: oa.cycles / ob.cycles,
+                c: oa.cycles / oc.cycles,
+            }
+        })
+        .collect()
 }
 
 /// Render the variants as the harness's text artifact.

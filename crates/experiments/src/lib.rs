@@ -31,6 +31,7 @@
 //! panics rather than reporting a bogus number.
 
 pub mod ablation;
+pub mod cache;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;

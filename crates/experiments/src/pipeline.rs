@@ -2,7 +2,7 @@
 //! experiment.
 
 use cedar_ir::Program;
-use cedar_restructure::{restructure, PassConfig};
+use cedar_restructure::PassConfig;
 use cedar_sim::{ExecStats, MachineConfig};
 use cedar_workloads::Workload;
 
@@ -18,38 +18,53 @@ pub struct Outcome {
 }
 
 /// Run an already-lowered program (optionally restructuring first).
+/// Restructure results are shared across calls via the process-wide
+/// [`crate::cache`], so sweeps that re-run the same `(program, cfg)`
+/// pair under different machines/seeds transform it once.
 pub fn run_program(
     program: &Program,
     cfg: Option<&PassConfig>,
     mc: &MachineConfig,
     watch: &[&str],
 ) -> Outcome {
-    let transformed;
-    let to_run = match cfg {
-        Some(c) => {
-            transformed = restructure(program, c);
-            &transformed.program
-        }
-        None => program,
-    };
-    let sim = cedar_sim::run(to_run, mc.clone()).unwrap_or_else(|e| {
-        panic!(
-            "simulation failed: {e}\n---\n{}",
-            cedar_ir::print::print_program(to_run)
-        )
+    // The whole cell is memoized: `run_program` simulations are
+    // fault-free and deterministic, so equal keys mean bit-identical
+    // outcomes (this is what dedups a sweep's repeated serial
+    // references instead of re-simulating them per variant).
+    let printed = cedar_ir::print::print_program(program);
+    let cfg_key = format!("{cfg:?}");
+    let mc_key = format!("{mc:?}");
+    let watch_key = watch.join("\u{1f}");
+    let out = crate::cache::outcome(&[&printed, &cfg_key, &mc_key, &watch_key], || {
+        let transformed;
+        let to_run = match cfg {
+            Some(c) => {
+                transformed = crate::cache::restructured(program, c);
+                &*transformed
+            }
+            None => program,
+        };
+        let sim = cedar_sim::run(to_run, mc.clone()).unwrap_or_else(|e| {
+            panic!(
+                "simulation failed: {e}\n---\n{}",
+                cedar_ir::print::print_program(to_run)
+            )
+        });
+        let results = watch
+            .iter()
+            .filter_map(|w| sim.read_f64(w).map(|v| (w.to_string(), v)))
+            .collect();
+        // Timer regions (CALL TSTART/TSTOP) report routine time, as the
+        // paper does for Table 1; programs without timers report total
+        // time.
+        let cycles = if sim.stats.region_cycles > 0.0 {
+            sim.stats.region_cycles
+        } else {
+            sim.cycles()
+        };
+        Outcome { cycles, stats: sim.stats.clone(), results }
     });
-    let results = watch
-        .iter()
-        .filter_map(|w| sim.read_f64(w).map(|v| (w.to_string(), v)))
-        .collect();
-    // Timer regions (CALL TSTART/TSTOP) report routine time, as the
-    // paper does for Table 1; programs without timers report total time.
-    let cycles = if sim.stats.region_cycles > 0.0 {
-        sim.stats.region_cycles
-    } else {
-        sim.cycles()
-    };
-    Outcome { cycles, stats: sim.stats.clone(), results }
+    (*out).clone()
 }
 
 /// Run one workload under a pass configuration, verifying semantic
@@ -60,7 +75,7 @@ pub fn run_workload(
     cfg: &PassConfig,
     mc: &MachineConfig,
 ) -> (Outcome, Outcome) {
-    let program = w.compile();
+    let program = crate::cache::compiled(w);
     let serial = run_program(&program, None, mc, &w.watch);
     let variant = run_program(&program, Some(cfg), mc, &w.watch);
     assert_equivalent(w.name, &serial, &variant);

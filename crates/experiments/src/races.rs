@@ -114,7 +114,9 @@ fn examine(name: &str, suite: &'static str, expect_race: bool, program: &cedar_i
 }
 
 fn examine_workload(w: &Workload, suite: &'static str, cfg: &PassConfig) -> Row {
-    let rr = cedar_restructure::restructure(&w.compile(), cfg);
+    // Direct restructure (not the cache): this sweep needs the pass
+    // report's sync-audit findings, which the program cache drops.
+    let rr = cedar_restructure::restructure(&crate::cache::compiled(w), cfg);
     examine(w.name, suite, false, &rr.program, rr.report.sync_audit.len())
 }
 
@@ -163,19 +165,43 @@ pub fn negatives() -> Vec<(&'static str, String)> {
     ]
 }
 
-/// Sweep both workload suites and every negative.
+/// Sweep both workload suites and every negative. Every program in the
+/// matrix is an independent detector run ([`cedar_par::par_map`]); row
+/// order matches the serial sweep (table1, table2, negatives).
 pub fn run() -> Vec<Row> {
-    let mut rows = Vec::new();
-    for w in cedar_workloads::table1_workloads() {
-        rows.push(examine_workload(&w, "table1", &PassConfig::automatic_1991()));
+    run_filtered(None)
+}
+
+/// [`run`] restricted to programs named in `only` (row order is the
+/// matrix order regardless of the filter's order). `None` sweeps the
+/// full matrix; determinism tests use small subsets to stay fast.
+pub fn run_filtered(only: Option<&[&str]>) -> Vec<Row> {
+    enum Job {
+        Workload(Workload, &'static str, PassConfig),
+        Negative(&'static str, String),
     }
-    for w in cedar_workloads::table2_workloads() {
-        rows.push(examine_workload(&w, "table2", &PassConfig::manual_improved()));
-    }
-    for (name, src) in negatives() {
-        rows.push(examine_negative(name, &src));
-    }
-    rows
+    let jobs: Vec<Job> = cedar_workloads::table1_workloads()
+        .into_iter()
+        .map(|w| Job::Workload(w, "table1", PassConfig::automatic_1991()))
+        .chain(
+            cedar_workloads::table2_workloads()
+                .into_iter()
+                .map(|w| Job::Workload(w, "table2", PassConfig::manual_improved())),
+        )
+        .chain(negatives().into_iter().map(|(n, s)| Job::Negative(n, s)))
+        .filter(|j| {
+            only.is_none_or(|names| {
+                names.contains(&match j {
+                    Job::Workload(w, ..) => w.name,
+                    Job::Negative(n, _) => n,
+                })
+            })
+        })
+        .collect();
+    cedar_par::par_map(jobs, |job| match job {
+        Job::Workload(w, suite, cfg) => examine_workload(&w, suite, &cfg),
+        Job::Negative(name, src) => examine_negative(name, &src),
+    })
 }
 
 /// Text rendering.

@@ -13,8 +13,8 @@ use cedar_workloads::Workload;
 /// One validated workload.
 #[derive(Debug, Clone)]
 pub struct Row {
-    /// Workload name (Table 1/2 row).
-    pub workload: String,
+    /// Workload name (Table 1/2 row; workload names are static).
+    pub workload: &'static str,
     /// Which suite it came from (`table1` / `table2`).
     pub suite: &'static str,
     /// Pass configuration label (`automatic` / `manual`).
@@ -38,7 +38,7 @@ pub struct Row {
 }
 
 fn validate(w: &Workload, suite: &'static str, config: &'static str, seeds: &[u64]) -> Row {
-    let program = w.compile();
+    let program = crate::cache::compiled(w);
     let cfg = match config {
         "manual" => cedar_restructure::PassConfig::manual_improved(),
         _ => cedar_restructure::PassConfig::automatic_1991(),
@@ -75,7 +75,7 @@ fn validate(w: &Workload, suite: &'static str, config: &'static str, seeds: &[u6
         .collect();
     fallback_notes.sort();
     Row {
-        workload: w.name.to_string(),
+        workload: w.name,
         suite,
         config,
         attempts: v.validation.attempts,
@@ -88,17 +88,29 @@ fn validate(w: &Workload, suite: &'static str, config: &'static str, seeds: &[u6
     }
 }
 
-/// Validate both suites under `n_seeds` perturbation seeds.
+/// Validate both suites under `n_seeds` perturbation seeds. Workloads
+/// are independent validation jobs ([`cedar_par::par_map`]); the
+/// validator's own per-seed sweep runs serially inside each worker.
 pub fn run(n_seeds: u64) -> Vec<Row> {
+    run_filtered(n_seeds, None)
+}
+
+/// [`run`] restricted to workloads named in `only` (row order is the
+/// suite order regardless of the filter's order). `None` sweeps
+/// everything; determinism tests use small subsets to stay fast.
+pub fn run_filtered(n_seeds: u64, only: Option<&[&str]>) -> Vec<Row> {
     let seeds: Vec<u64> = (1..=n_seeds).collect();
-    let mut rows = Vec::new();
-    for w in cedar_workloads::table1_workloads() {
-        rows.push(validate(&w, "table1", "automatic", &seeds));
-    }
-    for w in cedar_workloads::table2_workloads() {
-        rows.push(validate(&w, "table2", "manual", &seeds));
-    }
-    rows
+    let jobs: Vec<(Workload, &'static str, &'static str)> = cedar_workloads::table1_workloads()
+        .into_iter()
+        .map(|w| (w, "table1", "automatic"))
+        .chain(
+            cedar_workloads::table2_workloads()
+                .into_iter()
+                .map(|w| (w, "table2", "manual")),
+        )
+        .filter(|(w, ..)| only.is_none_or(|names| names.contains(&w.name)))
+        .collect();
+    cedar_par::par_map(jobs, |(w, suite, config)| validate(&w, suite, config, &seeds))
 }
 
 /// Text rendering.
@@ -107,7 +119,7 @@ pub fn render(rows: &[Row]) -> String {
         .iter()
         .map(|r| {
             vec![
-                r.workload.clone(),
+                r.workload.to_string(),
                 r.suite.to_string(),
                 r.config.to_string(),
                 r.attempts.to_string(),
@@ -153,7 +165,7 @@ pub fn to_json(rows: &[Row], n_seeds: u64) -> String {
             "    {{\"name\": \"{}\", \"suite\": \"{}\", \"config\": \"{}\", \
              \"attempts\": {}, \"fallbacks\": {}, \"degraded_to_serial\": {}, \
              \"bit_identical\": {}, \"max_rel_err\": {}, \"seed_runs\": [",
-            json_escape(&r.workload),
+            json_escape(r.workload),
             r.suite,
             r.config,
             r.attempts,

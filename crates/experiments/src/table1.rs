@@ -38,29 +38,28 @@ pub struct Row {
     pub parallel_cycles: f64,
 }
 
-/// Run the whole table.
+/// Run the whole table. Cells are independent simulations, so they run
+/// on [`cedar_par::par_map`] (index-ordered results; `CEDAR_JOBS=1`
+/// serializes).
 pub fn run() -> Vec<Row> {
     let mc = MachineConfig::cedar_config1_scaled();
     let cfg = PassConfig::automatic_1991();
-    cedar_workloads::table1_workloads()
-        .iter()
-        .map(|w| {
-            let (ser, par) = run_workload(w, &cfg, &mc);
-            let paper = PAPER
-                .iter()
-                .find(|(n, _, _)| *n == w.name)
-                .expect("registry order matches PAPER");
-            Row {
-                name: w.name,
-                paper_size: paper.1,
-                our_size: w.size,
-                paper_speedup: paper.2,
-                measured_speedup: ser.cycles / par.cycles,
-                serial_cycles: ser.cycles,
-                parallel_cycles: par.cycles,
-            }
-        })
-        .collect()
+    cedar_par::par_map(cedar_workloads::table1_workloads(), |w| {
+        let (ser, par) = run_workload(&w, &cfg, &mc);
+        let paper = PAPER
+            .iter()
+            .find(|(n, _, _)| *n == w.name)
+            .expect("registry order matches PAPER");
+        Row {
+            name: w.name,
+            paper_size: paper.1,
+            our_size: w.size,
+            paper_speedup: paper.2,
+            measured_speedup: ser.cycles / par.cycles,
+            serial_cycles: ser.cycles,
+            parallel_cycles: par.cycles,
+        }
+    })
 }
 
 /// Render in the paper's layout plus our columns.

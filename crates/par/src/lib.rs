@@ -1,0 +1,223 @@
+#![warn(missing_docs)]
+//! Scoped-thread parallel map with **deterministic, index-ordered
+//! result collection** — a tiny offline stand-in for rayon used by the
+//! experiment harness and the differential validator.
+//!
+//! Every sweep in the repo (Table 1/2 cells, Fig 6–9 curve points,
+//! ablation knob settings, robustness seeds, race-matrix workloads,
+//! perturbed-schedule validation runs) consists of *independent* jobs:
+//! each one builds its own [`Simulator`](../cedar_sim/index.html) over
+//! shared read-only inputs, and the simulator itself is fully
+//! deterministic (virtual per-CE clocks, no host-time dependence). So
+//! host-level parallelism cannot change any result — only the order in
+//! which results *finish*. [`par_map`] removes even that freedom:
+//! workers self-schedule over a shared atomic index (work stealing in
+//! the Cedar paper's own sense of §2.2.1 self-scheduling loops), but
+//! each result is written to the slot of its input index, so the
+//! returned `Vec` is byte-for-byte the same as the serial map.
+//!
+//! Degrees of parallelism, in priority order:
+//!
+//! 1. [`with_jobs`] override (used by determinism tests),
+//! 2. the `CEDAR_JOBS` environment variable (`CEDAR_JOBS=1` is the
+//!    debugging escape hatch: pure serial `Iterator::map`, no threads
+//!    spawned at all),
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! Nested calls run serially: a `par_map` issued from inside a worker
+//! (e.g. cedar-verify's per-seed sweep under the robustness binary's
+//! per-workload sweep) degrades to the serial path instead of
+//! oversubscribing the host. The outermost call owns the threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Global override installed by [`with_jobs`]; 0 = no override.
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set inside worker threads so nested `par_map` calls degrade to
+    /// the serial path instead of spawning a second tier of threads.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Effective worker count for the next [`par_map`] call: the
+/// [`with_jobs`] override if present, else `CEDAR_JOBS`, else the
+/// host's available parallelism. Always ≥ 1.
+pub fn jobs() -> usize {
+    let ov = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if ov > 0 {
+        return ov;
+    }
+    if let Ok(s) = std::env::var("CEDAR_JOBS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// True when called from inside a `par_map` worker thread.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|f| f.get())
+}
+
+/// Run `f` with the worker count forced to `n`, restoring the previous
+/// setting afterwards (used by the determinism tests to compare
+/// `CEDAR_JOBS=1` vs `CEDAR_JOBS=N` sweeps inside one process without
+/// mutating the environment).
+pub fn with_jobs<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "job count must be >= 1");
+    let prev = JOBS_OVERRIDE.swap(n, Ordering::SeqCst);
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            JOBS_OVERRIDE.store(self.0, Ordering::SeqCst);
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Map `f` over `items` on up to [`jobs`] scoped threads, returning
+/// results in input order (slot `k` of the output is `f(items[k])`,
+/// exactly as the serial `items.into_iter().map(f).collect()` would
+/// produce).
+///
+/// Jobs are claimed dynamically from a shared atomic counter, so an
+/// expensive cell (say, ADM under Config 2) does not leave the other
+/// workers idle behind a static partition. Panics inside `f` propagate
+/// after all workers have been joined, matching the serial path's
+/// abort-the-sweep semantics for failed equivalence assertions.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs().min(n);
+    if workers <= 1 || in_worker() {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Each input and each output slot gets its own mutex so workers
+    // never contend except on the claim counter; `take()` moves the
+    // item into the worker, and results land in index order.
+    let input: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let output: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                IN_WORKER.with(|flag| flag.set(true));
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
+                        break;
+                    }
+                    let item = input[k]
+                        .lock()
+                        .expect("par_map input slot poisoned")
+                        .take()
+                        .expect("par_map slot claimed twice");
+                    let r = f(item);
+                    *output[k].lock().expect("par_map output slot poisoned") = Some(r);
+                }
+            });
+        }
+    });
+
+    output
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("par_map output slot poisoned")
+                .expect("par_map worker skipped a slot")
+        })
+        .collect()
+}
+
+/// [`par_map`] over an index range: `par_map_range(n, f)[k] == f(k)`.
+pub fn par_map_range<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map((0..n).collect(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_are_index_ordered() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        let par = with_jobs(8, || par_map(items, |x| x * x));
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn serial_mode_spawns_no_threads() {
+        // With jobs forced to 1 the map runs on the calling thread, so
+        // thread-local state is visible across items.
+        thread_local! {
+            static SEEN: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+        }
+        let out = with_jobs(1, || {
+            par_map(vec![1u32, 2, 3], |x| {
+                SEEN.with(|s| s.set(s.get() + x));
+                SEEN.with(|s| s.get())
+            })
+        });
+        assert_eq!(out, vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn nested_calls_degrade_to_serial() {
+        let depth_two_workers = with_jobs(4, || {
+            par_map(vec![0usize; 4], |_| {
+                // Inner call must not spawn: in_worker() is set.
+                assert!(in_worker());
+                par_map(vec![1usize, 2, 3], |x| x).len()
+            })
+        });
+        assert_eq!(depth_two_workers, vec![3, 3, 3, 3]);
+        assert!(!in_worker(), "flag must not leak to the caller");
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        CALLS.store(0, Ordering::SeqCst);
+        let out = with_jobs(3, || {
+            par_map((0..57usize).collect(), |k| {
+                CALLS.fetch_add(1, Ordering::SeqCst);
+                k
+            })
+        });
+        assert_eq!(out, (0..57).collect::<Vec<_>>());
+        assert_eq!(CALLS.load(Ordering::SeqCst), 57);
+    }
+
+    #[test]
+    fn range_helper_matches_direct() {
+        let a = par_map_range(10, |k| k * 3);
+        assert_eq!(a, (0..10).map(|k| k * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_jobs_restores_on_exit() {
+        let before = jobs();
+        with_jobs(7, || assert_eq!(jobs(), 7));
+        assert_eq!(jobs(), before);
+    }
+}

@@ -105,6 +105,12 @@ pub struct MachineConfig {
     /// Off by default: the detector charges no simulated cycles either
     /// way, but instrumenting every element access costs host time.
     pub detect_races: bool,
+    /// Use the interpreter's prepass caches (constant-folded declared
+    /// dims with recorded charge sequences; see `sim::prepass`).
+    /// Simulated behavior is bit-identical either way — the switch
+    /// exists so the fast-path equivalence property tests can compare
+    /// cached against uncached runs (DESIGN.md §9).
+    pub fast_paths: bool,
 }
 
 impl MachineConfig {
@@ -153,6 +159,7 @@ impl MachineConfig {
             max_while_iters: 50_000_000,
             watchdog_ops: 4_000_000_000,
             detect_races: false,
+            fast_paths: true,
         }
     }
 
@@ -231,6 +238,13 @@ impl MachineConfig {
     pub fn with_clusters(mut self, n: usize) -> MachineConfig {
         assert!(n >= 1);
         self.clusters = n;
+        self
+    }
+
+    /// Disable the interpreter's prepass caches (fast-path equivalence
+    /// tests compare against this mode; see `sim::prepass`).
+    pub fn without_fast_paths(mut self) -> MachineConfig {
+        self.fast_paths = false;
         self
     }
 

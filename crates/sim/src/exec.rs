@@ -8,6 +8,7 @@
 
 use crate::config::MachineConfig;
 use crate::fault::{FaultConfig, FaultState};
+use crate::prepass::Prepass;
 use crate::race::{RaceDetector, RaceInfo};
 use crate::stats::ExecStats;
 use crate::store::{SlotId, StorageRef, Store, VarBind};
@@ -54,13 +55,69 @@ struct Ctx {
 /// Vector of values (one per lane of a vector statement).
 type VecVal = Vec<Value>;
 
+/// Sync-point ids below this bound use the dense per-point table;
+/// anything larger (hand-written adversarial sources) overflows to a
+/// map so a wild id cannot force a giant allocation.
+const DENSE_POINTS: usize = 64;
+
 /// State of an executing DOACROSS loop: advance times per sync point
 /// and per iteration. An `await` that finds no advance recorded in its
 /// dependence window is a deadlock (see [`Simulator::exec_sync`]).
+///
+/// The per-point table is a dense `Vec` indexed by point id (the
+/// restructurer numbers cascade points from zero), replacing a
+/// `BTreeMap` lookup on every `await`/`advance` of every DOACROSS
+/// iteration. An empty inner `Vec` means "no advance recorded yet",
+/// exactly like a missing map key did.
 struct DoacrossState {
-    advance_times: BTreeMap<u32, Vec<Option<f64>>>,
+    advance_times: Vec<Vec<Option<f64>>>,
+    /// Rare ids ≥ [`DENSE_POINTS`].
+    advance_overflow: BTreeMap<u32, Vec<Option<f64>>>,
     cur_iter: usize,
     trip: usize,
+}
+
+impl DoacrossState {
+    fn new(trip: usize) -> DoacrossState {
+        DoacrossState {
+            advance_times: Vec::new(),
+            advance_overflow: BTreeMap::new(),
+            cur_iter: 0,
+            trip,
+        }
+    }
+
+    /// Recorded advance times for a point (None = never advanced).
+    fn times(&self, point: u32) -> Option<&[Option<f64>]> {
+        let v = if (point as usize) < DENSE_POINTS {
+            self.advance_times.get(point as usize)?
+        } else {
+            self.advance_overflow.get(&point)?
+        };
+        if v.is_empty() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Per-iteration slots for a point, allocating on first advance.
+    fn times_mut(&mut self, point: u32) -> &mut Vec<Option<f64>> {
+        let trip = self.trip;
+        let v = if (point as usize) < DENSE_POINTS {
+            let pi = point as usize;
+            if self.advance_times.len() <= pi {
+                self.advance_times.resize_with(pi + 1, Vec::new);
+            }
+            &mut self.advance_times[pi]
+        } else {
+            self.advance_overflow.entry(point).or_default()
+        };
+        if v.is_empty() {
+            v.resize(trip, None);
+        }
+        v
+    }
 }
 
 /// The simulator.
@@ -93,6 +150,15 @@ pub struct Simulator<'p> {
     /// `Option` test per access when disabled, and no simulated cycles
     /// either way).
     races: Option<Box<RaceDetector>>,
+    /// One-time derived data (callee index, constant-folded dims); see
+    /// [`crate::prepass`].
+    pre: Prepass,
+    /// Recycled lane-value buffers: vector statements take a buffer
+    /// here instead of allocating a fresh `Vec` per operand per
+    /// statement, and return it when the lanes are consumed.
+    scratch: Vec<VecVal>,
+    /// Recycled linear-index buffers for section lane lists.
+    scratch_lin: Vec<Vec<usize>>,
 }
 
 impl<'p> Simulator<'p> {
@@ -101,6 +167,7 @@ impl<'p> Simulator<'p> {
         let races = config
             .detect_races
             .then(|| Box::new(RaceDetector::new(true)));
+        let pre = Prepass::build(program, &config);
         let mut sim = Simulator {
             program,
             store: Store::new(config.clusters),
@@ -115,6 +182,9 @@ impl<'p> Simulator<'p> {
             faults: None,
             ops_executed: 0,
             races,
+            pre,
+            scratch: Vec::new(),
+            scratch_lin: Vec::new(),
         };
         sim.allocate_commons()?;
         Ok(sim)
@@ -154,8 +224,10 @@ impl<'p> Simulator<'p> {
 
     /// Run the PROGRAM unit.
     pub fn run_main(&mut self) -> Result<()> {
-        let (idx, unit) = self
-            .program
+        // Copy the `&'p Program` out of `self` so the body borrow is
+        // independent of `&mut self` (no per-run body clone).
+        let program = self.program;
+        let (idx, unit) = program
             .units
             .iter()
             .enumerate()
@@ -169,7 +241,7 @@ impl<'p> Simulator<'p> {
             })?;
         let mut ctx = Ctx { cluster: 0, time: 0.0, active: 1 };
         let mut frame = self.new_frame(idx, &mut ctx)?;
-        let flow = self.exec_block(&mut frame, &unit.body.clone(), &mut ctx)?;
+        let flow = self.exec_block(&mut frame, &unit.body, &mut ctx)?;
         let _ = flow;
         self.stats.cycles = ctx.time;
         self.entry_frame = Some(frame);
@@ -405,7 +477,10 @@ impl<'p> Simulator<'p> {
                             Placement::Default => Placement::Cluster,
                             p => p,
                         };
-                        let dims = self.eval_dims(&frame, unit, si, ctx)?;
+                        let dims = match self.cached_dims(idx, si, ctx) {
+                            Some(d) => d,
+                            None => self.eval_dims(&frame, unit, si, ctx)?,
+                        };
                         let total: usize =
                             dims.iter().map(|&(lo, hi)| ((hi - lo + 1).max(0)) as usize).product();
                         let sref =
@@ -445,6 +520,26 @@ impl<'p> Simulator<'p> {
             dims.push((lo, hi));
         }
         Ok(dims)
+    }
+
+    /// Prepass fast path for [`Self::eval_dims`]: when the declared dims
+    /// of `[unit_idx][si]` constant-folded, replay the recorded charge
+    /// sequence (bit-identical to the slow walk; see `prepass`) and
+    /// return the dims. `None` = take the slow path. Bypassed under race
+    /// detection: the slow path's PARAMETER reads go through the
+    /// detector's shadow memory and must not be skipped.
+    fn cached_dims(&mut self, unit_idx: usize, si: usize, ctx: &mut Ctx) -> Option<Vec<(i64, i64)>> {
+        if self.races.is_some() {
+            return None;
+        }
+        let cd = self.pre.dims(unit_idx, si)?;
+        for &c in &cd.charges {
+            ctx.time += c;
+        }
+        let ops = cd.scalar_ops;
+        let dims = cd.dims.clone();
+        self.stats.scalar_ops += ops;
+        Some(dims)
     }
 
     fn resolve_slot(&self, bind: &VarBind, cluster: usize) -> SlotId {
@@ -550,6 +645,48 @@ impl<'p> Simulator<'p> {
         self.mem_cost(bind.placement, 1, vector, read, ctx)
     }
 
+    // ================== scratch buffers ==================
+
+    /// Take a recycled lane-value buffer (cleared; best-effort capacity).
+    fn take_buf(&mut self, cap: usize) -> VecVal {
+        match self.scratch.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.reserve(cap);
+                v
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Return a consumed lane-value buffer to the pool.
+    fn put_buf(&mut self, mut v: VecVal) {
+        if self.scratch.len() < 32 {
+            v.clear();
+            self.scratch.push(v);
+        }
+    }
+
+    /// Take a recycled linear-index buffer.
+    fn take_lin(&mut self, cap: usize) -> Vec<usize> {
+        match self.scratch_lin.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.reserve(cap);
+                v
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Return a consumed linear-index buffer to the pool.
+    fn put_lin(&mut self, mut v: Vec<usize>) {
+        if self.scratch_lin.len() < 32 {
+            v.clear();
+            self.scratch_lin.push(v);
+        }
+    }
+
     // ================== scalar evaluation ==================
 
     fn bind_of<'f>(&self, frame: &'f Frame, sym: SymbolId) -> Result<&'f VarBind> {
@@ -617,23 +754,24 @@ impl<'p> Simulator<'p> {
             Expr::ConstR { value, .. } => Ok(Value::R(*value)),
             Expr::ConstB(b) => Ok(Value::B(*b)),
             Expr::Scalar(s) => {
-                let bind = self.bind_of(frame, *s)?.clone();
+                let bind = self.bind_of(frame, *s)?;
                 // Scalars are register/cache resident.
                 ctx.time += self.config.cache_hit;
-                let slot = self.resolve_slot(&bind, ctx.cluster);
-                self.load(slot, bind.offset)
+                let slot = self.resolve_slot(bind, ctx.cluster);
+                let offset = bind.offset;
+                self.load(slot, offset)
             }
             Expr::Elem { arr, idx } => {
-                let mut subs = Vec::with_capacity(idx.len());
+                let mut subs = Subs::new();
                 for ie in idx {
-                    subs.push(self.eval_scalar(frame, ie, ctx)?.as_i64());
+                    subs.push(self.eval_scalar(frame, ie, ctx)?.as_i64())?;
                     self.stats.scalar_ops += 1;
                     ctx.time += self.config.scalar_op; // address arithmetic
                 }
-                let bind = self.bind_of(frame, *arr)?.clone();
-                let lin = self.linearize(frame, *arr, &bind, &subs)?;
-                ctx.time += self.bind_access_cost(&bind, lin, false, true, ctx);
-                let slot = self.resolve_slot(&bind, ctx.cluster);
+                let bind = self.bind_of(frame, *arr)?;
+                let lin = self.linearize(frame, *arr, bind, subs.as_slice())?;
+                ctx.time += self.bind_access_cost(bind, lin, false, true, ctx);
+                let slot = self.resolve_slot(bind, ctx.cluster);
                 self.load(slot, lin)
             }
             Expr::Un(op, inner) => {
@@ -707,7 +845,7 @@ impl<'p> Simulator<'p> {
         idx: &[Index],
         ctx: &mut Ctx,
     ) -> Result<(Vec<SectionDim>, usize)> {
-        let bind = self.bind_of(frame, arr)?.clone();
+        let bind = self.bind_of(frame, arr)?;
         let mut dims = Vec::with_capacity(idx.len());
         let mut lanes = 1usize;
         for (k, i) in idx.iter().enumerate() {
@@ -731,8 +869,9 @@ impl<'p> Simulator<'p> {
                     })?;
                     let vals = self.eval_vec(frame, e, n, ctx)?;
                     dims.push(SectionDim::Gather(
-                        vals.into_iter().map(|v| v.as_i64()).collect(),
+                        vals.iter().map(|v| v.as_i64()).collect(),
                     ));
+                    self.put_buf(vals);
                     lanes = lanes.max(n);
                 }
                 Index::At(e) => {
@@ -772,35 +911,99 @@ impl<'p> Simulator<'p> {
         Ok((dims, lanes))
     }
 
-    /// Gather the linear indices of all lanes of a section, column-major.
+    /// Gather the linear indices of all lanes of a section into `out`
+    /// (cleared first), column-major. The out-param lets callers reuse
+    /// a pooled buffer instead of allocating per statement. Returns
+    /// `true` when the lanes are provably a contiguous ascending run
+    /// (`out[k+1] == out[k] + 1`), which unlocks the callers' bulk
+    /// load/store paths.
     fn section_linear_indices(
         &self,
         bind: &VarBind,
         dims: &[SectionDim],
         lanes: usize,
-    ) -> Result<Vec<usize>> {
-        let mut out = Vec::with_capacity(lanes);
+        out: &mut Vec<usize>,
+    ) -> Result<bool> {
+        out.clear();
+        out.reserve(lanes);
         // Odometer over range dims (column-major: leftmost fastest).
-        let mut counters: Vec<usize> = dims.iter().map(|_| 0).collect();
-        let mut subs: Vec<i64> = Vec::with_capacity(dims.len());
+        let mut counters = [0usize; 8];
+        if dims.len() > counters.len() {
+            return kerr(
+                SimErrorKind::TypeError,
+                cedar_ir::Span::NONE,
+                "array rank exceeds the Fortran 77 limit of 7",
+            );
+        }
+        // Fast path (`a(lo:hi)`, `rs(1:n, i)`, `a(i, lo:hi)` …): exactly
+        // one range dimension and no gathers makes the lanes an
+        // arithmetic progression, so bounds-checking the two end lanes
+        // covers every interior lane (the varying subscript is monotonic
+        // between them) and the odometer walk collapses to a fill.
+        if self.pre.enabled && lanes > 0 {
+            let mut range_dim: Option<(usize, i64, i64, usize)> = None;
+            let simple = dims.iter().enumerate().all(|(k, d)| match d {
+                SectionDim::Fixed(_) => true,
+                SectionDim::RangeLen { lo, step, len } if range_dim.is_none() => {
+                    range_dim = Some((k, *lo, *step, *len));
+                    true
+                }
+                _ => false,
+            });
+            if simple {
+                if let Some((k, lo, step, len)) = range_dim {
+                    debug_assert_eq!(len, lanes);
+                    let mut subs = [0i64; 8];
+                    for (j, d) in dims.iter().enumerate() {
+                        subs[j] = match d {
+                            SectionDim::Fixed(v) => *v,
+                            SectionDim::RangeLen { lo, .. } => *lo,
+                            SectionDim::Gather(_) => unreachable!("excluded above"),
+                        };
+                    }
+                    let first = bind.linearize(&subs[..dims.len()], false);
+                    subs[k] = lo + (len as i64 - 1) * step;
+                    let last = bind.linearize(&subs[..dims.len()], false);
+                    if let (Some(first), Some(last)) = (first, last) {
+                        let stride = if len > 1 {
+                            (last as i64 - first as i64) / (len as i64 - 1)
+                        } else {
+                            0
+                        };
+                        out.extend(
+                            (0..len as i64).map(|j| (first as i64 + j * stride) as usize),
+                        );
+                        return Ok(len <= 1 || stride == 1);
+                    }
+                    // An end lane is out of bounds: fall through to the
+                    // general walk, which raises the usual error.
+                }
+            }
+        }
+        let counters = &mut counters[..dims.len()];
+        let mut subs = Subs::new();
         for lane in 0..lanes {
             subs.clear();
-            for (d, &c) in dims.iter().zip(&counters) {
+            for (d, &c) in dims.iter().zip(counters.iter()) {
                 match d {
-                    SectionDim::Fixed(v) => subs.push(*v),
+                    SectionDim::Fixed(v) => subs.push(*v)?,
                     SectionDim::RangeLen { lo, step, .. } => {
-                        subs.push(lo + (c as i64) * step)
+                        subs.push(lo + (c as i64) * step)?
                     }
                     SectionDim::Gather(vals) => subs.push(
                         vals.get(lane).or_else(|| vals.last()).copied().unwrap_or(0),
-                    ),
+                    )?,
                 }
             }
-            let lin = bind.linearize(&subs, false).ok_or_else(|| {
+            let lin = bind.linearize(subs.as_slice(), false).ok_or_else(|| {
                 SimError::new(
                     SimErrorKind::OutOfBounds,
                     cedar_ir::Span::NONE,
-                    format!("section lane out of bounds: {subs:?} dims {:?}", bind.dims),
+                    format!(
+                        "section lane out of bounds: {:?} dims {:?}",
+                        subs.as_slice(),
+                        bind.dims
+                    ),
                 )
             })?;
             out.push(lin);
@@ -821,7 +1024,10 @@ impl<'p> Simulator<'p> {
                 counters[k] = 0;
             }
         }
-        Ok(out)
+        // The general walk makes no contiguity claim (gathers and
+        // multi-range products can still be contiguous, but proving it
+        // would cost the scan the fast path exists to avoid).
+        Ok(false)
     }
 
     /// Evaluate an expression as a vector of `lanes` values. Sections
@@ -837,8 +1043,9 @@ impl<'p> Simulator<'p> {
                         format!("vector length mismatch: {n} vs {lanes}"),
                     );
                 }
-                let bind = self.bind_of(frame, *arr)?.clone();
-                let lins = self.section_linear_indices(&bind, &dims, lanes)?;
+                let mut lins = self.take_lin(lanes);
+                let bind = self.bind_of(frame, *arr)?;
+                let contiguous = self.section_linear_indices(bind, &dims, lanes, &mut lins)?;
                 // Cost: one vector stream. Gathers cannot use the
                 // sequential prefetch unit.
                 let is_gather = dims.iter().any(|d| matches!(d, SectionDim::Gather(_)));
@@ -847,36 +1054,54 @@ impl<'p> Simulator<'p> {
                 if is_gather {
                     self.config.prefetch = false;
                 }
-                let cost = if bind.placement == Placement::Partitioned {
+                let placement = bind.placement;
+                let slot = self.resolve_slot(bind, ctx.cluster);
+                let cost = if placement == Placement::Partitioned {
                     let local = self.mem_cost(Placement::Cluster, lanes as u64, true, true, ctx);
                     let remote = self.mem_cost(Placement::Global, lanes as u64, true, true, ctx);
                     0.5 * (local + remote)
                 } else {
-                    self.mem_cost(bind.placement, lanes as u64, true, true, ctx)
+                    self.mem_cost(placement, lanes as u64, true, true, ctx)
                 };
                 self.config.prefetch = saved_prefetch;
                 ctx.time += cost;
-                let slot = self.resolve_slot(&bind, ctx.cluster);
-                lins.iter().map(|&l| self.load(slot, l)).collect()
+                let mut out = self.take_buf(lanes);
+                // Contiguous run with the race detector off: one slice
+                // copy instead of `lanes` checked element loads. The
+                // fallback path produces the out-of-bounds error.
+                let bulk = contiguous
+                    && self.races.is_none()
+                    && !lins.is_empty()
+                    && self.store.slot(slot).extend_range(lins[0], lanes, &mut out);
+                if !bulk {
+                    out.clear();
+                    for &l in &lins {
+                        out.push(self.load(slot, l)?);
+                    }
+                }
+                self.put_lin(lins);
+                Ok(out)
             }
             Expr::Un(op, inner) => {
-                let v = self.eval_vec(frame, inner, lanes, ctx)?;
+                let mut v = self.eval_vec(frame, inner, lanes, ctx)?;
                 self.stats.vector_elems += lanes as u64;
                 ctx.time += self.config.vector_op * lanes as f64;
-                Ok(v.into_iter().map(|x| value_ops::un(*op, x)).collect())
+                for x in v.iter_mut() {
+                    *x = value_ops::un(*op, *x);
+                }
+                Ok(v)
             }
             Expr::Bin(op, l, r) => {
-                let lv = self.eval_vec(frame, l, lanes, ctx)?;
+                let mut lv = self.eval_vec(frame, l, lanes, ctx)?;
                 let rv = self.eval_vec(frame, r, lanes, ctx)?;
                 self.stats.vector_elems += lanes as u64;
                 ctx.time += self.config.vector_op * lanes as f64;
-                lv.into_iter()
-                    .zip(rv)
-                    .map(|(a, b)| {
-                        value_ops::bin(*op, a, b)
-                            .map_err(|e| SimError::from_op(e, cedar_ir::Span::NONE))
-                    })
-                    .collect()
+                for (a, b) in lv.iter_mut().zip(&rv) {
+                    *a = value_ops::bin(*op, *a, *b)
+                        .map_err(|e| SimError::from_op(e, cedar_ir::Span::NONE))?;
+                }
+                self.put_buf(rv);
+                Ok(lv)
             }
             Expr::Intr { f: Intrinsic::Iota, args, .. } => {
                 let first = args.first().ok_or_else(|| {
@@ -889,14 +1114,18 @@ impl<'p> Simulator<'p> {
                 let lo = self.eval_scalar(frame, first, ctx)?.as_i64();
                 ctx.time += self.config.vector_op * lanes as f64;
                 self.stats.vector_elems += lanes as u64;
-                Ok((0..lanes as i64).map(|k| Value::I(lo + k)).collect())
+                let mut out = self.take_buf(lanes);
+                out.extend((0..lanes as i64).map(|k| Value::I(lo + k)));
+                Ok(out)
             }
             Expr::Intr { f, args, par } => {
                 if f.is_reduction() {
                     // A reduction inside a vector expression produces a
                     // broadcast scalar.
                     let v = self.eval_intrinsic(frame, *f, args, *par, ctx)?;
-                    return Ok(vec![v; lanes]);
+                    let mut out = self.take_buf(lanes);
+                    out.resize(lanes, v);
+                    return Ok(out);
                 }
                 let mut cols: Vec<VecVal> = Vec::with_capacity(args.len());
                 for a in args {
@@ -904,7 +1133,7 @@ impl<'p> Simulator<'p> {
                 }
                 self.stats.vector_elems += lanes as u64;
                 ctx.time += self.config.vector_op * lanes as f64 * 2.0; // intrinsics cost more
-                let mut out = Vec::with_capacity(lanes);
+                let mut out = self.take_buf(lanes);
                 let mut argv = Vec::with_capacity(cols.len());
                 for lane in 0..lanes {
                     argv.clear();
@@ -916,12 +1145,17 @@ impl<'p> Simulator<'p> {
                             .map_err(|e| SimError::from_op(e, cedar_ir::Span::NONE))?,
                     );
                 }
+                for c in cols {
+                    self.put_buf(c);
+                }
                 Ok(out)
             }
             // Scalar subexpression: evaluate once, broadcast.
             other => {
                 let v = self.eval_scalar(frame, other, ctx)?;
-                Ok(vec![v; lanes])
+                let mut out = self.take_buf(lanes);
+                out.resize(lanes, v);
+                Ok(out)
             }
         }
     }
@@ -1116,7 +1350,16 @@ impl<'p> Simulator<'p> {
                 self.stats.parallel_loops += 1;
             }
         }
+        for c in cols {
+            self.put_buf(c);
+        }
         Ok(value)
+    }
+
+    /// Resolve a callee name to its unit index via the prepass table
+    /// (first definition wins, matching the former linear scan).
+    fn unit_index(&self, callee: &str) -> Option<usize> {
+        self.pre.unit_index.get(callee).copied()
     }
 
     fn eval_call(
@@ -1126,18 +1369,13 @@ impl<'p> Simulator<'p> {
         args: &[Expr],
         ctx: &mut Ctx,
     ) -> Result<Value> {
-        let ridx = self
-            .program
-            .units
-            .iter()
-            .position(|u| u.name == callee)
-            .ok_or_else(|| {
-                SimError::new(
-                    SimErrorKind::BadProgram,
-                    cedar_ir::Span::NONE,
-                    format!("call to unknown function `{callee}`"),
-                )
-            })?;
+        let ridx = self.unit_index(callee).ok_or_else(|| {
+            SimError::new(
+                SimErrorKind::BadProgram,
+                cedar_ir::Span::NONE,
+                format!("call to unknown function `{callee}`"),
+            )
+        })?;
         let flow_result = self.invoke(frame, ridx, args, ctx)?;
         flow_result.ok_or_else(|| {
             SimError::new(
@@ -1169,7 +1407,8 @@ impl<'p> Simulator<'p> {
         self.stats.calls += 1;
         ctx.time += self.config.call_overhead;
 
-        let callee_unit = &self.program.units[ridx];
+        // `&'p` borrow independent of `&mut self` (see run_main).
+        let callee_unit = &{ self.program }.units[ridx];
         let mut frame = Frame { unit: ridx, binds: vec![None; callee_unit.symbols.len()] };
 
         // Pass 1: bind arguments (aliases or value temps).
@@ -1218,14 +1457,14 @@ impl<'p> Simulator<'p> {
         };
         let mut frame = local_frame;
 
-        let body = callee_unit.body.clone();
-        self.exec_block(&mut frame, &body, ctx)?;
+        self.exec_block(&mut frame, &callee_unit.body, ctx)?;
 
         let result = match callee_unit.result {
             Some(r) => {
-                let bind = self.bind_of(&frame, r)?.clone();
-                let slot = self.resolve_slot(&bind, ctx.cluster);
-                Some(self.load(slot, bind.offset)?)
+                let bind = self.bind_of(&frame, r)?;
+                let slot = self.resolve_slot(bind, ctx.cluster);
+                let offset = bind.offset;
+                Some(self.load(slot, offset)?)
             }
             None => None,
         };
@@ -1237,7 +1476,7 @@ impl<'p> Simulator<'p> {
                 sym.kind,
                 SymKind::Local | SymKind::FuncResult | SymKind::Param(_)
             ) {
-                if let Some(b) = frame.binds[si].clone() {
+                if let Some(b) = frame.binds[si].take() {
                     self.release_binding(&b, ctx.cluster);
                 }
             }
@@ -1268,10 +1507,15 @@ impl<'p> Simulator<'p> {
         dummy: SymbolId,
         ctx: &mut Ctx,
     ) -> Result<Vec<(i64, i64)>> {
-        let unit = &self.program.units[ridx];
+        // Fully-constant declared dims (never assumed-size: the fold
+        // requires every upper bound) replay from the prepass cache.
+        if let Some(d) = self.cached_dims(ridx, dummy.index(), ctx) {
+            return Ok(d);
+        }
+        let unit = &{ self.program }.units[ridx];
         let sym = unit.symbol(dummy);
         let mut dims = Vec::with_capacity(sym.dims.len());
-        let bind = self.bind_of(frame, dummy)?.clone();
+        let bind = self.bind_of(frame, dummy)?;
         for (k, d) in sym.dims.iter().enumerate() {
             let lo = self.eval_scalar(frame, &d.lower, ctx)?.as_i64();
             let hi = match &d.upper {
@@ -1280,7 +1524,7 @@ impl<'p> Simulator<'p> {
                     // Assumed size: fill from the actual's remaining
                     // length.
                     debug_assert_eq!(k + 1, sym.dims.len());
-                    let slot = self.resolve_slot(&bind, ctx.cluster);
+                    let slot = self.resolve_slot(bind, ctx.cluster);
                     let total = self.store.slot(slot).len().saturating_sub(bind.offset);
                     let lead: usize = dims
                         .iter()
@@ -1303,7 +1547,6 @@ impl<'p> Simulator<'p> {
             Expr::Section { arr, idx } => {
                 // Whole-array pass (full section) or sub-section starting
                 // point; we alias from the section's first element.
-                let bind = self.bind_of(caller, *arr)?.clone();
                 let (dims, lanes) = self.section_lanes(caller, *arr, idx, ctx)?;
                 let _ = lanes;
                 let mut subs = Vec::with_capacity(dims.len());
@@ -1316,18 +1559,19 @@ impl<'p> Simulator<'p> {
                         }
                     }
                 }
+                let bind = self.bind_of(caller, *arr)?;
                 let lin = bind.linearize(&subs, false).unwrap_or(bind.offset);
                 let mut nb = bind.clone();
                 nb.offset = lin;
                 Ok(nb)
             }
             Expr::Elem { arr, idx } => {
-                let mut subs = Vec::with_capacity(idx.len());
+                let mut subs = Subs::new();
                 for e in idx {
-                    subs.push(self.eval_scalar(caller, e, ctx)?.as_i64());
+                    subs.push(self.eval_scalar(caller, e, ctx)?.as_i64())?;
                 }
-                let bind = self.bind_of(caller, *arr)?.clone();
-                let lin = self.linearize(caller, *arr, &bind, &subs)?;
+                let bind = self.bind_of(caller, *arr)?;
+                let lin = self.linearize(caller, *arr, bind, subs.as_slice())?;
                 let mut nb = bind.clone();
                 nb.offset = lin;
                 Ok(nb)
@@ -1437,18 +1681,13 @@ impl<'p> Simulator<'p> {
                     }
                     return Ok(Flow::Normal);
                 }
-                let ridx = self
-                    .program
-                    .units
-                    .iter()
-                    .position(|u| u.name == *callee)
-                    .ok_or_else(|| {
-                        SimError::new(
-                            SimErrorKind::BadProgram,
-                            *span,
-                            format!("CALL to unknown subroutine `{callee}`"),
-                        )
-                    })?;
+                let ridx = self.unit_index(callee).ok_or_else(|| {
+                    SimError::new(
+                        SimErrorKind::BadProgram,
+                        *span,
+                        format!("CALL to unknown subroutine `{callee}`"),
+                    )
+                })?;
                 self.invoke(frame, ridx, args, ctx)
                     .map_err(|e| with_span(e, *span))?;
                 Ok(Flow::Normal)
@@ -1498,29 +1737,33 @@ impl<'p> Simulator<'p> {
         match lhs {
             LValue::Scalar(sv) => {
                 let v = self.eval_scalar(frame, rhs, ctx)?;
-                let bind = self.bind_of(frame, *sv)?.clone();
+                let bind = self.bind_of(frame, *sv)?;
                 ctx.time += self.config.cache_hit;
-                let slot = self.resolve_slot(&bind, ctx.cluster);
-                self.store_at(slot, bind.offset, v, bind.ty)
+                let slot = self.resolve_slot(bind, ctx.cluster);
+                let (offset, ty) = (bind.offset, bind.ty);
+                self.store_at(slot, offset, v, ty)
             }
             LValue::Elem { arr, idx } => {
-                let mut subs = Vec::with_capacity(idx.len());
+                let mut subs = Subs::new();
                 for e in idx {
-                    subs.push(self.eval_scalar(frame, e, ctx)?.as_i64());
+                    subs.push(self.eval_scalar(frame, e, ctx)?.as_i64())?;
                     ctx.time += self.config.scalar_op;
                     self.stats.scalar_ops += 1;
                 }
                 let v = self.eval_scalar(frame, rhs, ctx)?;
-                let bind = self.bind_of(frame, *arr)?.clone();
-                let lin = self.linearize(frame, *arr, &bind, &subs)?;
-                ctx.time += self.bind_access_cost(&bind, lin, false, false, ctx);
-                let slot = self.resolve_slot(&bind, ctx.cluster);
-                self.store_at(slot, lin, v, bind.ty)
+                let bind = self.bind_of(frame, *arr)?;
+                let lin = self.linearize(frame, *arr, bind, subs.as_slice())?;
+                ctx.time += self.bind_access_cost(bind, lin, false, false, ctx);
+                let slot = self.resolve_slot(bind, ctx.cluster);
+                let ty = bind.ty;
+                self.store_at(slot, lin, v, ty)
             }
             LValue::Section { arr, idx } => {
                 let (dims, lanes) = self.section_lanes(frame, *arr, idx, ctx)?;
-                let bind = self.bind_of(frame, *arr)?.clone();
-                let lins = self.section_linear_indices(&bind, &dims, lanes)?;
+                let mut lins = self.take_lin(lanes);
+                let bind = self.bind_of(frame, *arr)?;
+                let contiguous = self.section_linear_indices(bind, &dims, lanes, &mut lins)?;
+                let (placement, ty) = (bind.placement, bind.ty);
                 let vals = self.eval_vec(frame, rhs, lanes, ctx)?;
                 let mvals = match mask {
                     Some(m) => Some(self.eval_vec(frame, m, lanes, ctx)?),
@@ -1528,19 +1771,35 @@ impl<'p> Simulator<'p> {
                 };
                 // Store stream cost.
                 ctx.time += self.config.vector_startup;
-                if bind.placement == Placement::Partitioned {
+                if placement == Placement::Partitioned {
                     let local = self.mem_cost(Placement::Cluster, lanes as u64, true, false, ctx);
                     let remote = self.mem_cost(Placement::Global, lanes as u64, true, false, ctx);
                     ctx.time += 0.5 * (local + remote);
                 } else {
-                    ctx.time += self.mem_cost(bind.placement, lanes as u64, true, false, ctx);
+                    ctx.time += self.mem_cost(placement, lanes as u64, true, false, ctx);
                 }
-                let slot = self.resolve_slot(&bind, ctx.cluster);
-                for (k, (&lin, v)) in lins.iter().zip(vals).enumerate() {
-                    if mvals.as_ref().is_some_and(|m| !m[k].as_bool()) {
-                        continue;
+                let bind = self.bind_of(frame, *arr)?;
+                let slot = self.resolve_slot(bind, ctx.cluster);
+                // Unmasked contiguous store with the race detector off:
+                // one coercing slice write instead of `lanes` checked
+                // element stores.
+                let bulk = contiguous
+                    && mvals.is_none()
+                    && self.races.is_none()
+                    && !lins.is_empty()
+                    && self.store.slot_mut(slot).set_range(lins[0], &vals, ty);
+                if !bulk {
+                    for (k, (&lin, &v)) in lins.iter().zip(&vals).enumerate() {
+                        if mvals.as_ref().is_some_and(|m| !m[k].as_bool()) {
+                            continue;
+                        }
+                        self.store_at(slot, lin, v, ty)?;
                     }
-                    self.store_at(slot, lin, v, bind.ty)?;
+                }
+                self.put_lin(lins);
+                self.put_buf(vals);
+                if let Some(m) = mvals {
+                    self.put_buf(m);
                 }
                 Ok(())
             }
@@ -1560,18 +1819,13 @@ impl<'p> Simulator<'p> {
         lib: bool,
         ctx: &mut Ctx,
     ) -> Result<()> {
-        let ridx = self
-            .program
-            .units
-            .iter()
-            .position(|u| u.name == callee)
-            .ok_or_else(|| {
-                SimError::new(
-                    SimErrorKind::BadProgram,
-                    cedar_ir::Span::NONE,
-                    format!("task start of unknown subroutine `{callee}`"),
-                )
-            })?;
+        let ridx = self.unit_index(callee).ok_or_else(|| {
+            SimError::new(
+                SimErrorKind::BadProgram,
+                cedar_ir::Span::NONE,
+                format!("task start of unknown subroutine `{callee}`"),
+            )
+        })?;
         if lib {
             let mut has_sync = false;
             cedar_ir::visit::walk_stmts(&self.program.units[ridx].body, &mut |st| {
@@ -1649,7 +1903,7 @@ impl<'p> Simulator<'p> {
                     if k - d >= 0 {
                         let lo = (k - d) as usize;
                         let hi = (k as usize).min(st.trip.saturating_sub(1));
-                        let t = st.advance_times.get(point).and_then(|v| {
+                        let t = st.times(*point).and_then(|v| {
                             v.get(lo..=hi)?
                                 .iter()
                                 .flatten()
@@ -1707,11 +1961,7 @@ impl<'p> Simulator<'p> {
                 }
                 if let Some(st) = self.doacross.last_mut() {
                     let k = st.cur_iter;
-                    let trip = st.trip;
-                    let v = st
-                        .advance_times
-                        .entry(*point)
-                        .or_insert_with(|| vec![None; trip]);
+                    let v = st.times_mut(*point);
                     if k < v.len() {
                         v[k] = Some(t);
                     }
@@ -1768,15 +2018,16 @@ impl<'p> Simulator<'p> {
     }
 
     fn set_loop_var(&mut self, frame: &Frame, var: SymbolId, value: i64, ctx: &Ctx) -> Result<()> {
-        let bind = self.bind_of(frame, var)?.clone();
-        let slot = self.resolve_slot(&bind, ctx.cluster);
+        let bind = self.bind_of(frame, var)?;
+        let slot = self.resolve_slot(bind, ctx.cluster);
+        let (offset, ty) = (bind.offset, bind.ty);
         // The loop variable is conceptually private per iteration (each
         // CE holds its own copy); the host-side shared write must not
         // register as a cross-iteration race.
         if let Some(rd) = self.races.as_mut() {
             rd.suspend();
         }
-        let r = self.store_at(slot, bind.offset, Value::I(value), bind.ty);
+        let r = self.store_at(slot, offset, Value::I(value), ty);
         if let Some(rd) = self.races.as_mut() {
             rd.resume();
         }
@@ -1835,22 +2086,31 @@ impl<'p> Simulator<'p> {
         ctx: &mut Ctx,
     ) -> Result<Vec<(SymbolId, Vec<VarBind>)>> {
         let unit_idx = frame.unit;
+        let program = self.program;
         let mut out = Vec::with_capacity(l.locals.len());
         for &loc in &l.locals {
-            let sym = self.program.units[unit_idx].symbol(loc).clone();
+            let sym = program.units[unit_idx].symbol(loc);
             let mut per_part = Vec::with_capacity(participants);
             for p in 0..participants {
                 let home = self.participant_cluster(l.class, p, ctx);
                 // Dims may reference outer scalars (e.g. strip length).
-                let mut dims = Vec::with_capacity(sym.dims.len());
-                for d in &sym.dims {
-                    let lo = self.eval_scalar(frame, &d.lower, ctx)?.as_i64();
-                    let hi = match &d.upper {
-                        Some(e) => self.eval_scalar(frame, e, ctx)?.as_i64(),
-                        None => return err(sym.span, "assumed-size loop local"),
-                    };
-                    dims.push((lo, hi));
-                }
+                // Constant declared dims replay from the prepass cache —
+                // once per participant, like the slow walk.
+                let dims = match self.cached_dims(unit_idx, loc.index(), ctx) {
+                    Some(d) => d,
+                    None => {
+                        let mut dims = Vec::with_capacity(sym.dims.len());
+                        for d in &sym.dims {
+                            let lo = self.eval_scalar(frame, &d.lower, ctx)?.as_i64();
+                            let hi = match &d.upper {
+                                Some(e) => self.eval_scalar(frame, e, ctx)?.as_i64(),
+                                None => return err(sym.span, "assumed-size loop local"),
+                            };
+                            dims.push((lo, hi));
+                        }
+                        dims
+                    }
+                };
                 let total: usize =
                     dims.iter().map(|&(lo, hi)| ((hi - lo + 1).max(0)) as usize).product();
                 let sref = self.alloc_storage(sym.ty, total.max(1), Placement::Private, home);
@@ -1950,11 +2210,7 @@ impl<'p> Simulator<'p> {
 
         let is_ordered = l.class.is_ordered();
         if is_ordered {
-            self.doacross.push(DoacrossState {
-                advance_times: BTreeMap::new(),
-                cur_iter: 0,
-                trip,
-            });
+            self.doacross.push(DoacrossState::new(trip));
         }
 
         let locals = self.bind_locals(frame, l, participants, ctx)?;
@@ -1998,13 +2254,17 @@ impl<'p> Simulator<'p> {
         }
 
         let mut flow = Flow::Normal;
+        let mut bound_p = usize::MAX; // participant currently bound into the frame
         for k in 0..trip {
             // Deterministic self-scheduling: earliest-clock participant
             // takes the next iteration (ties: lowest id, or a seeded
             // shuffle under fault injection).
             let p = self.pick_participant(&clocks);
-            for (loc, per_part) in &locals {
-                frame.binds[loc.index()] = Some(per_part[p].clone());
+            if p != bound_p {
+                for (loc, per_part) in &locals {
+                    frame.binds[loc.index()] = Some(per_part[p].clone());
+                }
+                bound_p = p;
             }
             let mut cctx = Ctx {
                 cluster: self.participant_cluster(l.class, p, ctx),
@@ -2062,6 +2322,41 @@ impl<'p> Simulator<'p> {
         let end = clocks.iter().cloned().fold(t0, f64::max) + self.config.barrier;
         ctx.time = end;
         Ok(flow)
+    }
+}
+
+/// Stack-allocated subscript list: element accesses evaluate their
+/// subscripts into this fixed buffer instead of a heap `Vec` (Fortran
+/// 77 caps array rank at 7; [`Subs::push`] reports anything wilder).
+struct Subs {
+    buf: [i64; 8],
+    len: usize,
+}
+
+impl Subs {
+    fn new() -> Subs {
+        Subs { buf: [0; 8], len: 0 }
+    }
+
+    fn push(&mut self, v: i64) -> Result<()> {
+        if self.len >= self.buf.len() {
+            return kerr(
+                SimErrorKind::TypeError,
+                cedar_ir::Span::NONE,
+                "array rank exceeds the Fortran 77 limit of 7",
+            );
+        }
+        self.buf[self.len] = v;
+        self.len += 1;
+        Ok(())
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    fn as_slice(&self) -> &[i64] {
+        &self.buf[..self.len]
     }
 }
 

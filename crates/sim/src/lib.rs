@@ -41,6 +41,7 @@ pub mod config;
 pub mod error;
 pub mod exec;
 pub mod fault;
+pub(crate) mod prepass;
 pub mod race;
 pub mod stats;
 pub mod store;

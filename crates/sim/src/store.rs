@@ -69,6 +69,61 @@ impl ArrayData {
         }
     }
 
+    /// Append elements `i .. i + n` to `out`; `false` when the range is
+    /// outside the slot (the caller falls back to the checked
+    /// per-element path, which produces the error). Semantically equal
+    /// to `n` consecutive [`ArrayData::try_get`] calls.
+    pub fn extend_range(&self, i: usize, n: usize, out: &mut Vec<Value>) -> bool {
+        match self {
+            ArrayData::R(v) => match v.get(i..i + n) {
+                Some(s) => out.extend(s.iter().map(|&x| Value::R(x))),
+                None => return false,
+            },
+            ArrayData::I(v) => match v.get(i..i + n) {
+                Some(s) => out.extend(s.iter().map(|&x| Value::I(x))),
+                None => return false,
+            },
+            ArrayData::B(v) => match v.get(i..i + n) {
+                Some(s) => out.extend(s.iter().map(|&x| Value::B(x))),
+                None => return false,
+            },
+        }
+        true
+    }
+
+    /// Store `vals` (each first coerced to `ty`, as the interpreter's
+    /// element store does) at consecutive indices starting at `i`;
+    /// `false` when the range is outside the slot.
+    pub fn set_range(&mut self, i: usize, vals: &[Value], ty: Ty) -> bool {
+        match self {
+            ArrayData::R(dst) => match dst.get_mut(i..i + vals.len()) {
+                Some(s) => {
+                    for (d, v) in s.iter_mut().zip(vals) {
+                        *d = crate::value_ops::coerce(*v, ty).as_f64();
+                    }
+                }
+                None => return false,
+            },
+            ArrayData::I(dst) => match dst.get_mut(i..i + vals.len()) {
+                Some(s) => {
+                    for (d, v) in s.iter_mut().zip(vals) {
+                        *d = crate::value_ops::coerce(*v, ty).as_i64();
+                    }
+                }
+                None => return false,
+            },
+            ArrayData::B(dst) => match dst.get_mut(i..i + vals.len()) {
+                Some(s) => {
+                    for (d, v) in s.iter_mut().zip(vals) {
+                        *d = crate::value_ops::coerce(*v, ty).as_bool();
+                    }
+                }
+                None => return false,
+            },
+        }
+        true
+    }
+
     /// Store `val` at linear index `i`; `false` when out of range.
     pub fn try_set(&mut self, i: usize, val: Value) -> bool {
         match self {

@@ -283,17 +283,20 @@ fn check(
         }
     }
 
-    let mut runs = Vec::with_capacity(vcfg.seeds.len());
-    for &s in &vcfg.seeds {
+    // Each perturbed schedule is an independent simulation; results
+    // come back in seed order, so collecting into `Result` still
+    // reports the first failing seed, exactly as the serial loop did.
+    cedar_par::par_map(vcfg.seeds.clone(), |s| {
         let (got, cycles) = run_watched(candidate, mc, Some(vcfg.profile(s)), watch)
             .map_err(|err| Failure::Sim { seed: Some(s), err })?;
         let (bit_identical, max_rel_err, var) = compare(&base, &got);
         if max_rel_err > vcfg.rel_tol {
             return Err(Failure::Divergence { seed: Some(s), var, max_rel_err });
         }
-        runs.push(SeedRun { seed: s, cycles, bit_identical, max_rel_err });
-    }
-    Ok(runs)
+        Ok(SeedRun { seed: s, cycles, bit_identical, max_rel_err })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Parallel nest headers `(unit, line)` eligible for suppression: the

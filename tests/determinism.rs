@@ -1,0 +1,85 @@
+//! Parallel-engine determinism: sweeps run through
+//! [`cedar_par::par_map`] must produce output *byte-identical* to the
+//! serial sweep — same JSON artifacts, same cycle counts — no matter
+//! how many workers `CEDAR_JOBS` grants. The worker pool writes results
+//! into index-ordered slots, so ordering is structural; these tests pin
+//! the end-to-end guarantee on real sweeps.
+//!
+//! Each comparison clears the experiment caches between runs
+//! ([`cedar_experiments::cache::clear`]) so the second run genuinely
+//! recomputes instead of replaying the first run's memo.
+
+use cedar_experiments::{races, robustness};
+
+/// Run `f` under a forced worker count with cold caches.
+fn fresh<T>(jobs: usize, f: impl FnOnce() -> T) -> T {
+    cedar_par::with_jobs(jobs, || {
+        cedar_experiments::cache::clear();
+        f()
+    })
+}
+
+#[test]
+fn robustness_json_byte_identical_across_jobs() {
+    // A small Table 1 subset keeps the debug-mode sweep fast; the
+    // binary covers the full matrix.
+    let names = ["lubksb", "gaussj", "svbksb"];
+    let sweep = || {
+        let rows = robustness::run_filtered(2, Some(&names));
+        assert_eq!(rows.len(), names.len(), "filter missed a workload");
+        robustness::to_json(&rows, 2)
+    };
+    let serial = fresh(1, sweep);
+    let parallel = fresh(4, sweep);
+    assert!(
+        serial == parallel,
+        "robustness JSON differs between CEDAR_JOBS=1 and 4:\n--- serial\n{serial}\n--- parallel\n{parallel}"
+    );
+}
+
+#[test]
+fn races_json_byte_identical_across_jobs() {
+    // One kernel plus two seeded negatives exercises both job kinds of
+    // the race matrix.
+    let names = ["lubksb", "shared-temp", "missing-cascade"];
+    let sweep = || {
+        let rows = races::run_filtered(Some(&names));
+        assert_eq!(rows.len(), names.len(), "filter missed a program");
+        races::to_json(&rows)
+    };
+    let serial = fresh(1, sweep);
+    let parallel = fresh(4, sweep);
+    assert!(
+        serial == parallel,
+        "races JSON differs between CEDAR_JOBS=1 and 4:\n--- serial\n{serial}\n--- parallel\n{parallel}"
+    );
+}
+
+#[test]
+fn suite_cells_identical_across_jobs() {
+    // Figure 9 is the cheapest all-suite sweep that still fans its
+    // cells through the pool (2 machines × 3 variants). The Debug
+    // rendering prints f64 ratios at full precision, so equal strings
+    // mean bit-equal cycle ratios.
+    let fig9 = || format!("{:?}", cedar_experiments::fig9::run());
+    let serial = fresh(1, fig9);
+    let parallel = fresh(4, fig9);
+    assert_eq!(serial, parallel, "fig9 cells differ between CEDAR_JOBS=1 and 4");
+
+    // And one raw table cell: the simulated cycle count itself must be
+    // bit-identical, not merely close.
+    let w = cedar_workloads::linalg::tridag(64);
+    let cfg = cedar_restructure::PassConfig::automatic_1991();
+    let mc = cedar_sim::MachineConfig::cedar_config1_scaled();
+    let cell = || {
+        let p = w.compile();
+        cedar_experiments::pipeline::run_program(&p, Some(&cfg), &mc, &w.watch).cycles
+    };
+    let c1 = fresh(1, cell);
+    let c4 = fresh(4, cell);
+    assert_eq!(
+        c1.to_bits(),
+        c4.to_bits(),
+        "cycle count drifted across worker counts: {c1} vs {c4}"
+    );
+}

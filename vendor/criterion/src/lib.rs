@@ -5,7 +5,13 @@
 //! compiling and runnable: it times each `bench_function` over a small
 //! number of wall-clock samples and prints a median + spread line, with
 //! none of criterion's statistics, plotting, or baseline storage.
+//!
+//! Beyond the print-only surface of the real crate, every measurement
+//! is also recorded in a process-wide [`BenchReport`]: call
+//! [`report`] for a snapshot, or set `CRITERION_JSON=path` to have
+//! [`criterion_main!`] write the full report as JSON on exit.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Throughput annotation (printed alongside timings).
@@ -15,6 +21,100 @@ pub enum Throughput {
     Bytes(u64),
     /// Elements processed per iteration.
     Elements(u64),
+}
+
+/// One recorded measurement: a `bench_function` call's wall-time
+/// summary over its samples.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Group the benchmark ran under.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+}
+
+static RECORDED: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
+
+/// Wall-time report accumulated across every group run so far.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// Measurements in execution order.
+    pub samples: Vec<Sample>,
+}
+
+impl BenchReport {
+    /// Sum of median wall times, in seconds — a single scalar for
+    /// "how long does one pass over everything take".
+    pub fn total_median_s(&self) -> f64 {
+        self.samples.iter().map(|s| s.median_ns).sum::<f64>() / 1e9
+    }
+
+    /// Serialize as JSON (no external dependencies; ids are escaped).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"criterion-stub-v1\",\n");
+        out.push_str("  \"samples\": [\n");
+        for (k, s) in self.samples.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"group\": \"{}\", \"id\": \"{}\", \"median_ns\": {:.1}, \
+                 \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}}}{}\n",
+                escape(&s.group),
+                escape(&s.id),
+                s.median_ns,
+                s.min_ns,
+                s.max_ns,
+                s.samples,
+                if k + 1 < self.samples.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"total_median_s\": {:.6}\n}}\n",
+            self.total_median_s()
+        ));
+        out
+    }
+
+    /// Write the JSON report to `path`.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Snapshot of every measurement recorded so far in this process.
+pub fn report() -> BenchReport {
+    BenchReport { samples: RECORDED.lock().unwrap().clone() }
+}
+
+/// If `CRITERION_JSON` is set, write the accumulated report there.
+/// Called by [`criterion_main!`] after all groups finish; harmless to
+/// call directly.
+pub fn write_env_report() {
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        report()
+            .write_json(&path)
+            .unwrap_or_else(|e| panic!("CRITERION_JSON={path}: {e}"));
+        eprintln!("criterion: wrote {path}");
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// Top-level benchmark driver.
@@ -33,6 +133,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
         println!("group: {name}");
         BenchmarkGroup {
+            name: name.to_string(),
             sample_size: self.sample_size,
             throughput: None,
         }
@@ -41,6 +142,7 @@ impl Criterion {
 
 /// A group of related benchmarks.
 pub struct BenchmarkGroup {
+    name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
 }
@@ -75,6 +177,14 @@ impl BenchmarkGroup {
         let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
         let lo = samples.first().copied().unwrap_or(0.0);
         let hi = samples.last().copied().unwrap_or(0.0);
+        RECORDED.lock().unwrap().push(Sample {
+            group: self.name.clone(),
+            id: id.to_string(),
+            median_ns: median,
+            min_ns: lo,
+            max_ns: hi,
+            samples: samples.len(),
+        });
         let mut line = format!(
             "  {id}: {} [{} .. {}]",
             fmt_ns(median),
@@ -132,12 +242,13 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emit `main` running the given groups.
+/// Emit `main` running the given groups, then honoring `CRITERION_JSON`.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_env_report();
         }
     };
 }
@@ -168,6 +279,28 @@ mod tests {
         g.bench_function("noop", |b| b.iter(|| ran += 1));
         g.finish();
         assert!(ran >= 3);
+    }
+
+    #[test]
+    fn report_records_and_serializes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("json \"grp\"");
+        g.sample_size(2);
+        g.bench_function("spin", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        g.finish();
+        let r = report();
+        let s = r
+            .samples
+            .iter()
+            .find(|s| s.id == "spin")
+            .expect("sample recorded");
+        assert_eq!(s.samples, 2);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"criterion-stub-v1\""));
+        assert!(json.contains("json \\\"grp\\\""), "group name escaped: {json}");
+        assert!(json.contains("\"total_median_s\""));
+        assert!(json.ends_with("}\n"));
     }
 
     #[test]
