@@ -1,24 +1,149 @@
-//! Regenerate every table and figure of the paper in one run.
+//! Regenerate every table and figure of the paper in one run, under
+//! the supervised experiment engine (DESIGN.md §10).
+//!
+//! Usage: `all [--json PATH]` — a supervision report (recovered and
+//! quarantined cells) is written to `target/artifacts.json` unless
+//! overridden. On a clean run stdout is byte-identical to the
+//! unsupervised harness; failed cells are retried up the degradation
+//! ladder, and cells quarantined at every rung are reported on stderr
+//! and in the JSON instead of aborting the suite.
+//!
+//! Exit codes (see README "Exit codes"): 0 = every cell completed,
+//! 2 = harness error (at least one cell quarantined; crash bundles are
+//! under `target/crash-bundles/`).
+
+use cedar_experiments::exitcode;
+use cedar_experiments::supervise::{self, Quarantine, Recovery, Supervisor};
+
 fn main() {
+    let mut json_path = String::from("target/artifacts.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            if let Some(p) = args.next() {
+                json_path = p;
+            }
+        }
+    }
+
+    let sup = Supervisor::from_env();
     let t0 = std::time::Instant::now();
-    let rows = cedar_experiments::table1::run();
+    let mut recovered: Vec<Recovery> = Vec::new();
+    let mut quarantined: Vec<Quarantine> = Vec::new();
+    fn collect(
+        r: Vec<Recovery>,
+        q: Vec<Quarantine>,
+        recovered: &mut Vec<Recovery>,
+        quarantined: &mut Vec<Quarantine>,
+    ) {
+        recovered.extend(r);
+        quarantined.extend(q);
+    }
+
+    let (rows, r, q) = cedar_experiments::table1::run_supervised(&sup);
+    collect(r, q, &mut recovered, &mut quarantined);
     println!("{}", cedar_experiments::table1::render(&rows));
-    let rows = cedar_experiments::table2::run();
+
+    let (rows, r, q) = cedar_experiments::table2::run_supervised(&sup);
+    collect(r, q, &mut recovered, &mut quarantined);
     println!("{}", cedar_experiments::table2::render(&rows));
-    let (ser, crit, par) = cedar_experiments::table2::qcd_footnote();
-    println!(
-        "QCD footnote (Cedar): RNG cycle serialized {ser:.2}x (paper 1.8), \
-         critical section {crit:.2}x (paper 4.5), parallel RNG {par:.2}x (paper 20.8)\n"
-    );
-    let bars = cedar_experiments::fig6::run();
-    println!("{}", cedar_experiments::fig6::render(&bars));
-    let f = cedar_experiments::fig7::run();
-    println!("{}", cedar_experiments::fig7::render(&f));
-    let (series, _) = cedar_experiments::fig8::run();
-    println!("{}", cedar_experiments::fig8::render(&series));
-    let ms = cedar_experiments::fig9::run();
-    println!("{}", cedar_experiments::fig9::render(&ms));
-    let sweeps = cedar_experiments::ablation::run_all();
-    println!("{}", cedar_experiments::ablation::render(&sweeps));
+
+    let footnote = supervise::run_cell(&sup, "table2/QCD/footnote", || {
+        cedar_experiments::table2::qcd_footnote()
+    });
+    collect(footnote.recovered, footnote.quarantined, &mut recovered, &mut quarantined);
+    if let Some((ser, crit, par)) = footnote.results.into_iter().next().flatten() {
+        println!(
+            "QCD footnote (Cedar): RNG cycle serialized {ser:.2}x (paper 1.8), \
+             critical section {crit:.2}x (paper 4.5), parallel RNG {par:.2}x (paper 20.8)\n"
+        );
+    }
+
+    let sweep = supervise::run_cell(&sup, "fig6", cedar_experiments::fig6::run);
+    collect(sweep.recovered, sweep.quarantined, &mut recovered, &mut quarantined);
+    if let Some(bars) = sweep.results.into_iter().next().flatten() {
+        println!("{}", cedar_experiments::fig6::render(&bars));
+    }
+
+    let sweep = supervise::run_cell(&sup, "fig7", cedar_experiments::fig7::run);
+    collect(sweep.recovered, sweep.quarantined, &mut recovered, &mut quarantined);
+    if let Some(f) = sweep.results.into_iter().next().flatten() {
+        println!("{}", cedar_experiments::fig7::render(&f));
+    }
+
+    let sweep = supervise::run_cell(&sup, "fig8", cedar_experiments::fig8::run);
+    collect(sweep.recovered, sweep.quarantined, &mut recovered, &mut quarantined);
+    if let Some((series, _)) = sweep.results.into_iter().next().flatten() {
+        println!("{}", cedar_experiments::fig8::render(&series));
+    }
+
+    let sweep = supervise::run_cell(&sup, "fig9", cedar_experiments::fig9::run);
+    collect(sweep.recovered, sweep.quarantined, &mut recovered, &mut quarantined);
+    if let Some(ms) = sweep.results.into_iter().next().flatten() {
+        println!("{}", cedar_experiments::fig9::render(&ms));
+    }
+
+    let sweep = supervise::run_cell(&sup, "ablation", cedar_experiments::ablation::run_all);
+    collect(sweep.recovered, sweep.quarantined, &mut recovered, &mut quarantined);
+    if let Some(sweeps) = sweep.results.into_iter().next().flatten() {
+        println!("{}", cedar_experiments::ablation::render(&sweeps));
+    }
+
     eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+
+    let mut json = String::from("{\n  \"schema\": \"cedar-artifacts-v1\",\n");
+    json.push_str(&format!(
+        "  \"chaos_seed\": {},\n",
+        sup.chaos.map_or("null".to_string(), |s| s.to_string())
+    ));
+    json.push_str(&format!(
+        "  \"deadline_s\": {},\n",
+        sup.deadline.map_or("null".to_string(), |d| format!("{}", d.as_secs_f64()))
+    ));
+    json.push_str(&format!(
+        "  \"recovered\": {},\n",
+        supervise::recovered_json(&recovered)
+    ));
+    json.push_str(&format!(
+        "  \"quarantined\": {}\n}}\n",
+        supervise::quarantined_json(&quarantined)
+    ));
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&json_path, json) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+
+    if !recovered.is_empty() {
+        for r in &recovered {
+            eprintln!("recovered `{}` at rung `{}`", r.cell, r.rung);
+        }
+    }
+    if !quarantined.is_empty() {
+        for q in &quarantined {
+            eprintln!(
+                "QUARANTINED `{}` ({}): {}{}",
+                q.cell,
+                q.kind,
+                q.attempts.last().map(|(_, _, m)| robustness_trim(m)).unwrap_or_default(),
+                q.bundle
+                    .as_ref()
+                    .map(|b| format!(" [bundle: {b}]"))
+                    .unwrap_or_default()
+            );
+        }
+        eprintln!(
+            "HARNESS ERROR: {} cell(s) quarantined; crash bundles under {}",
+            quarantined.len(),
+            sup.bundle_dir.display()
+        );
+    }
+    std::process::exit(exitcode::classify(false, quarantined.len()));
+}
+
+/// First line of an error message, for one-line stderr summaries.
+fn robustness_trim(msg: &str) -> &str {
+    msg.lines().next().unwrap_or(msg)
 }

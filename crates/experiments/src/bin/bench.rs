@@ -11,9 +11,10 @@
 //!
 //! With `--check`, every entry present in both the fresh run and the
 //! baseline is compared; any phase more than 25 % slower than the
-//! baseline fails the run (exit code 1). Entries missing from either
-//! side are ignored, so the baseline stays forward-compatible when
-//! phases are added.
+//! baseline fails the run (exit code 1 — a validation failure in the
+//! README "Exit codes" taxonomy; bad usage exits 2). Entries missing
+//! from either side are ignored, so the baseline stays
+//! forward-compatible when phases are added.
 //!
 //! Phase loops run serially (stable timings); the `suite` entry runs
 //! the same artifact generators as the `all` binary and therefore uses
@@ -93,7 +94,7 @@ fn main() {
             "--check" => check_path = Some(argv.next().expect("--check needs a path")),
             other => {
                 eprintln!("unknown argument `{other}` (expected --out/--check)");
-                std::process::exit(2);
+                std::process::exit(cedar_experiments::exitcode::HARNESS);
             }
         }
     }
@@ -245,7 +246,7 @@ fn main() {
             for f in &failures {
                 eprintln!("  {f}");
             }
-            std::process::exit(1);
+            std::process::exit(cedar_experiments::exitcode::VALIDATION);
         }
     }
 }

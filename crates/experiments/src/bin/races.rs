@@ -3,9 +3,20 @@
 //! with a JSON confusion matrix.
 //!
 //! Usage: `races [--json PATH]` (JSON goes to `target/races.json`
-//! unless overridden). Exits non-zero on any false positive, false
-//! negative, or detector-induced cycle difference — suitable as a CI
-//! gate.
+//! unless overridden).
+//!
+//! Runs under the supervised experiment engine: a program whose
+//! detector run panics, times out, or dies on a simulator fault at
+//! every degradation-ladder rung is quarantined (crash bundle under
+//! `target/crash-bundles/`, `quarantined` section in the JSON) instead
+//! of aborting the sweep.
+//!
+//! Exit codes (see README "Exit codes"): 0 = clean; 1 = validation
+//! failure (false positive/negative or detector-induced cycle
+//! difference); 2 = harness error (at least one cell quarantined — the
+//! confusion matrix is incomplete, so this outranks code 1).
+
+use cedar_experiments::{exitcode, races, Supervisor};
 
 fn main() {
     let mut json_path = String::from("target/races.json");
@@ -18,10 +29,11 @@ fn main() {
         }
     }
 
-    let rows = cedar_experiments::races::run();
-    print!("{}", cedar_experiments::races::render(&rows));
+    let sup = Supervisor::from_env();
+    let (rows, recovered, quarantined) = races::run_supervised(&sup);
+    print!("{}", races::render(&rows));
 
-    let c = cedar_experiments::races::confusion(&rows);
+    let c = races::confusion(&rows);
     let cycle_breaks = rows.iter().filter(|r| !r.cycles_identical).count();
     println!(
         "\nconfusion: {} true positive, {} false negative, {} false positive, \
@@ -29,7 +41,7 @@ fn main() {
         c.true_positive, c.false_negative, c.false_positive, c.true_negative, cycle_breaks
     );
 
-    let json = cedar_experiments::races::to_json(&rows);
+    let json = races::to_json(&rows, &quarantined);
     if let Some(dir) = std::path::Path::new(&json_path).parent() {
         let _ = std::fs::create_dir_all(dir);
     }
@@ -38,11 +50,21 @@ fn main() {
         Err(e) => eprintln!("could not write {json_path}: {e}"),
     }
 
-    if c.false_negative > 0 || c.false_positive > 0 || cycle_breaks > 0 {
+    for r in &recovered {
+        eprintln!("recovered `{}` at rung `{}`", r.cell, r.rung);
+    }
+    let validation_failed = c.false_negative > 0 || c.false_positive > 0 || cycle_breaks > 0;
+    if validation_failed {
         eprintln!(
             "FAIL: {} false negative(s), {} false positive(s), {} cycle mismatch(es)",
             c.false_negative, c.false_positive, cycle_breaks
         );
-        std::process::exit(1);
     }
+    if !quarantined.is_empty() {
+        for q in &quarantined {
+            eprintln!("QUARANTINED `{}` ({})", q.cell, q.kind);
+        }
+        eprintln!("HARNESS ERROR: {} cell(s) quarantined", quarantined.len());
+    }
+    std::process::exit(exitcode::classify(validation_failed, quarantined.len()));
 }

@@ -49,6 +49,9 @@ fn fnv(parts: &[&str]) -> u64 {
 /// Lower a workload's source, reusing a prior lowering of byte-identical
 /// source. Equivalent to `Arc::new(w.compile())`.
 pub fn compiled(w: &Workload) -> Arc<Program> {
+    // Chaos gate ahead of the lookup: a cached program must not mask an
+    // injected compile-phase fault (no-op without a supervisor).
+    crate::supervise::gate("compile");
     let key = fnv(&[&w.source]);
     if let Some(p) = compile_cache().lock().unwrap().get(&key) {
         return Arc::clone(p);

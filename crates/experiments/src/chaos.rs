@@ -1,0 +1,170 @@
+//! Seeded chaos injection for the supervised experiment engine
+//! (DESIGN.md §10.4).
+//!
+//! When `CEDAR_CHAOS=<seed>` is set, the pipeline's phase gates
+//! ([`crate::supervise::gate`]) consult this module before doing real
+//! work. Draws are pure functions of `(seed, cell label, rung, phase)`
+//! — no RNG state, no host time — so a chaos run is exactly
+//! reproducible, independent of `CEDAR_JOBS`, thread scheduling, and
+//! the process-wide caches (gates fire *before* cache lookups, so a
+//! memoized outcome can never mask an injection).
+//!
+//! Two draw classes:
+//!
+//! * **sticky** — keyed `(seed, cell, phase)`, *ignoring the rung*: the
+//!   same fault recurs on every retry, so the degradation ladder cannot
+//!   save the cell and it deterministically ends up quarantined with a
+//!   crash bundle. This is the class the CI chaos smoke test counts.
+//! * **transient** — keyed `(seed, cell, rung, phase)`: the fault is
+//!   specific to one rung, so a retry one rung up usually clears it —
+//!   this exercises the ladder's recovery path.
+//!
+//! Each firing draw carries one of three fault kinds: a plain panic, a
+//! structured simulator fault (routed through
+//! [`crate::supervise::note_sim_error`] so the supervisor classifies it
+//! as `sim-error` rather than `panicked`), or a small delay (benign on
+//! its own; it only fails a cell whose wall-clock budget is already
+//! tight).
+
+use std::hash::{Hash, Hasher};
+
+/// One injected fault, decided by [`draw`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Injection {
+    /// Panic with a chaos-tagged message.
+    Panic,
+    /// Record a structured `SimError` and abort the phase.
+    SimFault,
+    /// Sleep for the given number of milliseconds, then proceed.
+    Delay(u64),
+}
+
+/// One in `STICKY_MOD` `(cell, phase)` pairs carries a fault at every
+/// rung. Chosen so a sweep the size of the `all` binary (~64 cells,
+/// ~3 phases each) quarantines a handful of cells per seed.
+const STICKY_MOD: u64 = 24;
+
+/// One in `TRANSIENT_MOD` `(cell, rung, phase)` triples carries a
+/// rung-local fault — frequent enough that most seeds also exercise a
+/// ladder recovery.
+const TRANSIENT_MOD: u64 = 16;
+
+fn fnv(parts: &[&str]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for p in parts {
+        p.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Map a firing draw's hash to a fault kind. Divisions decorrelate the
+/// kind from the `% MOD == 0` firing decision.
+fn kind(h: u64) -> Injection {
+    match (h / 97) % 3 {
+        0 => Injection::Panic,
+        1 => Injection::SimFault,
+        _ => Injection::Delay(1 + (h / 7) % 4),
+    }
+}
+
+/// Decide whether phase `phase` of cell `cell` at rung `rung` suffers
+/// an injected fault under `seed`. Deterministic; `None` means the
+/// phase proceeds untouched.
+pub(crate) fn draw(seed: u64, cell: &str, rung: &str, phase: &str) -> Option<Injection> {
+    let seed_s = seed.to_string();
+    let sticky = fnv(&["sticky", &seed_s, cell, phase]);
+    if sticky.is_multiple_of(STICKY_MOD) {
+        return Some(kind(sticky));
+    }
+    let transient = fnv(&["transient", &seed_s, cell, rung, phase]);
+    if transient.is_multiple_of(TRANSIENT_MOD) {
+        return Some(kind(transient));
+    }
+    None
+}
+
+/// Parse a `CEDAR_CHAOS` value: a decimal integer is used verbatim, any
+/// other non-empty string is hashed to a seed (so `CEDAR_CHAOS=kaboom`
+/// works), and an empty value disables chaos.
+pub(crate) fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    Some(s.parse().unwrap_or_else(|_| fnv(&["seed", s])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic() {
+        for seed in 0..50u64 {
+            for rung in ["normal", "serial"] {
+                assert_eq!(
+                    draw(seed, "table1/cg", rung, "simulate"),
+                    draw(seed, "table1/cg", rung, "simulate"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sticky_draws_ignore_the_rung() {
+        // Find a sticky firing draw, then confirm it fires identically
+        // at every rung (the ladder must not be able to dodge it).
+        let mut found = 0;
+        for seed in 0..500u64 {
+            let rungs = ["normal", "no-fast-paths", "races-on", "serial"];
+            let hits: Vec<_> =
+                rungs.iter().map(|r| draw(seed, "cell-x", r, "compile")).collect();
+            let seed_s = seed.to_string();
+            if fnv(&["sticky", &seed_s, "cell-x", "compile"]).is_multiple_of(STICKY_MOD) {
+                assert!(hits.iter().all(|h| h == &hits[0]), "seed {seed}: {hits:?}");
+                assert!(hits[0].is_some());
+                found += 1;
+            }
+        }
+        assert!(found > 0, "no sticky draw in 500 seeds — STICKY_MOD too large");
+    }
+
+    #[test]
+    fn some_seeds_are_quiet_for_a_given_cell() {
+        let quiet = (0..200u64).any(|seed| {
+            ["compile", "restructure", "simulate"]
+                .iter()
+                .all(|p| draw(seed, "cell-y", "normal", p).is_none())
+        });
+        assert!(quiet, "every seed faulted cell-y — rates far too high");
+    }
+
+    #[test]
+    fn seed_parsing() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("  7 "), Some(7));
+        assert_eq!(parse_seed(""), None);
+        assert_eq!(parse_seed("   "), None);
+        let a = parse_seed("kaboom").unwrap();
+        assert_eq!(Some(a), parse_seed("kaboom"), "string seeds must be stable");
+        assert_ne!(Some(a), parse_seed("kaboom2"));
+    }
+
+    #[test]
+    fn all_kinds_are_reachable() {
+        let mut seen = [false; 3];
+        for seed in 0..2000u64 {
+            if let Some(k) = draw(seed, "cell-z", "normal", "simulate") {
+                match k {
+                    Injection::Panic => seen[0] = true,
+                    Injection::SimFault => seen[1] = true,
+                    Injection::Delay(ms) => {
+                        assert!((1..=4).contains(&ms));
+                        seen[2] = true;
+                    }
+                }
+            }
+        }
+        assert_eq!(seen, [true; 3], "panic/sim-fault/delay must all occur");
+    }
+}

@@ -29,9 +29,16 @@
 //! Every cell re-verifies semantic equivalence against the serial run
 //! before reporting a speedup — a cell that computes different answers
 //! panics rather than reporting a bogus number.
+//!
+//! Sweeps run under the **supervised experiment engine**
+//! ([`supervise`]): per-cell panic isolation and wall-clock deadlines,
+//! a degradation ladder for failed cells, crash bundles for cells that
+//! fail at every rung, and seeded chaos injection ([`chaos`],
+//! `CEDAR_CHAOS`) to prove the harness survives misbehaving cells.
 
 pub mod ablation;
 pub mod cache;
+pub(crate) mod chaos;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
@@ -39,10 +46,41 @@ pub mod fig9;
 pub mod pipeline;
 pub mod races;
 pub mod robustness;
+pub mod supervise;
 pub mod table1;
 pub mod table2;
 
 pub use pipeline::{run_program, run_workload, Outcome};
+pub use supervise::Supervisor;
+
+/// Unified exit-code taxonomy for the experiment binaries (`all`,
+/// `robustness`, `races`, `bench`); see README "Exit codes".
+pub mod exitcode {
+    /// Everything ran and every check passed.
+    pub const OK: i32 = 0;
+    /// The experiments ran to completion but a *validation* check
+    /// failed: a serial fallback, a race-matrix miss, a perf
+    /// regression beyond tolerance.
+    pub const VALIDATION: i32 = 1;
+    /// A *harness* error: one or more cells were quarantined by the
+    /// supervisor (panic, timeout, simulator fault at every ladder
+    /// rung), or the binary was invoked incorrectly. Results for the
+    /// surviving cells are still reported.
+    pub const HARNESS: i32 = 2;
+
+    /// Combine the two failure dimensions into one process exit code;
+    /// harness errors outrank validation failures (a quarantined cell
+    /// means the validation verdict is incomplete).
+    pub fn classify(validation_failed: bool, quarantined: usize) -> i32 {
+        if quarantined > 0 {
+            HARNESS
+        } else if validation_failed {
+            VALIDATION
+        } else {
+            OK
+        }
+    }
+}
 
 /// Render a simple aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {

@@ -27,6 +27,17 @@ pub fn run_program(
     mc: &MachineConfig,
     watch: &[&str],
 ) -> Outcome {
+    // Supervisor hooks (identity when no supervisor is active): chaos
+    // gates fire *before* the cache lookup so a memoized outcome can
+    // never mask an injection, and the active degradation rung rewrites
+    // the configs — which also keys the memo on what actually runs.
+    if cfg.is_some() {
+        crate::supervise::gate("restructure");
+    }
+    crate::supervise::gate("simulate");
+    let (adj_cfg, adj_mc) = crate::supervise::adjust(cfg, mc);
+    let (cfg, mc) = (adj_cfg.as_ref(), &adj_mc);
+
     // The whole cell is memoized: `run_program` simulations are
     // fault-free and deterministic, so equal keys mean bit-identical
     // outcomes (this is what dedups a sweep's repeated serial
@@ -45,6 +56,10 @@ pub fn run_program(
             None => program,
         };
         let sim = cedar_sim::run(to_run, mc.clone()).unwrap_or_else(|e| {
+            // Hand the structured error to the supervisor (when one is
+            // active) before the harness panic, so the failure is
+            // classified as a sim-error/timeout rather than a panic.
+            crate::supervise::note_sim_error(&e);
             panic!(
                 "simulation failed: {e}\n---\n{}",
                 cedar_ir::print::print_program(to_run)

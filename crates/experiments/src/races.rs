@@ -84,6 +84,11 @@ pub fn confusion(rows: &[Row]) -> Confusion {
 }
 
 fn examine(name: &str, suite: &'static str, expect_race: bool, program: &cedar_ir::Program, audit_findings: usize) -> Row {
+    // This sweep calls the simulator directly (it needs both detector
+    // modes), so the chaos gate is applied here rather than in
+    // `pipeline::run_program`. The ladder's config rewrites are *not*:
+    // this sweep's whole point is comparing fixed detector settings.
+    crate::supervise::gate("simulate");
     let mc = MachineConfig::cedar_config1_scaled();
     let plain = cedar_sim::run(program, mc.clone());
     let traced = cedar_sim::run_collecting_races(program, mc);
@@ -172,15 +177,43 @@ pub fn run() -> Vec<Row> {
     run_filtered(None)
 }
 
-/// [`run`] restricted to programs named in `only` (row order is the
-/// matrix order regardless of the filter's order). `None` sweeps the
-/// full matrix; determinism tests use small subsets to stay fast.
-pub fn run_filtered(only: Option<&[&str]>) -> Vec<Row> {
-    enum Job {
-        Workload(Workload, &'static str, PassConfig),
-        Negative(&'static str, String),
+enum Job {
+    Workload(Workload, &'static str, PassConfig),
+    Negative(&'static str, String),
+}
+
+impl Job {
+    fn name(&self) -> &str {
+        match self {
+            Job::Workload(w, ..) => w.name,
+            Job::Negative(n, _) => n,
+        }
     }
-    let jobs: Vec<Job> = cedar_workloads::table1_workloads()
+
+    fn suite(&self) -> &'static str {
+        match self {
+            Job::Workload(_, suite, _) => suite,
+            Job::Negative(..) => "negative",
+        }
+    }
+
+    fn source(&self) -> &str {
+        match self {
+            Job::Workload(w, ..) => &w.source,
+            Job::Negative(_, src) => src,
+        }
+    }
+
+    fn examine(&self) -> Row {
+        match self {
+            Job::Workload(w, suite, cfg) => examine_workload(w, suite, cfg),
+            Job::Negative(name, src) => examine_negative(name, src),
+        }
+    }
+}
+
+fn jobs(only: Option<&[&str]>) -> Vec<Job> {
+    cedar_workloads::table1_workloads()
         .into_iter()
         .map(|w| Job::Workload(w, "table1", PassConfig::automatic_1991()))
         .chain(
@@ -189,19 +222,39 @@ pub fn run_filtered(only: Option<&[&str]>) -> Vec<Row> {
                 .map(|w| Job::Workload(w, "table2", PassConfig::manual_improved())),
         )
         .chain(negatives().into_iter().map(|(n, s)| Job::Negative(n, s)))
-        .filter(|j| {
-            only.is_none_or(|names| {
-                names.contains(&match j {
-                    Job::Workload(w, ..) => w.name,
-                    Job::Negative(n, _) => n,
-                })
-            })
+        .filter(|j| only.is_none_or(|names| names.contains(&j.name())))
+        .collect()
+}
+
+/// [`run`] restricted to programs named in `only` (row order is the
+/// matrix order regardless of the filter's order). `None` sweeps the
+/// full matrix; determinism tests use small subsets to stay fast.
+pub fn run_filtered(only: Option<&[&str]>) -> Vec<Row> {
+    cedar_par::par_map(jobs(only), |job| job.examine())
+}
+
+/// [`run`] under the supervised engine: one cell per program in the
+/// matrix. A quarantined program drops out of the confusion matrix and
+/// is reported in the quarantine section instead.
+pub fn run_supervised(
+    sup: &crate::supervise::Supervisor,
+) -> (Vec<Row>, Vec<crate::supervise::Recovery>, Vec<crate::supervise::Quarantine>) {
+    let cells = jobs(None)
+        .into_iter()
+        .map(|j| {
+            crate::supervise::Cell::with_source(
+                format!("races/{}/{}", j.suite(), j.name()),
+                j.source().to_string(),
+                j,
+            )
         })
         .collect();
-    cedar_par::par_map(jobs, |job| match job {
-        Job::Workload(w, suite, cfg) => examine_workload(&w, suite, &cfg),
-        Job::Negative(name, src) => examine_negative(name, &src),
-    })
+    let sweep = crate::supervise::run_cells(sup, cells, |job: &Job| job.examine());
+    (
+        sweep.results.into_iter().flatten().collect(),
+        sweep.recovered,
+        sweep.quarantined,
+    )
 }
 
 /// Text rendering.
@@ -227,14 +280,20 @@ pub fn render(rows: &[Row]) -> String {
     )
 }
 
-/// JSON rendering (no external dependencies).
-pub fn to_json(rows: &[Row]) -> String {
+/// JSON rendering (no external dependencies). Quarantined cells —
+/// programs the supervisor gave up on — are reported alongside the
+/// confusion matrix rather than silently missing from it.
+pub fn to_json(rows: &[Row], quarantined: &[crate::supervise::Quarantine]) -> String {
     let c = confusion(rows);
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"confusion\": {{\"true_positive\": {}, \"false_negative\": {}, \
          \"false_positive\": {}, \"true_negative\": {}}},\n",
         c.true_positive, c.false_negative, c.false_positive, c.true_negative
+    ));
+    out.push_str(&format!(
+        "  \"quarantined\": {},\n",
+        crate::supervise::quarantined_json(quarantined)
     ));
     out.push_str("  \"rows\": [\n");
     for (k, r) in rows.iter().enumerate() {
@@ -288,8 +347,9 @@ mod tests {
         assert_eq!(c.false_positive, 0);
         assert_eq!(c.true_positive, 4);
         assert_eq!(c.true_negative, 1);
-        let json = to_json(&rows);
+        let json = to_json(&rows, &[]);
         assert!(json.contains("\"confusion\""), "{json}");
         assert!(json.contains("\"false_positive\": 0"), "{json}");
+        assert!(json.contains("\"quarantined\": []"), "{json}");
     }
 }

@@ -38,20 +38,21 @@ pub struct Row {
 }
 
 fn validate(w: &Workload, suite: &'static str, config: &'static str, seeds: &[u64]) -> Row {
+    // This sweep bypasses `pipeline::run_program` (cedar-verify drives
+    // the simulator itself), so it applies the supervisor hooks
+    // directly: a chaos gate, plus the active rung's config rewrites
+    // (all identities without a supervisor).
+    crate::supervise::gate("validate");
     let program = crate::cache::compiled(w);
     let cfg = match config {
         "manual" => cedar_restructure::PassConfig::manual_improved(),
         _ => cedar_restructure::PassConfig::automatic_1991(),
     };
+    let cfg = crate::supervise::adjust_pass(&cfg);
+    let mc = crate::supervise::adjust_machine(&MachineConfig::cedar_config1_scaled());
     let vcfg = ValidationConfig { seeds: seeds.to_vec(), ..Default::default() };
-    let v: Validated = restructure_validated(
-        &program,
-        &cfg,
-        &MachineConfig::cedar_config1_scaled(),
-        &w.watch,
-        &vcfg,
-    )
-    .unwrap_or_else(|e| panic!("workload `{}`: serial reference failed: {e}", w.name));
+    let v: Validated = restructure_validated(&program, &cfg, &mc, &w.watch, &vcfg)
+        .unwrap_or_else(|e| panic!("workload `{}`: serial reference failed: {e}", w.name));
     let max_rel_err = v
         .validation
         .seed_runs
@@ -100,7 +101,11 @@ pub fn run(n_seeds: u64) -> Vec<Row> {
 /// everything; determinism tests use small subsets to stay fast.
 pub fn run_filtered(n_seeds: u64, only: Option<&[&str]>) -> Vec<Row> {
     let seeds: Vec<u64> = (1..=n_seeds).collect();
-    let jobs: Vec<(Workload, &'static str, &'static str)> = cedar_workloads::table1_workloads()
+    cedar_par::par_map(jobs(only), |(w, suite, config)| validate(&w, suite, config, &seeds))
+}
+
+fn jobs(only: Option<&[&str]>) -> Vec<(Workload, &'static str, &'static str)> {
+    cedar_workloads::table1_workloads()
         .into_iter()
         .map(|w| (w, "table1", "automatic"))
         .chain(
@@ -109,8 +114,36 @@ pub fn run_filtered(n_seeds: u64, only: Option<&[&str]>) -> Vec<Row> {
                 .map(|w| (w, "table2", "manual")),
         )
         .filter(|(w, ..)| only.is_none_or(|names| names.contains(&w.name)))
+        .collect()
+}
+
+/// [`run`] under the supervised engine: one cell per validation job.
+/// A quarantined workload drops out of the row list and is reported in
+/// the quarantine section (and the sweep JSON) instead of aborting the
+/// whole validation run.
+pub fn run_supervised(
+    n_seeds: u64,
+    sup: &crate::supervise::Supervisor,
+) -> (Vec<Row>, Vec<crate::supervise::Recovery>, Vec<crate::supervise::Quarantine>) {
+    let seeds: Vec<u64> = (1..=n_seeds).collect();
+    let cells = jobs(None)
+        .into_iter()
+        .map(|(w, suite, config)| {
+            crate::supervise::Cell::with_source(
+                format!("robustness/{suite}/{}", w.name),
+                w.source.clone(),
+                (w, suite, config),
+            )
+        })
         .collect();
-    cedar_par::par_map(jobs, |(w, suite, config)| validate(&w, suite, config, &seeds))
+    let sweep = crate::supervise::run_cells(sup, cells, |(w, suite, config)| {
+        validate(w, suite, config, &seeds)
+    });
+    (
+        sweep.results.into_iter().flatten().collect(),
+        sweep.recovered,
+        sweep.quarantined,
+    )
 }
 
 /// Text rendering.
@@ -155,10 +188,20 @@ fn json_f64(x: f64) -> String {
     if x.is_finite() { format!("{x:e}") } else { "null".to_string() }
 }
 
-/// JSON rendering (no external dependencies).
-pub fn to_json(rows: &[Row], n_seeds: u64) -> String {
+/// JSON rendering (no external dependencies). Quarantined cells — jobs
+/// the supervisor gave up on — are first-class report citizens, not
+/// silently missing rows.
+pub fn to_json(
+    rows: &[Row],
+    n_seeds: u64,
+    quarantined: &[crate::supervise::Quarantine],
+) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"seeds\": {n_seeds},\n"));
+    out.push_str(&format!(
+        "  \"quarantined\": {},\n",
+        crate::supervise::quarantined_json(quarantined)
+    ));
     out.push_str("  \"workloads\": [\n");
     for (k, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -212,9 +255,10 @@ mod tests {
         let row = validate(&w, "table1", "automatic", &seeds);
         assert_eq!(row.seed_runs.len(), 2);
         assert!(!row.degraded, "tridag must not degrade: {row:?}");
-        let json = to_json(&[row], 2);
+        let json = to_json(&[row], 2, &[]);
         assert!(json.contains("\"name\": \"tridag\""));
         assert!(json.contains("\"seed_runs\": ["));
+        assert!(json.contains("\"quarantined\": []"));
         assert!(json.ends_with("}\n"));
     }
 }

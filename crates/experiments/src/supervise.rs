@@ -1,0 +1,773 @@
+//! Supervised experiment engine (DESIGN.md §10): panic isolation,
+//! per-cell wall-clock deadlines, a degradation ladder, and crash
+//! bundles.
+//!
+//! Every sweep cell (one Table 1 row, one Table 2 `(row, machine)`
+//! pair, one figure, one robustness validation job, ...) runs under a
+//! supervisor that guarantees the sweep **always completes with a full
+//! report**, no matter what individual cells do:
+//!
+//! * a panicking cell is contained (building on
+//!   [`cedar_par`]'s per-item panic isolation) and classified — plain
+//!   panic, structured simulator fault (via [`note_sim_error`]), or
+//!   wall-clock timeout (the cell's [`CancelToken`] is threaded into
+//!   every `MachineConfig` the cell builds, so the simulator watchdog
+//!   aborts cooperatively);
+//! * a failed cell is retried up the **degradation ladder**
+//!   ([`Rung`]): interpreter fast paths off → race detection on →
+//!   full serial fallback — each rung trades performance for safety;
+//! * a cell that fails at every rung is **quarantined**: the sweep
+//!   reports it under a `quarantined` section instead of a result row,
+//!   and a **crash bundle** (minimized Fortran source, attempt chain,
+//!   backtrace) is written under `target/crash-bundles/`.
+//!
+//! The supervisor's state rides on [`cedar_par::set_context`], so
+//! nested `par_map` workers spawned inside a cell inherit its record,
+//! and the pipeline choke points ([`crate::pipeline::run_program`],
+//! [`crate::cache`]) pick up the active rung, cancel token, and chaos
+//! profile without every call site threading them explicitly. With no
+//! supervisor installed every hook is an exact identity — plain sweeps
+//! are byte-for-byte unaffected.
+
+use crate::chaos::{self, Injection};
+use cedar_par::{panic_message, CancelToken, Context};
+use cedar_restructure::PassConfig;
+use cedar_sim::{MachineConfig, SimError, SimErrorKind};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Degradation-ladder rung: which safety/performance trade the current
+/// attempt of a cell runs under. Rungs are cumulative — each keeps the
+/// previous rung's concessions and adds one more.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// First attempt: the configuration the sweep asked for.
+    Normal,
+    /// Interpreter fast paths disabled (rules out a fast-path
+    /// miscompile; observationally invisible for correct programs).
+    NoFastPaths,
+    /// Fast paths off *and* the happens-before race detector on in
+    /// fail-fast mode (turns a silent ordering bug into a structured
+    /// `data-race` error).
+    RacesOn,
+    /// Full retreat: the restructurer is forced to
+    /// [`PassConfig::serial`], abandoning all parallelism.
+    Serial,
+}
+
+impl Rung {
+    /// The ladder, safest rung last.
+    pub const LADDER: [Rung; 4] =
+        [Rung::Normal, Rung::NoFastPaths, Rung::RacesOn, Rung::Serial];
+
+    /// Stable lower-case tag (used in JSON reports and bundle files).
+    pub fn label(self) -> &'static str {
+        match self {
+            Rung::Normal => "normal",
+            Rung::NoFastPaths => "no-fast-paths",
+            Rung::RacesOn => "races-on",
+            Rung::Serial => "serial",
+        }
+    }
+}
+
+/// Classification of one failed attempt of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellErrorKind {
+    /// The cell panicked (assertion, injected chaos panic, bug).
+    Panicked,
+    /// The cell's wall-clock budget lapsed (simulator watchdog timeout
+    /// or an expired token behind any other panic).
+    TimedOut,
+    /// The cell died on a structured [`SimError`] other than a timeout.
+    Failed,
+}
+
+impl CellErrorKind {
+    /// Stable lower-case tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CellErrorKind::Panicked => "panicked",
+            CellErrorKind::TimedOut => "timed-out",
+            CellErrorKind::Failed => "sim-error",
+        }
+    }
+}
+
+/// One failed attempt: classification, message, and the backtrace the
+/// panic hook captured (when the failure went through a panic).
+#[derive(Debug, Clone)]
+pub struct CellError {
+    /// What kind of failure this was.
+    pub kind: CellErrorKind,
+    /// Human-readable error (panic message or `SimError` display).
+    pub msg: String,
+    /// Backtrace captured at the panic site, if any.
+    pub backtrace: Option<String>,
+}
+
+/// A cell that failed at rung `normal` but succeeded on a retry.
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    /// Cell label.
+    pub cell: String,
+    /// The rung that finally succeeded.
+    pub rung: &'static str,
+    /// `(rung, error message)` for every failed attempt before it.
+    pub errors: Vec<(&'static str, String)>,
+}
+
+/// A cell that failed at **every** rung of the ladder.
+#[derive(Debug, Clone)]
+pub struct Quarantine {
+    /// Cell label.
+    pub cell: String,
+    /// Classification of the final (serial-rung) failure.
+    pub kind: &'static str,
+    /// `(rung, kind, error message)` for every attempt, ladder order.
+    pub attempts: Vec<(&'static str, &'static str, String)>,
+    /// Crash-bundle directory, if one was written.
+    pub bundle: Option<String>,
+}
+
+/// Result of a supervised sweep: one slot per input cell (`None` =
+/// quarantined), plus the recovery and quarantine records.
+#[derive(Debug)]
+pub struct Sweep<R> {
+    /// Per-cell results, input order. `results[k]` is `None` exactly
+    /// when cell `k` appears in [`Sweep::quarantined`].
+    pub results: Vec<Option<R>>,
+    /// Cells that needed the ladder but recovered.
+    pub recovered: Vec<Recovery>,
+    /// Cells that failed at every rung.
+    pub quarantined: Vec<Quarantine>,
+}
+
+impl<R> Sweep<R> {
+    /// The single result of a [`run_cell`] sweep.
+    pub fn single(self) -> Option<R> {
+        self.results.into_iter().next().flatten()
+    }
+}
+
+/// One unit of supervised work.
+#[derive(Debug)]
+pub struct Cell<T> {
+    /// Stable label (`suite/name[/variant]`): keys chaos draws, names
+    /// the crash-bundle directory, and appears in reports.
+    pub label: String,
+    /// Fortran source behind the cell, for the crash bundle.
+    pub source: Option<String>,
+    /// The input handed to the sweep's cell function.
+    pub input: T,
+}
+
+impl<T> Cell<T> {
+    /// A cell with no attached source.
+    pub fn new(label: impl Into<String>, input: T) -> Cell<T> {
+        Cell { label: label.into(), source: None, input }
+    }
+
+    /// A cell carrying the Fortran source it exercises.
+    pub fn with_source(
+        label: impl Into<String>,
+        source: impl Into<String>,
+        input: T,
+    ) -> Cell<T> {
+        Cell { label: label.into(), source: Some(source.into()), input }
+    }
+}
+
+/// Supervisor configuration; build via [`Supervisor::from_env`] or
+/// construct directly (tests do).
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    /// Chaos seed (`CEDAR_CHAOS`); `None` = no injection.
+    pub chaos: Option<u64>,
+    /// Per-cell wall-clock budget (`CEDAR_CELL_DEADLINE` seconds,
+    /// default 120; `0` disables). Applies to every attempt separately.
+    pub deadline: Option<Duration>,
+    /// Crash-bundle root (`CEDAR_BUNDLE_DIR`, default
+    /// `target/crash-bundles`).
+    pub bundle_dir: PathBuf,
+}
+
+impl Supervisor {
+    /// Read the supervisor configuration from the environment.
+    pub fn from_env() -> Supervisor {
+        let chaos = std::env::var("CEDAR_CHAOS")
+            .ok()
+            .and_then(|s| chaos::parse_seed(&s));
+        let deadline = match std::env::var("CEDAR_CELL_DEADLINE") {
+            Ok(s) => match s.trim().parse::<f64>() {
+                Ok(secs) if secs > 0.0 => Some(Duration::from_secs_f64(secs)),
+                _ => None,
+            },
+            Err(_) => Some(Duration::from_secs(120)),
+        };
+        let bundle_dir = std::env::var("CEDAR_BUNDLE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/crash-bundles"));
+        Supervisor { chaos, deadline, bundle_dir }
+    }
+}
+
+/// Per-attempt record installed as the ambient [`cedar_par`] context
+/// while a cell runs; the pipeline hooks read it, and worker threads
+/// spawned inside the cell inherit it.
+struct CellCtx {
+    label: String,
+    rung: Rung,
+    chaos: Option<u64>,
+    token: CancelToken,
+    sim_error: Mutex<Option<SimError>>,
+    backtrace: Mutex<Option<String>>,
+}
+
+/// Lock that shrugs off poisoning: the supervisor's mutexes hold plain
+/// data and every failure path here is already a failure path.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The active cell context, if this thread (or the `par_map` caller it
+/// inherited from) is running under a supervisor.
+fn current() -> Option<Arc<CellCtx>> {
+    let ctx: Context = cedar_par::context()?;
+    let any: Arc<dyn Any + Send + Sync> = ctx;
+    any.downcast::<CellCtx>().ok()
+}
+
+/// The active degradation-ladder rung's label, if a supervisor is
+/// running this thread's work.
+pub fn rung() -> Option<&'static str> {
+    current().map(|c| c.rung.label())
+}
+
+/// The active cell's cancel token, if any — cooperative long-running
+/// work outside the simulator can poll it.
+pub fn cancel_token() -> Option<CancelToken> {
+    current().map(|c| c.token.clone())
+}
+
+/// Record a structured simulator error for the supervisor before the
+/// harness glue panics, so the failure is classified as `sim-error`
+/// (or `timed-out` for watchdog timeouts) instead of a bare panic.
+/// No-op without an active supervisor.
+pub fn note_sim_error(e: &SimError) {
+    if let Some(ctx) = current() {
+        *lock(&ctx.sim_error) = Some(e.clone());
+    }
+}
+
+/// Chaos gate: pipeline phases call this before doing real work
+/// (`compile`, `restructure`, `simulate`, `validate`). Without an
+/// active supervisor carrying a chaos seed this is a no-op; with one,
+/// a deterministic draw (see [`crate::chaos`]) may panic, record an
+/// injected [`SimError`], or sleep briefly. Gates run *before* any
+/// cache lookup, so memoized results can never mask an injection.
+pub fn gate(phase: &str) {
+    let Some(ctx) = current() else { return };
+    let Some(seed) = ctx.chaos else { return };
+    match chaos::draw(seed, &ctx.label, ctx.rung.label(), phase) {
+        None => {}
+        Some(Injection::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(Injection::Panic) => panic!(
+            "chaos[{seed}]: injected panic in `{phase}` for `{}` at rung `{}`",
+            ctx.label,
+            ctx.rung.label()
+        ),
+        Some(Injection::SimFault) => {
+            let e = SimError::new(
+                SimErrorKind::Unsupported,
+                cedar_ir::Span::new(0),
+                format!(
+                    "chaos[{seed}]: injected simulator fault in `{phase}` for `{}` \
+                     at rung `{}`",
+                    ctx.label,
+                    ctx.rung.label()
+                ),
+            );
+            note_sim_error(&e);
+            panic!("{e}");
+        }
+    }
+}
+
+/// Apply the active rung to a machine config: thread the cell's cancel
+/// token in, and disable fast paths / enable race detection per the
+/// ladder. Identity (a plain clone) without an active supervisor.
+pub fn adjust_machine(mc: &MachineConfig) -> MachineConfig {
+    let Some(ctx) = current() else { return mc.clone() };
+    let out = mc.clone().with_cancel(ctx.token.clone());
+    match ctx.rung {
+        Rung::Normal => out,
+        Rung::NoFastPaths | Rung::Serial => out.without_fast_paths(),
+        Rung::RacesOn => out.without_fast_paths().with_race_detection(),
+    }
+}
+
+/// Apply the active rung to a pass config: the `serial` rung forces
+/// [`PassConfig::serial`], every other case is a plain clone.
+pub fn adjust_pass(cfg: &PassConfig) -> PassConfig {
+    match current() {
+        Some(ctx) if ctx.rung == Rung::Serial => PassConfig::serial(),
+        _ => cfg.clone(),
+    }
+}
+
+/// [`adjust_pass`] + [`adjust_machine`] in one step, preserving a
+/// `None` pass config (serial reference runs are already serial).
+pub fn adjust(
+    cfg: Option<&PassConfig>,
+    mc: &MachineConfig,
+) -> (Option<PassConfig>, MachineConfig) {
+    (cfg.map(adjust_pass), adjust_machine(mc))
+}
+
+/// Install the supervisor's panic hook (once per process): for panics
+/// on supervised threads it captures a backtrace into the cell record
+/// and stays silent; unsupervised panics go to the previous hook
+/// untouched.
+fn install_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(ctx) = current() {
+                let bt = std::backtrace::Backtrace::force_capture();
+                *lock(&ctx.backtrace) =
+                    Some(format!("{info}\n\nstack backtrace:\n{bt}"));
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Run one attempt of a cell at `rung`: install the cell context,
+/// contain any panic, and classify the failure.
+fn attempt<R>(
+    sup: &Supervisor,
+    label: &str,
+    rung: Rung,
+    f: impl FnOnce() -> R,
+) -> Result<R, CellError> {
+    install_hook();
+    let token = match sup.deadline {
+        Some(d) => CancelToken::with_budget(d),
+        None => CancelToken::new(),
+    };
+    let ctx = Arc::new(CellCtx {
+        label: label.to_string(),
+        rung,
+        chaos: sup.chaos,
+        token: token.clone(),
+        sim_error: Mutex::new(None),
+        backtrace: Mutex::new(None),
+    });
+    let prev = cedar_par::set_context(Some(ctx.clone()));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    cedar_par::set_context(prev);
+    match result {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            let sim = lock(&ctx.sim_error).take();
+            let backtrace = lock(&ctx.backtrace).take();
+            let (kind, msg) = match sim {
+                Some(e) if e.is_timeout() => (CellErrorKind::TimedOut, e.to_string()),
+                Some(e) => (CellErrorKind::Failed, e.to_string()),
+                None if token.expired() => (
+                    CellErrorKind::TimedOut,
+                    format!(
+                        "cell exceeded its wall-clock budget; final panic: {}",
+                        panic_message(payload.as_ref())
+                    ),
+                ),
+                None => (CellErrorKind::Panicked, panic_message(payload.as_ref())),
+            };
+            Err(CellError { kind, msg, backtrace })
+        }
+    }
+}
+
+/// Run every cell under supervision. First pass: all cells in parallel
+/// ([`cedar_par::par_map`]) at rung `normal`. Failed cells are then
+/// retried serially up the degradation ladder; cells that fail at
+/// every rung are quarantined with a crash bundle. The returned
+/// [`Sweep`] always covers every input cell.
+pub fn run_cells<T, R>(
+    sup: &Supervisor,
+    cells: Vec<Cell<T>>,
+    f: impl Fn(&T) -> R + Sync,
+) -> Sweep<R>
+where
+    T: Send + Sync,
+    R: Send,
+{
+    let n = cells.len();
+    let cells = &cells;
+    let f = &f;
+    let first: Vec<Result<R, CellError>> =
+        cedar_par::par_map((0..n).collect(), |k| {
+            attempt(sup, &cells[k].label, Rung::Normal, || f(&cells[k].input))
+        });
+
+    let mut sweep =
+        Sweep { results: Vec::with_capacity(n), recovered: Vec::new(), quarantined: Vec::new() };
+    for (k, outcome) in first.into_iter().enumerate() {
+        let cell = &cells[k];
+        match outcome {
+            Ok(v) => sweep.results.push(Some(v)),
+            Err(e0) => {
+                let mut errors: Vec<(&'static str, CellError)> =
+                    vec![(Rung::Normal.label(), e0)];
+                let mut rescued: Option<(R, Rung)> = None;
+                for rung in &Rung::LADDER[1..] {
+                    match attempt(sup, &cell.label, *rung, || f(&cell.input)) {
+                        Ok(v) => {
+                            rescued = Some((v, *rung));
+                            break;
+                        }
+                        Err(e) => errors.push((rung.label(), e)),
+                    }
+                }
+                match rescued {
+                    Some((v, rung)) => {
+                        sweep.recovered.push(Recovery {
+                            cell: cell.label.clone(),
+                            rung: rung.label(),
+                            errors: errors
+                                .iter()
+                                .map(|(r, e)| (*r, e.msg.clone()))
+                                .collect(),
+                        });
+                        sweep.results.push(Some(v));
+                    }
+                    None => {
+                        let bundle =
+                            write_bundle(sup, &cell.label, cell.source.as_deref(), &errors);
+                        let last = &errors.last().expect("ladder ran").1;
+                        sweep.quarantined.push(Quarantine {
+                            cell: cell.label.clone(),
+                            kind: last.kind.as_str(),
+                            attempts: errors
+                                .iter()
+                                .map(|(r, e)| (*r, e.kind.as_str(), e.msg.clone()))
+                                .collect(),
+                            bundle,
+                        });
+                        sweep.results.push(None);
+                    }
+                }
+            }
+        }
+    }
+    sweep
+}
+
+/// Supervise a single artifact-level job (a whole figure, an ablation
+/// sweep) as one cell.
+pub fn run_cell<R: Send>(
+    sup: &Supervisor,
+    label: impl Into<String>,
+    f: impl Fn() -> R + Sync,
+) -> Sweep<R> {
+    run_cells(sup, vec![Cell::new(label, ())], |_: &()| f())
+}
+
+/// Strip a Fortran source to the lines that matter for reproduction:
+/// comment (`!`) and blank lines go, trailing whitespace goes.
+fn minimize_source(src: &str) -> String {
+    let mut out = String::new();
+    for line in src.lines() {
+        let t = line.trim_end();
+        if t.trim_start().is_empty() || t.trim_start().starts_with('!') {
+            continue;
+        }
+        out.push_str(t);
+        out.push('\n');
+    }
+    out
+}
+
+/// Bundle directory name for a cell label: path separators and exotic
+/// characters become `-` so every label maps to one flat directory.
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '_' { c } else { '-' })
+        .collect()
+}
+
+/// Write a crash bundle for a quarantined cell:
+/// `<bundle_dir>/<cell>/bundle.json` (attempt chain + metadata),
+/// `source.f` (minimized Fortran, when the cell carries source), and
+/// `backtrace.txt` (deepest captured backtrace). Returns the bundle
+/// directory; I/O failures degrade to `None` rather than panicking —
+/// the supervisor must never fail while reporting a failure.
+fn write_bundle(
+    sup: &Supervisor,
+    label: &str,
+    source: Option<&str>,
+    errors: &[(&'static str, CellError)],
+) -> Option<String> {
+    let dir = sup.bundle_dir.join(sanitize(label));
+    std::fs::create_dir_all(&dir).ok()?;
+
+    let minimized = source.map(minimize_source);
+    if let Some(src) = &minimized {
+        std::fs::write(dir.join("source.f"), src).ok()?;
+    }
+    let backtrace = errors.iter().rev().find_map(|(_, e)| e.backtrace.as_deref());
+    if let Some(bt) = backtrace {
+        std::fs::write(dir.join("backtrace.txt"), bt).ok()?;
+    }
+
+    let esc = crate::robustness::json_escape;
+    let mut json = String::from("{\n  \"schema\": \"cedar-crash-bundle-v1\",\n");
+    json.push_str(&format!("  \"cell\": \"{}\",\n", esc(label)));
+    json.push_str(&format!(
+        "  \"chaos_seed\": {},\n",
+        sup.chaos.map_or("null".to_string(), |s| s.to_string())
+    ));
+    json.push_str(&format!(
+        "  \"deadline_s\": {},\n",
+        sup.deadline.map_or("null".to_string(), |d| format!("{}", d.as_secs_f64()))
+    ));
+    json.push_str(&format!(
+        "  \"source\": {},\n",
+        if minimized.is_some() { "\"source.f\"" } else { "null" }
+    ));
+    json.push_str(&format!(
+        "  \"backtrace\": {},\n",
+        if backtrace.is_some() { "\"backtrace.txt\"" } else { "null" }
+    ));
+    json.push_str("  \"attempts\": [\n");
+    for (k, (rung, e)) in errors.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"rung\": \"{rung}\", \"kind\": \"{}\", \"error\": \"{}\"}}{}\n",
+            e.kind.as_str(),
+            esc(&e.msg),
+            if k + 1 < errors.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(dir.join("bundle.json"), json).ok()?;
+    Some(dir.to_string_lossy().into_owned())
+}
+
+/// Render a `quarantined` JSON array (no trailing newline): embedded by
+/// every sweep report writer so failed cells are first-class citizens
+/// of the artifact JSON instead of vanishing from it.
+pub fn quarantined_json(q: &[Quarantine]) -> String {
+    if q.is_empty() {
+        return "[]".to_string();
+    }
+    let esc = crate::robustness::json_escape;
+    let mut out = String::from("[\n");
+    for (k, item) in q.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"cell\": \"{}\", \"kind\": \"{}\", \"bundle\": {}, \"attempts\": [",
+            esc(&item.cell),
+            item.kind,
+            match &item.bundle {
+                Some(p) => format!("\"{}\"", esc(p)),
+                None => "null".to_string(),
+            },
+        ));
+        for (j, (rung, kind, msg)) in item.attempts.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"rung\": \"{rung}\", \"kind\": \"{kind}\", \"error\": \"{}\"}}",
+                esc(msg)
+            ));
+            if j + 1 < item.attempts.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("]}");
+        out.push_str(if k + 1 < q.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// Render a `recovered` JSON array (no trailing newline).
+pub fn recovered_json(r: &[Recovery]) -> String {
+    if r.is_empty() {
+        return "[]".to_string();
+    }
+    let esc = crate::robustness::json_escape;
+    let mut out = String::from("[\n");
+    for (k, item) in r.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"cell\": \"{}\", \"rung\": \"{}\"}}",
+            esc(&item.cell),
+            item.rung
+        ));
+        out.push_str(if k + 1 < r.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sup(tag: &str) -> Supervisor {
+        Supervisor {
+            chaos: None,
+            deadline: None,
+            bundle_dir: PathBuf::from(format!("target/test-crash-bundles/{tag}")),
+        }
+    }
+
+    #[test]
+    fn clean_cells_need_no_ladder() {
+        let cells = (0..8).map(|k| Cell::new(format!("t/c{k}"), k)).collect();
+        let sweep = run_cells(&sup("clean"), cells, |&k: &i32| k * 2);
+        assert_eq!(
+            sweep.results.iter().map(|r| r.unwrap()).collect::<Vec<_>>(),
+            (0..8).map(|k| k * 2).collect::<Vec<_>>()
+        );
+        assert!(sweep.recovered.is_empty());
+        assert!(sweep.quarantined.is_empty());
+    }
+
+    #[test]
+    fn rung_local_failure_recovers_up_the_ladder() {
+        let sweep = run_cell(&sup("recover"), "t/flaky", || {
+            if rung() == Some("normal") {
+                panic!("only normal fails");
+            }
+            41
+        });
+        assert_eq!(sweep.results, vec![Some(41)]);
+        assert!(sweep.quarantined.is_empty());
+        let r = &sweep.recovered[0];
+        assert_eq!(r.cell, "t/flaky");
+        assert_eq!(r.rung, "no-fast-paths");
+        assert_eq!(r.errors.len(), 1);
+        assert_eq!(r.errors[0], ("normal", "only normal fails".to_string()));
+    }
+
+    #[test]
+    fn persistent_failure_quarantines_with_a_crash_bundle() {
+        let s = sup("quarantine");
+        let cells = vec![Cell::with_source(
+            "t/doomed",
+            "program p\n! a comment\n\nreal x\nx = 1.0\nend\n",
+            (),
+        )];
+        let sweep = run_cells(&s, cells, |_: &()| -> u32 { panic!("always broken") });
+        assert_eq!(sweep.results, vec![None]);
+        assert!(sweep.recovered.is_empty());
+        let q = &sweep.quarantined[0];
+        assert_eq!(q.cell, "t/doomed");
+        assert_eq!(q.kind, "panicked");
+        assert_eq!(q.attempts.len(), Rung::LADDER.len());
+        assert_eq!(
+            q.attempts.iter().map(|(r, ..)| *r).collect::<Vec<_>>(),
+            vec!["normal", "no-fast-paths", "races-on", "serial"]
+        );
+        let dir = PathBuf::from(q.bundle.as_ref().expect("bundle written"));
+        let bundle = std::fs::read_to_string(dir.join("bundle.json")).unwrap();
+        assert!(bundle.contains("\"cell\": \"t/doomed\""), "{bundle}");
+        assert!(bundle.contains("\"kind\": \"panicked\""), "{bundle}");
+        let src = std::fs::read_to_string(dir.join("source.f")).unwrap();
+        assert_eq!(src, "program p\nreal x\nx = 1.0\nend\n", "comments/blanks stripped");
+        let bt = std::fs::read_to_string(dir.join("backtrace.txt")).unwrap();
+        assert!(bt.contains("always broken"), "backtrace carries the panic: {bt}");
+    }
+
+    #[test]
+    fn sim_errors_are_classified_not_panicked() {
+        let sweep = run_cell(&sup("simerr"), "t/simfail", || -> u32 {
+            let e = SimError::new(
+                SimErrorKind::Deadlock,
+                cedar_ir::Span::new(3),
+                "await(1) stuck",
+            );
+            note_sim_error(&e);
+            panic!("{e}");
+        });
+        let q = &sweep.quarantined[0];
+        assert_eq!(q.kind, "sim-error");
+        assert!(q.attempts[0].2.contains("await(1) stuck"));
+    }
+
+    #[test]
+    fn expired_deadline_is_classified_as_timeout() {
+        let s = Supervisor {
+            deadline: Some(Duration::from_millis(1)),
+            ..sup("deadline")
+        };
+        let sweep = run_cell(&s, "t/slowpoke", || -> u32 {
+            let token = cancel_token().expect("supervised cell has a token");
+            while !token.expired() {
+                std::hint::spin_loop();
+            }
+            panic!("cooperative abort");
+        });
+        let q = &sweep.quarantined[0];
+        assert_eq!(q.kind, "timed-out");
+        assert!(q.attempts.iter().all(|(_, k, _)| *k == "timed-out"), "{q:?}");
+    }
+
+    #[test]
+    fn adjust_is_identity_without_a_supervisor() {
+        let mc = MachineConfig::cedar_config1_scaled();
+        let cfg = PassConfig::automatic_1991();
+        assert_eq!(format!("{:?}", adjust_machine(&mc)), format!("{mc:?}"));
+        assert_eq!(format!("{:?}", adjust_pass(&cfg)), format!("{cfg:?}"));
+        assert!(rung().is_none());
+        assert!(cancel_token().is_none());
+    }
+
+    #[test]
+    fn adjust_tracks_the_ladder() {
+        let seen = Mutex::new(Vec::new());
+        let sweep = run_cell(&sup("adjust"), "t/ladder", || -> u32 {
+            let mc = adjust_machine(&MachineConfig::cedar_config1_scaled());
+            let cfg = adjust_pass(&PassConfig::automatic_1991());
+            lock(&seen).push((
+                rung().unwrap(),
+                mc.fast_paths,
+                mc.detect_races,
+                mc.cancel.is_some(),
+                format!("{cfg:?}") == format!("{:?}", PassConfig::serial()),
+            ));
+            panic!("drive the ladder");
+        });
+        assert_eq!(sweep.quarantined.len(), 1);
+        let seen = lock(&seen);
+        assert_eq!(
+            *seen,
+            vec![
+                ("normal", true, false, true, false),
+                ("no-fast-paths", false, false, true, false),
+                ("races-on", false, true, true, false),
+                ("serial", false, false, true, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn quarantined_json_shape() {
+        assert_eq!(quarantined_json(&[]), "[]");
+        let q = Quarantine {
+            cell: "t/x".into(),
+            kind: "panicked",
+            attempts: vec![("normal", "panicked", "boom \"quoted\"".into())],
+            bundle: None,
+        };
+        let json = quarantined_json(&[q]);
+        assert!(json.contains("\"cell\": \"t/x\""), "{json}");
+        assert!(json.contains("boom \\\"quoted\\\""), "{json}");
+        assert!(json.starts_with("[\n") && json.ends_with("  ]"), "{json}");
+    }
+}

@@ -38,28 +38,57 @@ pub struct Row {
     pub parallel_cycles: f64,
 }
 
+/// Measure one row.
+fn measure(w: &cedar_workloads::Workload, cfg: &PassConfig, mc: &MachineConfig) -> Row {
+    let (ser, par) = run_workload(w, cfg, mc);
+    let paper = PAPER
+        .iter()
+        .find(|(n, _, _)| *n == w.name)
+        .expect("registry order matches PAPER");
+    Row {
+        name: w.name,
+        paper_size: paper.1,
+        our_size: w.size,
+        paper_speedup: paper.2,
+        measured_speedup: ser.cycles / par.cycles,
+        serial_cycles: ser.cycles,
+        parallel_cycles: par.cycles,
+    }
+}
+
 /// Run the whole table. Cells are independent simulations, so they run
 /// on [`cedar_par::par_map`] (index-ordered results; `CEDAR_JOBS=1`
 /// serializes).
 pub fn run() -> Vec<Row> {
     let mc = MachineConfig::cedar_config1_scaled();
     let cfg = PassConfig::automatic_1991();
-    cedar_par::par_map(cedar_workloads::table1_workloads(), |w| {
-        let (ser, par) = run_workload(&w, &cfg, &mc);
-        let paper = PAPER
-            .iter()
-            .find(|(n, _, _)| *n == w.name)
-            .expect("registry order matches PAPER");
-        Row {
-            name: w.name,
-            paper_size: paper.1,
-            our_size: w.size,
-            paper_speedup: paper.2,
-            measured_speedup: ser.cycles / par.cycles,
-            serial_cycles: ser.cycles,
-            parallel_cycles: par.cycles,
-        }
-    })
+    cedar_par::par_map(cedar_workloads::table1_workloads(), |w| measure(&w, &cfg, &mc))
+}
+
+/// [`run`] under the supervised engine: one cell per routine. Failed
+/// cells climb the degradation ladder; cells quarantined at every rung
+/// are reported separately instead of aborting the table.
+pub fn run_supervised(
+    sup: &crate::supervise::Supervisor,
+) -> (Vec<Row>, Vec<crate::supervise::Recovery>, Vec<crate::supervise::Quarantine>) {
+    let mc = MachineConfig::cedar_config1_scaled();
+    let cfg = PassConfig::automatic_1991();
+    let cells = cedar_workloads::table1_workloads()
+        .into_iter()
+        .map(|w| {
+            crate::supervise::Cell::with_source(
+                format!("table1/{}", w.name),
+                w.source.clone(),
+                w,
+            )
+        })
+        .collect();
+    let sweep = crate::supervise::run_cells(sup, cells, |w| measure(w, &cfg, &mc));
+    (
+        sweep.results.into_iter().flatten().collect(),
+        sweep.recovered,
+        sweep.quarantined,
+    )
 }
 
 /// Render in the paper's layout plus our columns.

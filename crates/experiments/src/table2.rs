@@ -39,17 +39,49 @@ pub struct Row {
     pub manual_cedar: f64,
 }
 
-/// Run the full table. The paper ran the manual versions on Cedar
-/// Configuration 2 (more cluster memory); we do the same.
-pub fn run() -> Vec<Row> {
-    let fx = MachineConfig::fx80_scaled();
-    let cedar1 = MachineConfig::cedar_config1_scaled();
-    let cedar2 = MachineConfig::cedar_config2_scaled();
-    let auto_fx = PassConfig::automatic_1991().for_target(Target::Fx80);
-    let auto_cd = PassConfig::automatic_1991();
-    let man_fx = PassConfig::manual_improved().for_target(Target::Fx80);
-    let man_cd = PassConfig::manual_improved();
+/// The four machine/pass pairings of a Table-2 row, in column order.
+struct Setup {
+    fx: MachineConfig,
+    cedar1: MachineConfig,
+    cedar2: MachineConfig,
+    auto_fx: PassConfig,
+    auto_cd: PassConfig,
+    man_fx: PassConfig,
+    man_cd: PassConfig,
+}
 
+/// Column labels, cell order (used for supervised cell labels).
+const COLUMNS: [&str; 4] = ["auto-fx80", "auto-cedar", "manual-fx80", "manual-cedar"];
+
+fn setup() -> Setup {
+    Setup {
+        fx: MachineConfig::fx80_scaled(),
+        cedar1: MachineConfig::cedar_config1_scaled(),
+        cedar2: MachineConfig::cedar_config2_scaled(),
+        auto_fx: PassConfig::automatic_1991().for_target(Target::Fx80),
+        auto_cd: PassConfig::automatic_1991(),
+        man_fx: PassConfig::manual_improved().for_target(Target::Fx80),
+        man_cd: PassConfig::manual_improved(),
+    }
+}
+
+/// Speedup of column `c` for workload `w`. The paper ran the manual
+/// versions on Cedar Configuration 2 (more cluster memory); we do the
+/// same.
+fn cell_speedup(w: &cedar_workloads::Workload, c: usize, s: &Setup) -> f64 {
+    let (cfg, mc) = match c {
+        0 => (&s.auto_fx, &s.fx),
+        1 => (&s.auto_cd, &s.cedar1),
+        2 => (&s.man_fx, &s.fx),
+        _ => (&s.man_cd, &s.cedar2),
+    };
+    let (ser, var) = run_workload(w, cfg, mc);
+    ser.cycles / var.cycles
+}
+
+/// Run the full table.
+pub fn run() -> Vec<Row> {
+    let s = setup();
     // One parallel job per (row, machine-config) cell — the four cells
     // of a row are themselves independent runs, and splitting them keeps
     // the expensive benchmarks (ADM, MG3D) from serializing a worker.
@@ -57,17 +89,8 @@ pub fn run() -> Vec<Row> {
     let cells: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|wi| (0..4).map(move |c| (wi, c)))
         .collect();
-    let speedups = cedar_par::par_map(cells, |(wi, c)| {
-        let w = &workloads[wi];
-        let (cfg, mc) = match c {
-            0 => (&auto_fx, &fx),
-            1 => (&auto_cd, &cedar1),
-            2 => (&man_fx, &fx),
-            _ => (&man_cd, &cedar2),
-        };
-        let (ser, var) = run_workload(w, cfg, mc);
-        ser.cycles / var.cycles
-    });
+    let speedups =
+        cedar_par::par_map(cells, |(wi, c)| cell_speedup(&workloads[wi], c, &s));
     workloads
         .iter()
         .enumerate()
@@ -79,6 +102,44 @@ pub fn run() -> Vec<Row> {
             manual_cedar: speedups[wi * 4 + 3],
         })
         .collect()
+}
+
+/// [`run`] under the supervised engine: one cell per `(row, column)`
+/// pair. A row is reported only when all four of its cells survived;
+/// failed cells appear in the quarantine list instead.
+pub fn run_supervised(
+    sup: &crate::supervise::Supervisor,
+) -> (Vec<Row>, Vec<crate::supervise::Recovery>, Vec<crate::supervise::Quarantine>) {
+    let s = setup();
+    let workloads = cedar_workloads::table2_workloads();
+    let cells: Vec<crate::supervise::Cell<(usize, usize)>> = (0..workloads.len())
+        .flat_map(|wi| (0..4).map(move |c| (wi, c)))
+        .map(|(wi, c)| {
+            crate::supervise::Cell::with_source(
+                format!("table2/{}/{}", workloads[wi].name, COLUMNS[c]),
+                workloads[wi].source.clone(),
+                (wi, c),
+            )
+        })
+        .collect();
+    let sweep = crate::supervise::run_cells(sup, cells, |&(wi, c)| {
+        cell_speedup(&workloads[wi], c, &s)
+    });
+    let rows = workloads
+        .iter()
+        .enumerate()
+        .filter_map(|(wi, w)| {
+            let col = |c: usize| sweep.results[wi * 4 + c];
+            Some(Row {
+                name: w.name,
+                auto_fx80: col(0)?,
+                auto_cedar: col(1)?,
+                manual_fx80: col(2)?,
+                manual_cedar: col(3)?,
+            })
+        })
+        .collect();
+    (rows, sweep.recovered, sweep.quarantined)
 }
 
 /// Average manual/automatic improvement ratios (the paper's bottom row:

@@ -1,0 +1,134 @@
+//! Cooperative cancellation tokens with optional wall-clock deadlines.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between a
+//! supervisor and the work it supervises. The worker polls
+//! [`CancelToken::expired`] at safe points (the simulator does so from
+//! its statement watchdog) and unwinds with a structured error instead
+//! of being killed: cancellation is *cooperative*, so no state is torn
+//! mid-update and the host process never has to abort a thread.
+//!
+//! Tokens are deliberately state-light: an atomic flag plus an optional
+//! deadline captured at construction. Cloning shares both, so every
+//! simulator spawned for one experiment cell (serial reference, variant,
+//! perturbed re-runs) draws down the *same* per-cell time budget.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    budget: Option<Duration>,
+}
+
+/// Shared cancellation handle; see the [module docs](self).
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; expires only via [`CancelToken::cancel`].
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that expires `budget` from now (or earlier, if cancelled).
+    pub fn with_budget(budget: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(budget),
+                budget: Some(budget),
+            }),
+        }
+    }
+
+    /// Request cancellation; every clone observes it.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True after [`CancelToken::cancel`] was called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// The wall-clock budget this token was created with, if any.
+    pub fn budget(&self) -> Option<Duration> {
+        self.inner.budget
+    }
+
+    /// True once the deadline has passed (false for deadline-free
+    /// tokens). Does not consider explicit cancellation.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Should the supervised work stop? True when cancelled *or* past
+    /// the deadline. This is the poll workers issue at safe points; it
+    /// costs one atomic load plus (for deadline tokens) one clock read.
+    pub fn expired(&self) -> bool {
+        self.is_cancelled() || self.deadline_exceeded()
+    }
+}
+
+impl fmt::Debug for CancelToken {
+    /// Deliberately state-free: the token rides inside
+    /// `cedar_sim::MachineConfig`, whose `Debug` form is used as a
+    /// content cache key by the experiment harness — two cells that
+    /// differ only in their (behaviorally irrelevant) token instants
+    /// must still share cache entries.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CancelToken(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.deadline_exceeded());
+        assert!(!t.expired());
+        assert_eq!(t.budget(), None);
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.expired() && t.is_cancelled());
+        assert!(!t.deadline_exceeded(), "cancel is not a deadline");
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let t = CancelToken::with_budget(Duration::ZERO);
+        assert!(t.deadline_exceeded());
+        assert!(t.expired());
+        assert!(!t.is_cancelled());
+        assert_eq!(t.budget(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_budget_does_not_expire() {
+        let t = CancelToken::with_budget(Duration::from_secs(3600));
+        assert!(!t.expired());
+    }
+
+    #[test]
+    fn debug_form_is_state_free() {
+        let live = format!("{:?}", CancelToken::new());
+        let dead = CancelToken::with_budget(Duration::ZERO);
+        dead.cancel();
+        assert_eq!(live, format!("{dead:?}"), "Debug must not leak token state");
+    }
+}

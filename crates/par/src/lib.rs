@@ -28,9 +28,30 @@
 //! (e.g. cedar-verify's per-seed sweep under the robustness binary's
 //! per-workload sweep) degrades to the serial path instead of
 //! oversubscribing the host. The outermost call owns the threads.
+//!
+//! ## Failure containment
+//!
+//! Workers isolate per-item panics. In [`par_map`], a panicking item no
+//! longer aborts the scoped join mid-sweep: every other item still runs
+//! to completion, and the *first panic in index order* is then resumed
+//! on the calling thread — the same panic the serial map would have
+//! surfaced, with its payload intact. [`try_par_map`] goes further and
+//! returns a structured [`TryCell`] per item (`Ok` / `Panicked` /
+//! `TimedOut`), handing each worker a [`CancelToken`] carrying an
+//! optional per-item wall-clock budget that cooperative workloads (the
+//! simulator watchdog) poll. Supervisors build on these primitives; see
+//! `cedar-experiments::supervise`.
 
+mod cancel;
+
+pub use cancel::CancelToken;
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Global override installed by [`with_jobs`]; 0 = no override.
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -39,6 +60,30 @@ thread_local! {
     /// Set inside worker threads so nested `par_map` calls degrade to
     /// the serial path instead of spawning a second tier of threads.
     static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+
+    /// Caller-provided ambient context, inherited by worker threads
+    /// (see [`set_context`]).
+    static CONTEXT: RefCell<Option<Context>> = const { RefCell::new(None) };
+}
+
+/// Ambient context handle inherited by [`par_map`]/[`try_par_map`]
+/// worker threads; see [`set_context`].
+pub type Context = Arc<dyn Any + Send + Sync>;
+
+/// Install an ambient context on the current thread and return the
+/// previous one. Worker threads spawned by [`par_map`]/[`try_par_map`]
+/// inherit a clone of the calling thread's context, so thread-local
+/// state that must follow the work across the pool (the experiment
+/// supervisor's per-cell record: rung, chaos profile, cancel token)
+/// can ride along without every closure threading it explicitly.
+pub fn set_context(ctx: Option<Context>) -> Option<Context> {
+    CONTEXT.with(|c| std::mem::replace(&mut *c.borrow_mut(), ctx))
+}
+
+/// The current thread's ambient context (the caller's own, or the one
+/// inherited from the spawning [`par_map`] call when on a worker).
+pub fn context() -> Option<Context> {
+    CONTEXT.with(|c| c.borrow().clone())
 }
 
 /// Effective worker count for the next [`par_map`] call: the
@@ -81,26 +126,86 @@ pub fn with_jobs<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// Map `f` over `items` on up to [`jobs`] scoped threads, returning
-/// results in input order (slot `k` of the output is `f(items[k])`,
-/// exactly as the serial `items.into_iter().map(f).collect()` would
-/// produce).
-///
-/// Jobs are claimed dynamically from a shared atomic counter, so an
-/// expensive cell (say, ADM under Config 2) does not leave the other
-/// workers idle behind a static partition. Panics inside `f` propagate
-/// after all workers have been joined, matching the serial path's
-/// abort-the-sweep semantics for failed equivalence assertions.
-pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+/// A worker panic's payload, preserved across the join.
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// One supervised item's raw outcome: the closure's result (or its
+/// panic payload) plus the token the item ran under.
+type Supervised<R> = (Result<R, PanicPayload>, CancelToken);
+
+/// Render a panic payload as text: the `&str` / `String` message when
+/// the panic carried one (the overwhelmingly common case — `panic!`,
+/// `assert!`, `expect`), a placeholder otherwise.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Outcome of one [`try_par_map`] item.
+#[derive(Debug)]
+pub enum TryCell<R> {
+    /// The closure returned normally.
+    Ok(R),
+    /// The closure panicked; the rendered payload message.
+    Panicked(String),
+    /// The closure panicked *after its token expired* — the cooperative
+    /// deadline fired (e.g. the simulator watchdog's wall-clock abort
+    /// surfacing through a harness `panic!`). Carries the budget the
+    /// item was given, if any.
+    TimedOut {
+        /// Wall-clock budget the item's token was created with.
+        budget: Option<Duration>,
+    },
+}
+
+impl<R> TryCell<R> {
+    /// The value, if the item completed.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            TryCell::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Did the item complete?
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TryCell::Ok(_))
+    }
+}
+
+/// Core supervised engine shared by [`par_map`] and [`try_par_map`]:
+/// map `f` over `items` on up to [`jobs`] scoped threads, catching
+/// per-item panics so a failing item can never abort the scoped join,
+/// and handing each item a fresh [`CancelToken`] (with `budget` as its
+/// wall-clock deadline when given). Results come back in input order.
+fn supervised_map<T, R, F>(
+    items: Vec<T>,
+    budget: Option<Duration>,
+    f: &F,
+) -> Vec<Supervised<R>>
 where
     T: Send,
     R: Send,
-    F: Fn(T) -> R + Sync,
+    F: Fn(T, &CancelToken) -> R + Sync,
 {
+    let run_one = |item: T| {
+        let token = match budget {
+            Some(b) => CancelToken::with_budget(b),
+            None => CancelToken::new(),
+        };
+        let r = catch_unwind(AssertUnwindSafe(|| f(item, &token)));
+        (r, token)
+    };
+
     let n = items.len();
     let workers = jobs().min(n);
     if workers <= 1 || in_worker() {
-        return items.into_iter().map(f).collect();
+        return items.into_iter().map(run_one).collect();
     }
 
     // Each input and each output slot gets its own mutex so workers
@@ -108,14 +213,22 @@ where
     // item into the worker, and results land in index order.
     let input: Vec<Mutex<Option<T>>> =
         items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let output: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let output: Vec<Mutex<Option<Supervised<R>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    let f = &f;
+    let run_one = &run_one;
+    let inherited = context();
+    // Borrow the shared state so each worker's `move` closure copies
+    // the borrows and moves only its context clone.
+    let (input_ref, output_ref, next_ref) = (&input, &output, &next);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| {
+            let (input, output, next) = (input_ref, output_ref, next_ref);
+            let inherited = inherited.clone();
+            scope.spawn(move || {
                 IN_WORKER.with(|flag| flag.set(true));
+                set_context(inherited);
                 loop {
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     if k >= n {
@@ -126,7 +239,7 @@ where
                         .expect("par_map input slot poisoned")
                         .take()
                         .expect("par_map slot claimed twice");
-                    let r = f(item);
+                    let r = run_one(item);
                     *output[k].lock().expect("par_map output slot poisoned") = Some(r);
                 }
             });
@@ -139,6 +252,80 @@ where
             m.into_inner()
                 .expect("par_map output slot poisoned")
                 .expect("par_map worker skipped a slot")
+        })
+        .collect()
+}
+
+/// Map `f` over `items` on up to [`jobs`] scoped threads, returning
+/// results in input order (slot `k` of the output is `f(items[k])`,
+/// exactly as the serial `items.into_iter().map(f).collect()` would
+/// produce).
+///
+/// Jobs are claimed dynamically from a shared atomic counter, so an
+/// expensive cell (say, ADM under Config 2) does not leave the other
+/// workers idle behind a static partition.
+///
+/// Panics inside `f` are contained per item: the remaining items all
+/// still run, and after the pool joins, the first panic *in index
+/// order* is resumed on the calling thread with its original payload —
+/// matching the serial path's panic (the serial path itself propagates
+/// immediately, unchanged). Callers that need per-item outcomes instead
+/// of a sweep-level panic use [`try_par_map`].
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs().min(n);
+    if workers <= 1 || in_worker() {
+        return items.into_iter().map(f).collect();
+    }
+
+    let results = supervised_map(items, None, &|t, _token: &CancelToken| f(t));
+    let mut out = Vec::with_capacity(n);
+    let mut first_panic: Option<PanicPayload> = None;
+    for (r, _) in results {
+        match r {
+            Ok(v) => out.push(v),
+            Err(p) => {
+                if first_panic.is_none() {
+                    first_panic = Some(p);
+                }
+            }
+        }
+    }
+    if let Some(p) = first_panic {
+        resume_unwind(p);
+    }
+    out
+}
+
+/// Supervised variant of [`par_map`]: every item yields a [`TryCell`]
+/// instead of the sweep sharing one panic. Each item's closure receives
+/// a fresh [`CancelToken`]; when `budget` is given the token carries
+/// that wall-clock deadline, which cooperative workloads poll (thread
+/// it into `cedar_sim::MachineConfig::cancel` and the simulator's
+/// watchdog aborts the run with a structured timeout once it fires).
+///
+/// Classification: a normal return is [`TryCell::Ok`] even if the
+/// deadline lapsed (completed work is kept); a panic on an item whose
+/// token has expired is [`TryCell::TimedOut`] (the cooperative abort
+/// surfaces as a panic in harness glue); any other panic is
+/// [`TryCell::Panicked`] with the rendered payload.
+pub fn try_par_map<T, R, F>(items: Vec<T>, budget: Option<Duration>, f: F) -> Vec<TryCell<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T, &CancelToken) -> R + Sync,
+{
+    supervised_map(items, budget, &f)
+        .into_iter()
+        .map(|(r, token)| match r {
+            Ok(v) => TryCell::Ok(v),
+            Err(_) if token.expired() => TryCell::TimedOut { budget: token.budget() },
+            Err(p) => TryCell::Panicked(panic_message(p.as_ref())),
         })
         .collect()
 }
@@ -219,5 +406,129 @@ mod tests {
         let before = jobs();
         with_jobs(7, || assert_eq!(jobs(), 7));
         assert_eq!(jobs(), before);
+    }
+
+    /// Regression: a panicking worker used to abort the whole sweep
+    /// through the scoped join (`std::thread::scope` re-panics with a
+    /// generic payload once any spawned thread dies). Now every other
+    /// item completes and the original payload is resumed afterwards.
+    #[test]
+    fn worker_panic_is_contained_and_payload_preserved() {
+        static RAN: AtomicU32 = AtomicU32::new(0);
+        RAN.store(0, Ordering::SeqCst);
+        let result = std::panic::catch_unwind(|| {
+            with_jobs(4, || {
+                par_map((0..32usize).collect(), |k| {
+                    if k == 5 {
+                        panic!("cell 5 exploded");
+                    }
+                    RAN.fetch_add(1, Ordering::SeqCst);
+                    k
+                })
+            })
+        });
+        let payload = result.expect_err("panic must still propagate");
+        assert_eq!(panic_message(payload.as_ref()), "cell 5 exploded");
+        assert_eq!(
+            RAN.load(Ordering::SeqCst),
+            31,
+            "every non-panicking item must still run"
+        );
+    }
+
+    #[test]
+    fn first_panic_in_index_order_wins() {
+        // Items 3 and 20 both panic; the resumed payload must be item
+        // 3's regardless of which worker finished first.
+        let result = std::panic::catch_unwind(|| {
+            with_jobs(8, || {
+                par_map((0..32usize).collect(), |k| {
+                    if k == 3 || k == 20 {
+                        panic!("boom at {k}");
+                    }
+                    k
+                })
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        assert_eq!(panic_message(payload.as_ref()), "boom at 3");
+    }
+
+    #[test]
+    fn try_par_map_returns_structured_outcomes() {
+        let cells = with_jobs(4, || {
+            try_par_map((0..8usize).collect(), None, |k, _token| {
+                if k == 2 {
+                    panic!("injected failure in cell {k}");
+                }
+                k * 10
+            })
+        });
+        assert_eq!(cells.len(), 8);
+        for (k, c) in cells.iter().enumerate() {
+            match c {
+                TryCell::Ok(v) => {
+                    assert_ne!(k, 2);
+                    assert_eq!(*v, k * 10);
+                }
+                TryCell::Panicked(msg) => {
+                    assert_eq!(k, 2);
+                    assert_eq!(msg, "injected failure in cell 2");
+                }
+                TryCell::TimedOut { .. } => panic!("no deadline was set"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_par_map_catches_on_the_serial_path_too() {
+        let cells = with_jobs(1, || {
+            try_par_map(vec![1u32, 2, 3], None, |x, _| {
+                if x == 2 {
+                    panic!("serial cell panic");
+                }
+                x
+            })
+        });
+        assert!(cells[0].is_ok() && cells[2].is_ok());
+        assert!(matches!(&cells[1], TryCell::Panicked(m) if m == "serial cell panic"));
+    }
+
+    #[test]
+    fn expired_budget_classifies_as_timeout() {
+        // A cooperative worker: polls its token and aborts by panicking,
+        // exactly as harness glue over the simulator watchdog does.
+        let cells = with_jobs(2, || {
+            try_par_map(
+                vec![0u32, 1],
+                Some(Duration::ZERO),
+                |_, token: &CancelToken| {
+                    if token.expired() {
+                        panic!("cooperative abort");
+                    }
+                    0u32
+                },
+            )
+        });
+        for c in &cells {
+            assert!(
+                matches!(c, TryCell::TimedOut { budget: Some(b) } if *b == Duration::ZERO),
+                "expected TimedOut, got {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn workers_inherit_the_callers_context() {
+        let prev = set_context(Some(Arc::new(42usize)));
+        let seen = with_jobs(4, || {
+            par_map((0..16usize).collect(), |_| {
+                context()
+                    .and_then(|c| c.downcast_ref::<usize>().copied())
+                    .unwrap_or(0)
+            })
+        });
+        set_context(prev);
+        assert!(seen.iter().all(|&v| v == 42), "context lost in workers: {seen:?}");
     }
 }

@@ -1,5 +1,8 @@
 //! Machine configurations and the cycle-cost model parameters.
 
+use cedar_par::CancelToken;
+use std::time::Duration;
+
 /// All cost-model parameters of a simulated machine. The named
 /// constructors encode the two Cedar configurations the paper used plus
 /// the Alliant FX/80 baseline (one Cedar-like cluster).
@@ -111,6 +114,16 @@ pub struct MachineConfig {
     /// exists so the fast-path equivalence property tests can compare
     /// cached against uncached runs (DESIGN.md §9).
     pub fast_paths: bool,
+    /// Cooperative cancellation handle the watchdog polls alongside its
+    /// statement budget (every 1024 executed statements, so one clock
+    /// read amortizes over the window). When the token expires — its
+    /// wall-clock deadline lapses or a supervisor calls
+    /// [`CancelToken::cancel`] — the run aborts with
+    /// [`crate::SimErrorKind::Timeout`]. `None` (the default) polls
+    /// nothing and costs nothing. A successful run is bit-identical
+    /// with or without a token: the deadline can only *abort*, never
+    /// change what the program computes.
+    pub cancel: Option<CancelToken>,
 }
 
 impl MachineConfig {
@@ -160,6 +173,7 @@ impl MachineConfig {
             watchdog_ops: 4_000_000_000,
             detect_races: false,
             fast_paths: true,
+            cancel: None,
         }
     }
 
@@ -255,6 +269,20 @@ impl MachineConfig {
     pub fn with_race_detection(mut self) -> MachineConfig {
         self.detect_races = true;
         self
+    }
+
+    /// Thread a cancellation token into the watchdog (see
+    /// [`MachineConfig::cancel`]). The experiment supervisor clones one
+    /// per-cell token into every simulator the cell spawns, so the cell
+    /// shares a single wall-clock budget.
+    pub fn with_cancel(mut self, token: CancelToken) -> MachineConfig {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Convenience: a fresh token expiring `budget` from now.
+    pub fn with_time_budget(self, budget: Duration) -> MachineConfig {
+        self.with_cancel(CancelToken::with_budget(budget))
     }
 }
 

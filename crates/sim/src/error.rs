@@ -34,6 +34,12 @@ pub enum SimErrorKind {
     /// A watchdog bound tripped: DO WHILE iteration cap, call depth,
     /// total-operation budget, or a section too large to materialize.
     Limit,
+    /// The run's wall-clock budget lapsed or its supervisor requested
+    /// cancellation ([`crate::MachineConfig::cancel`]): the watchdog
+    /// polls the cancel token alongside its statement budget and aborts
+    /// cooperatively. Unlike [`SimErrorKind::Limit`], this says nothing
+    /// about the program — only that the host ran out of patience.
+    Timeout,
     /// Structurally invalid input program (unknown callee, missing
     /// PROGRAM unit, zero DO step, malformed COMMON, ...).
     BadProgram,
@@ -53,6 +59,7 @@ impl SimErrorKind {
             SimErrorKind::DivByZero => "div-by-zero",
             SimErrorKind::Unsupported => "unsupported",
             SimErrorKind::Limit => "limit-exceeded",
+            SimErrorKind::Timeout => "timeout",
             SimErrorKind::BadProgram => "bad-program",
             SimErrorKind::DataRace => "data-race",
         }
@@ -103,6 +110,12 @@ impl SimError {
     /// True when this is a detected data race.
     pub fn is_race(&self) -> bool {
         self.kind == SimErrorKind::DataRace
+    }
+
+    /// True when the run was aborted by its wall-clock deadline or an
+    /// explicit cancellation, not by anything the program did.
+    pub fn is_timeout(&self) -> bool {
+        self.kind == SimErrorKind::Timeout
     }
 
     /// Attach a location-free operation error to a statement span.
@@ -174,6 +187,7 @@ mod tests {
             SimErrorKind::DivByZero,
             SimErrorKind::Unsupported,
             SimErrorKind::Limit,
+            SimErrorKind::Timeout,
             SimErrorKind::BadProgram,
             SimErrorKind::DataRace,
         ];

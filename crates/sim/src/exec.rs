@@ -1612,6 +1612,33 @@ impl<'p> Simulator<'p> {
                 format!("watchdog: statement budget of {} exceeded", self.config.watchdog_ops),
             );
         }
+        // Wall-clock companion to the statement budget: poll the
+        // supervisor's cancel token every 1024 statements (and on the
+        // very first, so a pre-expired token aborts before any work).
+        // One `Instant::now()` per window keeps the host cost invisible;
+        // the abort is cooperative, so no simulator state tears.
+        if self.ops_executed & 0x3FF == 1 {
+            if let Some(token) = &self.config.cancel {
+                if token.expired() {
+                    return kerr(
+                        SimErrorKind::Timeout,
+                        s.span(),
+                        match token.budget() {
+                            Some(b) => format!(
+                                "watchdog: wall-clock budget of {:.3}s exceeded \
+                                 after {} statements",
+                                b.as_secs_f64(),
+                                self.ops_executed
+                            ),
+                            None => format!(
+                                "watchdog: run cancelled by supervisor after {} statements",
+                                self.ops_executed
+                            ),
+                        },
+                    );
+                }
+            }
+        }
         if let Some(rd) = self.races.as_mut() {
             // Accesses report the statement they ran under.
             rd.set_span(s.span());

@@ -47,6 +47,7 @@ pub mod stats;
 pub mod store;
 pub mod value_ops;
 
+pub use cedar_par::CancelToken;
 pub use config::MachineConfig;
 pub use error::{OpError, SimError, SimErrorKind};
 pub use exec::Simulator;

@@ -27,7 +27,7 @@ fn robustness_json_byte_identical_across_jobs() {
     let sweep = || {
         let rows = robustness::run_filtered(2, Some(&names));
         assert_eq!(rows.len(), names.len(), "filter missed a workload");
-        robustness::to_json(&rows, 2)
+        robustness::to_json(&rows, 2, &[])
     };
     let serial = fresh(1, sweep);
     let parallel = fresh(4, sweep);
@@ -45,7 +45,7 @@ fn races_json_byte_identical_across_jobs() {
     let sweep = || {
         let rows = races::run_filtered(Some(&names));
         assert_eq!(rows.len(), names.len(), "filter missed a program");
-        races::to_json(&rows)
+        races::to_json(&rows, &[])
     };
     let serial = fresh(1, sweep);
     let parallel = fresh(4, sweep);
