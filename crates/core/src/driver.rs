@@ -54,9 +54,11 @@ pub fn restructure(p: &Program, cfg: &PassConfig) -> RestructureResult {
     let summaries = if cfg.interprocedural { Some(summarize(&program)) } else { None };
 
     for ui in 0..program.units.len() {
-        if cfg.loop_fusion {
-            fusion::fuse_unit(&mut program.units[ui]);
-        }
+        let fused_lines = if cfg.loop_fusion {
+            fusion::fuse_unit(&mut program.units[ui])
+        } else {
+            Vec::new()
+        };
         let mut unit = program.units[ui].clone();
         let body = std::mem::take(&mut unit.body);
         let mut dctx = DriverCtx {
@@ -67,6 +69,16 @@ pub fn restructure(p: &Program, cfg: &PassConfig) -> RestructureResult {
             next_lock: 100,
         };
         unit.body = dctx.transform_block(&mut unit, body);
+        // Credit fusion on the surviving loops' report entries (the
+        // fused loop was classified above under its own header line).
+        for l in report.loops.iter_mut() {
+            if l.unit == unit.name
+                && fused_lines.contains(&l.span.line)
+                && !l.techniques.contains(&Technique::LoopFusion)
+            {
+                l.techniques.push(Technique::LoopFusion);
+            }
+        }
         program.units[ui] = unit;
     }
 

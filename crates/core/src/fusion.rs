@@ -16,29 +16,32 @@ use cedar_ir::{Expr, LValue, Loop, Stmt, SymbolId, Unit};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Fuse adjacent conformable loops throughout a unit body (applied
-/// recursively, repeatedly until a fixpoint). Returns the number of
-/// fusions performed.
-pub fn fuse_unit(unit: &mut Unit) -> usize {
+/// recursively, repeatedly until a fixpoint). Returns the header line
+/// of the surviving loop for every fusion performed, so the driver can
+/// credit `Technique::LoopFusion` to the loop's report entry when it is
+/// later classified (coverage tooling gates on the technique being
+/// visible in the report, not just the transform having run).
+pub fn fuse_unit(unit: &mut Unit) -> Vec<u32> {
     let mut body = std::mem::take(&mut unit.body);
-    let n = fuse_block(&mut body);
+    let mut fused = Vec::new();
+    fuse_block(&mut body, &mut fused);
     unit.body = body;
-    n
+    fused
 }
 
-fn fuse_block(body: &mut Vec<Stmt>) -> usize {
-    let mut fused = 0;
+fn fuse_block(body: &mut Vec<Stmt>, fused: &mut Vec<u32>) {
     // Recurse first.
     for s in body.iter_mut() {
         match s {
-            Stmt::Loop(l) => fused += fuse_block(&mut l.body),
+            Stmt::Loop(l) => fuse_block(&mut l.body, fused),
             Stmt::If { then_body, elifs, else_body, .. } => {
-                fused += fuse_block(then_body);
+                fuse_block(then_body, fused);
                 for (_, b) in elifs.iter_mut() {
-                    fused += fuse_block(b);
+                    fuse_block(b, fused);
                 }
-                fused += fuse_block(else_body);
+                fuse_block(else_body, fused);
             }
-            Stmt::DoWhile { body: b, .. } => fused += fuse_block(b),
+            Stmt::DoWhile { body: b, .. } => fuse_block(b, fused),
             _ => {}
         }
     }
@@ -61,14 +64,14 @@ fn fuse_block(body: &mut Vec<Stmt>) -> usize {
                     }
                 }
                 a.body.extend(tail);
-                fused += 1;
+                fused.push(a.span.line);
                 did = true;
             } else {
                 k += 1;
             }
         }
         if !did {
-            return fused;
+            return;
         }
     }
 }
@@ -218,7 +221,7 @@ mod tests {
 
     fn fuse(src: &str) -> (cedar_ir::Program, usize) {
         let mut p = compile_free(src).unwrap();
-        let n = fuse_unit(&mut p.units[0]);
+        let n = fuse_unit(&mut p.units[0]).len();
         (p, n)
     }
 

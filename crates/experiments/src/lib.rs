@@ -51,6 +51,7 @@ pub mod table1;
 pub mod table2;
 
 pub use pipeline::{run_program, run_workload, Outcome};
+pub use robustness::json_escape;
 pub use supervise::Supervisor;
 
 /// Unified exit-code taxonomy for the experiment binaries (`all`,

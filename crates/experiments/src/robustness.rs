@@ -172,7 +172,10 @@ pub fn render(rows: &[Row]) -> String {
     )
 }
 
-pub(crate) fn json_escape(s: &str) -> String {
+/// Escape a string for embedding in a JSON string literal (shared by
+/// every hand-rolled report writer in the workspace, including
+/// `cedar-fuzz`).
+pub fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => "\\\"".chars().collect::<Vec<_>>(),

@@ -457,8 +457,12 @@ impl Units {
                     }
                     Some("else") => {
                         else_body = self.parse_block(&["endif"])?;
-                        let endif = self.next().unwrap();
-                        debug_assert_eq!(endif.keyword().as_deref(), Some("endif"));
+                        // In recovery mode a truncated file can end inside
+                        // the ELSE block: parse_block already reported the
+                        // EOF, so just close the IF with what we salvaged.
+                        if let Some(endif) = self.next() {
+                            debug_assert_eq!(endif.keyword().as_deref(), Some("endif"));
+                        }
                         break;
                     }
                     Some("endif") => break,

@@ -1,0 +1,419 @@
+//! Seeded fuzzing campaigns: fan a seed range across workers, judge
+//! every program with [`crate::oracle`], shrink failures, write crash
+//! bundles through the supervised engine, and gate on the
+//! transform-coverage ledger.
+//!
+//! A campaign is deterministic in its *findings*: which seeds fail,
+//! what they shrink to, and what the coverage ledger reads depend only
+//! on the seed range and oracle configuration, never on worker count or
+//! scheduling. The CEDAR_JOBS invariance check enforces a slice of that
+//! promise on every run by re-judging a sample of seeds single-threaded
+//! and comparing result digests.
+
+use crate::coverage::Coverage;
+use crate::gen::GenProgram;
+use crate::oracle::{run_oracles, OracleConfig, OracleFailure, OracleStats};
+use crate::shrink::shrink;
+use cedar_experiments::json_escape;
+use cedar_experiments::supervise::{run_cells, Cell, Supervisor};
+use std::time::{Duration, Instant};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// First seed (inclusive).
+    pub seed_start: u64,
+    /// Last seed (exclusive).
+    pub seed_end: u64,
+    /// Wall-clock budget; seeds not started when it lapses are counted
+    /// as skipped, never silently dropped. `None` = run them all.
+    pub budget: Option<Duration>,
+    /// Pipeline/oracle configuration shared by every seed.
+    pub oracle: OracleConfig,
+    /// Minimize failures before reporting/bundling.
+    pub shrink: bool,
+    /// Oracle-evaluation budget per shrink run.
+    pub max_shrink_checks: usize,
+    /// Write crash bundles for failures via the supervised engine.
+    pub bundles: bool,
+    /// How many seeds to re-judge under `with_jobs(1)` for the
+    /// CEDAR_JOBS invariance check (0 disables).
+    pub jobs_check: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            seed_start: 0,
+            seed_end: 100,
+            budget: None,
+            oracle: OracleConfig::default(),
+            shrink: true,
+            max_shrink_checks: 128,
+            bundles: true,
+            jobs_check: 4,
+        }
+    }
+}
+
+/// One failing seed, minimized.
+#[derive(Debug, Clone)]
+pub struct SeedFailure {
+    /// The generator seed.
+    pub seed: u64,
+    /// Failure of the original (unshrunk) program.
+    pub original: OracleFailure,
+    /// Minimized reproducer (equals the original program when shrinking
+    /// is off or found nothing smaller).
+    pub minimized: GenProgram,
+    /// Failure the minimized program exhibits.
+    pub failure: OracleFailure,
+    /// Rendered source of the minimized reproducer.
+    pub source: String,
+    /// Crash-bundle directory, when one was written.
+    pub bundle: Option<String>,
+}
+
+/// Everything a campaign observed; renders to the `cedar-fuzz-v1` JSON
+/// summary.
+#[derive(Debug)]
+pub struct CampaignSummary {
+    /// Echo of the requested range.
+    pub seed_start: u64,
+    /// Echo of the requested range.
+    pub seed_end: u64,
+    /// Seeds actually judged.
+    pub executed: u64,
+    /// Seeds skipped because the wall-clock budget lapsed.
+    pub skipped_for_budget: u64,
+    /// Failing seeds, ascending.
+    pub failures: Vec<SeedFailure>,
+    /// Transform-coverage ledger over all clean seeds.
+    pub coverage: Coverage,
+    /// Total sync-audit findings with no confirming dynamic race.
+    pub known_gaps: u64,
+    /// Up to three example gap findings (deduplicated text).
+    pub gap_examples: Vec<String>,
+    /// `(min, mean, max)` serial/parallel cycle ratio over clean seeds.
+    pub speedup: Option<(f64, f64, f64)>,
+    /// Seeds re-judged single-threaded for the jobs-invariance check.
+    pub jobs_checked: u64,
+    /// Digest mismatch detail, if the invariance check failed.
+    pub jobs_mismatch: Option<String>,
+}
+
+impl CampaignSummary {
+    /// Required passes that never fired (only meaningful when the whole
+    /// range ran; a budget-truncated campaign may legitimately miss
+    /// some).
+    pub fn unreachable(&self) -> Vec<&'static str> {
+        self.coverage.unreachable()
+    }
+
+    /// Did the campaign find anything (oracle failures, unreachable
+    /// passes on a complete run, or a jobs-invariance break)?
+    pub fn failed(&self) -> bool {
+        !self.failures.is_empty()
+            || self.jobs_mismatch.is_some()
+            || (self.skipped_for_budget == 0 && !self.unreachable().is_empty())
+    }
+
+    /// The `cedar-fuzz-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"cedar-fuzz-v1\",\n");
+        out.push_str(&format!(
+            "  \"seed_start\": {}, \"seed_end\": {},\n  \"executed\": {}, \"skipped_for_budget\": {}, \"clean\": {},\n",
+            self.seed_start,
+            self.seed_end,
+            self.executed,
+            self.skipped_for_budget,
+            self.executed - self.failures.len() as u64,
+        ));
+        out.push_str("  \"failures\": [");
+        for (k, f) in self.failures.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"seed\": {}, \"phase\": \"{}\", \"detail\": \"{}\", \"cell\": \"{}\", \"tags\": [{}], \"bundle\": {}}}",
+                f.seed,
+                f.failure.phase.tag(),
+                json_escape(&f.failure.detail),
+                json_escape(&f.failure.diff.as_ref().map(|d| d.to_string()).unwrap_or_default()),
+                f.minimized
+                    .tags()
+                    .iter()
+                    .map(|t| format!("\"{t}\""))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                match &f.bundle {
+                    Some(b) => format!("\"{}\"", json_escape(b)),
+                    None => "null".to_string(),
+                },
+            ));
+        }
+        out.push_str(if self.failures.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str(&format!("  \"coverage\": {},\n", self.coverage.to_json()));
+        out.push_str(&format!(
+            "  \"unreachable\": [{}],\n",
+            self.unreachable().iter().map(|p| format!("\"{p}\"")).collect::<Vec<_>>().join(", "),
+        ));
+        out.push_str(&format!(
+            "  \"known_gaps\": {}, \"gap_examples\": [{}],\n",
+            self.known_gaps,
+            self.gap_examples
+                .iter()
+                .map(|g| format!("\"{}\"", json_escape(g)))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+        match self.speedup {
+            Some((lo, mean, hi)) => out.push_str(&format!(
+                "  \"speedup\": {{\"min\": {lo:.3}, \"mean\": {mean:.3}, \"max\": {hi:.3}}},\n"
+            )),
+            None => out.push_str("  \"speedup\": null,\n"),
+        }
+        out.push_str(&format!(
+            "  \"jobs_invariance\": {{\"checked\": {}, \"ok\": {}, \"detail\": {}}}\n}}\n",
+            self.jobs_checked,
+            self.jobs_mismatch.is_none(),
+            match &self.jobs_mismatch {
+                Some(m) => format!("\"{}\"", json_escape(m)),
+                None => "null".to_string(),
+            },
+        ));
+        out
+    }
+}
+
+/// Judge one seed. Returns the stats of a clean run or the failing
+/// program.
+fn judge(seed: u64, cfg: &OracleConfig) -> Result<OracleStats, (GenProgram, OracleFailure)> {
+    let gp = GenProgram::generate(seed);
+    run_oracles(&gp.render(), cfg).map_err(|f| (gp, f))
+}
+
+/// Run a campaign over `[seed_start, seed_end)`.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
+    const CHUNK: u64 = 32;
+    let started = Instant::now();
+    let mut coverage = Coverage::default();
+    let mut raw_failures: Vec<(u64, GenProgram, OracleFailure)> = Vec::new();
+    let mut digests: Vec<(u64, u64)> = Vec::new(); // (seed, digest)
+    let mut known_gaps = 0u64;
+    let mut gap_examples: Vec<String> = Vec::new();
+    let mut speedups: Vec<f64> = Vec::new();
+    let mut executed = 0u64;
+    let mut next = cfg.seed_start;
+
+    // ---- phase 1: parallel sweep, chunked so the wall-clock budget is
+    // checked between chunks (each seed is cheap; a chunk is the
+    // granularity of over-run) ----
+    while next < cfg.seed_end {
+        if let Some(budget) = cfg.budget {
+            if started.elapsed() >= budget {
+                break;
+            }
+        }
+        let hi = (next + CHUNK).min(cfg.seed_end);
+        let seeds: Vec<u64> = (next..hi).collect();
+        next = hi;
+        executed += seeds.len() as u64;
+        let results = cedar_par::par_map(seeds, |seed| (seed, judge(seed, &cfg.oracle)));
+        for (seed, r) in results {
+            match r {
+                Ok(stats) => {
+                    coverage.absorb(&stats.report);
+                    known_gaps += stats.known_gaps.len() as u64;
+                    for g in stats.known_gaps {
+                        if gap_examples.len() < 3 && !gap_examples.contains(&g) {
+                            gap_examples.push(g);
+                        }
+                    }
+                    if stats.parallel_cycles > 0.0 {
+                        speedups.push(stats.serial_cycles / stats.parallel_cycles);
+                    }
+                    digests.push((seed, stats.digest));
+                }
+                Err((gp, f)) => raw_failures.push((seed, gp, f)),
+            }
+        }
+    }
+    let skipped_for_budget = cfg.seed_end - next;
+
+    // ---- phase 2: shrink failures (serial: failures are rare and each
+    // shrink is itself a pipeline-heavy loop) ----
+    let mut failures: Vec<SeedFailure> = raw_failures
+        .into_iter()
+        .map(|(seed, gp, original)| {
+            let (minimized, failure) = if cfg.shrink {
+                let out = shrink(&gp, &original, &cfg.oracle, cfg.max_shrink_checks);
+                (out.program, out.failure)
+            } else {
+                (gp, original.clone())
+            };
+            let source = minimized.render().source;
+            SeedFailure { seed, original, minimized, failure, source, bundle: None }
+        })
+        .collect();
+    failures.sort_by_key(|f| f.seed);
+
+    // ---- phase 3: crash bundles via the supervised engine. The cell
+    // deliberately re-raises the oracle verdict as a panic; it fails at
+    // every ladder rung, so the engine quarantines it and writes the
+    // bundle (minimized source + attempt chain + backtrace). ----
+    if cfg.bundles && !failures.is_empty() {
+        let sup = Supervisor::from_env();
+        let cells: Vec<Cell<String>> = failures
+            .iter()
+            .map(|f| {
+                Cell::with_source(
+                    format!("fuzz/seed{}", f.seed),
+                    f.source.clone(),
+                    f.failure.to_string(),
+                )
+            })
+            .collect();
+        let sweep = run_cells(&sup, cells, |verdict: &String| -> () {
+            panic!("fuzz oracle failure: {verdict}");
+        });
+        for q in &sweep.quarantined {
+            if let Some(f) = failures
+                .iter_mut()
+                .find(|f| q.cell == format!("fuzz/seed{}", f.seed))
+            {
+                f.bundle = q.bundle.clone();
+            }
+        }
+    }
+
+    // ---- phase 4: CEDAR_JOBS invariance — re-judge a sample of clean
+    // seeds single-threaded; digests must match bit-for-bit ----
+    let mut jobs_checked = 0u64;
+    let mut jobs_mismatch = None;
+    for &(seed, want) in digests.iter().take(cfg.jobs_check) {
+        jobs_checked += 1;
+        let got = cedar_par::with_jobs(1, || judge(seed, &cfg.oracle));
+        match got {
+            Ok(stats) if stats.digest == want => {}
+            Ok(stats) => {
+                jobs_mismatch = Some(format!(
+                    "seed {seed}: digest {want:#018x} with ambient jobs vs {:#018x} single-threaded",
+                    stats.digest
+                ));
+                break;
+            }
+            Err((_, f)) => {
+                jobs_mismatch = Some(format!(
+                    "seed {seed}: clean with ambient jobs but failed single-threaded: {f}"
+                ));
+                break;
+            }
+        }
+    }
+
+    let speedup = if speedups.is_empty() {
+        None
+    } else {
+        let lo = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = speedups.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        Some((lo, mean, hi))
+    };
+
+    CampaignSummary {
+        seed_start: cfg.seed_start,
+        seed_end: cfg.seed_end,
+        executed,
+        skipped_for_budget,
+        failures,
+        coverage,
+        known_gaps,
+        gap_examples,
+        speedup,
+        jobs_checked,
+        jobs_mismatch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CampaignConfig {
+        CampaignConfig {
+            seed_start: 0,
+            seed_end: 12,
+            bundles: false,
+            jobs_check: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn small_campaign_is_deterministic() {
+        let a = run_campaign(&small());
+        let b = run_campaign(&small());
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.executed, 12);
+        assert_eq!(a.skipped_for_budget, 0);
+    }
+
+    #[test]
+    fn summary_json_is_well_formed_enough() {
+        let s = run_campaign(&small()).to_json();
+        assert!(s.contains("\"schema\": \"cedar-fuzz-v1\""));
+        assert!(s.contains("\"coverage\": {\"doall\": "));
+        assert_eq!(s.matches('{').count(), s.matches('}').count(), "{s}");
+    }
+
+    #[test]
+    fn failures_are_shrunk_and_reported() {
+        // rel_tol 0 demands bit-exactness from reassociating reductions
+        // too, so some seeds must fail — exercising the failure path
+        // (collection, shrinking, summary, exit classification) without
+        // needing a real restructurer bug.
+        let cfg = CampaignConfig {
+            seed_start: 0,
+            seed_end: 24,
+            oracle: crate::oracle::OracleConfig { rel_tol: 0.0, ..Default::default() },
+            bundles: false,
+            jobs_check: 0,
+            ..Default::default()
+        };
+        let s = run_campaign(&cfg);
+        assert!(!s.failures.is_empty(), "rel_tol 0 found nothing in 24 seeds");
+        assert!(s.failed());
+        for f in &s.failures {
+            assert_eq!(f.failure.phase.tag(), "differential");
+            assert!(f.failure.diff.is_some(), "divergence without a cell: {}", f.failure);
+            assert!(
+                f.minimized.shapes.len() <= GenProgram::generate(f.seed).shapes.len(),
+                "shrinker grew seed {}",
+                f.seed
+            );
+            assert!(f.source.contains("program fz"));
+        }
+        let json = s.to_json();
+        assert!(json.contains("\"phase\": \"differential\""));
+    }
+
+    #[test]
+    fn budget_truncation_reports_skipped_seeds() {
+        let cfg = CampaignConfig {
+            seed_start: 0,
+            seed_end: 10_000,
+            budget: Some(Duration::from_millis(1)),
+            bundles: false,
+            jobs_check: 0,
+            ..Default::default()
+        };
+        let s = run_campaign(&cfg);
+        assert!(s.skipped_for_budget > 0);
+        assert_eq!(s.executed + s.skipped_for_budget, 10_000);
+        // Truncated campaigns never fail on coverage alone.
+        if s.failures.is_empty() && s.jobs_mismatch.is_none() {
+            assert!(!s.failed());
+        }
+    }
+}

@@ -91,6 +91,100 @@ pub struct SeedRun {
     pub max_rel_err: f64,
 }
 
+/// A memory snapshot of watched variables: `(name, flattened values)`.
+/// Arrays are flattened column-major, scalars are one element — the
+/// shape [`cedar_sim::Simulator::read_f64`] returns.
+pub type Snapshot = Vec<(String, Vec<f64>)>;
+
+/// The first memory cell where two runs disagree: which variable, which
+/// flattened element, and both values. This is what a failure bundle
+/// needs to be actionable — a bare "mismatch" flag forces whoever
+/// triages the bundle to re-run both sides by hand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDiff {
+    /// Watched variable name.
+    pub var: String,
+    /// Flattened (column-major) element index; 0 for scalars.
+    pub index: usize,
+    /// Value the serial reference computed.
+    pub serial: f64,
+    /// Value the candidate (restructured/parallel) run computed.
+    pub parallel: f64,
+    /// Relative error between the two, `|s - p| / max(|s|, 1)`.
+    pub rel_err: f64,
+}
+
+impl fmt::Display for CellDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}({})`: serial {:e} vs parallel {:e} (rel err {:.2e})",
+            self.var, self.index, self.serial, self.parallel, self.rel_err
+        )
+    }
+}
+
+fn rel_err(s: f64, p: f64) -> f64 {
+    if s.to_bits() == p.to_bits() {
+        return 0.0;
+    }
+    let e = (s - p).abs() / s.abs().max(1.0);
+    if e.is_nan() {
+        f64::INFINITY
+    } else {
+        e
+    }
+}
+
+/// The first cell whose relative error exceeds `rel_tol`, scanning
+/// variables and elements in order. A variable missing from `parallel`
+/// or a length mismatch reports the first uncomparable cell with the
+/// absent side as NaN and infinite error.
+pub fn first_diff(serial: &Snapshot, parallel: &Snapshot, rel_tol: f64) -> Option<CellDiff> {
+    scan_diff(serial, parallel, |s, p| rel_err(s, p) > rel_tol)
+}
+
+/// The first cell that differs in bit pattern (the strict form of
+/// [`first_diff`]: legal transforms of reduction-free programs must be
+/// bit-identical under the deterministic simulator).
+pub fn first_bit_diff(serial: &Snapshot, parallel: &Snapshot) -> Option<CellDiff> {
+    scan_diff(serial, parallel, |s, p| s.to_bits() != p.to_bits())
+}
+
+fn scan_diff(
+    serial: &Snapshot,
+    parallel: &Snapshot,
+    differs: impl Fn(f64, f64) -> bool,
+) -> Option<CellDiff> {
+    for (name, sv) in serial {
+        let Some((_, pv)) = parallel.iter().find(|(n, _)| n == name) else {
+            return Some(CellDiff {
+                var: name.clone(),
+                index: 0,
+                serial: sv.first().copied().unwrap_or(f64::NAN),
+                parallel: f64::NAN,
+                rel_err: f64::INFINITY,
+            });
+        };
+        for k in 0..sv.len().max(pv.len()) {
+            let (s, p) = (
+                sv.get(k).copied().unwrap_or(f64::NAN),
+                pv.get(k).copied().unwrap_or(f64::NAN),
+            );
+            if sv.get(k).is_none() || pv.get(k).is_none() || differs(s, p) {
+                return Some(CellDiff {
+                    var: name.clone(),
+                    index: k,
+                    serial: s,
+                    parallel: p,
+                    rel_err: rel_err(s, p),
+                });
+            }
+        }
+    }
+    None
+}
+
 /// One nest the validator reverted to serial.
 #[derive(Debug, Clone)]
 pub struct FallbackNote {
@@ -100,6 +194,9 @@ pub struct FallbackNote {
     pub line: u32,
     /// The failure that triggered the downgrade.
     pub reason: String,
+    /// First differing memory cell, when the failure was a divergence
+    /// (simulator faults and races have no cell to point at).
+    pub diff: Option<CellDiff>,
 }
 
 /// What validation did and found.
@@ -169,8 +266,9 @@ pub struct Validated {
 enum Failure {
     /// A run died with a structured error (deadlock, out-of-bounds, ...).
     Sim { seed: Option<u64>, err: SimError },
-    /// A run completed but computed different results.
-    Divergence { seed: Option<u64>, var: String, max_rel_err: f64 },
+    /// A run completed but computed different results; carries the
+    /// first differing memory cell.
+    Divergence { seed: Option<u64>, diff: CellDiff, max_rel_err: f64 },
     /// The happens-before detector found unordered conflicting accesses.
     Race { info: Box<RaceInfo> },
 }
@@ -183,9 +281,9 @@ impl fmt::Display for Failure {
         };
         match self {
             Failure::Sim { seed: s, err } => write!(f, "{} failed: {}", seed(s), err),
-            Failure::Divergence { seed: s, var, max_rel_err } => write!(
+            Failure::Divergence { seed: s, diff, max_rel_err } => write!(
                 f,
-                "{} diverged: `{var}` off by {max_rel_err:.2e} (relative)",
+                "{} diverged at {diff}, max rel err {max_rel_err:.2e}",
                 seed(s)
             ),
             Failure::Race { info } => write!(f, "race detector: {info}"),
@@ -205,6 +303,14 @@ impl Failure {
                     .into_iter()
                     .find(|&l| l > 0)
             }
+            _ => None,
+        }
+    }
+
+    /// First differing memory cell, for divergence failures.
+    fn diff(&self) -> Option<CellDiff> {
+        match self {
+            Failure::Divergence { diff, .. } => Some(diff.clone()),
             _ => None,
         }
     }
@@ -232,27 +338,23 @@ fn run_watched(
 }
 
 /// Compare two watched-result sets; returns `(bit_identical,
-/// max_rel_err, worst_var)`.
-fn compare(a: &Watched, b: &Watched) -> (bool, f64, String) {
+/// max_rel_err, first_cell_beyond_tol)`.
+fn compare(a: &Watched, b: &Watched, rel_tol: f64) -> (bool, f64, Option<CellDiff>) {
     let mut max_err = 0.0f64;
-    let mut worst = String::new();
     let mut bitwise = true;
-    for ((na, va), (_, vb)) in a.iter().zip(b) {
+    for ((_, va), (_, vb)) in a.iter().zip(b) {
         if va.len() != vb.len() {
-            return (false, f64::INFINITY, na.clone());
+            return (false, f64::INFINITY, first_diff(a, b, rel_tol));
         }
         for (x, y) in va.iter().zip(vb) {
             if x.to_bits() != y.to_bits() {
                 bitwise = false;
             }
-            let err = (x - y).abs() / x.abs().max(1.0);
-            if err > max_err {
-                max_err = err;
-                worst = na.clone();
-            }
+            max_err = max_err.max(rel_err(*x, *y));
         }
     }
-    (bitwise, max_err, worst)
+    let diff = if max_err > rel_tol { first_diff(a, b, rel_tol) } else { None };
+    (bitwise, max_err, diff)
 }
 
 /// Check one candidate program: unperturbed against the serial
@@ -266,9 +368,9 @@ fn check(
 ) -> Result<Vec<SeedRun>, Failure> {
     let (base, _) = run_watched(candidate, mc, None, watch)
         .map_err(|err| Failure::Sim { seed: None, err })?;
-    let (_, err, var) = compare(reference, &base);
-    if err > vcfg.rel_tol {
-        return Err(Failure::Divergence { seed: None, var, max_rel_err: err });
+    let (_, max_rel_err, diff) = compare(reference, &base, vcfg.rel_tol);
+    if let Some(diff) = diff {
+        return Err(Failure::Divergence { seed: None, diff, max_rel_err });
     }
 
     // Third layer: the happens-before race detector (collect-all mode,
@@ -289,9 +391,9 @@ fn check(
     cedar_par::par_map(vcfg.seeds.clone(), |s| {
         let (got, cycles) = run_watched(candidate, mc, Some(vcfg.profile(s)), watch)
             .map_err(|err| Failure::Sim { seed: Some(s), err })?;
-        let (bit_identical, max_rel_err, var) = compare(&base, &got);
-        if max_rel_err > vcfg.rel_tol {
-            return Err(Failure::Divergence { seed: Some(s), var, max_rel_err });
+        let (bit_identical, max_rel_err, diff) = compare(&base, &got, vcfg.rel_tol);
+        if let Some(diff) = diff {
+            return Err(Failure::Divergence { seed: Some(s), diff, max_rel_err });
         }
         Ok(SeedRun { seed: s, cycles, bit_identical, max_rel_err })
     })
@@ -419,6 +521,7 @@ pub fn restructure_validated(
                         unit: "<program>".into(),
                         line: 0,
                         reason: format!("degraded to fully serial: {failure}"),
+                        diff: failure.diff(),
                     });
                     let seed_runs =
                         check(&rr.program, mc, watch, vcfg, &reference).unwrap_or_default();
@@ -438,6 +541,7 @@ pub fn restructure_validated(
                     unit: unit.clone(),
                     line,
                     reason: failure.to_string(),
+                    diff: failure.diff(),
                 });
                 cfg.suppress_nests.push((unit, line));
             }
@@ -589,6 +693,64 @@ mod tests {
         // directive nest sails through — which is exactly why the layer
         // defaults to on.
         assert!(v.validation.fallbacks.is_empty(), "{}", v.validation);
+    }
+
+    #[test]
+    fn first_diff_pinpoints_the_cell() {
+        let serial: Snapshot =
+            vec![("a".into(), vec![1.0, 2.0, 3.0]), ("s".into(), vec![10.0])];
+        let mut parallel = serial.clone();
+        assert_eq!(first_diff(&serial, &parallel, 0.0), None);
+        assert_eq!(first_bit_diff(&serial, &parallel), None);
+
+        parallel[0].1[2] = 3.5;
+        parallel[1].1[0] = 11.0;
+        let d = first_diff(&serial, &parallel, 1e-3).expect("diff found");
+        assert_eq!((d.var.as_str(), d.index), ("a", 2));
+        assert_eq!((d.serial, d.parallel), (3.0, 3.5));
+        assert!(d.to_string().contains("`a(2)`"), "{d}");
+
+        // Within tolerance: the relative check passes, the bit check
+        // still points at the cell.
+        let mut close = serial.clone();
+        close[1].1[0] = 10.0 + 1e-9;
+        assert_eq!(first_diff(&serial, &close, 1e-3), None);
+        let d = first_bit_diff(&serial, &close).expect("bit diff");
+        assert_eq!((d.var.as_str(), d.index), ("s", 0));
+
+        // A variable missing entirely is an infinite-error diff.
+        let d = first_diff(&serial, &parallel[..1].to_vec(), 1e-3).expect("missing var");
+        assert_eq!(d.var, "a"); // a(2) still differs first
+        let d = first_diff(&serial[1..].to_vec(), &Vec::new(), 1e-3).expect("missing var");
+        assert_eq!(d.var, "s");
+        assert!(d.rel_err.is_infinite());
+    }
+
+    #[test]
+    fn divergence_failure_carries_the_cell() {
+        // A racy directive nest that *changes results*: partial sums
+        // into a shared scalar would still agree in host order, so use
+        // an order-sensitive overwrite instead. Disable race detection
+        // so the divergence path (not the race path) must catch it.
+        let src = "program p\nparameter (n = 64)\nreal a(n)\nt = 0.0\n\
+                   cdoall i = 1, n\nt = real(i)\na(i) = t\nend cdoall\nx = t\nend\n";
+        let p = compile_free(src).unwrap();
+        let v = restructure_validated(
+            &p,
+            &PassConfig::serial(),
+            &MachineConfig::cedar_config1_scaled(),
+            &["x", "a"],
+            &ValidationConfig { seeds: vec![1, 2, 3], detect_races: false, ..Default::default() },
+        )
+        .unwrap();
+        // Under perturbed tie-breaks some iteration other than the last
+        // can write `t` last; the validator must report the exact cell.
+        if let Some(note) = v.validation.fallbacks.first() {
+            let d = note.diff.as_ref().expect("divergence carries a cell diff");
+            assert!(!d.var.is_empty());
+            assert!(note.reason.contains("diverged at"), "{}", note.reason);
+            assert!(note.reason.contains(&format!("`{}(", d.var)), "{}", note.reason);
+        }
     }
 
     #[test]

@@ -1,0 +1,31 @@
+! cedar-fuzz seed=0 config=manual
+! watch a1 exact
+! watch a2 approx
+! watch b2 exact
+program fz
+real a1(48, 3)
+real a2(64), b2(64, 12), w2(12)
+do i = 1, 3
+do j = 1, 48
+t1 = real(i) * 10.0 + real(j)
+do k = 1, 6
+t1 = 0.5 * t1 + 1.0
+end do
+a1(j, i) = t1
+end do
+end do
+do i = 1, 64
+do j = 1, 12
+b2(i, j) = real(i) * 0.1 + real(j)
+end do
+a2(i) = 0.0
+end do
+do i = 1, 64
+do j = 1, 12
+w2(j) = b2(i, j) * 2.0
+end do
+do j = 1, 12
+a2(i) = a2(i) + w2(j)
+end do
+end do
+end

@@ -1,0 +1,27 @@
+! cedar-fuzz seed=1 config=manual
+! watch s1 approx
+! watch a1 exact
+! watch a2 exact
+! watch b2 exact
+program fz
+real a1(192)
+real a2(96), b2(96), c2(96)
+do i = 1, 192
+a1(i) = 0.5 + 0.010417 * real(i)
+end do
+s1 = 0.0
+do i = 1, 192
+s1 = s1 + a1(i) + a1(i) * 0.25
+end do
+do i = 1, 96
+b2(i) = 0.5 + 0.020833 * real(i)
+end do
+do i = 1, 96
+c2(i) = 0.5 + 0.020833 * real(i)
+end do
+a2(1) = 1.0
+do i = 2, 96
+t2 = sqrt(b2(i)) + sqrt(c2(i)) + sin(b2(i)) * cos(c2(i)) + exp(c2(i) * 0.01)
+a2(i) = a2(i - 1) * 0.5 + t2
+end do
+end

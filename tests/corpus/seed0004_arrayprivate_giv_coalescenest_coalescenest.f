@@ -1,0 +1,50 @@
+! cedar-fuzz seed=4 config=manual
+! watch a1 approx
+! watch b1 exact
+! watch a2 approx
+! watch w2 approx
+! watch a3 exact
+! watch a4 exact
+program fz
+real a1(96), b1(96, 12), w1(12)
+real a2(512)
+real a3(64, 2)
+real a4(48, 3)
+do i = 1, 96
+do j = 1, 12
+b1(i, j) = real(i) * 0.1 + real(j)
+end do
+a1(i) = 0.0
+end do
+do i = 1, 96
+do j = 1, 12
+w1(j) = b1(i, j) * 2.0
+end do
+do j = 1, 12
+a1(i) = a1(i) + w1(j)
+end do
+end do
+w2 = 1.0
+do i = 1, 512
+w2 = w2 * 1.001
+a2(i) = w2 * 2.0
+end do
+do i = 1, 2
+do j = 1, 64
+t3 = real(i) * 10.0 + real(j)
+do k = 1, 5
+t3 = 0.5 * t3 + 1.0
+end do
+a3(j, i) = t3
+end do
+end do
+do i = 1, 3
+do j = 1, 48
+t4 = real(i) * 10.0 + real(j)
+do k = 1, 4
+t4 = 0.5 * t4 + 1.0
+end do
+a4(j, i) = t4
+end do
+end do
+end

@@ -1,0 +1,53 @@
+! cedar-fuzz seed=9 config=manual
+! watch a1 approx
+! watch b1 exact
+! watch a2 exact
+! watch b2 exact
+! watch a3 exact
+! watch a4 exact
+! watch b4 exact
+program fz
+real a1(64), b1(64, 8), w1(8)
+real a2(192), b2(192)
+real a3(48, 2)
+real a4(192), b4(192)
+do i = 1, 64
+do j = 1, 8
+b1(i, j) = real(i) * 0.1 + real(j)
+end do
+a1(i) = 0.0
+end do
+do i = 1, 64
+do j = 1, 8
+w1(j) = b1(i, j) * 2.0
+end do
+do j = 1, 8
+a1(i) = a1(i) + w1(j)
+end do
+end do
+do i = 1, 192
+b2(i) = 0.5 + 0.010417 * real(i)
+end do
+do i = 1, 192
+if (b2(i) .gt. 2.0) then
+a2(i) = b2(i) * 2.0
+else
+a2(i) = (b2(i) * 0.5 + 1.0) + 1.0
+end if
+end do
+do i = 1, 2
+do j = 1, 48
+t3 = real(i) * 10.0 + real(j)
+do k = 1, 4
+t3 = 0.5 * t3 + 1.0
+end do
+a3(j, i) = t3
+end do
+end do
+do i = 1, 192
+b4(i) = 0.5 + 0.010417 * real(i)
+end do
+do i = 1, 192
+a4(i) = exp(b4(i) * 0.01) + b4(i) * 2.0
+end do
+end

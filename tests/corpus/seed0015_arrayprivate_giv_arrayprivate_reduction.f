@@ -1,0 +1,55 @@
+! cedar-fuzz seed=15 config=manual
+! watch a1 approx
+! watch b1 exact
+! watch a2 approx
+! watch w2 approx
+! watch a3 approx
+! watch b3 exact
+! watch s4 approx
+! watch a4 exact
+program fz
+real a1(96), b1(96, 16), w1(16)
+real a2(512)
+real a3(96), b3(96, 16), w3(16)
+real a4(1024)
+do i = 1, 96
+do j = 1, 16
+b1(i, j) = real(i) * 0.1 + real(j)
+end do
+a1(i) = 0.0
+end do
+do i = 1, 96
+do j = 1, 16
+w1(j) = b1(i, j) * 2.0
+end do
+do j = 1, 16
+a1(i) = a1(i) + w1(j)
+end do
+end do
+w2 = 1.0
+do i = 1, 512
+w2 = w2 * 1.001
+a2(i) = w2 * 2.0
+end do
+do i = 1, 96
+do j = 1, 16
+b3(i, j) = real(i) * 0.1 + real(j)
+end do
+a3(i) = 0.0
+end do
+do i = 1, 96
+do j = 1, 16
+w3(j) = b3(i, j) * 2.0
+end do
+do j = 1, 16
+a3(i) = a3(i) + w3(j)
+end do
+end do
+do i = 1, 1024
+a4(i) = 0.5 + 0.001953 * real(i)
+end do
+s4 = 0.0
+do i = 1, 1024
+s4 = s4 + a4(i)
+end do
+end

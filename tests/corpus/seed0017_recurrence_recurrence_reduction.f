@@ -1,0 +1,41 @@
+! cedar-fuzz seed=17 config=manual
+! watch a1 exact
+! watch b1 exact
+! watch a2 exact
+! watch b2 exact
+! watch s3 approx
+! watch a3 exact
+program fz
+real a1(96), b1(96), c1(96)
+real a2(128), b2(128), c2(128)
+real a3(192)
+do i = 1, 96
+b1(i) = 0.5 + 0.020833 * real(i)
+end do
+do i = 1, 96
+c1(i) = 0.5 + 0.020833 * real(i)
+end do
+a1(1) = 1.0
+do i = 2, 96
+t1 = sqrt(b1(i)) + sqrt(c1(i)) + sin(b1(i)) * cos(c1(i)) + exp(c1(i) * 0.01)
+a1(i) = a1(i - 1) * 0.75 + t1
+end do
+do i = 1, 128
+b2(i) = 0.5 + 0.015625 * real(i)
+end do
+do i = 1, 128
+c2(i) = 0.5 + 0.015625 * real(i)
+end do
+a2(1) = 1.0
+do i = 2, 128
+t2 = sqrt(b2(i)) + sqrt(c2(i)) + sin(b2(i)) * cos(c2(i)) + exp(c2(i) * 0.01)
+a2(i) = a2(i - 1) * 0.75 + t2
+end do
+do i = 1, 192
+a3(i) = 0.5 + 0.010417 * real(i)
+end do
+s3 = 1.0
+do i = 1, 192
+s3 = s3 * (1.0 + 0.0001 * a3(i))
+end do
+end

@@ -1,0 +1,45 @@
+! cedar-fuzz seed=25 config=manual
+! watch s1 approx
+! watch a1 exact
+! watch c2 exact
+! watch a2 exact
+! watch b2 exact
+! watch a3 exact
+! watch c3 exact
+! watch a4 approx
+! watch w4 approx
+program fz
+real a1(512)
+real a2(256), b2(256)
+real c2(256)
+real a3(192), b3(192), c3(192)
+real a4(128)
+do i = 1, 512
+a1(i) = 0.5 + 0.003906 * real(i)
+end do
+s1 = 1.0
+do i = 1, 512
+s1 = s1 * (1.0 + 0.0001 * a1(i))
+end do
+do i = 1, 256
+b2(i) = 0.5 + 0.007812 * real(i)
+end do
+do i = 1, 256
+a2(i) = sin(b2(i)) + b2(i) * 1.5
+c2(i) = sqrt(b2(i)) * 2.0 + 1.0
+end do
+do i = 1, 192
+b3(i) = 0.5 + 0.010417 * real(i)
+end do
+do i = 1, 192
+a3(i) = b3(i) * 0.5 + 0.5
+end do
+do i = 1, 192
+c3(i) = a3(i) * 1.25 + b3(i)
+end do
+w4 = 1.0
+do i = 1, 128
+w4 = w4 * 1.001
+a4(i) = w4 * 2.0
+end do
+end

@@ -1,0 +1,41 @@
+! cedar-fuzz seed=29 config=manual
+! watch a1 exact
+! watch b1 exact
+! watch s2 approx
+! watch a2 exact
+! watch a3 exact
+! watch a4 exact
+program fz
+real a1(192), b1(192)
+real a2(192)
+real a3(64, 64)
+real a4(64, 2)
+do i = 1, 192
+b1(i) = 0.5 + 0.010417 * real(i)
+end do
+do i = 1, 192
+t1 = b1(i) * 2.0
+a1(i) = sqrt(t1) + t1 * 0.25
+end do
+do i = 1, 192
+a2(i) = 0.5 + 0.010417 * real(i)
+end do
+s2 = 0.0
+do i = 1, 192
+s2 = s2 + a2(i)
+end do
+do j = 1, 64
+do i = 1, 64
+a3(i, j) = real(i) * 0.1 + real(j) * 0.2 + exp(real(i + j) * 0.05 * 0.01)
+end do
+end do
+do i = 1, 2
+do j = 1, 64
+t4 = real(i) * 10.0 + real(j)
+do k = 1, 4
+t4 = 0.5 * t4 + 1.0
+end do
+a4(j, i) = t4
+end do
+end do
+end

@@ -129,6 +129,41 @@ proptest! {
     }
 }
 
+/// Promoted from `prop_reduction_chains.proptest-regressions`
+/// (cc `2d204523…`, shrunk to `leaf_idx = [3, 3]`, all-positive,
+/// `tpos = 3`): a constant-heavy sum chain that the profitability gate
+/// used to leave serial. Replaying the exact proptest body — including
+/// the constant-leaf guard that rewrites `[3, 3]` to `[0, 3]` — as a
+/// named test keeps the historical find alive even if the seed file is
+/// pruned or proptest's replay order changes.
+#[test]
+fn regression_constant_heavy_sum_chain_with_leading_target() {
+    let mut leaf_idx = vec![3usize, 3];
+    let neg = [false, false, false, false];
+    let tpos = 3usize;
+    if leaf_idx.iter().all(|&k| k % SUM_LEAVES.len() == 3) {
+        leaf_idx[0] = 0;
+    }
+    let chain = build_chain(&leaf_idx, &neg[..leaf_idx.len()], tpos, false);
+    // tpos wraps modulo (terms + 1): 3 % 3 = 0, so the target leads.
+    assert_eq!(chain, "T + A(I) + 0.25");
+    check_equivalent(&chain, 0.0);
+    // The raw shrunk input (before the guard) is the all-constant chain
+    // `T + 0.25 + 0.25`; it is legitimately left serial, so assert only
+    // that the pipeline handles it without diverging — not that it
+    // parallelizes.
+    let src = source("T + 0.25 + 0.25", 0.0);
+    let program = cedar_ir::compile_source(&src).expect("compile");
+    let serial = cedar_sim::run(&program, MachineConfig::cedar_config1_scaled()).unwrap();
+    let r = restructure(&program, &PassConfig::manual_improved());
+    let par = cedar_sim::run(&r.program, MachineConfig::cedar_config1_scaled()).unwrap();
+    assert_eq!(
+        serial.read_f64("t").unwrap()[0].to_bits(),
+        par.read_f64("t").unwrap()[0].to_bits(),
+        "constant chain must be untouched (bit-identical)"
+    );
+}
+
 /// Deterministic spot checks of shapes the paper's codes actually use.
 #[test]
 fn canonical_chain_shapes() {
