@@ -20,7 +20,7 @@
 //! differ in scaled size never collide.
 
 use cedar_ir::Program;
-use cedar_restructure::{restructure, PassConfig};
+use cedar_restructure::{restructure, PassConfig, Report};
 use cedar_workloads::Workload;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -83,6 +83,34 @@ pub fn restructured(program: &Program, cfg: &PassConfig) -> Arc<Program> {
         .clone()
 }
 
+type FullMap = Mutex<HashMap<u64, Arc<(Program, Report)>>>;
+
+fn restructure_full_cache() -> &'static FullMap {
+    static C: OnceLock<FullMap> = OnceLock::new();
+    C.get_or_init(Default::default)
+}
+
+/// Like [`restructured`], but keeps the restructurer's [`Report`] next
+/// to the output program. The service path needs both — the report is
+/// part of every response body — and coalesced identical requests must
+/// not re-run the restructurer just to regenerate it. Same key scheme
+/// as [`restructured`] (printed IR + config debug form), separate map.
+pub fn restructured_full(program: &Program, cfg: &PassConfig) -> Arc<(Program, Report)> {
+    let printed = cedar_ir::print::print_program(program);
+    let key = fnv(&[&printed, &format!("{cfg:?}")]);
+    if let Some(p) = restructure_full_cache().lock().unwrap().get(&key) {
+        return Arc::clone(p);
+    }
+    let r = restructure(program, cfg);
+    let p = Arc::new((r.program, r.report));
+    restructure_full_cache()
+        .lock()
+        .unwrap()
+        .entry(key)
+        .or_insert(p)
+        .clone()
+}
+
 type OutcomeMap = Mutex<HashMap<u64, Arc<crate::pipeline::Outcome>>>;
 
 fn outcome_cache() -> &'static OutcomeMap {
@@ -117,6 +145,7 @@ pub fn outcome(
 pub fn clear() {
     compile_cache().lock().unwrap().clear();
     restructure_cache().lock().unwrap().clear();
+    restructure_full_cache().lock().unwrap().clear();
     outcome_cache().lock().unwrap().clear();
 }
 
@@ -140,6 +169,22 @@ mod tests {
         let a = compiled(&w);
         let b = compiled(&w);
         assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+    }
+
+    #[test]
+    fn full_cache_keeps_the_report() {
+        let w = cedar_workloads::linalg::tridag(32);
+        let p = compiled(&w);
+        let auto = PassConfig::automatic_1991();
+        let a = restructured_full(&p, &auto);
+        let b = restructured_full(&p, &auto);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        let direct = cedar_restructure::restructure(&p, &auto);
+        assert_eq!(
+            a.1.to_string(),
+            direct.report.to_string(),
+            "cached report must match a direct restructure"
+        );
     }
 
     #[test]

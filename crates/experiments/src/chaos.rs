@@ -83,10 +83,39 @@ pub(crate) fn draw(seed: u64, cell: &str, rung: &str, phase: &str) -> Option<Inj
     None
 }
 
+/// Stable tag of an injection kind ("panic" / "sim-fault" / "delay").
+fn tag(i: Injection) -> &'static str {
+    match i {
+        Injection::Panic => "panic",
+        Injection::SimFault => "sim-fault",
+        Injection::Delay(_) => "delay",
+    }
+}
+
+/// Probe the full draw for `(seed, cell, rung, phase)` without running
+/// anything: the tag of the injection that [`crate::supervise::gate`]
+/// would fire, or `None`. Test harnesses (the service chaos tests, the
+/// load-test gate) use this to *predict* which requests must recover
+/// via retry and which must end up quarantined, so assertions are exact
+/// rather than statistical.
+pub fn probe(seed: u64, cell: &str, rung: &str, phase: &str) -> Option<&'static str> {
+    draw(seed, cell, rung, phase).map(tag)
+}
+
+/// Probe only the **sticky** class for `(seed, cell, phase)` — the
+/// rung-independent draws the degradation ladder cannot clear. A
+/// non-`"delay"` sticky hit on a phase a request actually runs means
+/// that request deterministically quarantines.
+pub fn probe_sticky(seed: u64, cell: &str, phase: &str) -> Option<&'static str> {
+    let seed_s = seed.to_string();
+    let sticky = fnv(&["sticky", &seed_s, cell, phase]);
+    sticky.is_multiple_of(STICKY_MOD).then(|| tag(kind(sticky)))
+}
+
 /// Parse a `CEDAR_CHAOS` value: a decimal integer is used verbatim, any
 /// other non-empty string is hashed to a seed (so `CEDAR_CHAOS=kaboom`
 /// works), and an empty value disables chaos.
-pub(crate) fn parse_seed(s: &str) -> Option<u64> {
+pub fn parse_seed(s: &str) -> Option<u64> {
     let s = s.trim();
     if s.is_empty() {
         return None;

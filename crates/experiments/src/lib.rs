@@ -38,7 +38,7 @@
 
 pub mod ablation;
 pub mod cache;
-pub(crate) mod chaos;
+pub mod chaos;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;

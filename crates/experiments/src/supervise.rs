@@ -105,8 +105,27 @@ pub struct CellError {
     pub kind: CellErrorKind,
     /// Human-readable error (panic message or `SimError` display).
     pub msg: String,
+    /// The structured simulator error kind, when the failure carried
+    /// one (via [`note_sim_error`]) — lets callers map the failure onto
+    /// a stable taxonomy without parsing `msg`.
+    pub sim: Option<SimErrorKind>,
     /// Backtrace captured at the panic site, if any.
     pub backtrace: Option<String>,
+}
+
+impl CellError {
+    /// Build a `CellError` from a structured simulator error that was
+    /// *returned* (not panicked) by supervised work — service-style
+    /// callers that keep `Result`s structured use this to feed the
+    /// same ladder/quarantine machinery the panic path does.
+    pub fn from_sim_error(e: &SimError) -> CellError {
+        CellError {
+            kind: if e.is_timeout() { CellErrorKind::TimedOut } else { CellErrorKind::Failed },
+            msg: e.to_string(),
+            sim: Some(e.kind),
+            backtrace: None,
+        }
+    }
 }
 
 /// A cell that failed at rung `normal` but succeeded on a retry.
@@ -377,6 +396,7 @@ fn attempt<R>(
         Err(payload) => {
             let sim = lock(&ctx.sim_error).take();
             let backtrace = lock(&ctx.backtrace).take();
+            let sim_kind = sim.as_ref().map(|e| e.kind);
             let (kind, msg) = match sim {
                 Some(e) if e.is_timeout() => (CellErrorKind::TimedOut, e.to_string()),
                 Some(e) => (CellErrorKind::Failed, e.to_string()),
@@ -389,9 +409,26 @@ fn attempt<R>(
                 ),
                 None => (CellErrorKind::Panicked, panic_message(payload.as_ref())),
             };
-            Err(CellError { kind, msg, backtrace })
+            Err(CellError { kind, msg, sim: sim_kind, backtrace })
         }
     }
+}
+
+/// Run one supervised attempt of a unit of work at `rung`: the cell
+/// context (cancel token with the supervisor's deadline, chaos profile,
+/// rung) is installed for the duration, panics are contained and
+/// classified, and the pipeline hooks ([`gate`], [`adjust_machine`],
+/// [`adjust_pass`]) see the attempt exactly as they would under
+/// [`run_cells`]. This is the building block `cedar-serve` drives its
+/// per-request retry/backoff ladder with — one HTTP request maps to a
+/// sequence of `run_attempt` calls rather than one batch sweep.
+pub fn run_attempt<R>(
+    sup: &Supervisor,
+    label: &str,
+    rung: Rung,
+    f: impl FnOnce() -> R,
+) -> Result<R, CellError> {
+    attempt(sup, label, rung, f)
 }
 
 /// Run every cell under supervision. First pass: all cells in parallel
@@ -494,70 +531,138 @@ fn minimize_source(src: &str) -> String {
     out
 }
 
-/// Bundle directory name for a cell label: path separators and exotic
-/// characters become `-` so every label maps to one flat directory.
-fn sanitize(label: &str) -> String {
-    label
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '_' { c } else { '-' })
-        .collect()
+/// FNV-1a over a byte string (bundle digests).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
-/// Write a crash bundle for a quarantined cell:
-/// `<bundle_dir>/<cell>/bundle.json` (attempt chain + metadata),
-/// `source.f` (minimized Fortran, when the cell carries source), and
-/// `backtrace.txt` (deepest captured backtrace). Returns the bundle
-/// directory; I/O failures degrade to `None` rather than panicking —
-/// the supervisor must never fail while reporting a failure.
+/// The digest a quarantined cell's bundle is keyed by: the *minimized
+/// source* when the cell carries one (so the same failure found under
+/// different labels — two machines over one workload, two service
+/// requests with one program, two fuzz seeds shrinking to one
+/// reproducer — shares a single bundle directory), else the label.
+pub fn bundle_digest(label: &str, minimized_source: Option<&str>) -> u64 {
+    match minimized_source {
+        Some(src) => fnv1a(src.as_bytes()),
+        None => fnv1a(format!("label:{label}").as_bytes()),
+    }
+}
+
+/// Serializes bundle-directory writes so concurrent quarantines (service
+/// worker threads, parallel sweeps) never interleave a `hits.txt`
+/// append with a first-write of the same directory.
+fn bundle_lock() -> &'static Mutex<()> {
+    static L: OnceLock<Mutex<()>> = OnceLock::new();
+    L.get_or_init(Default::default)
+}
+
+/// Write (or re-hit) a crash bundle for a quarantined cell. Bundles are
+/// **deduplicated by minimized-source digest**: the directory is
+/// `<bundle_dir>/<digest as 16 hex chars>/`, created on the first
+/// quarantine with `bundle.json` (attempt chain + metadata), `source.f`
+/// (minimized Fortran, when the cell carries source), and
+/// `backtrace.txt` (deepest captured backtrace). Every quarantine —
+/// first or repeat — appends the cell label to `hits.txt`, so the hit
+/// count of a bundle is its line count and identical failures across
+/// cells/requests/campaigns share one directory instead of multiplying
+/// under `target/crash-bundles/`. Returns the bundle directory; I/O
+/// failures degrade to `None` rather than panicking — the supervisor
+/// must never fail while reporting a failure.
 fn write_bundle(
     sup: &Supervisor,
     label: &str,
     source: Option<&str>,
     errors: &[(&'static str, CellError)],
 ) -> Option<String> {
-    let dir = sup.bundle_dir.join(sanitize(label));
-    std::fs::create_dir_all(&dir).ok()?;
-
     let minimized = source.map(minimize_source);
-    if let Some(src) = &minimized {
-        std::fs::write(dir.join("source.f"), src).ok()?;
-    }
-    let backtrace = errors.iter().rev().find_map(|(_, e)| e.backtrace.as_deref());
-    if let Some(bt) = backtrace {
-        std::fs::write(dir.join("backtrace.txt"), bt).ok()?;
+    let digest = bundle_digest(label, minimized.as_deref());
+    let dir = sup.bundle_dir.join(format!("{digest:016x}"));
+
+    let _guard = lock(bundle_lock());
+    std::fs::create_dir_all(&dir).ok()?;
+    let first_hit = !dir.join("bundle.json").exists();
+
+    if first_hit {
+        if let Some(src) = &minimized {
+            std::fs::write(dir.join("source.f"), src).ok()?;
+        }
+        let backtrace = errors.iter().rev().find_map(|(_, e)| e.backtrace.as_deref());
+        if let Some(bt) = backtrace {
+            std::fs::write(dir.join("backtrace.txt"), bt).ok()?;
+        }
+
+        let esc = crate::robustness::json_escape;
+        let mut json = String::from("{\n  \"schema\": \"cedar-crash-bundle-v1\",\n");
+        json.push_str(&format!("  \"digest\": \"{digest:016x}\",\n"));
+        json.push_str(&format!("  \"cell\": \"{}\",\n", esc(label)));
+        json.push_str(&format!(
+            "  \"chaos_seed\": {},\n",
+            sup.chaos.map_or("null".to_string(), |s| s.to_string())
+        ));
+        json.push_str(&format!(
+            "  \"deadline_s\": {},\n",
+            sup.deadline.map_or("null".to_string(), |d| format!("{}", d.as_secs_f64()))
+        ));
+        json.push_str(&format!(
+            "  \"source\": {},\n",
+            if minimized.is_some() { "\"source.f\"" } else { "null" }
+        ));
+        json.push_str(&format!(
+            "  \"backtrace\": {},\n",
+            if errors.iter().any(|(_, e)| e.backtrace.is_some()) {
+                "\"backtrace.txt\""
+            } else {
+                "null"
+            }
+        ));
+        json.push_str("  \"hits\": \"hits.txt\",\n");
+        json.push_str("  \"attempts\": [\n");
+        for (k, (rung, e)) in errors.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"rung\": \"{rung}\", \"kind\": \"{}\", \"error\": \"{}\"}}{}\n",
+                e.kind.as_str(),
+                esc(&e.msg),
+                if k + 1 < errors.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(dir.join("bundle.json"), json).ok()?;
     }
 
-    let esc = crate::robustness::json_escape;
-    let mut json = String::from("{\n  \"schema\": \"cedar-crash-bundle-v1\",\n");
-    json.push_str(&format!("  \"cell\": \"{}\",\n", esc(label)));
-    json.push_str(&format!(
-        "  \"chaos_seed\": {},\n",
-        sup.chaos.map_or("null".to_string(), |s| s.to_string())
-    ));
-    json.push_str(&format!(
-        "  \"deadline_s\": {},\n",
-        sup.deadline.map_or("null".to_string(), |d| format!("{}", d.as_secs_f64()))
-    ));
-    json.push_str(&format!(
-        "  \"source\": {},\n",
-        if minimized.is_some() { "\"source.f\"" } else { "null" }
-    ));
-    json.push_str(&format!(
-        "  \"backtrace\": {},\n",
-        if backtrace.is_some() { "\"backtrace.txt\"" } else { "null" }
-    ));
-    json.push_str("  \"attempts\": [\n");
-    for (k, (rung, e)) in errors.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"rung\": \"{rung}\", \"kind\": \"{}\", \"error\": \"{}\"}}{}\n",
-            e.kind.as_str(),
-            esc(&e.msg),
-            if k + 1 < errors.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write(dir.join("bundle.json"), json).ok()?;
+    // Every hit — including the first — records its cell label; the
+    // bundle's hit count is the line count of this file.
+    let hits_path = dir.join("hits.txt");
+    let mut hits = std::fs::read_to_string(&hits_path).unwrap_or_default();
+    hits.push_str(label);
+    hits.push('\n');
+    std::fs::write(&hits_path, hits).ok()?;
     Some(dir.to_string_lossy().into_owned())
+}
+
+/// Public form of the crash-bundle writer for supervising callers that
+/// run their own ladder (the service's per-request engine): write or
+/// re-hit the deduplicated bundle for a failure that exhausted every
+/// rung, returning the shared bundle directory.
+pub fn write_quarantine_bundle(
+    sup: &Supervisor,
+    label: &str,
+    source: Option<&str>,
+    attempts: &[(&'static str, CellError)],
+) -> Option<String> {
+    write_bundle(sup, label, source, attempts)
+}
+
+/// Number of quarantines that have landed in a bundle directory (the
+/// line count of its `hits.txt`); 0 when the directory is missing.
+pub fn bundle_hits(bundle_dir: &str) -> usize {
+    std::fs::read_to_string(PathBuf::from(bundle_dir).join("hits.txt"))
+        .map(|s| s.lines().count())
+        .unwrap_or(0)
 }
 
 /// Render a `quarantined` JSON array (no trailing newline): embedded by
@@ -682,6 +787,32 @@ mod tests {
         assert_eq!(src, "program p\nreal x\nx = 1.0\nend\n", "comments/blanks stripped");
         let bt = std::fs::read_to_string(dir.join("backtrace.txt")).unwrap();
         assert!(bt.contains("always broken"), "backtrace carries the panic: {bt}");
+    }
+
+    #[test]
+    fn identical_sources_share_one_deduped_bundle() {
+        let s = sup("dedupe");
+        let _ = std::fs::remove_dir_all(&s.bundle_dir);
+        // Two different labels, same source (modulo comments): the
+        // digest is over the minimized source, so both quarantines land
+        // in one bundle directory and `hits.txt` counts them.
+        let src_a = "program q\nreal y\ny = 2.0\nend\n";
+        let src_b = "program q\n! different comment\nreal y\ny = 2.0\nend\n";
+        let cells = vec![
+            Cell::with_source("t/dup-a", src_a, ()),
+            Cell::with_source("t/dup-b", src_b, ()),
+        ];
+        let sweep = run_cells(&s, cells, |_: &()| -> u32 { panic!("shared failure") });
+        assert_eq!(sweep.quarantined.len(), 2);
+        let a = sweep.quarantined[0].bundle.as_ref().unwrap();
+        let b = sweep.quarantined[1].bundle.as_ref().unwrap();
+        assert_eq!(a, b, "identical minimized sources must share a bundle dir");
+        assert_eq!(bundle_hits(a), 2);
+        let hits = std::fs::read_to_string(PathBuf::from(a).join("hits.txt")).unwrap();
+        assert!(hits.contains("t/dup-a") && hits.contains("t/dup-b"), "{hits}");
+        // Exactly one bundle directory exists under this root.
+        let dirs: Vec<_> = std::fs::read_dir(&s.bundle_dir).unwrap().collect();
+        assert_eq!(dirs.len(), 1);
     }
 
     #[test]

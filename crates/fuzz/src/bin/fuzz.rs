@@ -129,7 +129,9 @@ fn main() -> ExitCode {
         cfg.bundles,
     );
     let summary = run_campaign(&cfg);
-    let json = summary.to_json();
+    // The file/stdout artifact carries the wall-clock section (latency
+    // summary + slowest seeds); determinism tests use `to_json()`.
+    let json = summary.to_json_full();
     if let Some(path) = json_path {
         if let Some(parent) = std::path::Path::new(&path).parent() {
             let _ = std::fs::create_dir_all(parent);
@@ -153,6 +155,21 @@ fn main() -> ExitCode {
     );
     if let Some((lo, mean, hi)) = summary.speedup {
         eprintln!("fuzz: speedup over serial min {lo:.2}x mean {mean:.2}x max {hi:.2}x");
+    }
+    if !summary.latency.is_empty() {
+        eprintln!(
+            "fuzz: per-seed latency p50 {:.1}ms p99 {:.1}ms max {:.1}ms; slowest: {}",
+            summary.latency.percentile(50.0),
+            summary.latency.percentile(99.0),
+            summary.latency.max(),
+            summary
+                .latency
+                .slowest(5)
+                .iter()
+                .map(|(l, m)| format!("seed {l} ({m:.1}ms)"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
     }
     for f in &summary.failures {
         eprintln!(

@@ -12,6 +12,7 @@
 
 use crate::coverage::Coverage;
 use crate::gen::GenProgram;
+use crate::latency::Latency;
 use crate::oracle::{run_oracles, OracleConfig, OracleFailure, OracleStats};
 use crate::shrink::shrink;
 use cedar_experiments::json_escape;
@@ -100,6 +101,12 @@ pub struct CampaignSummary {
     pub jobs_checked: u64,
     /// Digest mismatch detail, if the invariance check failed.
     pub jobs_mismatch: Option<String>,
+    /// Per-seed judge wall-clock samples (label = decimal seed). Only
+    /// [`CampaignSummary::to_json_full`] reports these — [`to_json`]
+    /// stays byte-deterministic across runs.
+    ///
+    /// [`to_json`]: CampaignSummary::to_json
+    pub latency: Latency,
 }
 
 impl CampaignSummary {
@@ -118,8 +125,30 @@ impl CampaignSummary {
             || (self.skipped_for_budget == 0 && !self.unreachable().is_empty())
     }
 
-    /// The `cedar-fuzz-v1` JSON document.
+    /// The `cedar-fuzz-v1` JSON document. Byte-deterministic: two runs
+    /// over the same seed range produce identical text (no wall-clock
+    /// fields) — the determinism and jobs-invariance tests diff this
+    /// form directly.
     pub fn to_json(&self) -> String {
+        self.render_json("")
+    }
+
+    /// [`to_json`] plus the wall-clock section: a `"latency_ms"`
+    /// summary and the top-5 `"slowest_seeds"` outliers. Timing varies
+    /// run to run, so this form is for human-facing artifacts (the
+    /// `fuzz` binary's campaign report), never for determinism diffs.
+    ///
+    /// [`to_json`]: CampaignSummary::to_json
+    pub fn to_json_full(&self) -> String {
+        let extra = format!(
+            "  \"latency_ms\": {},\n  \"slowest_seeds\": {}",
+            self.latency.summary_json(),
+            self.latency.slowest_json(5),
+        );
+        self.render_json(&extra)
+    }
+
+    fn render_json(&self, extra: &str) -> String {
         let mut out = String::from("{\n  \"schema\": \"cedar-fuzz-v1\",\n");
         out.push_str(&format!(
             "  \"seed_start\": {}, \"seed_end\": {},\n  \"executed\": {}, \"skipped_for_budget\": {}, \"clean\": {},\n",
@@ -174,7 +203,7 @@ impl CampaignSummary {
             None => out.push_str("  \"speedup\": null,\n"),
         }
         out.push_str(&format!(
-            "  \"jobs_invariance\": {{\"checked\": {}, \"ok\": {}, \"detail\": {}}}\n}}\n",
+            "  \"jobs_invariance\": {{\"checked\": {}, \"ok\": {}, \"detail\": {}}}",
             self.jobs_checked,
             self.jobs_mismatch.is_none(),
             match &self.jobs_mismatch {
@@ -182,6 +211,11 @@ impl CampaignSummary {
                 None => "null".to_string(),
             },
         ));
+        if !extra.is_empty() {
+            out.push_str(",\n");
+            out.push_str(extra);
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -205,6 +239,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
     let mut speedups: Vec<f64> = Vec::new();
     let mut executed = 0u64;
     let mut next = cfg.seed_start;
+    let mut latency = Latency::new();
 
     // ---- phase 1: parallel sweep, chunked so the wall-clock budget is
     // checked between chunks (each seed is cheap; a chunk is the
@@ -219,8 +254,13 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
         let seeds: Vec<u64> = (next..hi).collect();
         next = hi;
         executed += seeds.len() as u64;
-        let results = cedar_par::par_map(seeds, |seed| (seed, judge(seed, &cfg.oracle)));
-        for (seed, r) in results {
+        let results = cedar_par::par_map(seeds, |seed| {
+            let t = Instant::now();
+            let r = judge(seed, &cfg.oracle);
+            (seed, t.elapsed(), r)
+        });
+        for (seed, took, r) in results {
+            latency.record_duration(seed.to_string(), took);
             match r {
                 Ok(stats) => {
                     coverage.absorb(&stats.report);
@@ -333,6 +373,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
         speedup,
         jobs_checked,
         jobs_mismatch,
+        latency,
     }
 }
 
@@ -365,6 +406,19 @@ mod tests {
         assert!(s.contains("\"schema\": \"cedar-fuzz-v1\""));
         assert!(s.contains("\"coverage\": {\"doall\": "));
         assert_eq!(s.matches('{').count(), s.matches('}').count(), "{s}");
+    }
+
+    #[test]
+    fn full_json_adds_latency_without_touching_the_deterministic_form() {
+        let s = run_campaign(&small());
+        assert_eq!(s.latency.len() as u64, s.executed, "one sample per judged seed");
+        let det = s.to_json();
+        assert!(!det.contains("latency_ms"), "to_json must stay timing-free");
+        let full = s.to_json_full();
+        assert!(full.contains("\"latency_ms\": {\"p50\": "), "{full}");
+        assert!(full.contains("\"slowest_seeds\": [{\"label\": "), "{full}");
+        assert!(full.starts_with(det.trim_end_matches("\n}\n")), "full extends to_json");
+        assert_eq!(full.matches('{').count(), full.matches('}').count(), "{full}");
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod campaign;
 pub mod corpus;
 pub mod coverage;
 pub mod gen;
+pub mod latency;
 pub mod mutate;
 pub mod oracle;
 pub mod rng;
@@ -35,6 +36,7 @@ pub use campaign::{run_campaign, CampaignConfig, CampaignSummary, SeedFailure};
 pub use corpus::{format_entry, load_dir, parse_entry, CorpusEntry};
 pub use coverage::{Coverage, REQUIRED};
 pub use gen::{GenProgram, Rendered, Shape, WatchVar};
+pub use latency::Latency;
 pub use mutate::{mutate, mutations};
 pub use oracle::{run_oracles, OracleConfig, OracleFailure, OracleStats, Phase};
 pub use rng::Rng;

@@ -1,0 +1,331 @@
+//! `loadtest` — replay the `cedar-fuzz` generator against an
+//! in-process server at configurable concurrency, optionally under
+//! `CEDAR_CHAOS`, and write latency/throughput/robustness numbers to
+//! `BENCH_serve.json`.
+//!
+//! The run doubles as the acceptance harness for the service's
+//! robustness guarantees (gated here and in CI's serve-smoke job):
+//!
+//! * **nothing is lost** — every submitted request receives a
+//!   response; shed requests (429) are retried until admitted;
+//! * **no naked failures** — every quarantine response (422/500/504)
+//!   references a crash bundle;
+//! * **shedding happens** — with more clients than workers + queue
+//!   slots, the admission queue must actually shed;
+//! * **recovery happens** — under chaos, at least one request must
+//!   succeed only after ladder retries.
+//!
+//! Exit codes follow the repo convention: 0 ok, 1 a gate failed,
+//! 2 harness error.
+
+use cedar_fuzz::{GenProgram, Latency};
+use cedar_serve::{http, Json, ServeRequest, Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: loadtest [--requests N] [--clients N] [--workers N] [--queue N]
+                [--chaos SEED] [--out PATH] [--check PATH]
+  --requests N   total requests to replay (default 500)
+  --clients N    concurrent client threads (default 8)
+  --workers N    server worker threads (default 2)
+  --queue N      admission queue capacity (default 2)
+  --chaos SEED   chaos seed (default: CEDAR_CHAOS from the environment)
+  --out PATH     where to write the benchmark JSON (default BENCH_serve.json)
+  --check PATH   fail (exit 1) if p99 regressed >25% +25ms vs this baseline";
+
+struct Args {
+    requests: usize,
+    clients: usize,
+    workers: usize,
+    queue: usize,
+    chaos: Option<u64>,
+    out: PathBuf,
+    check: Option<PathBuf>,
+}
+
+fn harness_fail(msg: &str) -> ! {
+    eprintln!("loadtest: {msg}");
+    std::process::exit(cedar_experiments::exitcode::HARNESS);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        requests: 500,
+        clients: 8,
+        workers: 2,
+        queue: 2,
+        chaos: std::env::var("CEDAR_CHAOS")
+            .ok()
+            .and_then(|s| cedar_experiments::chaos::parse_seed(&s)),
+        out: PathBuf::from("BENCH_serve.json"),
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| harness_fail(&format!("{name} needs a value\n{USAGE}")))
+        };
+        match arg.as_str() {
+            "--requests" => a.requests = parse_n(&take("--requests")),
+            "--clients" => a.clients = parse_n(&take("--clients")),
+            "--workers" => a.workers = parse_n(&take("--workers")),
+            "--queue" => a.queue = parse_n(&take("--queue")),
+            "--chaos" => {
+                let s = take("--chaos");
+                a.chaos = Some(
+                    cedar_experiments::chaos::parse_seed(&s)
+                        .unwrap_or_else(|| harness_fail(&format!("bad chaos seed {s:?}"))),
+                );
+            }
+            "--out" => a.out = PathBuf::from(take("--out")),
+            "--check" => a.check = Some(PathBuf::from(take("--check"))),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => harness_fail(&format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    a
+}
+
+fn parse_n(s: &str) -> usize {
+    match s.trim().parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => harness_fail(&format!("expected a positive integer, got {s:?}\n{USAGE}")),
+    }
+}
+
+/// Per-client tally, merged after the run.
+#[derive(Default)]
+struct Tally {
+    latency: Latency,
+    ok: u64,
+    quarantined: u64,
+    shed_retries: u64,
+    /// Gate violations: lost requests, naked 5xx, unexpected statuses.
+    violations: Vec<String>,
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Seeds repeat so the run exercises the content-keyed caches and
+    // in-flight coalescing, not just cold work: adjacent indices are
+    // duplicates (picked up near-simultaneously by different clients,
+    // so they overlap in flight), and the index space wraps so later
+    // requests replay earlier programs against warm caches.
+    let unique = (args.requests * 2 / 5).max(1);
+    let seed_of = |i: usize| ((i / 2) % unique) as u64;
+    eprintln!(
+        "loadtest: generating {} requests ({} unique programs) ...",
+        args.requests, unique
+    );
+    let bodies: Vec<String> = (0..args.requests)
+        .map(|i| {
+            let seed = seed_of(i);
+            let mut req = ServeRequest::new(GenProgram::generate(seed).render().source);
+            req.validate = false; // exact phase set; validation is covered elsewhere
+            req.to_json()
+        })
+        .collect();
+
+    let mut cfg = ServerConfig {
+        workers: args.workers,
+        queue_cap: args.queue,
+        ..ServerConfig::default()
+    };
+    cfg.engine.sup.chaos = args.chaos;
+    cfg.engine.sup.deadline = Some(Duration::from_secs(30));
+    cfg.engine.sup.bundle_dir = PathBuf::from("target/crash-bundles/loadtest");
+    cfg.engine.backoff_base = Duration::from_millis(2);
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => harness_fail(&format!("bind failed: {e}")),
+    };
+    let addr = server.addr();
+    eprintln!(
+        "loadtest: {} clients -> {} (workers={}, queue={}, chaos={})",
+        args.clients,
+        addr,
+        args.workers,
+        args.queue,
+        args.chaos.map_or("off".to_string(), |s| s.to_string()),
+    );
+
+    let next = AtomicUsize::new(0);
+    let merged = Mutex::new(Tally::default());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..args.clients {
+            scope.spawn(|| {
+                let mut t = Tally::default();
+                let timeout = Duration::from_secs(120);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= bodies.len() {
+                        break;
+                    }
+                    let seed = seed_of(i);
+                    let label = format!("seed-{seed}");
+                    let sent = Instant::now();
+                    // Shed requests are retried until admitted: load
+                    // shedding must degrade latency, never lose work.
+                    let outcome = loop {
+                        match http::post(&addr, "/restructure", &bodies[i], timeout) {
+                            Ok((429, _)) => {
+                                t.shed_retries += 1;
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            other => break other,
+                        }
+                    };
+                    t.latency.record_duration(label, sent.elapsed());
+                    match outcome {
+                        Ok((200, _)) => t.ok += 1,
+                        Ok((status @ (422 | 500 | 504), body)) => {
+                            t.quarantined += 1;
+                            let bundled = Json::parse(&body).is_ok_and(|v| {
+                                v.get("error")
+                                    .and_then(|e| e.get("bundle"))
+                                    .is_some_and(|b| !b.is_null())
+                            });
+                            if !bundled {
+                                t.violations.push(format!(
+                                    "request {i} (seed {seed}): {status} without a crash bundle: {body}"
+                                ));
+                            }
+                        }
+                        Ok((status, body)) => t.violations.push(format!(
+                            "request {i} (seed {seed}): unexpected status {status}: {body}"
+                        )),
+                        Err(e) => t
+                            .violations
+                            .push(format!("request {i} (seed {seed}) lost: {e}")),
+                    }
+                }
+                let mut m = merged.lock().unwrap();
+                m.ok += t.ok;
+                m.quarantined += t.quarantined;
+                m.shed_retries += t.shed_retries;
+                m.violations.extend(t.violations);
+                m.latency.absorb(t.latency);
+            });
+        }
+    });
+    let wall = started.elapsed();
+    let tally = merged.into_inner().unwrap();
+
+    let (_, metrics_body) = http::get(&addr, "/metrics", Duration::from_secs(10))
+        .unwrap_or_else(|e| harness_fail(&format!("metrics fetch failed: {e}")));
+    let metrics = Json::parse(&metrics_body)
+        .unwrap_or_else(|e| harness_fail(&format!("metrics not JSON: {e}")));
+    let counter = |name: &str| {
+        metrics
+            .get(name)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| harness_fail(&format!("metrics missing {name}: {metrics_body}")))
+            as u64
+    };
+    let (shed, recovered, quarantined_srv, coalesced) = (
+        counter("shed"),
+        counter("recovered"),
+        counter("quarantined"),
+        counter("coalesced"),
+    );
+
+    // Graceful shutdown must drain: the server joins without force.
+    match http::post(&addr, "/shutdown", "", Duration::from_secs(10)) {
+        Ok((200, _)) => {}
+        other => harness_fail(&format!("shutdown request failed: {other:?}")),
+    }
+    server.join();
+
+    let throughput = args.requests as f64 / wall.as_secs_f64();
+    let bench = format!(
+        "{{\n  \"schema\": \"cedar-serve-bench-v1\",\n  \"requests\": {},\n  \"clients\": {},\n  \"workers\": {},\n  \"queue_cap\": {},\n  \"chaos\": {},\n  \"latency_ms\": {},\n  \"throughput_rps\": {:.2},\n  \"shed\": {},\n  \"shed_retries\": {},\n  \"recovered\": {},\n  \"quarantined\": {},\n  \"coalesced\": {},\n  \"slowest\": {}\n}}\n",
+        args.requests,
+        args.clients,
+        args.workers,
+        args.queue,
+        args.chaos.map_or("null".to_string(), |s| s.to_string()),
+        tally.latency.summary_json(),
+        throughput,
+        shed,
+        tally.shed_retries,
+        recovered,
+        quarantined_srv,
+        coalesced,
+        tally.latency.slowest_json(5),
+    );
+    if let Err(e) = std::fs::write(&args.out, &bench) {
+        harness_fail(&format!("writing {}: {e}", args.out.display()));
+    }
+    eprintln!(
+        "loadtest: {} ok, {} quarantined, shed {} (retries {}), recovered {}, coalesced {}, {:.1} req/s, p50 {:.1} ms, p99 {:.1} ms",
+        tally.ok,
+        tally.quarantined,
+        shed,
+        tally.shed_retries,
+        recovered,
+        coalesced,
+        throughput,
+        tally.latency.percentile(50.0),
+        tally.latency.percentile(99.0),
+    );
+
+    // Gates.
+    let mut failures = tally.violations;
+    if tally.ok + tally.quarantined != args.requests as u64 {
+        failures.push(format!(
+            "accounting: {} ok + {} quarantined != {} submitted",
+            tally.ok, tally.quarantined, args.requests
+        ));
+    }
+    if args.clients > args.workers + args.queue && shed == 0 {
+        failures.push(format!(
+            "no load shedding: {} clients against {} workers + {} queue slots never hit a full queue",
+            args.clients, args.workers, args.queue
+        ));
+    }
+    if args.chaos.is_some() && recovered == 0 {
+        failures.push("chaos was on but no request recovered via ladder retries".to_string());
+    }
+    if let Some(check) = &args.check {
+        match baseline_p99(check) {
+            Ok(old) => {
+                let new = tally.latency.percentile(99.0);
+                let limit = old * 1.25 + 25.0;
+                if new > limit {
+                    failures.push(format!(
+                        "p99 regression: {new:.1} ms > {limit:.1} ms (baseline {old:.1} ms +25% +25ms)"
+                    ));
+                } else {
+                    eprintln!("loadtest: p99 {new:.1} ms within {limit:.1} ms budget (baseline {old:.1} ms)");
+                }
+            }
+            Err(e) => harness_fail(&format!("baseline {}: {e}", check.display())),
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("loadtest: {} gate failure(s):", failures.len());
+        for (i, f) in failures.iter().enumerate().take(20) {
+            eprintln!("  [{i}] {f}");
+        }
+        std::process::exit(cedar_experiments::exitcode::VALIDATION);
+    }
+    eprintln!("loadtest: all gates passed; wrote {}", args.out.display());
+}
+
+fn baseline_p99(path: &PathBuf) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let v = Json::parse(&text).map_err(|e| format!("not JSON: {e}"))?;
+    v.get("latency_ms")
+        .and_then(|l| l.get("p99"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| "missing latency_ms.p99".to_string())
+}

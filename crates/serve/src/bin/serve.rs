@@ -1,0 +1,62 @@
+//! `serve` — run the restructurer service until told to drain.
+//!
+//! Configuration comes from the environment (`CEDAR_SERVE_ADDR`,
+//! `CEDAR_SERVE_WORKERS`, `CEDAR_SERVE_QUEUE`, `CEDAR_CHAOS`,
+//! `CEDAR_CELL_DEADLINE`, `CEDAR_BUNDLE_DIR`) with flag overrides.
+//! The process exits when a client POSTs `/shutdown` and the drain
+//! completes.
+
+use cedar_serve::{Server, ServerConfig};
+
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--workers N] [--queue N]
+  --addr HOST:PORT   bind address (default 127.0.0.1:0, i.e. any free port)
+  --workers N        worker threads (default 4)
+  --queue N          admission queue capacity (default 64)";
+
+fn main() {
+    let mut cfg = ServerConfig::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value\n{USAGE}");
+                std::process::exit(cedar_experiments::exitcode::HARNESS);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = take("--addr"),
+            "--workers" => cfg.workers = parse_n(&take("--workers")),
+            "--queue" => cfg.queue_cap = parse_n(&take("--queue")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(cedar_experiments::exitcode::HARNESS);
+            }
+        }
+    }
+
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: bind failed: {e}");
+            std::process::exit(cedar_experiments::exitcode::HARNESS);
+        }
+    };
+    eprintln!("cedar-serve listening on {}", server.addr());
+    eprintln!("POST /restructure to submit work, POST /shutdown to drain and exit");
+    server.join();
+    eprintln!("cedar-serve drained; exiting");
+}
+
+fn parse_n(s: &str) -> usize {
+    match s.trim().parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("expected a positive integer, got {s:?}\n{USAGE}");
+            std::process::exit(cedar_experiments::exitcode::HARNESS);
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! The per-request engine: one HTTP request becomes a supervised
+//! retry ladder.
+//!
+//! Where the batch harness ([`cedar_experiments::supervise::run_cells`])
+//! sweeps many cells and retries stragglers after the fact, the service
+//! walks one request up the same degradation ladder inline: attempt at
+//! the breaker's entry rung, classify any failure (panic, structured
+//! simulator fault, deadline), sleep a jittered backoff, retry one rung
+//! safer. A request that fails at every rung is quarantined exactly
+//! like a batch cell — deduplicated crash bundle and all — and the
+//! client gets a structured error referencing the bundle instead of a
+//! stack trace.
+//!
+//! Determinism note: the request **label** (`serve/<fnv of the request
+//! key>`) keys the chaos draws, so a given `(CEDAR_CHAOS, request)`
+//! pair always injects the same faults — the chaos integration tests
+//! and the load-test gates rely on predicting recovery vs quarantine
+//! per request, not on sampling.
+
+use crate::breaker::Breaker;
+use crate::error::{self, kind};
+use crate::json::Json;
+use cedar_experiments::supervise::{self, CellError, Rung, Supervisor};
+use cedar_experiments::{cache, json_escape, run_program};
+use cedar_restructure::{PassConfig, Target};
+use cedar_sim::{MachineConfig, SimError};
+use cedar_verify::{restructure_validated, ValidationConfig, ValidationReport};
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Engine knobs shared by every request.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Supervisor profile: chaos seed, per-attempt wall-clock deadline,
+    /// crash-bundle root.
+    pub sup: Supervisor,
+    /// First retry backoff; attempt `k` waits `base · 2^(k-1)` plus a
+    /// deterministic 0–50 % jitter keyed on the request label.
+    pub backoff_base: Duration,
+    /// Perturbation seeds for validated requests (trimmed from the
+    /// batch default of 8 — a service pays per request).
+    pub validate_seeds: Vec<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            sup: Supervisor {
+                chaos: None,
+                deadline: Some(Duration::from_secs(30)),
+                bundle_dir: PathBuf::from("target/crash-bundles"),
+            },
+            backoff_base: Duration::from_millis(10),
+            validate_seeds: vec![1, 2],
+        }
+    }
+}
+
+/// One parsed `/restructure` request.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Fortran source text.
+    pub source: String,
+    /// Free-form (`true`, the fuzz/corpus dialect) or fixed-form F77.
+    pub free_form: bool,
+    /// Pass configuration: `auto` (default), `manual`, or `serial`.
+    pub config: String,
+    /// Machine model: `cedar` (default) or `fx80`.
+    pub machine: String,
+    /// Variables to report watched results for.
+    pub watch: Vec<String>,
+    /// Differentially validate the output (perturbed schedules, race
+    /// check) before returning it.
+    pub validate: bool,
+    /// Per-attempt wall-clock deadline override, milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl ServeRequest {
+    /// A request with defaults: free-form, `auto`, `cedar`, validated.
+    pub fn new(source: impl Into<String>) -> ServeRequest {
+        ServeRequest {
+            source: source.into(),
+            free_form: true,
+            config: "auto".into(),
+            machine: "cedar".into(),
+            watch: Vec::new(),
+            validate: true,
+            deadline_ms: None,
+        }
+    }
+
+    /// Parse the JSON request body.
+    pub fn from_json(v: &Json) -> Result<ServeRequest, String> {
+        let source = v
+            .get("source")
+            .and_then(Json::as_str)
+            .ok_or("`source` (string) is required")?;
+        if source.trim().is_empty() {
+            return Err("`source` is empty".into());
+        }
+        let mut req = ServeRequest::new(source);
+        if let Some(form) = v.get("form") {
+            match form.as_str() {
+                Some("free") => req.free_form = true,
+                Some("fixed") => req.free_form = false,
+                _ => return Err("`form` must be \"free\" or \"fixed\"".into()),
+            }
+        }
+        if let Some(cfg) = v.get("config") {
+            match cfg.as_str() {
+                Some(c @ ("auto" | "manual" | "serial")) => req.config = c.into(),
+                _ => return Err("`config` must be \"auto\", \"manual\", or \"serial\"".into()),
+            }
+        }
+        if let Some(m) = v.get("machine") {
+            match m.as_str() {
+                Some(c @ ("cedar" | "fx80")) => req.machine = c.into(),
+                _ => return Err("`machine` must be \"cedar\" or \"fx80\"".into()),
+            }
+        }
+        if let Some(w) = v.get("watch") {
+            let items = w.as_arr().ok_or("`watch` must be an array of strings")?;
+            for item in items {
+                req.watch.push(
+                    item.as_str()
+                        .ok_or("`watch` entries must be strings")?
+                        .to_string(),
+                );
+            }
+        }
+        if let Some(b) = v.get("validate") {
+            req.validate = b.as_bool().ok_or("`validate` must be a boolean")?;
+        }
+        if let Some(d) = v.get("deadline_ms") {
+            let ms = d.as_f64().ok_or("`deadline_ms` must be a number")?;
+            if ms <= 0.0 || !ms.is_finite() {
+                return Err("`deadline_ms` must be positive".into());
+            }
+            req.deadline_ms = Some(ms as u64);
+        }
+        Ok(req)
+    }
+
+    /// Serialize back to a request body (clients: load test, tests).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"source\": \"{}\", \"form\": \"{}\", \"config\": \"{}\", \"machine\": \"{}\", \"watch\": [{}], \"validate\": {}{}}}",
+            json_escape(&self.source),
+            if self.free_form { "free" } else { "fixed" },
+            self.config,
+            self.machine,
+            self.watch
+                .iter()
+                .map(|w| format!("\"{}\"", json_escape(w)))
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.validate,
+            match self.deadline_ms {
+                Some(ms) => format!(", \"deadline_ms\": {ms}"),
+                None => String::new(),
+            },
+        )
+    }
+
+    /// Content key: two requests with equal keys are behaviorally
+    /// identical end to end, so the server coalesces them in flight and
+    /// the process-wide caches absorb repeats.
+    pub fn key(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.source.hash(&mut h);
+        self.free_form.hash(&mut h);
+        self.config.hash(&mut h);
+        self.machine.hash(&mut h);
+        self.watch.hash(&mut h);
+        self.validate.hash(&mut h);
+        h.finish()
+    }
+
+    /// Supervision label: names the chaos-draw key and the crash-bundle
+    /// cell for this request.
+    pub fn label(&self) -> String {
+        format!("serve/{:016x}", self.key())
+    }
+}
+
+/// The outcome the server needs for counters and the response.
+#[derive(Debug)]
+pub struct Handled {
+    /// HTTP status.
+    pub status: u16,
+    /// Response body (JSON).
+    pub body: String,
+    /// Ladder retries this request needed (0 = first attempt worked).
+    pub retries: u32,
+    /// The request failed at every rung and a bundle was attempted.
+    pub quarantined: bool,
+}
+
+enum AttemptFail {
+    /// The front end rejected the source: deterministic, never retried.
+    Compile(String),
+    /// A structured simulator error surfaced as a `Result` (validation
+    /// path) rather than a panic.
+    Sim(SimError),
+}
+
+struct Output {
+    restructured: String,
+    report: String,
+    serial_cycles: f64,
+    parallel_cycles: f64,
+    stats: cedar_sim::ExecStats,
+    validation: Option<ValidationReport>,
+}
+
+fn fnv(parts: &[&str]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for p in parts {
+        p.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Deterministic jittered exponential backoff before retry `k` (k ≥ 1).
+fn backoff(base: Duration, label: &str, k: usize) -> Duration {
+    let exp = base.saturating_mul(1u32 << (k - 1).min(4));
+    let jitter_pct = fnv(&[label, &k.to_string()]) % 50;
+    exp + exp.mul_f64(jitter_pct as f64 / 100.0)
+}
+
+fn pass_for(req: &ServeRequest) -> PassConfig {
+    let base = match req.config.as_str() {
+        "manual" => PassConfig::manual_improved(),
+        "serial" => PassConfig::serial(),
+        _ => PassConfig::automatic_1991(),
+    };
+    if req.machine == "fx80" {
+        base.for_target(Target::Fx80)
+    } else {
+        base
+    }
+}
+
+fn machine_for(req: &ServeRequest) -> MachineConfig {
+    match req.machine.as_str() {
+        "fx80" => MachineConfig::fx80_scaled(),
+        _ => MachineConfig::cedar_config1_scaled(),
+    }
+}
+
+/// One attempt's real work; runs under the supervisor's cell context,
+/// so the phase gates, rung adjustment, and cancel token all apply.
+fn attempt_body(
+    req: &ServeRequest,
+    pass: &PassConfig,
+    mc: &MachineConfig,
+    cfg: &EngineConfig,
+) -> Result<Output, AttemptFail> {
+    supervise::gate("compile");
+    let compiled = if req.free_form {
+        cedar_ir::compile_free(&req.source)
+    } else {
+        cedar_ir::compile_source(&req.source)
+    };
+    let program = compiled.map_err(|e| AttemptFail::Compile(e.to_string()))?;
+    let watch: Vec<&str> = req.watch.iter().map(String::as_str).collect();
+
+    // Serial reference (memoized; gates "simulate" internally).
+    let serial = run_program(&program, None, mc, &watch);
+
+    if req.validate {
+        supervise::gate("validate");
+        let vcfg = ValidationConfig {
+            seeds: cfg.validate_seeds.clone(),
+            ..ValidationConfig::default()
+        };
+        let v = restructure_validated(
+            &program,
+            &supervise::adjust_pass(pass),
+            &supervise::adjust_machine(mc),
+            &watch,
+            &vcfg,
+        )
+        .map_err(AttemptFail::Sim)?;
+        let out = run_program(&v.program, None, mc, &watch);
+        Ok(Output {
+            restructured: cedar_ir::print::print_program(&v.program),
+            report: v.report.to_string(),
+            serial_cycles: serial.cycles,
+            parallel_cycles: out.cycles,
+            stats: out.stats,
+            validation: Some(v.validation),
+        })
+    } else {
+        supervise::gate("restructure");
+        let full = cache::restructured_full(&program, &supervise::adjust_pass(pass));
+        let out = run_program(&full.0, None, mc, &watch);
+        Ok(Output {
+            restructured: cedar_ir::print::print_program(&full.0),
+            report: full.1.to_string(),
+            serial_cycles: serial.cycles,
+            parallel_cycles: out.cycles,
+            stats: out.stats,
+            validation: None,
+        })
+    }
+}
+
+fn verification_json(v: &Option<ValidationReport>) -> String {
+    match v {
+        None => "null".to_string(),
+        Some(v) => format!(
+            "{{\"attempts\": {}, \"fallbacks\": {}, \"seed_runs\": {}, \"all_bit_identical\": {}, \"degraded_to_serial\": {}}}",
+            v.attempts,
+            v.fallbacks.len(),
+            v.seed_runs.len(),
+            v.all_bit_identical(),
+            v.degraded_to_serial,
+        ),
+    }
+}
+
+fn success_body(
+    out: &Output,
+    rung: Rung,
+    entry: Rung,
+    retries: u32,
+    duration: Duration,
+) -> String {
+    let speedup = if out.parallel_cycles > 0.0 {
+        out.serial_cycles / out.parallel_cycles
+    } else {
+        0.0
+    };
+    format!(
+        "{{\"schema\": \"cedar-serve-v1\", \"restructured\": \"{}\", \"report\": \"{}\", \"stats\": {{\"serial_cycles\": {:.1}, \"parallel_cycles\": {:.1}, \"speedup\": {:.3}, \"scalar_ops\": {}, \"vector_elems\": {}, \"parallel_loops\": {}}}, \"verification\": {}, \"service\": {{\"rung\": \"{}\", \"entry_rung\": \"{}\", \"retries\": {}, \"coalesced\": false, \"duration_ms\": {:.1}}}}}",
+        json_escape(&out.restructured),
+        json_escape(&out.report),
+        out.serial_cycles,
+        out.parallel_cycles,
+        speedup,
+        out.stats.scalar_ops,
+        out.stats.vector_elems,
+        out.stats.parallel_loops,
+        verification_json(&out.validation),
+        rung.label(),
+        entry.label(),
+        retries,
+        duration.as_secs_f64() * 1e3,
+    )
+}
+
+/// Run one request through the retry ladder. Never panics: every
+/// failure mode becomes a structured response.
+pub fn handle(req: &ServeRequest, cfg: &EngineConfig, breaker: &Breaker) -> Handled {
+    let started = Instant::now();
+    let pass = pass_for(req);
+    let mc = machine_for(req);
+    let mut sup = cfg.sup.clone();
+    if let Some(ms) = req.deadline_ms {
+        sup.deadline = Some(Duration::from_millis(ms));
+    }
+    let label = req.label();
+    let entry = breaker.entry_rung(&req.config);
+    let start = Rung::LADDER.iter().position(|r| *r == entry).unwrap_or(0);
+
+    let mut attempts: Vec<(&'static str, CellError)> = Vec::new();
+    for (i, rung) in Rung::LADDER[start..].iter().enumerate() {
+        if i > 0 {
+            std::thread::sleep(backoff(cfg.backoff_base, &label, i));
+        }
+        let outcome =
+            supervise::run_attempt(&sup, &label, *rung, || attempt_body(req, &pass, &mc, cfg));
+        match outcome {
+            Ok(Ok(out)) => {
+                breaker.record(&req.config, entry, Some(*rung));
+                let retries = attempts.len() as u32;
+                return Handled {
+                    status: 200,
+                    body: success_body(&out, *rung, entry, retries, started.elapsed()),
+                    retries,
+                    quarantined: false,
+                };
+            }
+            Ok(Err(AttemptFail::Compile(msg))) => {
+                // The front end is deterministic and chaos-free:
+                // retrying or penalizing the breaker would be noise.
+                return Handled {
+                    status: error::status_for(kind::COMPILE_ERROR),
+                    body: error::error_json(kind::COMPILE_ERROR, &msg, None, &[]),
+                    retries: attempts.len() as u32,
+                    quarantined: false,
+                };
+            }
+            Ok(Err(AttemptFail::Sim(e))) => {
+                attempts.push((rung.label(), CellError::from_sim_error(&e)));
+            }
+            Err(cell_error) => attempts.push((rung.label(), cell_error)),
+        }
+    }
+
+    // Every rung failed: quarantine. The bundle is deduplicated by
+    // minimized-source digest, so identical failing requests share one
+    // directory whose hit count grows instead.
+    breaker.record(&req.config, entry, None);
+    let bundle = supervise::write_quarantine_bundle(&sup, &label, Some(&req.source), &attempts);
+    let last = &attempts.last().expect("ladder ran at least one rung").1;
+    let attempt_kinds: Vec<(&'static str, &'static str)> =
+        attempts.iter().map(|(r, e)| (*r, error::kind_for(e))).collect();
+    let k = error::kind_for(last);
+    Handled {
+        status: error::status_for(k),
+        body: error::error_json(k, &error::message_for(last), bundle.as_deref(), &attempt_kinds),
+        retries: attempts.len().saturating_sub(1) as u32,
+        quarantined: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str = "program p\nreal a(64)\ninteger i\ndo 10 i = 1, 64\n  a(i) = real(i) * 2.0\n10 continue\nprint *, a(64)\nend\n";
+
+    fn quiet_engine(tag: &str) -> EngineConfig {
+        EngineConfig {
+            sup: Supervisor {
+                chaos: None,
+                deadline: None,
+                bundle_dir: PathBuf::from(format!("target/test-serve-bundles/{tag}")),
+            },
+            backoff_base: Duration::from_millis(1),
+            validate_seeds: vec![1],
+        }
+    }
+
+    #[test]
+    fn clean_request_succeeds_first_attempt() {
+        let mut req = ServeRequest::new(CLEAN);
+        req.watch.push("a".into());
+        let cfg = quiet_engine("clean");
+        let breaker = Breaker::new(3, Duration::from_secs(5));
+        let h = handle(&req, &cfg, &breaker);
+        assert_eq!(h.status, 200, "{}", h.body);
+        assert_eq!(h.retries, 0);
+        assert!(h.body.contains("\"schema\": \"cedar-serve-v1\""));
+        assert!(h.body.contains("\"rung\": \"normal\""));
+        assert!(h.body.contains("\"all_bit_identical\""), "{}", h.body);
+        let v = Json::parse(&h.body).expect("response is valid JSON");
+        assert!(v.get("restructured").unwrap().as_str().unwrap().contains("doall"));
+    }
+
+    #[test]
+    fn compile_errors_are_400_without_retry() {
+        let req = ServeRequest::new("this is not fortran at all (");
+        let cfg = quiet_engine("compile");
+        let breaker = Breaker::new(3, Duration::from_secs(5));
+        let h = handle(&req, &cfg, &breaker);
+        assert_eq!(h.status, 400, "{}", h.body);
+        assert!(h.body.contains("\"kind\": \"compile-error\""), "{}", h.body);
+        assert_eq!(h.retries, 0);
+        assert!(!h.quarantined);
+    }
+
+    #[test]
+    fn request_key_discriminates_and_label_is_stable() {
+        let a = ServeRequest::new(CLEAN);
+        let mut b = ServeRequest::new(CLEAN);
+        assert_eq!(a.key(), b.key());
+        assert_eq!(a.label(), b.label());
+        b.config = "manual".into();
+        assert_ne!(a.key(), b.key());
+        assert!(a.label().starts_with("serve/"));
+    }
+
+    #[test]
+    fn request_json_round_trips() {
+        let mut req = ServeRequest::new("program p\nend\n");
+        req.watch = vec!["a1".into(), "s2".into()];
+        req.validate = false;
+        req.config = "manual".into();
+        req.deadline_ms = Some(1500);
+        let parsed = ServeRequest::from_json(&Json::parse(&req.to_json()).unwrap()).unwrap();
+        assert_eq!(parsed.key(), req.key());
+        assert_eq!(parsed.deadline_ms, Some(1500));
+        assert!(!parsed.validate);
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_reasons() {
+        for (body, needle) in [
+            ("{}", "`source`"),
+            ("{\"source\": \"\"}", "empty"),
+            ("{\"source\": \"x\", \"config\": \"fastest\"}", "`config`"),
+            ("{\"source\": \"x\", \"machine\": \"cray\"}", "`machine`"),
+            ("{\"source\": \"x\", \"watch\": \"a\"}", "`watch`"),
+            ("{\"source\": \"x\", \"deadline_ms\": -5}", "positive"),
+        ] {
+            let err = ServeRequest::from_json(&Json::parse(body).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{body} -> {err}");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_and_jitters_deterministically() {
+        let base = Duration::from_millis(10);
+        let a1 = backoff(base, "serve/x", 1);
+        let a2 = backoff(base, "serve/x", 2);
+        assert!(a1 >= base && a1 < base * 2, "{a1:?}");
+        assert!(a2 >= base * 2 && a2 < base * 3, "{a2:?}");
+        assert_eq!(a1, backoff(base, "serve/x", 1), "jitter is deterministic");
+    }
+}

@@ -1,0 +1,532 @@
+//! The long-running server: admission control, a worker pool, request
+//! coalescing, and graceful shutdown around the per-request engine.
+//!
+//! Architecture (DESIGN.md §12): one acceptor thread owns the listener
+//! and enforces **admission control** — a connection either enters the
+//! bounded queue or is answered `429 queue-full` on the spot (load
+//! shedding; the server never builds unbounded backlog). Worker threads
+//! pop connections, parse HTTP, and route; `/restructure` requests run
+//! the supervised retry ladder ([`crate::engine`]). In-flight identical
+//! requests are **coalesced**: followers park their connection on the
+//! leader's flight record and receive a copy of its response, so a
+//! thundering herd of one hot source costs one restructure.
+//!
+//! **Graceful shutdown**: `POST /shutdown` (or
+//! [`Server::initiate_shutdown`]) flips the draining flag, pokes the
+//! acceptor awake, and lets the workers finish everything already
+//! admitted before they exit — queued work is drained, never dropped;
+//! new arrivals get `503 shutting-down`.
+
+use crate::breaker::Breaker;
+use crate::engine::{self, EngineConfig, ServeRequest};
+use crate::error::{self, kind};
+use crate::http;
+use crate::json::Json;
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it are shed.
+    pub queue_cap: usize,
+    /// Engine knobs (chaos, deadlines, backoff, bundles).
+    pub engine: EngineConfig,
+    /// Consecutive escalations before the circuit breaker opens.
+    pub breaker_threshold: u32,
+    /// How long an open breaker skips straight to its rescue rung.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_cap: 64,
+            engine: EngineConfig::default(),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Read overrides from the environment: `CEDAR_SERVE_ADDR`,
+    /// `CEDAR_SERVE_WORKERS`, `CEDAR_SERVE_QUEUE`, plus the supervised
+    /// engine's own `CEDAR_CHAOS` / `CEDAR_CELL_DEADLINE` /
+    /// `CEDAR_BUNDLE_DIR`.
+    pub fn from_env() -> ServerConfig {
+        let mut cfg = ServerConfig::default();
+        if let Ok(addr) = std::env::var("CEDAR_SERVE_ADDR") {
+            cfg.addr = addr;
+        }
+        if let Some(n) = env_usize("CEDAR_SERVE_WORKERS") {
+            cfg.workers = n.max(1);
+        }
+        if let Some(n) = env_usize("CEDAR_SERVE_QUEUE") {
+            cfg.queue_cap = n.max(1);
+        }
+        cfg.engine.sup = cedar_experiments::Supervisor::from_env();
+        cfg
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|s| s.trim().parse().ok())
+}
+
+/// Monotonic service counters, exposed at `/metrics` and read by the
+/// load-test gates.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Connections admitted to the queue.
+    pub accepted: AtomicU64,
+    /// 200 responses (including coalesced copies).
+    pub served: AtomicU64,
+    /// Connections shed with 429 at admission.
+    pub shed: AtomicU64,
+    /// Requests that succeeded only after ladder retries.
+    pub recovered: AtomicU64,
+    /// Requests that failed at every rung (bundle written).
+    pub quarantined: AtomicU64,
+    /// Requests answered from another request's in-flight computation.
+    pub coalesced: AtomicU64,
+    /// 4xx responses (bad request, compile error, not found).
+    pub client_errors: AtomicU64,
+}
+
+impl Counters {
+    fn json(&self, draining: bool, breaker: &Breaker) -> String {
+        format!(
+            "{{\"schema\": \"cedar-serve-metrics-v1\", \"accepted\": {}, \"served\": {}, \"shed\": {}, \"recovered\": {}, \"quarantined\": {}, \"coalesced\": {}, \"client_errors\": {}, \"draining\": {}, \"breaker\": {}}}",
+            self.accepted.load(Ordering::Relaxed),
+            self.served.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+            self.recovered.load(Ordering::Relaxed),
+            self.quarantined.load(Ordering::Relaxed),
+            self.coalesced.load(Ordering::Relaxed),
+            self.client_errors.load(Ordering::Relaxed),
+            draining,
+            breaker.status_json(),
+        )
+    }
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    addr: SocketAddr,
+    breaker: Breaker,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    draining: AtomicBool,
+    counters: Counters,
+    /// In-flight `/restructure` computations by request key; the value
+    /// holds follower connections awaiting the leader's response.
+    flights: Mutex<HashMap<u64, Vec<TcpStream>>>,
+}
+
+/// A running server; dropping it does **not** stop it — call
+/// [`Server::shutdown`] (or hit `POST /shutdown` and [`Server::join`]).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start the acceptor + worker threads.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            breaker: Breaker::new(cfg.breaker_threshold, cfg.breaker_cooldown),
+            cfg,
+            addr,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            counters: Counters::default(),
+            flights: Mutex::new(HashMap::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, &shared))
+        };
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(Server { addr, shared, acceptor, workers })
+    }
+
+    /// `host:port` the server is listening on.
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// A snapshot of the service counters.
+    pub fn counters(&self) -> &Counters {
+        &self.shared.counters
+    }
+
+    /// Begin draining: stop admitting, let workers finish the queue.
+    pub fn initiate_shutdown(&self) {
+        begin_drain(&self.shared);
+    }
+
+    /// Wait for the acceptor and workers to exit (after a drain was
+    /// initiated via [`Server::initiate_shutdown`] or `POST /shutdown`).
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// [`Server::initiate_shutdown`] + [`Server::join`].
+    pub fn shutdown(self) {
+        self.initiate_shutdown();
+        self.join();
+    }
+}
+
+fn begin_drain(shared: &Shared) {
+    shared.draining.store(true, Ordering::SeqCst);
+    shared.queue_cv.notify_all();
+    // Poke the acceptor out of its blocking accept; the throwaway
+    // connection is answered (or dropped) and the loop exits.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    for conn in listener.incoming() {
+        let Ok(mut stream) = conn else { continue };
+        stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        stream.set_write_timeout(Some(Duration::from_secs(5))).ok();
+        if shared.draining.load(Ordering::SeqCst) {
+            // Answer the straggler that woke us, then stop accepting.
+            if http::read_request(&mut stream).is_ok() {
+                http::write_response(
+                    &mut stream,
+                    error::status_for(kind::SHUTTING_DOWN),
+                    &error::error_json(
+                        kind::SHUTTING_DOWN,
+                        "server is draining; no new work is admitted",
+                        None,
+                        &[],
+                    ),
+                );
+            }
+            break;
+        }
+        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if queue.len() >= shared.cfg.queue_cap {
+            drop(queue);
+            shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            // Load shedding: consume the request (so the client's write
+            // completes cleanly) and answer with the structured 429.
+            let _ = http::read_request(&mut stream);
+            http::write_response(
+                &mut stream,
+                error::status_for(kind::QUEUE_FULL),
+                &error::error_json(
+                    kind::QUEUE_FULL,
+                    "admission queue is full; retry with backoff",
+                    None,
+                    &[],
+                ),
+            );
+        } else {
+            queue.push_back(stream);
+            shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            drop(queue);
+            shared.queue_cv.notify_one();
+        }
+    }
+    // Acceptor exit: make sure sleeping workers observe the drain.
+    shared.queue_cv.notify_all();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match stream {
+            Some(mut s) => handle_connection(shared, &mut s),
+            None => return, // drained and draining: exit
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
+    let req = match http::read_request(stream) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.counters.client_errors.fetch_add(1, Ordering::Relaxed);
+            http::write_response(
+                stream,
+                400,
+                &error::error_json(kind::BAD_REQUEST, &format!("malformed request: {e}"), None, &[]),
+            );
+            return;
+        }
+    };
+    let draining = shared.draining.load(Ordering::SeqCst);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => http::write_response(stream, 200, "{\"ok\": true}"),
+        ("GET", "/readyz") => {
+            if draining {
+                http::write_response(
+                    stream,
+                    error::status_for(kind::SHUTTING_DOWN),
+                    &error::error_json(kind::SHUTTING_DOWN, "draining", None, &[]),
+                );
+            } else {
+                http::write_response(stream, 200, "{\"ready\": true}");
+            }
+        }
+        ("GET", "/metrics") => {
+            let body = shared.counters.json(draining, &shared.breaker);
+            http::write_response(stream, 200, &body);
+        }
+        ("POST", "/shutdown") => {
+            begin_drain(shared);
+            http::write_response(stream, 200, "{\"ok\": true, \"draining\": true}");
+        }
+        ("POST", "/restructure") => restructure_endpoint(shared, stream, &req.body),
+        _ => {
+            shared.counters.client_errors.fetch_add(1, Ordering::Relaxed);
+            http::write_response(
+                stream,
+                error::status_for(kind::NOT_FOUND),
+                &error::error_json(
+                    kind::NOT_FOUND,
+                    &format!("no such endpoint: {} {}", req.method, req.path),
+                    None,
+                    &[],
+                ),
+            );
+        }
+    }
+}
+
+fn restructure_endpoint(shared: &Shared, stream: &mut TcpStream, body: &str) {
+    let parsed = match Json::parse(body) {
+        Ok(v) => v,
+        Err(e) => {
+            shared.counters.client_errors.fetch_add(1, Ordering::Relaxed);
+            http::write_response(
+                stream,
+                error::status_for(kind::PARSE_ERROR),
+                &error::error_json(kind::PARSE_ERROR, &format!("body is not JSON: {e}"), None, &[]),
+            );
+            return;
+        }
+    };
+    let sreq = match ServeRequest::from_json(&parsed) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.counters.client_errors.fetch_add(1, Ordering::Relaxed);
+            http::write_response(
+                stream,
+                error::status_for(kind::BAD_REQUEST),
+                &error::error_json(kind::BAD_REQUEST, &e, None, &[]),
+            );
+            return;
+        }
+    };
+
+    // Coalescing: if an identical request is already being computed,
+    // park this connection on its flight record — the leader answers
+    // it. Registration happens under the flights lock, and the leader
+    // removes the record and collects waiters under the same lock, so
+    // no follower can be orphaned between check and park.
+    let key = sreq.key();
+    {
+        let mut flights = shared.flights.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(waiters) = flights.get_mut(&key) {
+            let parked = stream.try_clone();
+            match parked {
+                Ok(s) => {
+                    waiters.push(s);
+                    shared.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(_) => { /* fall through: compute independently */ }
+            }
+        } else {
+            flights.insert(key, Vec::new());
+        }
+    }
+
+    let handled = engine::handle(&sreq, &shared.cfg.engine, &shared.breaker);
+
+    let waiters = {
+        let mut flights = shared.flights.lock().unwrap_or_else(|e| e.into_inner());
+        flights.remove(&key).unwrap_or_default()
+    };
+    let follower_count = waiters.len() as u64;
+
+    if handled.status == 200 {
+        shared
+            .counters
+            .served
+            .fetch_add(1 + follower_count, Ordering::Relaxed);
+        if handled.retries > 0 {
+            shared.counters.recovered.fetch_add(1, Ordering::Relaxed);
+        }
+    } else if handled.quarantined {
+        shared.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+    } else if handled.status < 500 {
+        shared.counters.client_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    http::write_response(stream, handled.status, &handled.body);
+    if !waiters.is_empty() {
+        // Followers get the same response with the coalesced marker
+        // flipped (the success body carries exactly one such field;
+        // error bodies carry none and pass through unchanged).
+        let body = handled
+            .body
+            .replacen("\"coalesced\": false", "\"coalesced\": true", 1);
+        for mut w in waiters {
+            http::write_response(&mut w, handled.status, &body);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn test_config(tag: &str) -> ServerConfig {
+        let mut cfg = ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        };
+        cfg.engine.sup.chaos = None;
+        cfg.engine.sup.deadline = None;
+        cfg.engine.sup.bundle_dir = PathBuf::from(format!("target/test-serve-bundles/{tag}"));
+        cfg.engine.backoff_base = Duration::from_millis(1);
+        cfg
+    }
+
+    const T: Duration = Duration::from_secs(30);
+
+    #[test]
+    fn health_endpoints_and_unknown_routes() {
+        let server = Server::start(test_config("health")).unwrap();
+        let addr = server.addr();
+        assert_eq!(http::get(&addr, "/healthz", T).unwrap(), (200, "{\"ok\": true}".into()));
+        assert_eq!(http::get(&addr, "/readyz", T).unwrap().0, 200);
+        let (status, body) = http::get(&addr, "/nope", T).unwrap();
+        assert_eq!(status, 404);
+        assert!(body.contains("\"kind\": \"not-found\""), "{body}");
+        let (status, metrics) = http::get(&addr, "/metrics", T).unwrap();
+        assert_eq!(status, 200);
+        assert!(metrics.contains("\"schema\": \"cedar-serve-metrics-v1\""), "{metrics}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn restructure_round_trip_and_shutdown_drains() {
+        let server = Server::start(test_config("roundtrip")).unwrap();
+        let addr = server.addr();
+        let mut req = ServeRequest::new(
+            "program p\nreal a(32)\ninteger i\ndo 10 i = 1, 32\n  a(i) = real(i)\n10 continue\nprint *, a(32)\nend\n",
+        );
+        req.validate = false;
+        let (status, body) = http::post(&addr, "/restructure", &req.to_json(), T).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"speedup\""), "{body}");
+        // Shutdown via the endpoint: readyz flips, then the server joins.
+        let (status, _) = http::post(&addr, "/shutdown", "", T).unwrap();
+        assert_eq!(status, 200);
+        server.join();
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce() {
+        let mut cfg = test_config("coalesce");
+        // Hundreds of perturbed validation runs keep the leader in
+        // flight for tens of milliseconds — long enough that the
+        // followers, sent a few ms later, reliably find it computing.
+        cfg.engine.validate_seeds = (1..=400).collect();
+        let server = Server::start(cfg).unwrap();
+        let addr = server.addr();
+        let req = ServeRequest::new(
+            "program p\nreal a(256), s\ninteger i\ns = 0.0\ndo 10 i = 1, 256\n  a(i) = real(i) * 0.5\n10 continue\ndo 20 i = 1, 256\n  s = s + a(i)\n20 continue\nprint *, s\nend\n",
+        );
+        let body = req.to_json();
+        let bodies: Vec<(u16, String)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|i: u64| {
+                    let (addr, body) = (addr.clone(), body.clone());
+                    scope.spawn(move || {
+                        if i > 0 {
+                            std::thread::sleep(Duration::from_millis(3 * i));
+                        }
+                        http::post(&addr, "/restructure", &body, T).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let coalesced = server.counters().coalesced.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(coalesced >= 1, "identical in-flight requests must share one computation");
+        let reports: Vec<&str> = bodies
+            .iter()
+            .map(|(status, b)| {
+                assert_eq!(*status, 200, "{b}");
+                let (_, rest) = b.split_once("\"report\": \"").unwrap();
+                rest.split("\", \"stats\"").next().unwrap()
+            })
+            .collect();
+        assert!(reports.windows(2).all(|w| w[0] == w[1]), "answers must agree");
+        let marked = bodies
+            .iter()
+            .filter(|(_, b)| b.contains("\"coalesced\": true"))
+            .count() as u64;
+        assert_eq!(marked, coalesced, "followers carry the coalesced marker");
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_bodies_get_structured_errors() {
+        let server = Server::start(test_config("badbody")).unwrap();
+        let addr = server.addr();
+        let (status, body) = http::post(&addr, "/restructure", "{not json", T).unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("\"kind\": \"parse-error\""), "{body}");
+        let (status, body) = http::post(&addr, "/restructure", "{\"x\": 1}", T).unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("\"kind\": \"bad-request\""), "{body}");
+        server.shutdown();
+    }
+}
