@@ -1,0 +1,640 @@
+//! The campaign coordinator: shards a seed range, leases shards to
+//! workers, survives worker crashes (lease expiry → reassignment) and
+//! its own (journal replay → resume), quarantines poison shards, and
+//! folds completed shards into the byte-deterministic merged report.
+//!
+//! The coordinator is a state machine over HTTP
+//! ([`Coordinator::handle`] maps one request to one reply), wrapped in
+//! a tiny single-threaded server loop ([`Coordinator::serve`]) — the
+//! requests are all sub-millisecond lookups, so the serve stack's
+//! worker pool and admission queue would be dead weight here. Every
+//! state transition is journaled (see [`crate::wal`]) *before* the
+//! reply is sent.
+//!
+//! Protocol (JSON over `cedar-serve`'s HTTP):
+//!
+//! | request                 | reply                                        |
+//! |-------------------------|----------------------------------------------|
+//! | `POST /lease` `{worker}`| a shard `{shard, seed_start, seed_end, lease_ms, config}`, `{wait_ms}` when everything is in flight, or `{done: true}` |
+//! | `POST /heartbeat` `{worker, shard}` | `{ok}` — `false` means the lease was lost |
+//! | `POST /complete` `{worker, shard, summary}` | `{ok: true}`; idempotent, first result wins |
+//! | `POST /fail` `{worker, shard, error}` | `{ok: true}` — counts against the retry budget |
+//! | `GET /status`           | shard-state counts                           |
+
+use crate::triage;
+use crate::wal::{fnv1a, replay, Record, Wal};
+use cedar_experiments::jsonio::Json;
+use cedar_experiments::json_escape;
+use cedar_fuzz::shard::{merge_shards, MergedCampaign, ShardSummary, LEAD_DIGESTS};
+use cedar_fuzz::OracleConfig;
+use std::collections::BTreeMap;
+use std::io::ErrorKind;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Coordinator parameters.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// First seed (inclusive).
+    pub seed_start: u64,
+    /// Last seed (exclusive).
+    pub seed_end: u64,
+    /// Seeds per shard (the last shard takes the remainder).
+    pub shard_size: u64,
+    /// How long a worker may hold a shard without heartbeating before
+    /// the lease expires and the shard is reassigned.
+    pub lease: Duration,
+    /// Lease revocations a shard survives before quarantine. A shard
+    /// is quarantined on failure `retry_budget + 1`.
+    pub retry_budget: u32,
+    /// Clean seeds the *coordinator* re-judges single-threaded after
+    /// the merge (capped at [`LEAD_DIGESTS`]).
+    pub jobs_check: usize,
+    /// Oracle configuration name (`manual` / `auto`) — echoed to
+    /// workers in every lease so the whole fleet judges identically.
+    pub config_name: String,
+    /// Campaign directory: `journal.jsonl`, `shards/`, `merged.json`,
+    /// `triage.json`.
+    pub dir: PathBuf,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> CoordinatorConfig {
+        CoordinatorConfig {
+            seed_start: 0,
+            seed_end: 1000,
+            shard_size: 100,
+            lease: Duration::from_secs(30),
+            retry_budget: 2,
+            jobs_check: 4,
+            config_name: "manual".into(),
+            dir: PathBuf::from("target/campaign"),
+        }
+    }
+}
+
+impl CoordinatorConfig {
+    /// The oracle configuration the name denotes.
+    pub fn oracle(&self) -> OracleConfig {
+        match self.config_name.as_str() {
+            "auto" => OracleConfig::automatic(),
+            _ => OracleConfig::default(),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum ShardState {
+    Pending,
+    Leased { worker: String, expires: Instant },
+    Completed,
+    Quarantined,
+}
+
+#[derive(Debug)]
+struct Shard {
+    start: u64,
+    end: u64,
+    state: ShardState,
+    attempts: u32,
+    errors: Vec<String>,
+}
+
+/// Per-worker bookkeeping for the triage report.
+#[derive(Debug, Default, Clone)]
+pub struct WorkerStats {
+    /// Leases granted.
+    pub leased: u64,
+    /// Shards completed.
+    pub completed: u64,
+    /// Failures reported (or leases expired out from under it).
+    pub failed: u64,
+}
+
+/// What a finished campaign produced.
+#[derive(Debug)]
+pub struct Outcome {
+    /// The merged campaign — `None` when quarantined shards left holes
+    /// in the range (a merge around holes would silently lose seeds).
+    pub merged: Option<MergedCampaign>,
+    /// Where `merged.json` was written, when it was.
+    pub merged_path: Option<PathBuf>,
+    /// Where `triage.json` was written (always).
+    pub triage_path: PathBuf,
+    /// Quarantined shard count.
+    pub quarantined: usize,
+    /// Total lease reassignments over the campaign.
+    pub reassignments: u64,
+}
+
+/// The coordinator. See the module docs for the protocol.
+pub struct Coordinator {
+    cfg: CoordinatorConfig,
+    shards: Vec<Shard>,
+    wal: Wal,
+    workers: BTreeMap<String, WorkerStats>,
+    reassignments: u64,
+}
+
+impl Coordinator {
+    /// Create a coordinator, resuming from `dir/journal.jsonl` when one
+    /// exists: completed shards (with checksum-verified files) stay
+    /// completed, quarantines stick, in-flight leases revert to
+    /// pending. A journal whose campaign line disagrees with `cfg` is
+    /// refused — resuming a different campaign into this directory
+    /// would corrupt both.
+    pub fn new(cfg: CoordinatorConfig) -> Result<Coordinator, String> {
+        if cfg.seed_end <= cfg.seed_start {
+            return Err(format!("empty seed range {}..{}", cfg.seed_start, cfg.seed_end));
+        }
+        if cfg.shard_size == 0 {
+            return Err("shard size must be positive".into());
+        }
+        if cfg.jobs_check > LEAD_DIGESTS {
+            return Err(format!(
+                "jobs_check {} exceeds the {LEAD_DIGESTS} lead digests shards carry",
+                cfg.jobs_check
+            ));
+        }
+        std::fs::create_dir_all(cfg.dir.join("shards"))
+            .map_err(|e| format!("create {}: {e}", cfg.dir.display()))?;
+        let mut shards = Vec::new();
+        let mut start = cfg.seed_start;
+        while start < cfg.seed_end {
+            let end = (start + cfg.shard_size).min(cfg.seed_end);
+            shards.push(Shard {
+                start,
+                end,
+                state: ShardState::Pending,
+                attempts: 0,
+                errors: Vec::new(),
+            });
+            start = end;
+        }
+
+        let journal = cfg.dir.join("journal.jsonl");
+        let fresh = !journal.exists();
+        let mut me = Coordinator {
+            wal: Wal::open(&journal).map_err(|e| format!("open journal: {e}"))?,
+            cfg,
+            shards,
+            workers: BTreeMap::new(),
+            reassignments: 0,
+        };
+        if fresh {
+            me.append(Record::Campaign {
+                seed_start: me.cfg.seed_start,
+                seed_end: me.cfg.seed_end,
+                shard_size: me.cfg.shard_size,
+                config: me.cfg.config_name.clone(),
+                jobs_check: me.cfg.jobs_check as u64,
+                retry_budget: u64::from(me.cfg.retry_budget),
+            })?;
+        } else {
+            me.resume(&journal)?;
+        }
+        Ok(me)
+    }
+
+    fn resume(&mut self, journal: &std::path::Path) -> Result<(), String> {
+        let records = replay(journal)?;
+        let Some(Record::Campaign { seed_start, seed_end, shard_size, config, .. }) =
+            records.first()
+        else {
+            return Err("journal does not start with a campaign record".into());
+        };
+        if (*seed_start, *seed_end, *shard_size, config.as_str())
+            != (self.cfg.seed_start, self.cfg.seed_end, self.cfg.shard_size, self.cfg.config_name.as_str())
+        {
+            return Err(format!(
+                "journal is for campaign {seed_start}..{seed_end} shard {shard_size} config {config}; refusing to resume it as {}..{} shard {} config {}",
+                self.cfg.seed_start, self.cfg.seed_end, self.cfg.shard_size, self.cfg.config_name
+            ));
+        }
+        let mut resumed = 0usize;
+        for rec in &records[1..] {
+            match rec {
+                Record::Campaign { .. } => return Err("duplicate campaign record".into()),
+                // A lease in flight at the crash: its timer died with
+                // the coordinator, so the shard is simply pending again
+                // (unless a later record resolved it).
+                Record::Leased { .. } => {}
+                Record::Completed { shard, file, checksum } => {
+                    let k = self.shard_index(*shard)?;
+                    let path = self.cfg.dir.join(file);
+                    match std::fs::read_to_string(&path) {
+                        Ok(text) if format!("{:016x}", fnv1a(text.as_bytes())) == *checksum => {
+                            self.shards[k].state = ShardState::Completed;
+                            resumed += 1;
+                        }
+                        _ => {
+                            // Missing or torn shard file: the record
+                            // lied about durable state, so the shard
+                            // re-runs. Losing work is recoverable;
+                            // merging garbage is not.
+                            eprintln!(
+                                "campaign: shard {shard} file {} failed verification; re-running",
+                                path.display()
+                            );
+                            self.shards[k].state = ShardState::Pending;
+                        }
+                    }
+                }
+                Record::Reassigned { shard, attempts, reason } => {
+                    let k = self.shard_index(*shard)?;
+                    self.shards[k].attempts = (*attempts).try_into().unwrap_or(u32::MAX);
+                    self.shards[k].errors.push(reason.clone());
+                    self.shards[k].state = ShardState::Pending;
+                    self.reassignments += 1;
+                }
+                Record::Quarantined { shard, attempts, reason } => {
+                    let k = self.shard_index(*shard)?;
+                    self.shards[k].attempts = (*attempts).try_into().unwrap_or(u32::MAX);
+                    self.shards[k].errors.push(reason.clone());
+                    self.shards[k].state = ShardState::Quarantined;
+                }
+            }
+        }
+        eprintln!(
+            "campaign: resumed from journal — {resumed} of {} shards already complete",
+            self.shards.len()
+        );
+        Ok(())
+    }
+
+    fn shard_index(&self, shard: u64) -> Result<usize, String> {
+        let k = shard as usize;
+        if k >= self.shards.len() {
+            return Err(format!("journal references shard {shard} of {}", self.shards.len()));
+        }
+        Ok(k)
+    }
+
+    fn append(&mut self, rec: Record) -> Result<(), String> {
+        self.wal.append(&rec).map_err(|e| format!("journal append: {e}"))
+    }
+
+    /// Revoke expired leases; quarantine shards past their budget.
+    fn expire_leases(&mut self, now: Instant) {
+        for k in 0..self.shards.len() {
+            let expired_worker = match &self.shards[k].state {
+                ShardState::Leased { worker, expires } if *expires <= now => worker.clone(),
+                _ => continue,
+            };
+            self.workers.entry(expired_worker.clone()).or_default().failed += 1;
+            let reason = format!("lease-expired ({expired_worker})");
+            self.revoke(k, reason);
+        }
+    }
+
+    /// Common failure path: bump attempts, then reassign or quarantine.
+    fn revoke(&mut self, k: usize, reason: String) {
+        self.shards[k].attempts += 1;
+        self.shards[k].errors.push(reason.clone());
+        let attempts = u64::from(self.shards[k].attempts);
+        let shard = k as u64;
+        if self.shards[k].attempts > self.cfg.retry_budget {
+            self.shards[k].state = ShardState::Quarantined;
+            let _ = self.append(Record::Quarantined { shard, attempts, reason });
+            eprintln!("campaign: shard {k} quarantined after {attempts} attempts: last failure: {}", self.shards[k].errors.last().map(String::as_str).unwrap_or(""));
+        } else {
+            self.shards[k].state = ShardState::Pending;
+            self.reassignments += 1;
+            let _ = self.append(Record::Reassigned { shard, attempts, reason });
+        }
+    }
+
+    /// All shards resolved (completed or quarantined)?
+    pub fn finished(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| matches!(s.state, ShardState::Completed | ShardState::Quarantined))
+    }
+
+    /// Handle one request. `now` is injected so tests can drive lease
+    /// expiry without real sleeps where they want to.
+    pub fn handle(&mut self, method: &str, path: &str, body: &str, now: Instant) -> (u16, String) {
+        self.expire_leases(now);
+        match (method, path) {
+            ("POST", "/lease") => self.lease(body, now),
+            ("POST", "/heartbeat") => self.heartbeat(body, now),
+            ("POST", "/complete") => self.complete(body),
+            ("POST", "/fail") => self.fail(body),
+            ("GET", "/status") => (200, self.status_json()),
+            _ => (404, format!("{{\"error\": \"no such endpoint: {} {}\"}}", json_escape(method), json_escape(path))),
+        }
+    }
+
+    fn parse_worker(body: &str) -> Result<(Json, String), (u16, String)> {
+        let v = Json::parse(body)
+            .map_err(|e| (400, format!("{{\"error\": \"body is not JSON: {}\"}}", json_escape(&e))))?;
+        let worker = v
+            .get("worker")
+            .and_then(Json::as_str)
+            .ok_or((400, "{\"error\": \"missing worker name\"}".to_string()))?
+            .to_string();
+        Ok((v, worker))
+    }
+
+    fn parse_shard(&self, v: &Json) -> Result<usize, (u16, String)> {
+        let k = v
+            .get("shard")
+            .and_then(Json::as_f64)
+            .ok_or((400, "{\"error\": \"missing shard index\"}".to_string()))? as usize;
+        if k >= self.shards.len() {
+            return Err((404, format!("{{\"error\": \"no shard {k}\"}}")));
+        }
+        Ok(k)
+    }
+
+    fn lease(&mut self, body: &str, now: Instant) -> (u16, String) {
+        let (_, worker) = match Self::parse_worker(body) {
+            Ok(v) => v,
+            Err(e) => return e,
+        };
+        if self.finished() {
+            return (200, "{\"done\": true}".into());
+        }
+        let next = self
+            .shards
+            .iter()
+            .position(|s| matches!(s.state, ShardState::Pending));
+        match next {
+            Some(k) => {
+                self.shards[k].state =
+                    ShardState::Leased { worker: worker.clone(), expires: now + self.cfg.lease };
+                self.workers.entry(worker.clone()).or_default().leased += 1;
+                if let Err(e) = self.append(Record::Leased { shard: k as u64, worker }) {
+                    // Couldn't journal the lease: revert and make the
+                    // worker retry rather than hand out unrecorded work.
+                    self.shards[k].state = ShardState::Pending;
+                    return (500, format!("{{\"error\": \"{}\"}}", json_escape(&e)));
+                }
+                (
+                    200,
+                    format!(
+                        "{{\"done\": false, \"shard\": {k}, \"seed_start\": {}, \"seed_end\": {}, \"lease_ms\": {}, \"config\": \"{}\"}}",
+                        self.shards[k].start,
+                        self.shards[k].end,
+                        self.cfg.lease.as_millis(),
+                        json_escape(&self.cfg.config_name),
+                    ),
+                )
+            }
+            None => {
+                // Everything is in flight; tell the worker when the
+                // earliest lease could expire so it polls sensibly.
+                let wait = self
+                    .shards
+                    .iter()
+                    .filter_map(|s| match &s.state {
+                        ShardState::Leased { expires, .. } => {
+                            Some(expires.saturating_duration_since(now))
+                        }
+                        _ => None,
+                    })
+                    .min()
+                    .unwrap_or(self.cfg.lease);
+                let wait_ms = wait.as_millis().clamp(20, 2000);
+                (200, format!("{{\"done\": false, \"wait_ms\": {wait_ms}}}"))
+            }
+        }
+    }
+
+    fn heartbeat(&mut self, body: &str, now: Instant) -> (u16, String) {
+        let (v, worker) = match Self::parse_worker(body) {
+            Ok(v) => v,
+            Err(e) => return e,
+        };
+        let k = match self.parse_shard(&v) {
+            Ok(k) => k,
+            Err(e) => return e,
+        };
+        match &mut self.shards[k].state {
+            ShardState::Leased { worker: holder, expires } if *holder == worker => {
+                *expires = now + self.cfg.lease;
+                (200, "{\"ok\": true}".into())
+            }
+            // Lost the lease (expired, reassigned, or resolved): the
+            // worker should stop — though if it completes anyway, the
+            // result is still welcome (first result wins).
+            _ => (200, "{\"ok\": false}".into()),
+        }
+    }
+
+    fn complete(&mut self, body: &str) -> (u16, String) {
+        let (v, worker) = match Self::parse_worker(body) {
+            Ok(v) => v,
+            Err(e) => return e,
+        };
+        let k = match self.parse_shard(&v) {
+            Ok(k) => k,
+            Err(e) => return e,
+        };
+        if matches!(self.shards[k].state, ShardState::Completed) {
+            // A slow worker finishing after reassignment-and-completion:
+            // the campaign content is deterministic, so the copies are
+            // interchangeable. Idempotent accept.
+            return (200, "{\"ok\": true, \"duplicate\": true}".into());
+        }
+        let Some(text) = v.get("summary").and_then(Json::as_str) else {
+            return (400, "{\"error\": \"missing summary\"}".to_string());
+        };
+        let summary = match ShardSummary::parse(text) {
+            Ok(s) => s,
+            Err(e) => {
+                // A worker uploading garbage counts as a failed attempt
+                // on this shard — repeated garbage quarantines it.
+                self.workers.entry(worker).or_default().failed += 1;
+                self.revoke(k, format!("unparseable shard summary: {e}"));
+                return (422, format!("{{\"error\": \"bad summary: {}\"}}", json_escape(&e)));
+            }
+        };
+        if (summary.seed_start, summary.seed_end) != (self.shards[k].start, self.shards[k].end)
+            || summary.skipped_for_budget != 0
+            || summary.executed != summary.seed_end - summary.seed_start
+        {
+            self.workers.entry(worker).or_default().failed += 1;
+            self.revoke(
+                k,
+                format!(
+                    "shard {k} is {}..{} but summary covers {}..{} ({} executed, {} skipped)",
+                    self.shards[k].start,
+                    self.shards[k].end,
+                    summary.seed_start,
+                    summary.seed_end,
+                    summary.executed,
+                    summary.skipped_for_budget,
+                ),
+            );
+            return (422, "{\"error\": \"summary does not cover the shard\"}".to_string());
+        }
+        let file = format!("shards/shard{k:04}.json");
+        let bytes = summary.to_json();
+        if let Err(e) = std::fs::write(self.cfg.dir.join(&file), &bytes) {
+            return (500, format!("{{\"error\": \"persist shard: {}\"}}", json_escape(&e.to_string())));
+        }
+        let checksum = format!("{:016x}", fnv1a(bytes.as_bytes()));
+        if let Err(e) = self.append(Record::Completed { shard: k as u64, file, checksum }) {
+            return (500, format!("{{\"error\": \"{}\"}}", json_escape(&e)));
+        }
+        self.shards[k].state = ShardState::Completed;
+        self.workers.entry(worker).or_default().completed += 1;
+        (200, "{\"ok\": true}".into())
+    }
+
+    fn fail(&mut self, body: &str) -> (u16, String) {
+        let (v, worker) = match Self::parse_worker(body) {
+            Ok(v) => v,
+            Err(e) => return e,
+        };
+        let k = match self.parse_shard(&v) {
+            Ok(k) => k,
+            Err(e) => return e,
+        };
+        if matches!(self.shards[k].state, ShardState::Completed | ShardState::Quarantined) {
+            return (200, "{\"ok\": true, \"stale\": true}".into());
+        }
+        let error = v.get("error").and_then(Json::as_str).unwrap_or("unspecified");
+        self.workers.entry(worker.clone()).or_default().failed += 1;
+        self.revoke(k, format!("{worker}: {error}"));
+        (200, "{\"ok\": true}".into())
+    }
+
+    fn status_json(&self) -> String {
+        let mut pending = 0;
+        let mut leased = 0;
+        let mut completed = 0;
+        let mut quarantined = 0;
+        for s in &self.shards {
+            match s.state {
+                ShardState::Pending => pending += 1,
+                ShardState::Leased { .. } => leased += 1,
+                ShardState::Completed => completed += 1,
+                ShardState::Quarantined => quarantined += 1,
+            }
+        }
+        format!(
+            "{{\"schema\": \"cedar-campaign-status-v1\", \"seed_start\": {}, \"seed_end\": {}, \"shards\": {}, \"pending\": {pending}, \"leased\": {leased}, \"completed\": {completed}, \"quarantined\": {quarantined}, \"reassignments\": {}, \"done\": {}}}",
+            self.cfg.seed_start,
+            self.cfg.seed_end,
+            self.shards.len(),
+            self.reassignments,
+            self.finished(),
+        )
+    }
+
+    /// Merge completed shards and write the artifacts. Call after
+    /// [`finished`](Coordinator::finished); the merged report is only
+    /// written when *every* shard completed — quarantined holes make a
+    /// whole-range report a lie, so those campaigns get triage only.
+    pub fn finish(&mut self) -> Result<Outcome, String> {
+        let mut summaries = Vec::new();
+        for (k, s) in self.shards.iter().enumerate() {
+            if matches!(s.state, ShardState::Completed) {
+                let path = self.cfg.dir.join(format!("shards/shard{k:04}.json"));
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("read {}: {e}", path.display()))?;
+                summaries.push(ShardSummary::parse(&text)?);
+            }
+        }
+        let quarantined: Vec<triage::QuarantinedShard> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.state, ShardState::Quarantined))
+            .map(|(k, s)| triage::QuarantinedShard {
+                shard: k as u64,
+                seed_start: s.start,
+                seed_end: s.end,
+                attempts: u64::from(s.attempts),
+                errors: s.errors.clone(),
+            })
+            .collect();
+
+        let merged = if quarantined.is_empty() && !summaries.is_empty() {
+            Some(merge_shards(&summaries, self.cfg.jobs_check, &self.cfg.oracle())?)
+        } else {
+            None
+        };
+        let merged_path = match &merged {
+            Some(m) => {
+                let path = self.cfg.dir.join("merged.json");
+                std::fs::write(&path, m.to_json())
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+                Some(path)
+            }
+            None => None,
+        };
+        let triage_path = self.cfg.dir.join("triage.json");
+        let report = triage::triage_json(
+            &self.cfg,
+            self.shards.len() as u64,
+            self.reassignments,
+            &quarantined,
+            merged.as_ref(),
+            &self.workers,
+        );
+        std::fs::write(&triage_path, report)
+            .map_err(|e| format!("write {}: {e}", triage_path.display()))?;
+        Ok(Outcome {
+            merged,
+            merged_path,
+            triage_path,
+            quarantined: quarantined.len(),
+            reassignments: self.reassignments,
+        })
+    }
+
+    /// Serve the protocol on `listener` until every shard is resolved,
+    /// keep answering (`done` replies, mostly) for `linger` so slow
+    /// workers exit cleanly, then [`finish`](Coordinator::finish).
+    pub fn serve(mut self, listener: TcpListener, linger: Duration) -> Result<Outcome, String> {
+        listener.set_nonblocking(true).map_err(|e| format!("nonblocking: {e}"))?;
+        let mut finished_at: Option<Instant> = None;
+        loop {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+                    stream.set_write_timeout(Some(Duration::from_secs(5))).ok();
+                    self.answer(&mut stream);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+            if self.finished() {
+                let at = *finished_at.get_or_insert_with(Instant::now);
+                if at.elapsed() >= linger {
+                    break;
+                }
+            }
+        }
+        self.finish()
+    }
+
+    fn answer(&mut self, stream: &mut TcpStream) {
+        match cedar_serve::http::read_request(stream) {
+            Ok(req) => {
+                let (status, body) =
+                    self.handle(&req.method, &req.path, &req.body, Instant::now());
+                cedar_serve::http::write_response(stream, status, &body);
+            }
+            Err(e) => {
+                cedar_serve::http::write_response(
+                    stream,
+                    400,
+                    &format!("{{\"error\": \"malformed request: {}\"}}", json_escape(&e)),
+                );
+            }
+        }
+    }
+
+    /// Per-worker stats (for tests and the triage report).
+    pub fn worker_stats(&self) -> &BTreeMap<String, WorkerStats> {
+        &self.workers
+    }
+}

@@ -1,0 +1,168 @@
+//! The campaign triage report: what a human looks at after a
+//! distributed run — quarantined shards with their failure history,
+//! oracle-failure clusters from the merged report, and per-worker
+//! tallies.
+//!
+//! Clustering is by `(failing phase, oracle config)`: every seed whose
+//! minimized reproducer failed the same oracle phase under the same
+//! judge configuration lands in one cluster, with the first few seeds
+//! as representatives. That's the shape the paper's own debugging
+//! stories take ("the DOACROSS sync audit disagreed with the dynamic
+//! race detector on these inputs"), and it keeps a thousand-failure
+//! campaign readable.
+
+use crate::coordinator::{CoordinatorConfig, WorkerStats};
+use cedar_experiments::json_escape;
+use cedar_fuzz::shard::MergedCampaign;
+use std::collections::BTreeMap;
+
+/// A shard that exhausted its retry budget.
+#[derive(Debug, Clone)]
+pub struct QuarantinedShard {
+    /// Shard index.
+    pub shard: u64,
+    /// First seed (inclusive).
+    pub seed_start: u64,
+    /// Last seed (exclusive).
+    pub seed_end: u64,
+    /// Failed attempts.
+    pub attempts: u64,
+    /// Every failure reason recorded, oldest first.
+    pub errors: Vec<String>,
+}
+
+/// Render the `cedar-campaign-triage-v1` document.
+pub fn triage_json(
+    cfg: &CoordinatorConfig,
+    total_shards: u64,
+    reassignments: u64,
+    quarantined: &[QuarantinedShard],
+    merged: Option<&MergedCampaign>,
+    workers: &BTreeMap<String, WorkerStats>,
+) -> String {
+    let mut out = String::from("{\n  \"schema\": \"cedar-campaign-triage-v1\",\n");
+    out.push_str(&format!(
+        "  \"campaign\": {{\"seed_start\": {}, \"seed_end\": {}, \"shard_size\": {}, \"config\": \"{}\"}},\n",
+        cfg.seed_start,
+        cfg.seed_end,
+        cfg.shard_size,
+        json_escape(&cfg.config_name),
+    ));
+    out.push_str(&format!(
+        "  \"shards\": {{\"total\": {total_shards}, \"completed\": {}, \"quarantined\": {}, \"reassignments\": {reassignments}}},\n",
+        total_shards - quarantined.len() as u64,
+        quarantined.len(),
+    ));
+
+    out.push_str("  \"quarantined\": [");
+    for (i, q) in quarantined.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"shard\": {}, \"seed_start\": {}, \"seed_end\": {}, \"attempts\": {}, \"errors\": [{}]}}",
+            q.shard,
+            q.seed_start,
+            q.seed_end,
+            q.attempts,
+            q.errors
+                .iter()
+                .map(|e| format!("\"{}\"", json_escape(e)))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+    }
+    out.push_str(if quarantined.is_empty() { "],\n" } else { "\n  ],\n" });
+
+    // Oracle-failure clusters from the merged report (empty when the
+    // merge was withheld — the quarantined section is the lead then).
+    let mut clusters: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    if let Some(m) = merged {
+        for f in &m.failures {
+            clusters.entry(&f.phase).or_default().push(f.seed);
+        }
+    }
+    out.push_str("  \"clusters\": [");
+    for (i, (phase, seeds)) in clusters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let examples: Vec<String> = seeds.iter().take(10).map(u64::to_string).collect();
+        out.push_str(&format!(
+            "\n    {{\"phase\": \"{}\", \"oracle\": \"{}\", \"count\": {}, \"example_seeds\": [{}]}}",
+            phase,
+            json_escape(&cfg.config_name),
+            seeds.len(),
+            examples.join(", "),
+        ));
+    }
+    out.push_str(if clusters.is_empty() { "],\n" } else { "\n  ],\n" });
+
+    out.push_str(&format!(
+        "  \"bundle_digests\": [{}],\n",
+        merged
+            .map(|m| {
+                m.bundle_digests
+                    .iter()
+                    .map(|d| format!("\"{d}\""))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            })
+            .unwrap_or_default(),
+    ));
+
+    out.push_str("  \"workers\": [");
+    for (i, (name, w)) in workers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"leased\": {}, \"completed\": {}, \"failed\": {}}}",
+            json_escape(name),
+            w.leased,
+            w.completed,
+            w.failed,
+        ));
+    }
+    out.push_str(if workers.is_empty() { "]\n}\n" } else { "\n  ]\n}\n" });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_experiments::jsonio::Json;
+
+    #[test]
+    fn triage_document_is_valid_json_with_every_section() {
+        let cfg = CoordinatorConfig {
+            seed_start: 0,
+            seed_end: 100,
+            shard_size: 25,
+            config_name: "manual".into(),
+            ..CoordinatorConfig::default()
+        };
+        let quarantined = vec![QuarantinedShard {
+            shard: 2,
+            seed_start: 50,
+            seed_end: 75,
+            attempts: 3,
+            errors: vec!["w1: panic: \"boom\"".into(), "lease-expired (w2)".into()],
+        }];
+        let mut workers = BTreeMap::new();
+        workers.insert("w1".to_string(), WorkerStats { leased: 3, completed: 2, failed: 1 });
+        let text = triage_json(&cfg, 4, 2, &quarantined, None, &workers);
+        let v = Json::parse(&text).expect("triage must be parseable JSON");
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some("cedar-campaign-triage-v1")
+        );
+        assert_eq!(v.get("shards").unwrap().get("quarantined").unwrap().as_f64(), Some(1.0));
+        let q = &v.get("quarantined").unwrap().as_arr().unwrap()[0];
+        assert_eq!(q.get("shard").unwrap().as_f64(), Some(2.0));
+        assert_eq!(q.get("errors").unwrap().as_arr().unwrap().len(), 2);
+        assert!(v.get("clusters").unwrap().as_arr().unwrap().is_empty());
+        let w = &v.get("workers").unwrap().as_arr().unwrap()[0];
+        assert_eq!(w.get("completed").unwrap().as_f64(), Some(2.0));
+    }
+}

@@ -1,0 +1,299 @@
+//! Crash-safe append-only journal for the campaign coordinator.
+//!
+//! One JSONL record per state transition, flushed and fsynced before
+//! the coordinator acts on it, so a coordinator killed at any point
+//! resumes by folding the journal back into its shard table
+//! ([`replay`]). The records deliberately carry **no wall-clock**: a
+//! lease that was in flight at the crash has lost its timer anyway, so
+//! replay reverts `leased` shards to pending and lets workers re-lease
+//! them. `completed` records point at the shard file on disk and carry
+//! its FNV-1a checksum — a half-written shard file fails verification
+//! and the shard re-runs instead of poisoning the merge.
+//!
+//! A torn final line (the coordinator died mid-append) is tolerated;
+//! corruption anywhere else is an error, because silently skipping an
+//! interior record could resurrect completed work as pending — wasteful
+//! but safe — or worse, forget a quarantine.
+
+use cedar_experiments::jsonio::Json;
+use cedar_experiments::json_escape;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// First line: the campaign's identity. Resume refuses a journal
+    /// whose parameters disagree with the coordinator's configuration.
+    Campaign {
+        /// First seed (inclusive).
+        seed_start: u64,
+        /// Last seed (exclusive).
+        seed_end: u64,
+        /// Seeds per shard.
+        shard_size: u64,
+        /// Oracle configuration name (`manual` / `auto`).
+        config: String,
+        /// Merged jobs-invariance depth.
+        jobs_check: u64,
+        /// Reassignments allowed before a shard is quarantined.
+        retry_budget: u64,
+    },
+    /// A shard was leased to a worker.
+    Leased {
+        /// Shard index.
+        shard: u64,
+        /// Worker name.
+        worker: String,
+    },
+    /// A shard's result was accepted and persisted.
+    Completed {
+        /// Shard index.
+        shard: u64,
+        /// Shard-summary file, relative to the campaign directory.
+        file: String,
+        /// FNV-1a of the file bytes, 16 hex digits.
+        checksum: String,
+    },
+    /// A lease was revoked (expiry or reported failure); the shard is
+    /// pending again.
+    Reassigned {
+        /// Shard index.
+        shard: u64,
+        /// Failed attempts so far.
+        attempts: u64,
+        /// Why the lease was revoked.
+        reason: String,
+    },
+    /// A shard exhausted its retry budget.
+    Quarantined {
+        /// Shard index.
+        shard: u64,
+        /// Failed attempts.
+        attempts: u64,
+        /// Last failure reason.
+        reason: String,
+    },
+}
+
+impl Record {
+    /// One JSONL line, newline-terminated.
+    pub fn to_line(&self) -> String {
+        match self {
+            Record::Campaign { seed_start, seed_end, shard_size, config, jobs_check, retry_budget } => {
+                format!(
+                    "{{\"rec\": \"campaign\", \"seed_start\": {seed_start}, \"seed_end\": {seed_end}, \"shard_size\": {shard_size}, \"config\": \"{}\", \"jobs_check\": {jobs_check}, \"retry_budget\": {retry_budget}}}\n",
+                    json_escape(config),
+                )
+            }
+            Record::Leased { shard, worker } => {
+                format!(
+                    "{{\"rec\": \"leased\", \"shard\": {shard}, \"worker\": \"{}\"}}\n",
+                    json_escape(worker),
+                )
+            }
+            Record::Completed { shard, file, checksum } => {
+                format!(
+                    "{{\"rec\": \"completed\", \"shard\": {shard}, \"file\": \"{}\", \"checksum\": \"{checksum}\"}}\n",
+                    json_escape(file),
+                )
+            }
+            Record::Reassigned { shard, attempts, reason } => {
+                format!(
+                    "{{\"rec\": \"reassigned\", \"shard\": {shard}, \"attempts\": {attempts}, \"reason\": \"{}\"}}\n",
+                    json_escape(reason),
+                )
+            }
+            Record::Quarantined { shard, attempts, reason } => {
+                format!(
+                    "{{\"rec\": \"quarantined\", \"shard\": {shard}, \"attempts\": {attempts}, \"reason\": \"{}\"}}\n",
+                    json_escape(reason),
+                )
+            }
+        }
+    }
+
+    /// Parse one line back.
+    pub fn parse(line: &str) -> Result<Record, String> {
+        let v = Json::parse(line)?;
+        let num = |key: &str| -> Result<u64, String> {
+            let n = v
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("journal record missing number `{key}`"))?;
+            Ok(n as u64)
+        };
+        let text = |key: &str| -> Result<String, String> {
+            Ok(v.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("journal record missing string `{key}`"))?
+                .to_string())
+        };
+        match v.get("rec").and_then(Json::as_str) {
+            Some("campaign") => Ok(Record::Campaign {
+                seed_start: num("seed_start")?,
+                seed_end: num("seed_end")?,
+                shard_size: num("shard_size")?,
+                config: text("config")?,
+                jobs_check: num("jobs_check")?,
+                retry_budget: num("retry_budget")?,
+            }),
+            Some("leased") => Ok(Record::Leased { shard: num("shard")?, worker: text("worker")? }),
+            Some("completed") => Ok(Record::Completed {
+                shard: num("shard")?,
+                file: text("file")?,
+                checksum: text("checksum")?,
+            }),
+            Some("reassigned") => Ok(Record::Reassigned {
+                shard: num("shard")?,
+                attempts: num("attempts")?,
+                reason: text("reason")?,
+            }),
+            Some("quarantined") => Ok(Record::Quarantined {
+                shard: num("shard")?,
+                attempts: num("attempts")?,
+                reason: text("reason")?,
+            }),
+            other => Err(format!("unknown journal record kind {other:?}")),
+        }
+    }
+}
+
+/// The append side of the journal.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl Wal {
+    /// Open (creating if needed) for appending.
+    pub fn open(path: &Path) -> std::io::Result<Wal> {
+        let file = std::fs::OpenOptions::new().append(true).create(true).open(path)?;
+        Ok(Wal { path: path.to_path_buf(), file })
+    }
+
+    /// Append one record durably: write, flush, fsync. The record is
+    /// on disk before this returns — the coordinator never acts on a
+    /// transition it could forget.
+    pub fn append(&mut self, rec: &Record) -> std::io::Result<()> {
+        self.file.write_all(rec.to_line().as_bytes())?;
+        self.file.flush()?;
+        self.file.sync_data()
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Read a journal back, tolerating a torn final line.
+pub fn replay(path: &Path) -> Result<Vec<Record>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut records = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match Record::parse(line) {
+            Ok(r) => records.push(r),
+            Err(e) if i == lines.len() - 1 => {
+                // Torn tail: the coordinator died mid-append. The
+                // transition never happened as far as recovery is
+                // concerned.
+                eprintln!("campaign: journal has a torn final line (ignored): {e}");
+                break;
+            }
+            Err(e) => return Err(format!("{}:{}: corrupt journal record: {e}", path.display(), i + 1)),
+        }
+    }
+    Ok(records)
+}
+
+/// FNV-1a over a byte string — the checksum `completed` records carry
+/// for their shard files.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kinds() -> Vec<Record> {
+        vec![
+            Record::Campaign {
+                seed_start: 0,
+                seed_end: 3000,
+                shard_size: 250,
+                config: "manual".into(),
+                jobs_check: 4,
+                retry_budget: 2,
+            },
+            Record::Leased { shard: 3, worker: "w-\"quoted\"".into() },
+            Record::Completed {
+                shard: 3,
+                file: "shards/shard0003.json".into(),
+                checksum: format!("{:016x}", fnv1a(b"payload")),
+            },
+            Record::Reassigned { shard: 4, attempts: 1, reason: "lease-expired (w1)".into() },
+            Record::Quarantined { shard: 4, attempts: 3, reason: "worker panic:\nboom".into() },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for rec in all_kinds() {
+            let line = rec.to_line();
+            assert!(line.ends_with('\n') && !line[..line.len() - 1].contains('\n'), "{line:?}");
+            assert_eq!(Record::parse(line.trim_end()).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn replay_tolerates_a_torn_tail_but_not_interior_corruption() {
+        let dir = std::path::PathBuf::from("target/test-campaign-wal/torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let mut text = String::new();
+        for rec in all_kinds() {
+            text.push_str(&rec.to_line());
+        }
+        text.push_str("{\"rec\": \"leased\", \"shard\": 9, \"wor"); // torn mid-append
+        std::fs::write(&path, &text).unwrap();
+        let recs = replay(&path).unwrap();
+        assert_eq!(recs, all_kinds());
+
+        // The same fragment *inside* the journal is corruption.
+        let bad = format!(
+            "{}{{\"rec\": \"leased\", \"shard\": 9, \"wor\n{}",
+            all_kinds()[0].to_line(),
+            all_kinds()[1].to_line(),
+        );
+        std::fs::write(&path, bad).unwrap();
+        let err = replay(&path).unwrap_err();
+        assert!(err.contains("corrupt journal record"), "{err}");
+    }
+
+    #[test]
+    fn append_then_replay() {
+        let dir = std::path::PathBuf::from("target/test-campaign-wal/append");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path).unwrap();
+        for rec in all_kinds() {
+            wal.append(&rec).unwrap();
+        }
+        drop(wal);
+        assert_eq!(replay(&path).unwrap(), all_kinds());
+        // Reopen appends, never truncates.
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&Record::Leased { shard: 7, worker: "w2".into() }).unwrap();
+        assert_eq!(replay(&path).unwrap().len(), all_kinds().len() + 1);
+    }
+}

@@ -43,6 +43,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod jsonio;
 pub mod pipeline;
 pub mod races;
 pub mod robustness;
@@ -50,6 +51,7 @@ pub mod supervise;
 pub mod table1;
 pub mod table2;
 
+pub use jsonio::Json;
 pub use pipeline::{run_program, run_workload, Outcome};
 pub use robustness::json_escape;
 pub use supervise::Supervisor;

@@ -555,10 +555,28 @@ pub fn bundle_digest(label: &str, minimized_source: Option<&str>) -> u64 {
 
 /// Serializes bundle-directory writes so concurrent quarantines (service
 /// worker threads, parallel sweeps) never interleave a `hits.txt`
-/// append with a first-write of the same directory.
+/// append with a first-write of the same directory. This only covers
+/// *in-process* racers; cross-process safety comes from `O_APPEND`
+/// hit appends ([`append_hit`]) and `create_new` on `bundle.json`.
 fn bundle_lock() -> &'static Mutex<()> {
     static L: OnceLock<Mutex<()>> = OnceLock::new();
     L.get_or_init(Default::default)
+}
+
+/// Append one hit line for `label` to `dir/hits.txt`. The file is
+/// opened `O_APPEND`, so each line lands atomically even when several
+/// *processes* (campaign workers sharing one `CEDAR_BUNDLE_DIR`)
+/// quarantine the same failure concurrently — the hit count of a
+/// bundle is exact, not last-writer-wins. Counted on read by
+/// [`bundle_hits`].
+fn append_hit(dir: &std::path::Path, label: &str) -> Option<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(dir.join("hits.txt"))
+        .ok()?;
+    f.write_all(format!("{label}\n").as_bytes()).ok()
 }
 
 /// Write (or re-hit) a crash bundle for a quarantined cell. Bundles are
@@ -585,9 +603,17 @@ fn write_bundle(
 
     let _guard = lock(bundle_lock());
     std::fs::create_dir_all(&dir).ok()?;
-    let first_hit = !dir.join("bundle.json").exists();
+    // `create_new` claims first-writer atomically even across
+    // processes: exactly one quarantine writes the bundle metadata, the
+    // rest only append their hit. (The in-process mutex alone cannot
+    // arbitrate two campaign workers racing on a shared bundle dir.)
+    let claim = std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(dir.join("bundle.json"));
 
-    if first_hit {
+    if let Ok(mut bundle_file) = claim {
+        use std::io::Write;
         if let Some(src) = &minimized {
             std::fs::write(dir.join("source.f"), src).ok()?;
         }
@@ -631,16 +657,13 @@ fn write_bundle(
             ));
         }
         json.push_str("  ]\n}\n");
-        std::fs::write(dir.join("bundle.json"), json).ok()?;
+        bundle_file.write_all(json.as_bytes()).ok()?;
     }
 
     // Every hit — including the first — records its cell label; the
-    // bundle's hit count is the line count of this file.
-    let hits_path = dir.join("hits.txt");
-    let mut hits = std::fs::read_to_string(&hits_path).unwrap_or_default();
-    hits.push_str(label);
-    hits.push('\n');
-    std::fs::write(&hits_path, hits).ok()?;
+    // bundle's hit count is the line count of this file. Appended
+    // `O_APPEND` so concurrent processes never lose counts.
+    append_hit(&dir, label)?;
     Some(dir.to_string_lossy().into_owned())
 }
 
@@ -813,6 +836,47 @@ mod tests {
         // Exactly one bundle directory exists under this root.
         let dirs: Vec<_> = std::fs::read_dir(&s.bundle_dir).unwrap().collect();
         assert_eq!(dirs.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_hit_appends_lose_no_counts() {
+        // Simulates multiple worker *processes* sharing a bundle dir:
+        // append_hit is called concurrently without the in-process
+        // bundle lock. O_APPEND must keep every line.
+        let dir = PathBuf::from("target/test-crash-bundles/append-race");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let threads = 8;
+        let per_thread = 50;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let dir = &dir;
+                scope.spawn(move || {
+                    for k in 0..per_thread {
+                        append_hit(dir, &format!("t{t}/hit{k}")).expect("append");
+                    }
+                });
+            }
+        });
+        assert_eq!(bundle_hits(dir.to_str().unwrap()), threads * per_thread);
+    }
+
+    #[test]
+    fn repeat_quarantines_append_hits_without_rewriting_metadata() {
+        let s = sup("rehit");
+        let _ = std::fs::remove_dir_all(&s.bundle_dir);
+        let src = "program r\nreal z\nz = 3.0\nend\n";
+        for _ in 0..3 {
+            let cells = vec![Cell::with_source("t/rehit", src, ())];
+            let sweep = run_cells(&s, cells, |_: &()| -> u32 { panic!("boom") });
+            assert_eq!(sweep.quarantined.len(), 1);
+        }
+        let dir = PathBuf::from(
+            std::fs::read_dir(&s.bundle_dir).unwrap().next().unwrap().unwrap().path(),
+        );
+        assert_eq!(bundle_hits(dir.to_str().unwrap()), 3);
+        let bundle = std::fs::read_to_string(dir.join("bundle.json")).unwrap();
+        assert!(bundle.ends_with("}\n"), "metadata written exactly once, intact");
     }
 
     #[test]

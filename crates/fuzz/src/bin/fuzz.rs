@@ -15,13 +15,14 @@ use cedar_fuzz::{run_campaign, CampaignConfig, OracleConfig};
 use std::process::ExitCode;
 use std::time::Duration;
 
-const USAGE: &str = "usage: fuzz --seeds A..B [--budget SECS] [--json PATH] \
+const USAGE: &str = "usage: fuzz --seeds A..B [--budget SECS] [--json PATH] [--det-json PATH] \
                      [--config manual|auto] [--no-shrink] [--no-bundles] [--jobs-check N] \
                      [--emit-corpus DIR]";
 
 struct Args {
     cfg: CampaignConfig,
     json: Option<String>,
+    det_json: Option<String>,
     config_name: String,
     emit_corpus: Option<String>,
 }
@@ -29,6 +30,7 @@ struct Args {
 fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut cfg = CampaignConfig::default();
     let mut json = None;
+    let mut det_json = None;
     let mut config_name = String::from("manual");
     let mut emit_corpus = None;
     let mut seeds_given = false;
@@ -57,6 +59,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 cfg.budget = Some(Duration::from_secs_f64(secs));
             }
             "--json" => json = Some(value("--json")?),
+            "--det-json" => det_json = Some(value("--det-json")?),
             "--config" => {
                 let v = value("--config")?;
                 cfg.oracle = match v.as_str() {
@@ -79,7 +82,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     if !seeds_given {
         return Err("--seeds A..B is required".into());
     }
-    Ok(Args { cfg, json, config_name, emit_corpus })
+    Ok(Args { cfg, json, det_json, config_name, emit_corpus })
 }
 
 /// `--emit-corpus DIR`: pin every seed in the range as a corpus entry
@@ -101,7 +104,7 @@ fn emit_corpus(dir: &str, cfg: &CampaignConfig, config_name: &str) -> Result<(),
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let Args { cfg, json: json_path, config_name, emit_corpus: emit_dir } =
+    let Args { cfg, json: json_path, det_json, config_name, emit_corpus: emit_dir } =
         match parse_args(&argv) {
             Ok(v) => v,
             Err(e) => {
@@ -143,6 +146,18 @@ fn main() -> ExitCode {
         eprintln!("fuzz: summary written to {path}");
     } else {
         println!("{json}");
+    }
+    // `--det-json` writes the timing-free form — the byte-deterministic
+    // reference a distributed campaign's merged report is diffed against.
+    if let Some(path) = det_json {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, summary.to_json()) {
+            eprintln!("fuzz: write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("fuzz: deterministic summary written to {path}");
     }
 
     eprintln!(

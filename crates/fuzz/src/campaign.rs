@@ -75,6 +75,194 @@ pub struct SeedFailure {
     pub bundle: Option<String>,
 }
 
+impl SeedFailure {
+    /// The serialization-friendly view of this failure — exactly what
+    /// the JSON report prints for it.
+    pub fn line(&self) -> FailureLine {
+        FailureLine {
+            seed: self.seed,
+            phase: self.failure.phase.tag().to_string(),
+            detail: self.failure.detail.clone(),
+            diff: self.failure.diff.as_ref().map(|d| d.to_string()).unwrap_or_default(),
+            tags: self.minimized.tags().iter().map(|t| t.to_string()).collect(),
+            bundle: self.bundle.clone(),
+        }
+    }
+}
+
+/// One failure as the `cedar-fuzz-v1` report prints it: plain strings
+/// only, no live [`GenProgram`]. Campaign shards carry these across
+/// process boundaries, so a coordinator that never saw the failing
+/// program can still render the merged report byte-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureLine {
+    /// The generator seed.
+    pub seed: u64,
+    /// Failing phase tag (e.g. `differential`).
+    pub phase: String,
+    /// Human-readable failure detail.
+    pub detail: String,
+    /// Rendered cell diff, or empty when the failure had none.
+    pub diff: String,
+    /// Generator shape tags of the minimized reproducer.
+    pub tags: Vec<String>,
+    /// Crash-bundle directory, when one was written.
+    pub bundle: Option<String>,
+}
+
+/// The content every `cedar-fuzz-v1` report prints, independent of
+/// where it came from: a live [`CampaignSummary`] borrows itself into
+/// this view; a merged set of shards reconstructs one. Both go through
+/// the same writer ([`render_report`]), which is what makes
+/// "distributed run merges to the byte-identical report" a structural
+/// guarantee instead of a convention.
+pub struct ReportView<'a> {
+    /// Echo of the requested range.
+    pub seed_start: u64,
+    /// Echo of the requested range.
+    pub seed_end: u64,
+    /// Seeds actually judged.
+    pub executed: u64,
+    /// Seeds skipped because the wall-clock budget lapsed.
+    pub skipped_for_budget: u64,
+    /// Failing seeds, ascending.
+    pub failures: &'a [FailureLine],
+    /// Transform-coverage ledger over all clean seeds.
+    pub coverage: &'a Coverage,
+    /// Total sync-audit findings with no confirming dynamic race.
+    pub known_gaps: u64,
+    /// Up to three example gap findings.
+    pub gap_examples: &'a [String],
+    /// `(min, mean, max)` speedup triple.
+    pub speedup: Option<(f64, f64, f64)>,
+    /// Seeds re-judged for the jobs-invariance check.
+    pub jobs_checked: u64,
+    /// Digest mismatch detail, if the invariance check failed.
+    pub jobs_mismatch: Option<&'a str>,
+}
+
+/// Write the `cedar-fuzz-v1` document for a report view. `extra`
+/// appends pre-rendered top-level members (the wall-clock section);
+/// empty keeps the byte-deterministic form.
+pub fn render_report(v: &ReportView<'_>, extra: &str) -> String {
+    let mut out = String::from("{\n  \"schema\": \"cedar-fuzz-v1\",\n");
+    out.push_str(&format!(
+        "  \"seed_start\": {}, \"seed_end\": {},\n  \"executed\": {}, \"skipped_for_budget\": {}, \"clean\": {},\n",
+        v.seed_start,
+        v.seed_end,
+        v.executed,
+        v.skipped_for_budget,
+        v.executed - v.failures.len() as u64,
+    ));
+    out.push_str("  \"failures\": [");
+    for (k, f) in v.failures.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"seed\": {}, \"phase\": \"{}\", \"detail\": \"{}\", \"cell\": \"{}\", \"tags\": [{}], \"bundle\": {}}}",
+            f.seed,
+            f.phase,
+            json_escape(&f.detail),
+            json_escape(&f.diff),
+            f.tags.iter().map(|t| format!("\"{t}\"")).collect::<Vec<_>>().join(", "),
+            match &f.bundle {
+                Some(b) => format!("\"{}\"", json_escape(b)),
+                None => "null".to_string(),
+            },
+        ));
+    }
+    out.push_str(if v.failures.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str(&format!("  \"coverage\": {},\n", v.coverage.to_json()));
+    out.push_str(&format!(
+        "  \"unreachable\": [{}],\n",
+        v.coverage.unreachable().iter().map(|p| format!("\"{p}\"")).collect::<Vec<_>>().join(", "),
+    ));
+    out.push_str(&format!(
+        "  \"known_gaps\": {}, \"gap_examples\": [{}],\n",
+        v.known_gaps,
+        v.gap_examples
+            .iter()
+            .map(|g| format!("\"{}\"", json_escape(g)))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+    match v.speedup {
+        Some((lo, mean, hi)) => out.push_str(&format!(
+            "  \"speedup\": {{\"min\": {lo:.3}, \"mean\": {mean:.3}, \"max\": {hi:.3}}},\n"
+        )),
+        None => out.push_str("  \"speedup\": null,\n"),
+    }
+    out.push_str(&format!(
+        "  \"jobs_invariance\": {{\"checked\": {}, \"ok\": {}, \"detail\": {}}}",
+        v.jobs_checked,
+        v.jobs_mismatch.is_none(),
+        match v.jobs_mismatch {
+            Some(m) => format!("\"{}\"", json_escape(m)),
+            None => "null".to_string(),
+        },
+    ));
+    if !extra.is_empty() {
+        out.push_str(",\n");
+        out.push_str(extra);
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// `(min, mean, max)` over per-seed speedup samples. The mean is the
+/// ordered left fold `sum / len`; because every caller (live campaign,
+/// shard merge) folds the samples in seed order through this one
+/// function, a distributed run reproduces the single-process mean to
+/// the bit.
+pub fn speedup_triple(samples: &[f64]) -> Option<(f64, f64, f64)> {
+    if samples.is_empty() {
+        return None;
+    }
+    let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Some((lo, mean, hi))
+}
+
+/// Re-judge the first `k` of `digests` under `with_jobs(1)` and compare
+/// result digests bit-for-bit. Returns `(seeds checked, mismatch)`.
+/// Shared by [`run_campaign`] and the shard merge so a coordinator
+/// checking merged lead digests produces the exact messages (and
+/// verdict) a single-process run over the same range would.
+pub fn jobs_invariance(
+    digests: &[(u64, u64)],
+    k: usize,
+    oracle: &OracleConfig,
+) -> (u64, Option<String>) {
+    let mut checked = 0u64;
+    for &(seed, want) in digests.iter().take(k) {
+        checked += 1;
+        let got = cedar_par::with_jobs(1, || judge(seed, oracle));
+        match got {
+            Ok(stats) if stats.digest == want => {}
+            Ok(stats) => {
+                return (
+                    checked,
+                    Some(format!(
+                        "seed {seed}: digest {want:#018x} with ambient jobs vs {:#018x} single-threaded",
+                        stats.digest
+                    )),
+                );
+            }
+            Err((_, f)) => {
+                return (
+                    checked,
+                    Some(format!(
+                        "seed {seed}: clean with ambient jobs but failed single-threaded: {f}"
+                    )),
+                );
+            }
+        }
+    }
+    (checked, None)
+}
+
 /// Everything a campaign observed; renders to the `cedar-fuzz-v1` JSON
 /// summary.
 #[derive(Debug)]
@@ -95,8 +283,19 @@ pub struct CampaignSummary {
     pub known_gaps: u64,
     /// Up to three example gap findings (deduplicated text).
     pub gap_examples: Vec<String>,
-    /// `(min, mean, max)` serial/parallel cycle ratio over clean seeds.
+    /// `(min, mean, max)` serial/parallel cycle ratio over clean seeds
+    /// (always [`speedup_triple`] of [`speedup_samples`]).
+    ///
+    /// [`speedup_samples`]: CampaignSummary::speedup_samples
     pub speedup: Option<(f64, f64, f64)>,
+    /// Per-seed speedup samples in seed order — what campaign shards
+    /// carry so a merge can refold the exact mean.
+    pub speedup_samples: Vec<f64>,
+    /// `(seed, result digest)` for every clean seed, in seed order.
+    /// Shards carry a prefix of these so the coordinator can run the
+    /// jobs-invariance check over the same seeds a single-process run
+    /// would have picked.
+    pub digests: Vec<(u64, u64)>,
     /// Seeds re-judged single-threaded for the jobs-invariance check.
     pub jobs_checked: u64,
     /// Digest mismatch detail, if the invariance check failed.
@@ -149,74 +348,23 @@ impl CampaignSummary {
     }
 
     fn render_json(&self, extra: &str) -> String {
-        let mut out = String::from("{\n  \"schema\": \"cedar-fuzz-v1\",\n");
-        out.push_str(&format!(
-            "  \"seed_start\": {}, \"seed_end\": {},\n  \"executed\": {}, \"skipped_for_budget\": {}, \"clean\": {},\n",
-            self.seed_start,
-            self.seed_end,
-            self.executed,
-            self.skipped_for_budget,
-            self.executed - self.failures.len() as u64,
-        ));
-        out.push_str("  \"failures\": [");
-        for (k, f) in self.failures.iter().enumerate() {
-            if k > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "\n    {{\"seed\": {}, \"phase\": \"{}\", \"detail\": \"{}\", \"cell\": \"{}\", \"tags\": [{}], \"bundle\": {}}}",
-                f.seed,
-                f.failure.phase.tag(),
-                json_escape(&f.failure.detail),
-                json_escape(&f.failure.diff.as_ref().map(|d| d.to_string()).unwrap_or_default()),
-                f.minimized
-                    .tags()
-                    .iter()
-                    .map(|t| format!("\"{t}\""))
-                    .collect::<Vec<_>>()
-                    .join(", "),
-                match &f.bundle {
-                    Some(b) => format!("\"{}\"", json_escape(b)),
-                    None => "null".to_string(),
-                },
-            ));
-        }
-        out.push_str(if self.failures.is_empty() { "],\n" } else { "\n  ],\n" });
-        out.push_str(&format!("  \"coverage\": {},\n", self.coverage.to_json()));
-        out.push_str(&format!(
-            "  \"unreachable\": [{}],\n",
-            self.unreachable().iter().map(|p| format!("\"{p}\"")).collect::<Vec<_>>().join(", "),
-        ));
-        out.push_str(&format!(
-            "  \"known_gaps\": {}, \"gap_examples\": [{}],\n",
-            self.known_gaps,
-            self.gap_examples
-                .iter()
-                .map(|g| format!("\"{}\"", json_escape(g)))
-                .collect::<Vec<_>>()
-                .join(", "),
-        ));
-        match self.speedup {
-            Some((lo, mean, hi)) => out.push_str(&format!(
-                "  \"speedup\": {{\"min\": {lo:.3}, \"mean\": {mean:.3}, \"max\": {hi:.3}}},\n"
-            )),
-            None => out.push_str("  \"speedup\": null,\n"),
-        }
-        out.push_str(&format!(
-            "  \"jobs_invariance\": {{\"checked\": {}, \"ok\": {}, \"detail\": {}}}",
-            self.jobs_checked,
-            self.jobs_mismatch.is_none(),
-            match &self.jobs_mismatch {
-                Some(m) => format!("\"{}\"", json_escape(m)),
-                None => "null".to_string(),
+        let failures: Vec<FailureLine> = self.failures.iter().map(SeedFailure::line).collect();
+        render_report(
+            &ReportView {
+                seed_start: self.seed_start,
+                seed_end: self.seed_end,
+                executed: self.executed,
+                skipped_for_budget: self.skipped_for_budget,
+                failures: &failures,
+                coverage: &self.coverage,
+                known_gaps: self.known_gaps,
+                gap_examples: &self.gap_examples,
+                speedup: self.speedup,
+                jobs_checked: self.jobs_checked,
+                jobs_mismatch: self.jobs_mismatch.as_deref(),
             },
-        ));
-        if !extra.is_empty() {
-            out.push_str(",\n");
-            out.push_str(extra);
-        }
-        out.push_str("\n}\n");
-        out
+            extra,
+        )
     }
 }
 
@@ -329,37 +477,9 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
 
     // ---- phase 4: CEDAR_JOBS invariance — re-judge a sample of clean
     // seeds single-threaded; digests must match bit-for-bit ----
-    let mut jobs_checked = 0u64;
-    let mut jobs_mismatch = None;
-    for &(seed, want) in digests.iter().take(cfg.jobs_check) {
-        jobs_checked += 1;
-        let got = cedar_par::with_jobs(1, || judge(seed, &cfg.oracle));
-        match got {
-            Ok(stats) if stats.digest == want => {}
-            Ok(stats) => {
-                jobs_mismatch = Some(format!(
-                    "seed {seed}: digest {want:#018x} with ambient jobs vs {:#018x} single-threaded",
-                    stats.digest
-                ));
-                break;
-            }
-            Err((_, f)) => {
-                jobs_mismatch = Some(format!(
-                    "seed {seed}: clean with ambient jobs but failed single-threaded: {f}"
-                ));
-                break;
-            }
-        }
-    }
+    let (jobs_checked, jobs_mismatch) = jobs_invariance(&digests, cfg.jobs_check, &cfg.oracle);
 
-    let speedup = if speedups.is_empty() {
-        None
-    } else {
-        let lo = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = speedups.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
-        Some((lo, mean, hi))
-    };
+    let speedup = speedup_triple(&speedups);
 
     CampaignSummary {
         seed_start: cfg.seed_start,
@@ -371,6 +491,8 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
         known_gaps,
         gap_examples,
         speedup,
+        speedup_samples: speedups,
+        digests,
         jobs_checked,
         jobs_mismatch,
         latency,

@@ -79,6 +79,22 @@ impl Coverage {
         }
     }
 
+    /// Every `(pass, count)` pair, sorted by pass name.
+    pub fn entries(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().map(|(p, n)| (*p, *n))
+    }
+
+    /// Add `n` hits for a pass named at runtime (shard deserialization);
+    /// errors on a name no version of the ledger ever emits.
+    pub fn add(&mut self, pass: &str, n: u64) -> Result<(), String> {
+        let interned =
+            intern(pass).ok_or_else(|| format!("unknown coverage pass `{pass}`"))?;
+        if n > 0 {
+            *self.counts.entry(interned).or_insert(0) += n;
+        }
+        Ok(())
+    }
+
     /// Hits for one pass.
     pub fn count(&self, pass: &str) -> u64 {
         self.counts.get(pass).copied().unwrap_or(0)
@@ -101,6 +117,33 @@ impl Coverage {
         }
         format!("{{{}}}", parts.join(", "))
     }
+}
+
+/// Map a runtime pass name back to the `'static` key [`Coverage`] uses
+/// internally. The list is every name `absorb` can emit — required
+/// passes plus extras.
+fn intern(name: &str) -> Option<&'static str> {
+    const ALL: [&str; 18] = [
+        "doall",
+        "doacross",
+        "stripmine",
+        "privatize",
+        "reduce",
+        "fuse",
+        "coalesce",
+        "vectorize",
+        "two-version",
+        "critical-section",
+        "distribute",
+        "giv",
+        "runtime-test",
+        "interchange",
+        "if-to-where",
+        "globalize",
+        "inline",
+        "partition",
+    ];
+    ALL.iter().find(|p| **p == name).copied()
 }
 
 #[cfg(test)]
@@ -130,6 +173,26 @@ mod tests {
         let missing = c.unreachable();
         assert!(missing.contains(&"fuse") && missing.contains(&"coalesce"));
         assert!(!missing.contains(&"doall"));
+    }
+
+    #[test]
+    fn entries_and_add_round_trip_every_emittable_pass() {
+        let mut a = Coverage::default();
+        let mut r = Report::default();
+        r.record(
+            "u",
+            Span::new(1),
+            LoopDecision::Doall { classes: vec![LoopClass::XDoall], vectorized: true },
+            vec![Technique::GivSubstitution, Technique::Interchange],
+        );
+        a.absorb(&r);
+        let mut b = Coverage::default();
+        for (pass, n) in a.entries() {
+            b.add(pass, n).unwrap();
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(b.add("warp-drive", 1).is_err(), "unknown pass must be rejected");
     }
 
     #[test]

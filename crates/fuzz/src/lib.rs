@@ -30,9 +30,10 @@ pub mod latency;
 pub mod mutate;
 pub mod oracle;
 pub mod rng;
+pub mod shard;
 pub mod shrink;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignSummary, SeedFailure};
+pub use campaign::{run_campaign, CampaignConfig, CampaignSummary, FailureLine, SeedFailure};
 pub use corpus::{format_entry, load_dir, parse_entry, CorpusEntry};
 pub use coverage::{Coverage, REQUIRED};
 pub use gen::{GenProgram, Rendered, Shape, WatchVar};
@@ -40,4 +41,5 @@ pub use latency::Latency;
 pub use mutate::{mutate, mutations};
 pub use oracle::{run_oracles, OracleConfig, OracleFailure, OracleStats, Phase};
 pub use rng::Rng;
+pub use shard::{merge_shards, MergedCampaign, ShardSummary};
 pub use shrink::{shrink, ShrinkOutcome};

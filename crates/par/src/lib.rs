@@ -42,8 +42,10 @@
 //! simulator watchdog) poll. Supervisors build on these primitives; see
 //! `cedar-experiments::supervise`.
 
+mod backoff;
 mod cancel;
 
+pub use backoff::backoff;
 pub use cancel::CancelToken;
 
 use std::any::Any;

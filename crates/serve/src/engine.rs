@@ -36,7 +36,8 @@ pub struct EngineConfig {
     /// crash-bundle root.
     pub sup: Supervisor,
     /// First retry backoff; attempt `k` waits `base · 2^(k-1)` plus a
-    /// deterministic 0–50 % jitter keyed on the request label.
+    /// deterministic 0–50 % jitter keyed on the request label
+    /// ([`cedar_par::backoff`], shared with the campaign workers).
     pub backoff_base: Duration,
     /// Perturbation seeds for validated requests (trimmed from the
     /// batch default of 8 — a service pays per request).
@@ -215,21 +216,6 @@ struct Output {
     validation: Option<ValidationReport>,
 }
 
-fn fnv(parts: &[&str]) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    for p in parts {
-        p.hash(&mut h);
-    }
-    h.finish()
-}
-
-/// Deterministic jittered exponential backoff before retry `k` (k ≥ 1).
-fn backoff(base: Duration, label: &str, k: usize) -> Duration {
-    let exp = base.saturating_mul(1u32 << (k - 1).min(4));
-    let jitter_pct = fnv(&[label, &k.to_string()]) % 50;
-    exp + exp.mul_f64(jitter_pct as f64 / 100.0)
-}
-
 fn pass_for(req: &ServeRequest) -> PassConfig {
     let base = match req.config.as_str() {
         "manual" => PassConfig::manual_improved(),
@@ -369,7 +355,7 @@ pub fn handle(req: &ServeRequest, cfg: &EngineConfig, breaker: &Breaker) -> Hand
     let mut attempts: Vec<(&'static str, CellError)> = Vec::new();
     for (i, rung) in Rung::LADDER[start..].iter().enumerate() {
         if i > 0 {
-            std::thread::sleep(backoff(cfg.backoff_base, &label, i));
+            std::thread::sleep(cedar_par::backoff(cfg.backoff_base, &label, i));
         }
         let outcome =
             supervise::run_attempt(&sup, &label, *rung, || attempt_body(req, &pass, &mc, cfg));
@@ -504,12 +490,15 @@ mod tests {
     }
 
     #[test]
-    fn backoff_grows_and_jitters_deterministically() {
+    fn retry_backoff_is_the_shared_cedar_par_implementation() {
+        // The ladder's sleep is `cedar_par::backoff` — assert the
+        // contract the engine relies on (growth + determinism) against
+        // the shared implementation so a drift there fails here too.
         let base = Duration::from_millis(10);
-        let a1 = backoff(base, "serve/x", 1);
-        let a2 = backoff(base, "serve/x", 2);
+        let a1 = cedar_par::backoff(base, "serve/x", 1);
+        let a2 = cedar_par::backoff(base, "serve/x", 2);
         assert!(a1 >= base && a1 < base * 2, "{a1:?}");
         assert!(a2 >= base * 2 && a2 < base * 3, "{a2:?}");
-        assert_eq!(a1, backoff(base, "serve/x", 1), "jitter is deterministic");
+        assert_eq!(a1, cedar_par::backoff(base, "serve/x", 1));
     }
 }
