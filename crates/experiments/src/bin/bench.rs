@@ -21,7 +21,7 @@
 //! the `cedar-par` worker pool and the shared restructure cache.
 
 use cedar_restructure::PassConfig;
-use cedar_sim::MachineConfig;
+use cedar_sim::{Engine, MachineConfig};
 use cedar_verify::ValidationConfig;
 use cedar_workloads::Workload;
 use std::time::Instant;
@@ -101,7 +101,11 @@ fn main() {
 
     let jobs = cedar_par::jobs();
     let pool = pool();
-    let mc = MachineConfig::cedar_config1_scaled();
+    // The `simulate`/`verify` entries pin the tree-walking interpreter
+    // so the perf trajectory stays comparable across commits; the
+    // `*_vm` entries measure the bytecode engine on the same pool.
+    let mc = MachineConfig::cedar_config1_scaled().with_engine(Engine::Interp);
+    let mc_vm = MachineConfig::cedar_config1_scaled().with_engine(Engine::Vm);
     let mut entries: Vec<Entry> = Vec::new();
     let push = |entries: &mut Vec<Entry>, name, wall_s, iters| {
         eprintln!("  {name:<24} {:>9.1} ms/iter ({iters} iters)", wall_s * 1e3);
@@ -165,6 +169,27 @@ fn main() {
         "fast paths changed simulated cycles"
     );
 
+    // --- simulate on the bytecode VM (compile-once/run-many) -----------
+    let artifacts: Vec<_> = restructured.iter().map(cedar_sim::compile).collect();
+    let mut vm_cycles = 0.0f64;
+    let simulate_vm_s = time(1, || {
+        vm_cycles = restructured
+            .iter()
+            .zip(&artifacts)
+            .map(|(p, a)| {
+                cedar_sim::run_precompiled(p, mc_vm.clone(), a)
+                    .expect("simulate_vm")
+                    .cycles()
+            })
+            .sum();
+    });
+    push(&mut entries, "simulate_vm", simulate_vm_s, 1);
+    assert_eq!(
+        cycles.to_bits(),
+        vm_cycles.to_bits(),
+        "VM diverged from the tree-walking interpreter"
+    );
+
     // --- verify (1 perturbation seed per workload) ---------------------
     let vcfg = ValidationConfig { seeds: vec![1], ..Default::default() };
     let verify_s = time(1, || {
@@ -174,6 +199,13 @@ fn main() {
         }
     });
     push(&mut entries, "verify", verify_s, 1);
+    let verify_vm_s = time(1, || {
+        for ((w, cfg), p) in pool.iter().zip(&programs) {
+            cedar_verify::restructure_validated(p, cfg, &mc_vm, &w.watch, &vcfg)
+                .unwrap_or_else(|e| panic!("verify_vm `{}`: {e}", w.name));
+        }
+    });
+    push(&mut entries, "verify_vm", verify_vm_s, 1);
 
     // --- full artifact suite (the `all` binary's work) -----------------
     let suite_s = time(1, || {
@@ -195,9 +227,11 @@ fn main() {
     // suite is compared against that recorded trajectory point.
     let seed_suite_wall_s = 8.3;
     let fast_path_speedup = simulate_slow_s / simulate_s;
+    let vm_speedup = verify_s / verify_vm_s;
     let suite_speedup_vs_seed = seed_suite_wall_s / suite_s;
     eprintln!(
         "bench: fast-path sim speedup {fast_path_speedup:.2}x, \
+         vm verify speedup {vm_speedup:.2}x, \
          suite {suite_s:.2}s = {suite_speedup_vs_seed:.2}x vs seed {seed_suite_wall_s}s"
     );
 
@@ -216,6 +250,7 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!("  \"fast_path_speedup\": {fast_path_speedup:.3},\n"));
+    json.push_str(&format!("  \"vm_speedup\": {vm_speedup:.3},\n"));
     json.push_str(&format!("  \"seed_suite_wall_s\": {seed_suite_wall_s},\n"));
     json.push_str(&format!("  \"suite_speedup_vs_seed\": {suite_speedup_vs_seed:.3}\n"));
     json.push_str("}\n");

@@ -111,6 +111,30 @@ pub fn restructured_full(program: &Program, cfg: &PassConfig) -> Arc<(Program, R
         .clone()
 }
 
+type BytecodeMap = Mutex<HashMap<u64, Arc<cedar_sim::CompiledProgram>>>;
+
+fn bytecode_cache() -> &'static BytecodeMap {
+    static C: OnceLock<BytecodeMap> = OnceLock::new();
+    C.get_or_init(Default::default)
+}
+
+/// Compile `program` to the simulator's immutable bytecode artifact,
+/// reusing a prior compilation of an identical printed IR. The artifact
+/// depends only on the program — never on a `MachineConfig` — so one
+/// entry serves every machine, seed, and fault profile that simulates
+/// the same program (the robustness sweep's per-seed runs, the service
+/// path's coalesced identical requests). Equivalent to
+/// `cedar_sim::compile(program)`.
+pub fn bytecode(program: &Program) -> Arc<cedar_sim::CompiledProgram> {
+    let printed = cedar_ir::print::print_program(program);
+    let key = fnv(&[&printed]);
+    if let Some(a) = bytecode_cache().lock().unwrap().get(&key) {
+        return Arc::clone(a);
+    }
+    let a = cedar_sim::compile(program);
+    bytecode_cache().lock().unwrap().entry(key).or_insert(a).clone()
+}
+
 type OutcomeMap = Mutex<HashMap<u64, Arc<crate::pipeline::Outcome>>>;
 
 fn outcome_cache() -> &'static OutcomeMap {
@@ -146,15 +170,18 @@ pub fn clear() {
     compile_cache().lock().unwrap().clear();
     restructure_cache().lock().unwrap().clear();
     restructure_full_cache().lock().unwrap().clear();
+    bytecode_cache().lock().unwrap().clear();
     outcome_cache().lock().unwrap().clear();
 }
 
-/// Cache occupancy `(compiled, restructured, outcomes)` — used by the
-/// bench harness to report how much work the caches absorbed.
-pub fn sizes() -> (usize, usize, usize) {
+/// Cache occupancy `(compiled, restructured, bytecode, outcomes)` —
+/// used by the bench harness to report how much work the caches
+/// absorbed.
+pub fn sizes() -> (usize, usize, usize, usize) {
     (
         compile_cache().lock().unwrap().len(),
         restructure_cache().lock().unwrap().len(),
+        bytecode_cache().lock().unwrap().len(),
         outcome_cache().lock().unwrap().len(),
     )
 }
@@ -185,6 +212,15 @@ mod tests {
             direct.report.to_string(),
             "cached report must match a direct restructure"
         );
+    }
+
+    #[test]
+    fn bytecode_cache_returns_same_artifact() {
+        let w = cedar_workloads::linalg::tridag(32);
+        let p = compiled(&w);
+        let a = bytecode(&p);
+        let b = bytecode(&p);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
     }
 
     #[test]

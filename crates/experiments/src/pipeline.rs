@@ -55,7 +55,16 @@ pub fn run_program(
             }
             None => program,
         };
-        let sim = cedar_sim::run(to_run, mc.clone()).unwrap_or_else(|e| {
+        // The VM engine runs off the shared bytecode cache: one compile
+        // per distinct program, however many cells simulate it.
+        let sim = match mc.engine {
+            cedar_sim::Engine::Vm => {
+                let artifact = crate::cache::bytecode(to_run);
+                cedar_sim::run_precompiled(to_run, mc.clone(), &artifact)
+            }
+            cedar_sim::Engine::Interp => cedar_sim::run(to_run, mc.clone()),
+        }
+        .unwrap_or_else(|e| {
             // Hand the structured error to the supervisor (when one is
             // active) before the harness panic, so the failure is
             // classified as a sim-error/timeout rather than a panic.

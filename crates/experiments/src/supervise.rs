@@ -871,9 +871,8 @@ mod tests {
             let sweep = run_cells(&s, cells, |_: &()| -> u32 { panic!("boom") });
             assert_eq!(sweep.quarantined.len(), 1);
         }
-        let dir = PathBuf::from(
-            std::fs::read_dir(&s.bundle_dir).unwrap().next().unwrap().unwrap().path(),
-        );
+        let dir =
+            std::fs::read_dir(&s.bundle_dir).unwrap().next().unwrap().unwrap().path();
         assert_eq!(bundle_hits(dir.to_str().unwrap()), 3);
         let bundle = std::fs::read_to_string(dir.join("bundle.json")).unwrap();
         assert!(bundle.ends_with("}\n"), "metadata written exactly once, intact");

@@ -25,7 +25,7 @@
 use crate::gen::{Rendered, WatchVar};
 use cedar_ir::Program;
 use cedar_restructure::{restructure, PassConfig, Report};
-use cedar_sim::MachineConfig;
+use cedar_sim::{Engine, MachineConfig};
 use cedar_verify::{first_bit_diff, first_diff, CellDiff, Snapshot};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -45,6 +45,9 @@ pub enum Phase {
     Differential,
     /// Metamorphic oracle: fast-path ablation changed results.
     FastPaths,
+    /// Differential oracle: the bytecode VM and the tree-walking
+    /// interpreter disagree on the same restructured program.
+    EngineDiff,
     /// Metamorphic oracle: nest suppression failed to reproduce serial.
     Suppress,
     /// Internal oracle: race detector / sync audit disagreement.
@@ -61,6 +64,7 @@ impl Phase {
             Phase::Parallel => "parallel",
             Phase::Differential => "differential",
             Phase::FastPaths => "fast-paths",
+            Phase::EngineDiff => "engine-diff",
             Phase::Suppress => "suppress",
             Phase::RaceAudit => "race-audit",
         }
@@ -271,6 +275,39 @@ pub fn run_oracles(r: &Rendered, cfg: &OracleConfig) -> Result<OracleStats, Orac
             return Err(OracleFailure {
                 phase: Phase::FastPaths,
                 detail: "fast-path and slow-path runs disagree".into(),
+                diff: Some(diff),
+            });
+        }
+    }
+
+    // ---- oracle 2c: the bytecode VM and the tree-walking interpreter
+    // must agree on the restructured program bit-for-bit, simulated
+    // cycle count included (DESIGN.md §14 engine policy) ----
+    {
+        let other = match cfg.mc.engine {
+            Engine::Vm => Engine::Interp,
+            Engine::Interp => Engine::Vm,
+        };
+        let (snap, cycles) = run_snapshot(
+            Phase::EngineDiff,
+            &rr.program,
+            &cfg.mc.clone().with_engine(other),
+            &r.watch,
+        )?;
+        if parallel_cycles.to_bits() != cycles.to_bits() {
+            return Err(OracleFailure::new(
+                Phase::EngineDiff,
+                format!(
+                    "engines disagree on simulated cycles: {parallel_cycles} ({:?}) \
+                     vs {cycles} ({other:?})",
+                    cfg.mc.engine
+                ),
+            ));
+        }
+        if let Some(diff) = first_bit_diff(&parallel, &snap) {
+            return Err(OracleFailure {
+                phase: Phase::EngineDiff,
+                detail: "bytecode VM and tree-walking interpreter disagree".into(),
                 diff: Some(diff),
             });
         }

@@ -1,0 +1,544 @@
+//! One-shot lowering of IR unit bodies into flat bytecode (DESIGN.md
+//! §14).
+//!
+//! [`compile_program`] walks every unit once and emits a contiguous
+//! `Vec<Instr>` per unit: stack-machine expression ops with the
+//! statement watchdog/race-span bookkeeping folded into a single
+//! [`Instr::Gate`] per statement, jump-target-patched `IF` control
+//! flow, and loop/while/call/sync descriptors in side tables. The
+//! artifact is **config-independent and immutable** — verify's K-seed
+//! sweeps, the fuzz oracles, and the serve retry ladder compile once
+//! and share it by `Arc` across many `(seed, config)` executions.
+//!
+//! ## The fallback rule (bit-identity by construction)
+//!
+//! Every statement is compiled under exactly one of two regimes:
+//!
+//! * **Native** — a `Gate` followed by specialized ops whose charge /
+//!   stat / fault / race sequences mirror the interpreter instruction
+//!   by instruction (the VM handlers in `sim::vm` call the *same*
+//!   `bind_of` / `linearize` / `bind_access_cost` / `load` / `store_at`
+//!   seams).
+//! * **Interp** — a single [`Instr::Interp`] holding the cloned
+//!   statement; the VM hands it to `exec_stmt`, which performs its own
+//!   gating. Vector sections, `WHERE`, task starts, unknown callees,
+//!   and rank-overflow subscript lists take this path, so the complex
+//!   cost model (vector startup, prefetch, bulk section ops and their
+//!   `without_fast_paths` ablation) has exactly one implementation.
+//!
+//! Within a native statement, any sub-expression the stack ops cannot
+//! reproduce faithfully (intrinsics, function calls, sections) is kept
+//! as a **whole** cloned subtree behind [`Instr::EvalTree`] — the VM
+//! evaluates it with the interpreter's `eval_scalar`, never mixing
+//! per-node regimes inside one subtree.
+
+use cedar_ir::{BinOp, Expr, LValue, Loop, LoopClass, Program, Span, Stmt, SymbolId, SyncOp, UnOp};
+use std::collections::HashMap;
+
+/// Fortran 77 caps array rank at 7; the interpreter's stack-allocated
+/// subscript buffer holds 8 so the *9th* push reports the violation.
+/// Subscript lists longer than the buffer fall back to the interpreter
+/// to reproduce that error (including its partial charge sequence).
+const MAX_RANK: usize = 8;
+
+/// One bytecode instruction. Expression ops operate on the VM's value
+/// stack; statement ops carry side-table indices.
+#[derive(Debug, Clone)]
+pub(crate) enum Instr {
+    // ---- expression ops (stack machine) ----
+    /// Push an integer constant.
+    PushI(i64),
+    /// Push a real constant.
+    PushR(f64),
+    /// Push a logical constant.
+    PushB(bool),
+    /// Load a scalar variable (cache-hit charge, then element load).
+    LoadScalar(SymbolId),
+    /// Charge one subscript's address arithmetic (after its value ops).
+    ChargeIdx,
+    /// Pop `rank` subscripts, linearize against `arr`'s binding, charge
+    /// the placement-dependent access cost, push the element.
+    LoadElem { arr: SymbolId, rank: u8 },
+    /// Pop one value, apply a unary op (one scalar-op charge).
+    Un(UnOp),
+    /// Pop two values, apply a binary op (one scalar-op charge).
+    Bin(BinOp),
+    /// Evaluate side-table expression `exprs[i]` with the interpreter's
+    /// `eval_scalar` and push the result (whole-subtree fallback).
+    EvalTree(u32),
+
+    // ---- statement ops ----
+    /// Statement prologue: count the watchdog budget, poll the cancel
+    /// token, report `span` to the race detector, and set the error
+    /// stamp for the statement's inline ops.
+    Gate { span: Span, stamp: Span },
+    /// Charge the conditional-branch test of an `IF` (no stat count).
+    Branch,
+    /// Pop a value; jump to the absolute target when it is false.
+    JumpIfFalse(u32),
+    /// Unconditional jump to the absolute target.
+    Jump(u32),
+    /// Pop a value and store it to a scalar variable.
+    StoreScalar(SymbolId),
+    /// Pop a value then `rank` subscripts; store to an array element.
+    StoreElem { arr: SymbolId, rank: u8 },
+    /// Run side-table loop `loops[i]` (bounds, schedule, body ranges),
+    /// then continue at its `end_pc`.
+    LoopStmt(u32),
+    /// Run side-table DO WHILE `whiles[i]`, then continue at `end_pc`.
+    WhileStmt(u32),
+    /// CALL side-table site `calls[i]` (known callee, pre-resolved).
+    CallSub(u32),
+    /// `CALL TSTART` / `CALL TSTOP` region-timer bookkeeping.
+    Timer { start: bool },
+    /// Execute side-table synchronization op `syncs[i]`.
+    SyncStmt(u32),
+    /// Join every outstanding subroutine-level task.
+    TaskWait,
+    /// Charge one buffered I/O statement.
+    Io,
+    /// RETURN from the unit body.
+    Return,
+    /// STOP the program.
+    Stop,
+    /// Full interpreter fallback: execute cloned statement `stmts[i]`
+    /// via `exec_stmt` (which gates itself — no `Gate` precedes this).
+    Interp(u32),
+}
+
+/// A pre-resolved CALL site.
+#[derive(Debug, Clone)]
+pub(crate) struct CallSite {
+    /// Callee index into `program.units` (first definition wins,
+    /// mirroring the interpreter's prepass callee index).
+    pub ridx: usize,
+    /// Actual-argument expressions (bound by `invoke`).
+    pub args: Vec<Expr>,
+    /// Call-statement span (stamped onto errors from the callee).
+    pub span: Span,
+}
+
+/// Compiled form of a DO loop: bounds as expression trees (evaluated
+/// with the interpreter's exact charge order), compiled code ranges for
+/// the preamble/body/postamble, and the scheduler inputs.
+#[derive(Debug, Clone)]
+pub(crate) struct VmLoop {
+    pub class: LoopClass,
+    pub var: SymbolId,
+    pub start: Expr,
+    pub end: Expr,
+    pub step: Option<Expr>,
+    pub locals: Vec<SymbolId>,
+    /// `[lo, hi)` code range of the once-per-participant preamble.
+    pub pre: (u32, u32),
+    /// `[lo, hi)` code range of the loop body.
+    pub body: (u32, u32),
+    /// `[lo, hi)` code range of the once-per-participant postamble.
+    pub post: (u32, u32),
+    pub span: Span,
+    /// Straight-line continuation after the loop's inline ranges.
+    pub end_pc: u32,
+}
+
+/// Compiled form of a DO WHILE: tree condition + compiled body range.
+#[derive(Debug, Clone)]
+pub(crate) struct VmWhile {
+    pub cond: Expr,
+    /// `[lo, hi)` code range of the body.
+    pub body: (u32, u32),
+    pub span: Span,
+    pub end_pc: u32,
+}
+
+/// One unit's compiled body plus its side tables.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CompiledUnit {
+    pub code: Vec<Instr>,
+    /// Cloned statements behind [`Instr::Interp`].
+    pub stmts: Vec<Stmt>,
+    /// Cloned expressions behind [`Instr::EvalTree`].
+    pub exprs: Vec<Expr>,
+    pub loops: Vec<VmLoop>,
+    pub whiles: Vec<VmWhile>,
+    pub calls: Vec<CallSite>,
+    pub syncs: Vec<SyncOp>,
+}
+
+/// The immutable compiled artifact: one [`CompiledUnit`] per program
+/// unit, indexed exactly like `program.units`. Share it with
+/// [`Arc`](std::sync::Arc) — compiling is cheap, but verify / fuzz /
+/// serve run the same program hundreds of times.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    pub(crate) units: Vec<CompiledUnit>,
+}
+
+impl CompiledProgram {
+    /// Total instruction count across all units (introspection/tests).
+    pub fn instr_count(&self) -> usize {
+        self.units.iter().map(|u| u.code.len()).sum()
+    }
+
+    /// How many statements fell back to the tree-walker
+    /// ([`Instr::Interp`]), across all units (introspection/tests).
+    pub fn fallback_count(&self) -> usize {
+        self.units.iter().map(|u| u.stmts.len()).sum()
+    }
+}
+
+/// Lower every unit of `program` to bytecode. Pure function of the
+/// program: no config, no I/O — the same program always compiles to the
+/// same artifact, so content-keyed caches can share it freely.
+pub fn compile_program(program: &Program) -> CompiledProgram {
+    // Callee index: first definition wins, exactly like the
+    // interpreter's prepass (`Iterator::position` semantics).
+    let mut unit_index = HashMap::with_capacity(program.units.len());
+    for (i, u) in program.units.iter().enumerate() {
+        unit_index.entry(u.name.as_str()).or_insert(i);
+    }
+    let units = program
+        .units
+        .iter()
+        .map(|u| {
+            let mut c = Compiler { cu: CompiledUnit::default(), unit_index: &unit_index };
+            c.emit_block(&u.body);
+            c.cu
+        })
+        .collect();
+    CompiledProgram { units }
+}
+
+/// True when the stack ops reproduce `e`'s evaluation (values, charge
+/// order, stat counts, and error order) exactly. Anything else is kept
+/// as a whole subtree behind [`Instr::EvalTree`].
+fn scalar_compilable(e: &Expr) -> bool {
+    match e {
+        Expr::ConstI(_) | Expr::ConstR { .. } | Expr::ConstB(_) | Expr::Scalar(_) => true,
+        // Rank overflow must raise mid-subscript-list, after the
+        // overflowing subscript's evaluation but before its charge —
+        // only the tree walk gets that sequence right.
+        Expr::Elem { idx, .. } => idx.len() <= MAX_RANK && idx.iter().all(scalar_compilable),
+        Expr::Un(_, inner) => scalar_compilable(inner),
+        Expr::Bin(_, l, r) => scalar_compilable(l) && scalar_compilable(r),
+        // Intrinsics (incl. reductions/iota type errors), function
+        // calls, and sections keep the interpreter's logic.
+        Expr::Intr { .. } | Expr::Call { .. } | Expr::Section { .. } => false,
+    }
+}
+
+struct Compiler<'a> {
+    cu: CompiledUnit,
+    unit_index: &'a HashMap<&'a str, usize>,
+}
+
+impl Compiler<'_> {
+    fn pc(&self) -> u32 {
+        self.cu.code.len() as u32
+    }
+
+    fn gate(&mut self, span: Span, stamp: Span) {
+        self.cu.code.push(Instr::Gate { span, stamp });
+    }
+
+    /// Emit a placeholder jump; returns its index for patching.
+    fn emit_jump_placeholder(&mut self, conditional: bool) -> usize {
+        let at = self.cu.code.len();
+        self.cu.code.push(if conditional {
+            Instr::JumpIfFalse(u32::MAX)
+        } else {
+            Instr::Jump(u32::MAX)
+        });
+        at
+    }
+
+    /// Point a placeholder jump at the current pc.
+    fn patch_jump(&mut self, at: usize) {
+        let target = self.pc();
+        match &mut self.cu.code[at] {
+            Instr::JumpIfFalse(t) | Instr::Jump(t) => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    /// Emit a block and return its `[lo, hi)` code range.
+    fn emit_range(&mut self, body: &[Stmt]) -> (u32, u32) {
+        let lo = self.pc();
+        self.emit_block(body);
+        (lo, self.pc())
+    }
+
+    fn emit_block(&mut self, body: &[Stmt]) {
+        for s in body {
+            self.emit_stmt(s);
+        }
+    }
+
+    /// Whole-statement interpreter fallback (no `Gate`: `exec_stmt`
+    /// gates itself, keeping watchdog counts and race spans identical).
+    fn fallback(&mut self, s: &Stmt) {
+        let i = self.cu.stmts.len() as u32;
+        self.cu.stmts.push(s.clone());
+        self.cu.code.push(Instr::Interp(i));
+    }
+
+    /// Emit ops leaving `e`'s scalar value on the stack: native ops
+    /// when faithful, otherwise one whole-subtree [`Instr::EvalTree`].
+    fn emit_scalar_value(&mut self, e: &Expr) {
+        if scalar_compilable(e) {
+            self.emit_expr(e);
+        } else {
+            let i = self.cu.exprs.len() as u32;
+            self.cu.exprs.push(e.clone());
+            self.cu.code.push(Instr::EvalTree(i));
+        }
+    }
+
+    /// Emit native ops for a [`scalar_compilable`] expression.
+    fn emit_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::ConstI(v) => self.cu.code.push(Instr::PushI(*v)),
+            Expr::ConstR { value, .. } => self.cu.code.push(Instr::PushR(*value)),
+            Expr::ConstB(b) => self.cu.code.push(Instr::PushB(*b)),
+            Expr::Scalar(s) => self.cu.code.push(Instr::LoadScalar(*s)),
+            Expr::Elem { arr, idx } => {
+                for ie in idx {
+                    self.emit_expr(ie);
+                    self.cu.code.push(Instr::ChargeIdx);
+                }
+                self.cu.code.push(Instr::LoadElem { arr: *arr, rank: idx.len() as u8 });
+            }
+            Expr::Un(op, inner) => {
+                self.emit_expr(inner);
+                self.cu.code.push(Instr::Un(*op));
+            }
+            Expr::Bin(op, l, r) => {
+                self.emit_expr(l);
+                self.emit_expr(r);
+                self.cu.code.push(Instr::Bin(*op));
+            }
+            Expr::Intr { .. } | Expr::Call { .. } | Expr::Section { .. } => {
+                unreachable!("emit_expr on non-compilable expression")
+            }
+        }
+    }
+
+    fn emit_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign { lhs, rhs, span } => match lhs {
+                LValue::Scalar(sv) => {
+                    self.gate(*span, *span);
+                    self.emit_scalar_value(rhs);
+                    self.cu.code.push(Instr::StoreScalar(*sv));
+                }
+                LValue::Elem { arr, idx } if idx.len() <= MAX_RANK => {
+                    self.gate(*span, *span);
+                    for e in idx {
+                        self.emit_scalar_value(e);
+                        self.cu.code.push(Instr::ChargeIdx);
+                    }
+                    self.emit_scalar_value(rhs);
+                    self.cu.code.push(Instr::StoreElem { arr: *arr, rank: idx.len() as u8 });
+                }
+                // Vector sections (bulk ops, masks, fast-path ablation)
+                // and rank-overflow element stores keep the
+                // interpreter's single implementation.
+                _ => self.fallback(s),
+            },
+            Stmt::WhereAssign { .. } => self.fallback(s),
+            Stmt::If { cond, then_body, elifs, else_body, span } => {
+                self.gate(*span, *span);
+                self.emit_scalar_value(cond);
+                // The interpreter charges the branch test once, after
+                // the IF condition only (elif conditions are free).
+                self.cu.code.push(Instr::Branch);
+                let mut end_jumps = Vec::with_capacity(1 + elifs.len());
+                let mut next = self.emit_jump_placeholder(true);
+                self.emit_block(then_body);
+                end_jumps.push(self.emit_jump_placeholder(false));
+                for (ec, eb) in elifs {
+                    self.patch_jump(next);
+                    self.emit_scalar_value(ec);
+                    next = self.emit_jump_placeholder(true);
+                    self.emit_block(eb);
+                    end_jumps.push(self.emit_jump_placeholder(false));
+                }
+                self.patch_jump(next);
+                self.emit_block(else_body);
+                for j in end_jumps {
+                    self.patch_jump(j);
+                }
+            }
+            Stmt::Loop(l) => self.emit_loop(l),
+            Stmt::DoWhile { cond, body, span } => {
+                self.gate(*span, Span::NONE);
+                let wi = self.cu.whiles.len();
+                self.cu.whiles.push(VmWhile {
+                    cond: cond.clone(),
+                    body: (0, 0),
+                    span: *span,
+                    end_pc: 0,
+                });
+                self.cu.code.push(Instr::WhileStmt(wi as u32));
+                let body_range = self.emit_range(body);
+                self.cu.whiles[wi].body = body_range;
+                self.cu.whiles[wi].end_pc = self.pc();
+            }
+            Stmt::Call { callee, args, span } => {
+                if cedar_ir::is_timer_call(callee) {
+                    self.gate(*span, *span);
+                    self.cu.code.push(Instr::Timer { start: callee == "tstart" });
+                } else if let Some(&ridx) = self.unit_index.get(callee.as_str()) {
+                    self.gate(*span, *span);
+                    let ci = self.cu.calls.len() as u32;
+                    self.cu.calls.push(CallSite { ridx, args: args.clone(), span: *span });
+                    self.cu.code.push(Instr::CallSub(ci));
+                } else {
+                    // Unknown callee: the interpreter's error (span,
+                    // message, gating) is authoritative.
+                    self.fallback(s);
+                }
+            }
+            // Forked clocks, task-group race regions, and the
+            // mtskstart sync audit stay on the interpreter.
+            Stmt::TaskStart { .. } => self.fallback(s),
+            Stmt::TaskWait { span } => {
+                self.gate(*span, Span::NONE);
+                self.cu.code.push(Instr::TaskWait);
+            }
+            Stmt::Sync(op) => {
+                // `Stmt::span()` is NONE for sync ops, and the
+                // interpreter never stamps their errors.
+                self.gate(Span::NONE, Span::NONE);
+                let si = self.cu.syncs.len() as u32;
+                self.cu.syncs.push(op.clone());
+                self.cu.code.push(Instr::SyncStmt(si));
+            }
+            Stmt::Return => {
+                self.gate(Span::NONE, Span::NONE);
+                self.cu.code.push(Instr::Return);
+            }
+            Stmt::Stop => {
+                self.gate(Span::NONE, Span::NONE);
+                self.cu.code.push(Instr::Stop);
+            }
+            Stmt::Io { span } => {
+                self.gate(*span, Span::NONE);
+                self.cu.code.push(Instr::Io);
+            }
+        }
+    }
+
+    fn emit_loop(&mut self, l: &Loop) {
+        self.gate(l.span, Span::NONE);
+        let li = self.cu.loops.len();
+        self.cu.loops.push(VmLoop {
+            class: l.class,
+            var: l.var,
+            start: l.start.clone(),
+            end: l.end.clone(),
+            step: l.step.clone(),
+            locals: l.locals.clone(),
+            pre: (0, 0),
+            body: (0, 0),
+            post: (0, 0),
+            span: l.span,
+            end_pc: 0,
+        });
+        self.cu.code.push(Instr::LoopStmt(li as u32));
+        // The loop's blocks live inline after the LoopStmt; straight-
+        // line execution continues at end_pc, and only the schedulers
+        // enter the ranges (per participant / per iteration).
+        let pre = self.emit_range(&l.preamble);
+        let body = self.emit_range(&l.body);
+        let post = self.emit_range(&l.postamble);
+        let end_pc = self.pc();
+        let lp = &mut self.cu.loops[li];
+        lp.pre = pre;
+        lp.body = body;
+        lp.post = post;
+        lp.end_pc = end_pc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile_src(src: &str) -> CompiledProgram {
+        let p = cedar_ir::compile_free(src).expect("test source compiles");
+        compile_program(&p)
+    }
+
+    #[test]
+    fn straight_line_assign_compiles_without_fallback() {
+        let cp = compile_src(
+            "program t\nreal a(10)\nreal x\nx = 1.5\na(3) = x * 2.0\nend\n",
+        );
+        assert_eq!(cp.fallback_count(), 0, "scalar assigns must go native");
+        assert!(cp.instr_count() > 0);
+    }
+
+    #[test]
+    fn section_assign_falls_back_whole_statement() {
+        let cp = compile_src("program t\nreal a(10)\na(1:10) = 0.0\nend\n");
+        assert_eq!(cp.fallback_count(), 1, "vector statement → Interp");
+        // The fallback op must not be preceded by a Gate (exec_stmt
+        // gates itself; double-gating would double watchdog counts).
+        let code = &cp.units[0].code;
+        let at = code
+            .iter()
+            .position(|i| matches!(i, Instr::Interp(_)))
+            .expect("one Interp op");
+        assert!(
+            at == 0 || !matches!(code[at - 1], Instr::Gate { .. }),
+            "Interp must not be double-gated"
+        );
+    }
+
+    #[test]
+    fn if_chain_patches_all_jumps() {
+        let cp = compile_src(
+            "program t\nreal x, y\nx = 1.0\nif (x .gt. 2.0) then\ny = 1.0\n\
+             else if (x .gt. 0.5) then\ny = 2.0\nelse\ny = 3.0\nend if\nend\n",
+        );
+        for u in &cp.units {
+            for i in &u.code {
+                match i {
+                    Instr::Jump(t) | Instr::JumpIfFalse(t) => {
+                        assert!(*t != u32::MAX, "unpatched jump");
+                        assert!((*t as usize) <= u.code.len(), "jump out of range");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loop_ranges_nest_and_terminate() {
+        let cp = compile_src(
+            "program t\nreal a(8, 8)\ninteger i, j\ndo j = 1, 8\ndo i = 1, 8\n\
+             a(i, j) = i + j\nend do\nend do\nend\n",
+        );
+        let u = &cp.units[0];
+        assert!(u.loops.len() >= 2, "two nested loops compiled");
+        for lp in &u.loops {
+            assert!(lp.body.0 <= lp.body.1);
+            assert!((lp.end_pc as usize) <= u.code.len());
+        }
+    }
+
+    #[test]
+    fn first_unit_definition_wins_for_calls() {
+        // Mirror of the prepass rule: duplicate unit names resolve to
+        // the first definition.
+        let p = cedar_ir::compile_free(
+            "program t\ncall s\nend\nsubroutine s\nreal x\nx = 1.0\nend\n",
+        )
+        .expect("compiles");
+        let cp = compile_program(&p);
+        let u = &cp.units[0];
+        assert_eq!(u.calls.len(), 1);
+        assert_eq!(u.calls[0].ridx, 1);
+    }
+}

@@ -3,6 +3,35 @@
 use cedar_par::CancelToken;
 use std::time::Duration;
 
+/// Which execution engine runs the program (DESIGN.md §14).
+///
+/// Both engines are **bit-identical** in every observable: cycles,
+/// outputs, stats, race reports, and `SimError`s. The VM is the default
+/// because it is faster; the tree-walker stays as the differential
+/// oracle the property tests and the fuzz `vm-vs-interpreter` lane
+/// compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The original tree-walking interpreter over the IR.
+    Interp,
+    /// The bytecode VM: each unit body is lowered once into a flat
+    /// instruction stream (`sim::compile`) and dispatched by a tight
+    /// `loop { match instr }` (`sim::vm`).
+    Vm,
+}
+
+impl Engine {
+    /// Engine requested via the `CEDAR_ENGINE` environment variable
+    /// (`vm` or `interp`); `None` when unset or unrecognized.
+    pub fn from_env() -> Option<Engine> {
+        match std::env::var("CEDAR_ENGINE").ok()?.as_str() {
+            "vm" => Some(Engine::Vm),
+            "interp" | "interpreter" | "tree" => Some(Engine::Interp),
+            _ => None,
+        }
+    }
+}
+
 /// All cost-model parameters of a simulated machine. The named
 /// constructors encode the two Cedar configurations the paper used plus
 /// the Alliant FX/80 baseline (one Cedar-like cluster).
@@ -124,6 +153,10 @@ pub struct MachineConfig {
     /// with or without a token: the deadline can only *abort*, never
     /// change what the program computes.
     pub cancel: Option<CancelToken>,
+    /// Execution engine ([`Engine::Vm`] by default; `CEDAR_ENGINE=interp`
+    /// selects the tree-walking differential oracle). Bit-identical
+    /// either way — see DESIGN.md §14.
+    pub engine: Engine,
 }
 
 impl MachineConfig {
@@ -174,6 +207,7 @@ impl MachineConfig {
             detect_races: false,
             fast_paths: true,
             cancel: None,
+            engine: Engine::from_env().unwrap_or(Engine::Vm),
         }
     }
 
@@ -284,6 +318,13 @@ impl MachineConfig {
     pub fn with_time_budget(self, budget: Duration) -> MachineConfig {
         self.with_cancel(CancelToken::with_budget(budget))
     }
+
+    /// Select the execution engine (overrides the `CEDAR_ENGINE`
+    /// default). The differential tests run every program under both.
+    pub fn with_engine(mut self, engine: Engine) -> MachineConfig {
+        self.engine = engine;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -320,5 +361,16 @@ mod tests {
         assert!(!c.prefetch);
         let c = MachineConfig::cedar_config1().with_clusters(2);
         assert_eq!(c.total_ces(), 16);
+    }
+
+    #[test]
+    fn engine_selection_defaults_to_vm_and_overrides() {
+        // CI never sets CEDAR_ENGINE for unit tests; guard anyway so a
+        // locally exported override does not turn this into a flake.
+        if std::env::var("CEDAR_ENGINE").is_err() {
+            assert_eq!(MachineConfig::cedar_config1().engine, Engine::Vm);
+        }
+        let c = MachineConfig::cedar_config1().with_engine(Engine::Interp);
+        assert_eq!(c.engine, Engine::Interp);
     }
 }

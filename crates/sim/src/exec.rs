@@ -6,7 +6,9 @@
 //! cycles for every operation, memory access, loop dispatch, and
 //! synchronization event.
 
-use crate::config::MachineConfig;
+use crate::compile::{CompiledProgram, CompiledUnit, VmLoop};
+use crate::config::{Engine, MachineConfig};
+use crate::cost::{CostClass, CostTable};
 use crate::fault::{FaultConfig, FaultState};
 use crate::prepass::Prepass;
 use crate::race::{RaceDetector, RaceInfo};
@@ -18,8 +20,16 @@ use cedar_ir::{
     SymKind, SymbolId, SyncOp, Ty, Unit, UnitKind, Value, Visibility,
 };
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 pub use crate::error::{SimError, SimErrorKind};
+
+// The bytecode dispatch loop lives in a child module so it can reach
+// the interpreter's private seams (load/store, cost model, sync,
+// invoke, the shared loop schedulers) without widening their
+// visibility.
+#[path = "vm.rs"]
+mod vm;
 
 type Result<T> = std::result::Result<T, SimError>;
 
@@ -159,15 +169,48 @@ pub struct Simulator<'p> {
     scratch: Vec<VecVal>,
     /// Recycled linear-index buffers for section lane lists.
     scratch_lin: Vec<Vec<usize>>,
+    /// Bytecode artifact (Some iff [`MachineConfig::engine`] is
+    /// [`Engine::Vm`]); `Arc`-shared so verify / fuzz / serve compile
+    /// once and run many (seed, config) executions off it.
+    compiled: Option<Arc<CompiledProgram>>,
+    /// Static per-instruction cycle charges (see [`crate::cost`]).
+    costs: CostTable,
 }
 
 impl<'p> Simulator<'p> {
-    /// Build a simulator and allocate COMMON storage.
+    /// Build a simulator and allocate COMMON storage. When the config
+    /// selects the VM engine, the program is compiled to bytecode here;
+    /// use [`Simulator::with_artifact`] to reuse a compiled artifact
+    /// across runs instead.
     pub fn new(program: &'p Program, config: MachineConfig) -> Result<Simulator<'p>> {
+        let artifact = (config.engine == Engine::Vm)
+            .then(|| Arc::new(crate::compile::compile_program(program)));
+        Simulator::build(program, config, artifact)
+    }
+
+    /// As [`Simulator::new`] but reusing a pre-compiled artifact (from
+    /// [`crate::compile`]) instead of compiling again. The artifact is
+    /// ignored when the config selects the tree-walking engine, so one
+    /// artifact can serve differential interp-vs-VM comparisons too.
+    pub fn with_artifact(
+        program: &'p Program,
+        config: MachineConfig,
+        artifact: Arc<CompiledProgram>,
+    ) -> Result<Simulator<'p>> {
+        let artifact = (config.engine == Engine::Vm).then_some(artifact);
+        Simulator::build(program, config, artifact)
+    }
+
+    fn build(
+        program: &'p Program,
+        config: MachineConfig,
+        compiled: Option<Arc<CompiledProgram>>,
+    ) -> Result<Simulator<'p>> {
         let races = config
             .detect_races
             .then(|| Box::new(RaceDetector::new(true)));
         let pre = Prepass::build(program, &config);
+        let costs = CostTable::build(&config);
         let mut sim = Simulator {
             program,
             store: Store::new(config.clusters),
@@ -185,6 +228,8 @@ impl<'p> Simulator<'p> {
             pre,
             scratch: Vec::new(),
             scratch_lin: Vec::new(),
+            compiled,
+            costs,
         };
         sim.allocate_commons()?;
         Ok(sim)
@@ -227,11 +272,10 @@ impl<'p> Simulator<'p> {
         // Copy the `&'p Program` out of `self` so the body borrow is
         // independent of `&mut self` (no per-run body clone).
         let program = self.program;
-        let (idx, unit) = program
+        let idx = program
             .units
             .iter()
-            .enumerate()
-            .find(|(_, u)| u.kind == UnitKind::Program)
+            .position(|u| u.kind == UnitKind::Program)
             .ok_or_else(|| {
                 SimError::new(
                     SimErrorKind::BadProgram,
@@ -241,7 +285,7 @@ impl<'p> Simulator<'p> {
             })?;
         let mut ctx = Ctx { cluster: 0, time: 0.0, active: 1 };
         let mut frame = self.new_frame(idx, &mut ctx)?;
-        let flow = self.exec_block(&mut frame, &unit.body, &mut ctx)?;
+        let flow = self.exec_unit_body(&mut frame, idx, &mut ctx)?;
         let _ = flow;
         self.stats.cycles = ctx.time;
         self.entry_frame = Some(frame);
@@ -706,16 +750,7 @@ impl<'p> Simulator<'p> {
     /// of the interpreter (scalar, indexed, section lane) funnels
     /// through here, so this is where the race detector observes reads.
     fn load(&mut self, slot: SlotId, lin: usize) -> Result<Value> {
-        let v = self.store.slot(slot).try_get(lin).ok_or_else(|| {
-            SimError::new(
-                SimErrorKind::OutOfBounds,
-                cedar_ir::Span::NONE,
-                format!(
-                    "linear index {lin} outside storage of {} element(s)",
-                    self.store.slot(slot).len()
-                ),
-            )
-        })?;
+        let v = self.load_raw(slot, lin)?;
         if let Some(rd) = self.races.as_mut() {
             if let Some(race) = rd.record_read(slot, lin) {
                 if let Some(e) = rd.flag(race) {
@@ -726,18 +761,42 @@ impl<'p> Simulator<'p> {
         Ok(v)
     }
 
+    /// [`Simulator::load`] without the race hook — for vector gather
+    /// loops whose reads the detector observes through a bulk recorder
+    /// instead.
+    fn load_raw(&mut self, slot: SlotId, lin: usize) -> Result<Value> {
+        self.store.slot(slot).try_get(lin).ok_or_else(|| {
+            SimError::new(
+                SimErrorKind::OutOfBounds,
+                cedar_ir::Span::NONE,
+                format!(
+                    "linear index {lin} outside storage of {} element(s)",
+                    self.store.slot(slot).len()
+                ),
+            )
+        })
+    }
+
     /// Checked element write through a resolved slot (the write-side
     /// counterpart of [`Simulator::load`] for race detection).
     fn store_at(&mut self, slot: SlotId, lin: usize, v: Value, ty: Ty) -> Result<()> {
-        let len = self.store.slot(slot).len();
-        if self.store.slot_mut(slot).try_set(lin, value_ops::coerce(v, ty)) {
-            if let Some(rd) = self.races.as_mut() {
-                if let Some(race) = rd.record_write(slot, lin) {
-                    if let Some(e) = rd.flag(race) {
-                        return Err(e);
-                    }
+        self.store_at_raw(slot, lin, v, ty)?;
+        if let Some(rd) = self.races.as_mut() {
+            if let Some(race) = rd.record_write(slot, lin) {
+                if let Some(e) = rd.flag(race) {
+                    return Err(e);
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// [`Simulator::store_at`] without the race hook — for vector
+    /// scatter loops whose writes the detector observes through a bulk
+    /// recorder instead.
+    fn store_at_raw(&mut self, slot: SlotId, lin: usize, v: Value, ty: Ty) -> Result<()> {
+        let len = self.store.slot(slot).len();
+        if self.store.slot_mut(slot).try_set(lin, value_ops::coerce(v, ty)) {
             Ok(())
         } else {
             kerr(
@@ -1066,17 +1125,33 @@ impl<'p> Simulator<'p> {
                 self.config.prefetch = saved_prefetch;
                 ctx.time += cost;
                 let mut out = self.take_buf(lanes);
-                // Contiguous run with the race detector off: one slice
-                // copy instead of `lanes` checked element loads. The
-                // fallback path produces the out-of-bounds error.
+                // Contiguous run: one slice copy instead of `lanes`
+                // checked element loads; the detector (when live)
+                // observes the same per-element reads through its bulk
+                // recorder. The fallback path produces the
+                // out-of-bounds error.
                 let bulk = contiguous
-                    && self.races.is_none()
                     && !lins.is_empty()
                     && self.store.slot(slot).extend_range(lins[0], lanes, &mut out);
-                if !bulk {
+                if bulk {
+                    if let Some(rd) = self.races.as_mut() {
+                        for race in rd.record_read_range(slot, lins[0], lanes) {
+                            if let Some(e) = rd.flag(race) {
+                                return Err(e);
+                            }
+                        }
+                    }
+                } else {
                     out.clear();
                     for &l in &lins {
-                        out.push(self.load(slot, l)?);
+                        out.push(self.load_raw(slot, l)?);
+                    }
+                    if let Some(rd) = self.races.as_mut() {
+                        for race in rd.record_read_lins(slot, &lins) {
+                            if let Some(e) = rd.flag(race) {
+                                return Err(e);
+                            }
+                        }
                     }
                 }
                 self.put_lin(lins);
@@ -1457,7 +1532,7 @@ impl<'p> Simulator<'p> {
         };
         let mut frame = local_frame;
 
-        self.exec_block(&mut frame, &callee_unit.body, ctx)?;
+        self.exec_unit_body(&mut frame, ridx, ctx)?;
 
         let result = match callee_unit.result {
             Some(r) => {
@@ -1600,29 +1675,35 @@ impl<'p> Simulator<'p> {
         Ok(Flow::Normal)
     }
 
-    fn exec_stmt(&mut self, frame: &mut Frame, s: &Stmt, ctx: &mut Ctx) -> Result<Flow> {
-        // Watchdog: a global statement budget bounds every run, so even
-        // adversarial inputs terminate with a structured error instead
-        // of wedging the harness.
+    /// Per-statement prologue shared verbatim by both engines: count
+    /// the watchdog budget, poll the cancel token, and report the
+    /// statement span to the race detector. The VM runs this once per
+    /// [`Instr::Gate`](crate::compile::Instr::Gate), so `ops_executed`
+    /// (and every watchdog/cancel error) stays bit-identical across
+    /// engines.
+    ///
+    /// Watchdog: a global statement budget bounds every run, so even
+    /// adversarial inputs terminate with a structured error instead of
+    /// wedging the harness. The wall-clock companion polls the
+    /// supervisor's cancel token every 1024 statements (and on the very
+    /// first, so a pre-expired token aborts before any work). One
+    /// `Instant::now()` per window keeps the host cost invisible; the
+    /// abort is cooperative, so no simulator state tears.
+    fn statement_gate(&mut self, span: cedar_ir::Span) -> Result<()> {
         self.ops_executed += 1;
         if self.ops_executed > self.config.watchdog_ops {
             return kerr(
                 SimErrorKind::Limit,
-                s.span(),
+                span,
                 format!("watchdog: statement budget of {} exceeded", self.config.watchdog_ops),
             );
         }
-        // Wall-clock companion to the statement budget: poll the
-        // supervisor's cancel token every 1024 statements (and on the
-        // very first, so a pre-expired token aborts before any work).
-        // One `Instant::now()` per window keeps the host cost invisible;
-        // the abort is cooperative, so no simulator state tears.
         if self.ops_executed & 0x3FF == 1 {
             if let Some(token) = &self.config.cancel {
                 if token.expired() {
                     return kerr(
                         SimErrorKind::Timeout,
-                        s.span(),
+                        span,
                         match token.budget() {
                             Some(b) => format!(
                                 "watchdog: wall-clock budget of {:.3}s exceeded \
@@ -1641,8 +1722,13 @@ impl<'p> Simulator<'p> {
         }
         if let Some(rd) = self.races.as_mut() {
             // Accesses report the statement they ran under.
-            rd.set_span(s.span());
+            rd.set_span(span);
         }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, frame: &mut Frame, s: &Stmt, ctx: &mut Ctx) -> Result<Flow> {
+        self.statement_gate(s.span())?;
         match s {
             Stmt::Assign { lhs, rhs, span } => {
                 self.exec_assign(frame, lhs, rhs, None, ctx)
@@ -1807,20 +1893,49 @@ impl<'p> Simulator<'p> {
                 }
                 let bind = self.bind_of(frame, *arr)?;
                 let slot = self.resolve_slot(bind, ctx.cluster);
-                // Unmasked contiguous store with the race detector off:
-                // one coercing slice write instead of `lanes` checked
-                // element stores.
+                // Unmasked contiguous store: one coercing slice write
+                // instead of `lanes` checked element stores; the
+                // detector (when live) observes the same per-element
+                // writes through its bulk recorder.
                 let bulk = contiguous
                     && mvals.is_none()
-                    && self.races.is_none()
                     && !lins.is_empty()
                     && self.store.slot_mut(slot).set_range(lins[0], &vals, ty);
-                if !bulk {
-                    for (k, (&lin, &v)) in lins.iter().zip(&vals).enumerate() {
-                        if mvals.as_ref().is_some_and(|m| !m[k].as_bool()) {
-                            continue;
+                if bulk {
+                    if let Some(rd) = self.races.as_mut() {
+                        for race in rd.record_write_range(slot, lins[0], lanes) {
+                            if let Some(e) = rd.flag(race) {
+                                return Err(e);
+                            }
                         }
-                        self.store_at(slot, lin, v, ty)?;
+                    }
+                }
+                if !bulk {
+                    match &mvals {
+                        // Unmasked scatter: raw element stores, then
+                        // one bulk record pass over the index list.
+                        None => {
+                            for (&lin, &v) in lins.iter().zip(&vals) {
+                                self.store_at_raw(slot, lin, v, ty)?;
+                            }
+                            if let Some(rd) = self.races.as_mut() {
+                                for race in rd.record_write_lins(slot, &lins) {
+                                    if let Some(e) = rd.flag(race) {
+                                        return Err(e);
+                                    }
+                                }
+                            }
+                        }
+                        // Masked stores skip elements, so each one goes
+                        // through the checked scalar path.
+                        Some(m) => {
+                            for (k, (&lin, &v)) in lins.iter().zip(&vals).enumerate() {
+                                if !m[k].as_bool() {
+                                    continue;
+                                }
+                                self.store_at(slot, lin, v, ty)?;
+                            }
+                        }
                     }
                 }
                 self.put_lin(lins);
@@ -2038,10 +2153,49 @@ impl<'p> Simulator<'p> {
         }
         let trip = ((end - start + step) / step).max(0) as usize;
 
+        let lr = LoopRef {
+            class: l.class,
+            var: l.var,
+            locals: &l.locals,
+            span: l.span,
+            blocks: LoopBlocks::Tree {
+                pre: &l.preamble,
+                body: &l.body,
+                post: &l.postamble,
+            },
+        };
         if l.class == LoopClass::Seq {
-            return self.exec_seq_loop(frame, l, start, step, trip, ctx);
+            return self.exec_seq_loop(frame, &lr, start, step, trip, ctx);
         }
-        self.exec_parallel_loop(frame, l, start, step, trip, ctx)
+        self.exec_parallel_loop(frame, &lr, start, step, trip, ctx)
+    }
+
+    /// Execute one block of a loop, whichever engine owns its body.
+    fn run_loop_block(
+        &mut self,
+        frame: &mut Frame,
+        lr: &LoopRef<'_>,
+        which: Blk,
+        ctx: &mut Ctx,
+    ) -> Result<Flow> {
+        match &lr.blocks {
+            LoopBlocks::Tree { pre, body, post } => {
+                let b = match which {
+                    Blk::Pre => pre,
+                    Blk::Body => body,
+                    Blk::Post => post,
+                };
+                self.exec_block(frame, b, ctx)
+            }
+            LoopBlocks::Vm { cu, lp } => {
+                let (lo, hi) = match which {
+                    Blk::Pre => lp.pre,
+                    Blk::Body => lp.body,
+                    Blk::Post => lp.post,
+                };
+                self.vm_run_range(frame, cu, lo, hi, ctx)
+            }
+        }
     }
 
     fn set_loop_var(&mut self, frame: &Frame, var: SymbolId, value: i64, ctx: &Ctx) -> Result<()> {
@@ -2064,7 +2218,7 @@ impl<'p> Simulator<'p> {
     fn exec_seq_loop(
         &mut self,
         frame: &mut Frame,
-        l: &Loop,
+        lr: &LoopRef<'_>,
         start: i64,
         step: i64,
         trip: usize,
@@ -2075,16 +2229,16 @@ impl<'p> Simulator<'p> {
         // loop was demoted to serial (validation fallback): a serial
         // loop is a one-participant schedule, so bind locals once and
         // run the per-participant blocks once.
-        let locals = self.bind_locals(frame, l, 1, ctx)?;
-        if !l.preamble.is_empty() {
-            self.exec_block(frame, &l.preamble, ctx)?;
+        let locals = self.bind_locals(frame, lr.locals, lr.class, 1, ctx)?;
+        if lr.has_pre() {
+            self.run_loop_block(frame, lr, Blk::Pre, ctx)?;
         }
         let mut flow = Flow::Normal;
         for k in 0..trip {
-            self.set_loop_var(frame, l.var, start + (k as i64) * step, ctx)?;
-            ctx.time += self.config.scalar_op * 2.0; // increment + test
+            self.set_loop_var(frame, lr.var, start + (k as i64) * step, ctx)?;
+            ctx.time += self.costs.get(CostClass::LoopStep); // increment + test
             self.stats.scalar_ops += 2;
-            match self.exec_block(frame, &l.body, ctx)? {
+            match self.run_loop_block(frame, lr, Blk::Body, ctx)? {
                 Flow::Normal => {}
                 other => {
                     flow = other;
@@ -2092,8 +2246,8 @@ impl<'p> Simulator<'p> {
                 }
             }
         }
-        if !l.postamble.is_empty() && matches!(flow, Flow::Normal) {
-            self.exec_block(frame, &l.postamble, ctx)?;
+        if lr.has_post() && matches!(flow, Flow::Normal) {
+            self.run_loop_block(frame, lr, Blk::Post, ctx)?;
         }
         for (_, per_part) in &locals {
             for b in per_part {
@@ -2108,18 +2262,19 @@ impl<'p> Simulator<'p> {
     fn bind_locals(
         &mut self,
         frame: &mut Frame,
-        l: &Loop,
+        loop_locals: &[SymbolId],
+        class: LoopClass,
         participants: usize,
         ctx: &mut Ctx,
     ) -> Result<Vec<(SymbolId, Vec<VarBind>)>> {
         let unit_idx = frame.unit;
         let program = self.program;
-        let mut out = Vec::with_capacity(l.locals.len());
-        for &loc in &l.locals {
+        let mut out = Vec::with_capacity(loop_locals.len());
+        for &loc in loop_locals {
             let sym = program.units[unit_idx].symbol(loc);
             let mut per_part = Vec::with_capacity(participants);
             for p in 0..participants {
-                let home = self.participant_cluster(l.class, p, ctx);
+                let home = self.participant_cluster(class, p, ctx);
                 // Dims may reference outer scalars (e.g. strip length).
                 // Constant declared dims replay from the prepass cache —
                 // once per participant, like the slow walk.
@@ -2206,14 +2361,14 @@ impl<'p> Simulator<'p> {
     fn exec_parallel_loop(
         &mut self,
         frame: &mut Frame,
-        l: &Loop,
+        lr: &LoopRef<'_>,
         start: i64,
         step: i64,
         trip: usize,
         ctx: &mut Ctx,
     ) -> Result<Flow> {
         let cfg = &self.config;
-        let (participants, startup, dispatch) = match l.class {
+        let (participants, startup, dispatch) = match lr.class {
             LoopClass::CDoall | LoopClass::CDoacross => {
                 (cfg.ces_per_cluster, cfg.cdo_start, cfg.cdo_dispatch)
             }
@@ -2226,7 +2381,7 @@ impl<'p> Simulator<'p> {
             LoopClass::Seq => {
                 return kerr(
                     SimErrorKind::BadProgram,
-                    l.span,
+                    lr.span,
                     "sequential loop reached the parallel scheduler",
                 )
             }
@@ -2235,12 +2390,12 @@ impl<'p> Simulator<'p> {
         self.stats.parallel_loops += 1;
         self.stats.parallel_iterations += trip as u64;
 
-        let is_ordered = l.class.is_ordered();
+        let is_ordered = lr.class.is_ordered();
         if is_ordered {
             self.doacross.push(DoacrossState::new(trip));
         }
 
-        let locals = self.bind_locals(frame, l, participants, ctx)?;
+        let locals = self.bind_locals(frame, lr.locals, lr.class, participants, ctx)?;
         let child_active = ctx.active * participants;
 
         // Per-participant clocks begin after startup.
@@ -2257,17 +2412,17 @@ impl<'p> Simulator<'p> {
         }
 
         // Preamble: once per participant.
-        if !l.preamble.is_empty() {
+        if lr.has_pre() {
             for p in 0..participants {
                 for (loc, per_part) in &locals {
                     frame.binds[loc.index()] = Some(per_part[p].clone());
                 }
                 let mut cctx = Ctx {
-                    cluster: self.participant_cluster(l.class, p, ctx),
+                    cluster: self.participant_cluster(lr.class, p, ctx),
                     time: clocks[p],
                     active: child_active,
                 };
-                self.exec_block(frame, &l.preamble, &mut cctx)?;
+                self.run_loop_block(frame, lr, Blk::Pre, &mut cctx)?;
                 clocks[p] = cctx.time;
             }
         }
@@ -2294,7 +2449,7 @@ impl<'p> Simulator<'p> {
                 bound_p = p;
             }
             let mut cctx = Ctx {
-                cluster: self.participant_cluster(l.class, p, ctx),
+                cluster: self.participant_cluster(lr.class, p, ctx),
                 time: clocks[p] + dispatch,
                 active: child_active,
             };
@@ -2306,8 +2461,8 @@ impl<'p> Simulator<'p> {
             if let Some(rd) = self.races.as_mut() {
                 rd.begin_iteration(k as u32, p as u16);
             }
-            self.set_loop_var(frame, l.var, start + (k as i64) * step, &cctx)?;
-            let f = self.exec_block(frame, &l.body, &mut cctx)?;
+            self.set_loop_var(frame, lr.var, start + (k as i64) * step, &cctx)?;
+            let f = self.run_loop_block(frame, lr, Blk::Body, &mut cctx)?;
             clocks[p] = cctx.time;
             if !matches!(f, Flow::Normal) {
                 flow = f;
@@ -2320,17 +2475,17 @@ impl<'p> Simulator<'p> {
         }
 
         // Postamble: once per participant.
-        if !l.postamble.is_empty() {
+        if lr.has_post() {
             for p in 0..participants {
                 for (loc, per_part) in &locals {
                     frame.binds[loc.index()] = Some(per_part[p].clone());
                 }
                 let mut cctx = Ctx {
-                    cluster: self.participant_cluster(l.class, p, ctx),
+                    cluster: self.participant_cluster(lr.class, p, ctx),
                     time: clocks[p],
                     active: child_active,
                 };
-                self.exec_block(frame, &l.postamble, &mut cctx)?;
+                self.run_loop_block(frame, lr, Blk::Post, &mut cctx)?;
                 clocks[p] = cctx.time;
             }
         }
@@ -2341,7 +2496,7 @@ impl<'p> Simulator<'p> {
         // Locals go out of scope.
         for (_, per_part) in &locals {
             for (p, b) in per_part.iter().enumerate() {
-                let home = self.participant_cluster(l.class, p, ctx);
+                let home = self.participant_cluster(lr.class, p, ctx);
                 self.release_binding(b, home);
             }
         }
@@ -2401,6 +2556,58 @@ enum Flow {
     Normal,
     Return,
     Stop,
+}
+
+/// Engine-neutral view of a loop for the shared schedulers
+/// ([`Simulator::exec_seq_loop`] / [`Simulator::exec_parallel_loop`]).
+/// The tree-walker and the VM both drive the *same* scheduling,
+/// DOACROSS, fault-jitter, and race-region code; only the body blocks
+/// differ — IR statement slices vs compiled code ranges.
+struct LoopRef<'a> {
+    class: LoopClass,
+    var: SymbolId,
+    locals: &'a [SymbolId],
+    span: cedar_ir::Span,
+    blocks: LoopBlocks<'a>,
+}
+
+enum LoopBlocks<'a> {
+    Tree {
+        pre: &'a [Stmt],
+        body: &'a [Stmt],
+        post: &'a [Stmt],
+    },
+    Vm {
+        cu: &'a CompiledUnit,
+        lp: &'a VmLoop,
+    },
+}
+
+/// Which loop block to run (see [`Simulator::run_loop_block`]).
+#[derive(Clone, Copy)]
+enum Blk {
+    Pre,
+    Body,
+    Post,
+}
+
+impl LoopRef<'_> {
+    /// A compiled block range is empty iff the IR block is (every
+    /// statement emits at least one instruction), so both engines make
+    /// the same has-preamble/has-postamble decisions.
+    fn has_pre(&self) -> bool {
+        match &self.blocks {
+            LoopBlocks::Tree { pre, .. } => !pre.is_empty(),
+            LoopBlocks::Vm { lp, .. } => lp.pre.0 != lp.pre.1,
+        }
+    }
+
+    fn has_post(&self) -> bool {
+        match &self.blocks {
+            LoopBlocks::Tree { post, .. } => !post.is_empty(),
+            LoopBlocks::Vm { lp, .. } => lp.post.0 != lp.post.1,
+        }
+    }
 }
 
 fn with_span(mut e: SimError, span: cedar_ir::Span) -> SimError {

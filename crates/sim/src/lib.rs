@@ -37,7 +37,9 @@
 //! watchdog detects instead of hanging — surfaces as a structured
 //! [`SimError`] with a [`SimErrorKind`].
 
+pub mod compile;
 pub mod config;
+pub mod cost;
 pub mod error;
 pub mod exec;
 pub mod fault;
@@ -48,7 +50,9 @@ pub mod store;
 pub mod value_ops;
 
 pub use cedar_par::CancelToken;
-pub use config::MachineConfig;
+pub use compile::CompiledProgram;
+pub use config::{Engine, MachineConfig};
+pub use cost::{CostClass, CostTable};
 pub use error::{OpError, SimError, SimErrorKind};
 pub use exec::Simulator;
 pub use fault::{FaultConfig, FaultRng};
@@ -56,6 +60,7 @@ pub use race::{RaceInfo, RaceKind};
 pub use stats::ExecStats;
 
 use cedar_ir::Program;
+use std::sync::Arc;
 
 /// Run a program's main unit to completion; returns the simulator for
 /// result inspection plus the simulated cycle count in
@@ -91,6 +96,54 @@ pub fn run_collecting_races(
     config: MachineConfig,
 ) -> Result<Simulator<'_>, SimError> {
     let mut sim = Simulator::new(program, config.with_race_detection())?;
+    sim.collect_races();
+    sim.run_main()?;
+    Ok(sim)
+}
+
+/// Compile a program to the immutable bytecode artifact once, for reuse
+/// across many `(seed, config)` executions via the `*_precompiled`
+/// entry points (or [`Simulator::with_artifact`]). Compiling is pure:
+/// the artifact depends only on the program, never on a
+/// [`MachineConfig`], so content-keyed caches can share it freely.
+pub fn compile(program: &Program) -> Arc<CompiledProgram> {
+    Arc::new(compile::compile_program(program))
+}
+
+/// [`run`] off a shared pre-compiled artifact (used by the VM engine;
+/// ignored — and the tree walked instead — when `config.engine` is
+/// [`Engine::Interp`]).
+pub fn run_precompiled<'p>(
+    program: &'p Program,
+    config: MachineConfig,
+    artifact: &Arc<CompiledProgram>,
+) -> Result<Simulator<'p>, SimError> {
+    let mut sim = Simulator::with_artifact(program, config, Arc::clone(artifact))?;
+    sim.run_main()?;
+    Ok(sim)
+}
+
+/// [`run_with_faults`] off a shared pre-compiled artifact.
+pub fn run_with_faults_precompiled<'p>(
+    program: &'p Program,
+    config: MachineConfig,
+    faults: FaultConfig,
+    artifact: &Arc<CompiledProgram>,
+) -> Result<Simulator<'p>, SimError> {
+    let mut sim = Simulator::with_artifact(program, config, Arc::clone(artifact))?;
+    sim.set_faults(faults);
+    sim.run_main()?;
+    Ok(sim)
+}
+
+/// [`run_collecting_races`] off a shared pre-compiled artifact.
+pub fn run_collecting_races_precompiled<'p>(
+    program: &'p Program,
+    config: MachineConfig,
+    artifact: &Arc<CompiledProgram>,
+) -> Result<Simulator<'p>, SimError> {
+    let mut sim =
+        Simulator::with_artifact(program, config.with_race_detection(), Arc::clone(artifact))?;
     sim.collect_races();
     sim.run_main()?;
     Ok(sim)

@@ -43,8 +43,9 @@
 
 use crate::store::SlotId;
 use cedar_ir::Span;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Sparse vector clock: iteration → highest observed segment clock.
 type Vc = BTreeMap<u32, u32>;
@@ -158,19 +159,83 @@ struct PathEntry {
     clock: u32,
 }
 
-/// A recorded access: its region path plus reporting metadata.
-#[derive(Debug, Clone)]
+/// A recorded access: its region path plus reporting metadata. The
+/// detector **interns** these: every access recorded under one (sync
+/// segment, statement) pair shares a single table entry, and shadow
+/// cells store the entry's index instead of the record itself. The
+/// detector records one access per *element* of vector statements, so
+/// the per-cell footprint (4 bytes vs a path snapshot) is what makes a
+/// race-collecting run affordable.
+#[derive(Debug)]
 struct Access {
-    path: Box<[PathEntry]>,
+    path: Arc<[PathEntry]>,
     part: u16,
     span: Span,
 }
 
-/// Shadow state of one storage element.
-#[derive(Debug, Clone, Default)]
+/// Index into [`RaceDetector::accesses`]; `NO_ACCESS` means "none".
+type AccessId = u32;
+const NO_ACCESS: AccessId = u32::MAX;
+
+/// Path equality with the `Arc` identity fast path (pointer-equal ⇒
+/// value-equal; distinct snapshots can still compare equal, e.g. a
+/// task-group thread resumed after a switch rebuilds the same path).
+fn paths_equal(a: &Arc<[PathEntry]>, b: &Arc<[PathEntry]>) -> bool {
+    Arc::ptr_eq(a, b) || a == b
+}
+
+/// Overflow reader list: boxed so the `None` common case keeps `Cell`
+/// at 16 bytes (an inline `Vec` would be 24 bytes of always-resident
+/// header per cell, and the shadow is sized to the largest array).
+#[allow(clippy::box_collection)]
+type MoreReads = Option<Box<Vec<AccessId>>>;
+
+/// Shadow state of one storage element: the last write and the readers
+/// since. Most cells see at most one reader between writes, so the
+/// first reader is stored inline — a `Vec` here would cost a heap
+/// allocation per cell, and vector statements touch millions of cells.
+#[derive(Debug, Clone)]
 struct Cell {
-    write: Option<Access>,
-    reads: Vec<Access>,
+    write: AccessId,
+    read0: AccessId,
+    more_reads: MoreReads,
+}
+
+impl Default for Cell {
+    fn default() -> Cell {
+        Cell { write: NO_ACCESS, read0: NO_ACCESS, more_reads: None }
+    }
+}
+
+impl Cell {
+    fn last_read(&self) -> AccessId {
+        match &self.more_reads {
+            Some(v) => v.last().copied().unwrap_or(self.read0),
+            None => self.read0,
+        }
+    }
+
+    fn push_read(&mut self, id: AccessId) {
+        if self.read0 == NO_ACCESS {
+            self.read0 = id;
+        } else {
+            self.more_reads.get_or_insert_with(Default::default).push(id);
+        }
+    }
+
+    /// Clear the reader set, returning it for conflict checks.
+    fn take_reads(&mut self) -> (AccessId, MoreReads) {
+        (std::mem::replace(&mut self.read0, NO_ACCESS), self.more_reads.take())
+    }
+}
+
+/// Iterate a reader set returned by [`Cell::take_reads`] in record
+/// order.
+fn reads_iter(read0: AccessId, more: &MoreReads) -> impl Iterator<Item = AccessId> + '_ {
+    (read0 != NO_ACCESS)
+        .then_some(read0)
+        .into_iter()
+        .chain(more.iter().flat_map(|v| v.iter().copied()))
 }
 
 /// One active parallel region (or subroutine task group).
@@ -205,13 +270,26 @@ pub struct RaceDetector {
     stack: Vec<RegionFrame>,
     /// Cached path mirror of `stack` (cloned into each access record).
     path: Vec<PathEntry>,
+    /// Shared snapshot of `path` handed to access records; rebuilt
+    /// lazily after any path mutation (region push/pop, new iteration,
+    /// new sync segment).
+    path_arc: Option<Arc<[PathEntry]>>,
+    /// Interned access records; shadow cells index into this table.
+    accesses: Vec<Access>,
+    /// Interned record for the current (segment, statement); rebuilt
+    /// lazily after a path or span change.
+    cur_id: Option<AccessId>,
+    /// Memoized happens-before verdicts, reset whenever the current
+    /// context or a sync edge changes.
+    memo: ConflictMemo,
     /// Shadow memory, indexed by slot id then linear element.
     shadow: Vec<Option<Vec<Cell>>>,
     /// Best-effort slot → source-name map for reports.
     slot_names: BTreeMap<u32, String>,
     /// Per-CE private slots (privatized loop locals): iterations that
     /// share a participant reuse them sequentially, never concurrently.
-    exempt: BTreeSet<u32>,
+    /// Indexed by slot id — checked on every recorded access.
+    exempt: Vec<bool>,
     next_region: u64,
     /// When > 0, accesses are not recorded (loop-variable bookkeeping).
     suspend: u32,
@@ -228,9 +306,13 @@ impl RaceDetector {
         RaceDetector {
             stack: Vec::new(),
             path: Vec::new(),
+            path_arc: None,
+            accesses: Vec::new(),
+            cur_id: None,
+            memo: ConflictMemo::default(),
             shadow: Vec::new(),
             slot_names: BTreeMap::new(),
-            exempt: BTreeSet::new(),
+            exempt: Vec::new(),
             next_region: 0,
             suspend: 0,
             fail_fast,
@@ -251,7 +333,10 @@ impl RaceDetector {
     }
 
     pub(crate) fn set_span(&mut self, span: Span) {
-        self.cur_span = span;
+        if span != self.cur_span {
+            self.cur_span = span;
+            self.cur_id = None;
+        }
     }
 
     pub(crate) fn note_slot_name(&mut self, slot: SlotId, name: &str) {
@@ -261,7 +346,15 @@ impl RaceDetector {
     /// Mark a slot as per-CE private (not subject to race checks).
     /// Slot ids are never reused, so exemptions cannot go stale.
     pub(crate) fn exempt_slot(&mut self, slot: SlotId) {
-        self.exempt.insert(slot.0);
+        let si = slot.0 as usize;
+        if self.exempt.len() <= si {
+            self.exempt.resize(si + 1, false);
+        }
+        self.exempt[si] = true;
+    }
+
+    fn is_exempt(&self, slot: SlotId) -> bool {
+        self.exempt.get(slot.0 as usize).copied().unwrap_or(false)
     }
 
     pub(crate) fn suspend(&mut self) {
@@ -278,6 +371,9 @@ impl RaceDetector {
         if let (Some(f), Some(p)) = (self.stack.last(), self.path.last_mut()) {
             *p = PathEntry { region: f.id, iter: f.cur_iter, clock: f.cur_clock };
         }
+        self.path_arc = None;
+        self.cur_id = None;
+        self.memo = ConflictMemo::default();
     }
 
     pub(crate) fn push_region(&mut self, ordered: bool, task_group: bool) {
@@ -296,11 +392,17 @@ impl RaceDetector {
             saved: BTreeMap::new(),
         });
         self.path.push(PathEntry { region: id, iter: 0, clock: 0 });
+        self.path_arc = None;
+        self.cur_id = None;
+        self.memo = ConflictMemo::default();
     }
 
     pub(crate) fn pop_region(&mut self) {
         self.stack.pop();
         self.path.pop();
+        self.path_arc = None;
+        self.cur_id = None;
+        self.memo = ConflictMemo::default();
     }
 
     /// True when the innermost region is a subroutine task group.
@@ -347,6 +449,8 @@ impl RaceDetector {
         if upto < 0 {
             return;
         }
+        // The await may add happens-before edges: cached verdicts stale.
+        self.memo = ConflictMemo::default();
         let Some(f) = self.stack.iter_mut().rev().find(|f| f.ordered) else {
             return;
         };
@@ -383,6 +487,9 @@ impl RaceDetector {
 
     /// `lock(id)`: synchronize-with the previous holder's release.
     pub(crate) fn on_lock(&mut self, id: u32) {
+        // The lock edge may add happens-before edges: cached verdicts
+        // stale.
+        self.memo = ConflictMemo::default();
         let Some(f) = self.stack.last_mut() else { return };
         if let Some((iter, clock, vc)) = f.locks.get(&id).cloned() {
             vc_join(&mut f.vc, &vc);
@@ -407,9 +514,72 @@ impl RaceDetector {
     /// If the recorded access path `a` is *not* ordered before the
     /// current context, return the two diverging iterations
     /// `(recorded, current)`; `None` means happens-before holds.
+    #[cfg(test)]
     fn conflict(&self, a: &[PathEntry]) -> Option<(u32, u32)> {
-        for (d, pa) in a.iter().enumerate() {
-            let Some(f) = self.stack.get(d) else {
+        path_conflict(&self.stack, a)
+    }
+
+    // ---- shadow memory ----
+
+    /// Intern (or reuse) the access record for the current context.
+    fn cur_access_id(&mut self) -> AccessId {
+        if let Some(id) = self.cur_id {
+            return id;
+        }
+        if self.path_arc.is_none() {
+            self.path_arc = Some(self.path.as_slice().into());
+        }
+        self.accesses.push(Access {
+            path: Arc::clone(self.path_arc.as_ref().expect("just set")),
+            part: self.stack.last().map_or(0, |f| f.cur_part),
+            span: self.cur_span,
+        });
+        let id = (self.accesses.len() - 1) as AccessId;
+        self.cur_id = Some(id);
+        id
+    }
+}
+
+/// Small direct-mapped memo of [`path_conflict`] keyed by access id:
+/// equal ids share one interned record, hence one path, hence one
+/// verdict — and a verdict stays valid until the detector's context
+/// changes (new segment, region push/pop, or a sync edge joining the
+/// vector clock), which resets the memo. Cells of one vector statement
+/// (and the handful of scalars in a loop body) were typically last
+/// touched by a handful of records, so almost every test is a hit.
+struct ConflictMemo {
+    entries: [(AccessId, Option<(u32, u32)>); 4],
+}
+
+impl Default for ConflictMemo {
+    fn default() -> ConflictMemo {
+        ConflictMemo { entries: [(NO_ACCESS, None); 4] }
+    }
+}
+
+impl ConflictMemo {
+    fn check(
+        &mut self,
+        stack: &[RegionFrame],
+        accesses: &[Access],
+        id: AccessId,
+    ) -> Option<(u32, u32)> {
+        let e = &mut self.entries[(id & 3) as usize];
+        if e.0 == id {
+            return e.1;
+        }
+        let verdict = path_conflict(stack, &accesses[id as usize].path);
+        *e = (id, verdict);
+        verdict
+    }
+}
+
+/// The happens-before test of [`RaceDetector::conflict`], as a free
+/// function so the bulk range recorders can run it while holding a
+/// mutable borrow of the shadow cells.
+fn path_conflict(stack: &[RegionFrame], a: &[PathEntry]) -> Option<(u32, u32)> {
+    for (d, pa) in a.iter().enumerate() {
+            let Some(f) = stack.get(d) else {
                 // `a` ran inside a region that has since joined: the
                 // join barrier orders it before the current context.
                 return None;
@@ -428,44 +598,24 @@ impl RaceDetector {
             if f.vc.get(&pa.iter).is_some_and(|&c| pa.clock <= c) {
                 return None;
             }
-            return Some((pa.iter, f.cur_iter));
-        }
-        // `a` is a prefix of the current path: same thread, earlier in
-        // program order (e.g. before a nested region forked).
-        None
+        return Some((pa.iter, f.cur_iter));
     }
+    // `a` is a prefix of the current path: same thread, earlier in
+    // program order (e.g. before a nested region forked).
+    None
+}
 
-    // ---- shadow memory ----
-
-    fn cell_mut(&mut self, slot: SlotId, lin: usize) -> &mut Cell {
-        let si = slot.0 as usize;
-        if self.shadow.len() <= si {
-            self.shadow.resize_with(si + 1, || None);
-        }
-        let cells = self.shadow[si].get_or_insert_with(Vec::new);
-        if cells.len() <= lin {
-            cells.resize_with(lin + 1, Cell::default);
-        }
-        &mut cells[lin]
-    }
-
-    fn cur_access(&self) -> Access {
-        Access {
-            path: self.path.clone().into_boxed_slice(),
-            part: self.stack.last().map_or(0, |f| f.cur_part),
-            span: self.cur_span,
-        }
-    }
-
+impl RaceDetector {
     fn make_race(
         &self,
         kind: RaceKind,
-        prior: &Access,
+        prior: AccessId,
         prior_iter: u32,
         cur_iter: u32,
         slot: SlotId,
         lin: usize,
     ) -> RaceInfo {
+        let prior = &self.accesses[prior as usize];
         let cur_part = self.stack.last().map_or(0, |f| f.cur_part) as usize;
         let (writer_iter, writer_ce, writer_span, other_iter, other_ce, other_span) = match kind {
             // Prior access is the write.
@@ -505,57 +655,233 @@ impl RaceDetector {
     /// any. Serial-context accesses are ordered with everything and are
     /// neither checked nor recorded.
     pub(crate) fn record_read(&mut self, slot: SlotId, lin: usize) -> Option<RaceInfo> {
-        if self.suspend > 0 || self.stack.is_empty() || self.exempt.contains(&slot.0) {
+        if self.suspend > 0 || self.stack.is_empty() || self.is_exempt(slot) {
             return None;
         }
-        let prior_write = self
-            .shadow
-            .get(slot.0 as usize)
-            .and_then(|s| s.as_ref())
-            .and_then(|cells| cells.get(lin))
-            .and_then(|c| c.write.clone());
-        let mut race = None;
-        if let Some(w) = &prior_write {
-            if let Some((wi, ci)) = self.conflict(&w.path) {
-                race = Some(self.make_race(RaceKind::WriteRead, w, wi, ci, slot, lin));
+        let cur = self.cur_access_id();
+        let (cells, stack, accesses, memo) = self.cells_stack_accesses(slot, lin + 1);
+        let cell = &mut cells[lin];
+        let mut hit = None;
+        if cell.write != NO_ACCESS {
+            if let Some((wi, ci)) = memo.check(stack, accesses, cell.write) {
+                hit = Some((cell.write, wi, ci));
             }
         }
-        let cur = self.cur_access();
-        let cell = self.cell_mut(slot, lin);
         // The host runs one iteration at a time, so consecutive reads of
         // a cell from the same path dedupe with a last-entry check.
-        if cell.reads.last().map(|r| r.path.as_ref()) != Some(cur.path.as_ref()) {
-            cell.reads.push(cur);
+        let last = cell.last_read();
+        let dup = last == cur
+            || (last != NO_ACCESS
+                && paths_equal(&accesses[last as usize].path, &accesses[cur as usize].path));
+        if !dup {
+            cell.push_read(cur);
         }
-        race
+        hit.map(|(w, wi, ci)| self.make_race(RaceKind::WriteRead, w, wi, ci, slot, lin))
     }
 
     /// Record a write of `slot[lin]`; returns the first race it
     /// completes against the prior write or any unordered reader.
     pub(crate) fn record_write(&mut self, slot: SlotId, lin: usize) -> Option<RaceInfo> {
-        if self.suspend > 0 || self.stack.is_empty() || self.exempt.contains(&slot.0) {
+        if self.suspend > 0 || self.stack.is_empty() || self.is_exempt(slot) {
             return None;
         }
-        let (prior_write, prior_reads) = {
-            let cell = self.cell_mut(slot, lin);
-            (cell.write.take(), std::mem::take(&mut cell.reads))
-        };
-        let mut race = None;
-        if let Some(w) = &prior_write {
-            if let Some((wi, ci)) = self.conflict(&w.path) {
-                race = Some(self.make_race(RaceKind::WriteWrite, w, wi, ci, slot, lin));
+        let cur = self.cur_access_id();
+        let (cells, stack, accesses, memo) = self.cells_stack_accesses(slot, lin + 1);
+        let cell = &mut cells[lin];
+        let prior_write = std::mem::replace(&mut cell.write, cur);
+        let (read0, more) = cell.take_reads();
+        let mut hit = None;
+        if prior_write != NO_ACCESS {
+            if let Some((wi, ci)) = memo.check(stack, accesses, prior_write) {
+                hit = Some((RaceKind::WriteWrite, prior_write, wi, ci));
             }
         }
-        if race.is_none() {
-            for r in &prior_reads {
-                if let Some((ri, ci)) = self.conflict(&r.path) {
-                    race = Some(self.make_race(RaceKind::ReadWrite, r, ri, ci, slot, lin));
+        if hit.is_none() {
+            for r in reads_iter(read0, &more) {
+                if let Some((ri, ci)) = memo.check(stack, accesses, r) {
+                    hit = Some((RaceKind::ReadWrite, r, ri, ci));
                     break;
                 }
             }
         }
-        self.cell_mut(slot, lin).write = Some(self.cur_access());
-        race
+        hit.map(|(kind, id, pi, ci)| self.make_race(kind, id, pi, ci, slot, lin))
+    }
+
+    /// Make sure the shadow cells `slot[0..len]` exist, returning the
+    /// cell slice alongside the region stack and the access table
+    /// (split borrows so the recorders can test [`path_conflict`]
+    /// while mutating cells).
+    fn cells_stack_accesses(
+        &mut self,
+        slot: SlotId,
+        len: usize,
+    ) -> (&mut [Cell], &[RegionFrame], &[Access], &mut ConflictMemo) {
+        let si = slot.0 as usize;
+        if self.shadow.len() <= si {
+            self.shadow.resize_with(si + 1, || None);
+        }
+        let cells = self.shadow[si].get_or_insert_with(Vec::new);
+        if cells.len() < len {
+            cells.resize_with(len, Cell::default);
+        }
+        (&mut cells[..], &self.stack, &self.accesses, &mut self.memo)
+    }
+
+    /// Record reads of the contiguous run `slot[start..start + n]` —
+    /// equivalent to [`RaceDetector::record_read`] once per element in
+    /// ascending order, with the per-element context snapshot hoisted
+    /// out of the loop. Returns the completed races in element order
+    /// (empty in the common race-free case: no allocation). This is
+    /// what keeps vector statements on the bulk load path when the
+    /// detector is live.
+    pub(crate) fn record_read_range(
+        &mut self,
+        slot: SlotId,
+        start: usize,
+        n: usize,
+    ) -> Vec<RaceInfo> {
+        if self.suspend > 0 || self.stack.is_empty() || self.is_exempt(slot) {
+            return Vec::new();
+        }
+        let cur = self.cur_access_id();
+        let (cells, stack, accesses, memo) = self.cells_stack_accesses(slot, start + n);
+        let cur_path = &accesses[cur as usize].path;
+        let mut pending: Vec<(usize, AccessId, u32, u32)> = Vec::new();
+        // Consecutive cells were typically last written by one vector
+        // statement sharing a single interned record, so memoize the
+        // happens-before test by access id.
+        for (lin, cell) in cells[start..start + n].iter_mut().enumerate() {
+            if cell.write != NO_ACCESS {
+                if let Some((wi, ci)) = memo.check(stack, accesses, cell.write) {
+                    pending.push((start + lin, cell.write, wi, ci));
+                }
+            }
+            let last = cell.last_read();
+            let dup = last == cur
+                || (last != NO_ACCESS && paths_equal(&accesses[last as usize].path, cur_path));
+            if !dup {
+                cell.push_read(cur);
+            }
+        }
+        pending
+            .into_iter()
+            .map(|(lin, w, wi, ci)| self.make_race(RaceKind::WriteRead, w, wi, ci, slot, lin))
+            .collect()
+    }
+
+    /// Write-side counterpart of [`RaceDetector::record_read_range`]:
+    /// equivalent to [`RaceDetector::record_write`] once per element in
+    /// ascending order.
+    pub(crate) fn record_write_range(
+        &mut self,
+        slot: SlotId,
+        start: usize,
+        n: usize,
+    ) -> Vec<RaceInfo> {
+        if self.suspend > 0 || self.stack.is_empty() || self.is_exempt(slot) {
+            return Vec::new();
+        }
+        let cur = self.cur_access_id();
+        let (cells, stack, accesses, memo) = self.cells_stack_accesses(slot, start + n);
+        let mut pending: Vec<(usize, RaceKind, AccessId, u32, u32)> = Vec::new();
+        for (lin, cell) in cells[start..start + n].iter_mut().enumerate() {
+            let prior_write = std::mem::replace(&mut cell.write, cur);
+            let (read0, more) = cell.take_reads();
+            let mut hit = None;
+            if prior_write != NO_ACCESS {
+                if let Some((wi, ci)) = memo.check(stack, accesses, prior_write) {
+                    hit = Some((start + lin, RaceKind::WriteWrite, prior_write, wi, ci));
+                }
+            }
+            if hit.is_none() {
+                for r in reads_iter(read0, &more) {
+                    if let Some((ri, ci)) = memo.check(stack, accesses, r) {
+                        hit = Some((start + lin, RaceKind::ReadWrite, r, ri, ci));
+                        break;
+                    }
+                }
+            }
+            if let Some(h) = hit {
+                pending.push(h);
+            }
+        }
+        pending
+            .into_iter()
+            .map(|(lin, kind, a, pi, ci)| self.make_race(kind, a, pi, ci, slot, lin))
+            .collect()
+    }
+
+    /// Record reads of the (possibly non-contiguous) elements `lins` —
+    /// equivalent to [`RaceDetector::record_read`] once per element in
+    /// slice order, with the guard checks and the context snapshot
+    /// hoisted out of the loop. This keeps strided and gathered vector
+    /// operands off the scalar recorder.
+    pub(crate) fn record_read_lins(&mut self, slot: SlotId, lins: &[usize]) -> Vec<RaceInfo> {
+        if self.suspend > 0 || self.stack.is_empty() || self.is_exempt(slot) || lins.is_empty() {
+            return Vec::new();
+        }
+        let len = lins.iter().copied().max().unwrap_or(0) + 1;
+        let cur = self.cur_access_id();
+        let (cells, stack, accesses, memo) = self.cells_stack_accesses(slot, len);
+        let cur_path = &accesses[cur as usize].path;
+        let mut pending: Vec<(usize, AccessId, u32, u32)> = Vec::new();
+        for &lin in lins {
+            let cell = &mut cells[lin];
+            if cell.write != NO_ACCESS {
+                if let Some((wi, ci)) = memo.check(stack, accesses, cell.write) {
+                    pending.push((lin, cell.write, wi, ci));
+                }
+            }
+            let last = cell.last_read();
+            let dup = last == cur
+                || (last != NO_ACCESS && paths_equal(&accesses[last as usize].path, cur_path));
+            if !dup {
+                cell.push_read(cur);
+            }
+        }
+        pending
+            .into_iter()
+            .map(|(lin, w, wi, ci)| self.make_race(RaceKind::WriteRead, w, wi, ci, slot, lin))
+            .collect()
+    }
+
+    /// Write-side counterpart of [`RaceDetector::record_read_lins`]:
+    /// equivalent to [`RaceDetector::record_write`] once per element in
+    /// slice order.
+    pub(crate) fn record_write_lins(&mut self, slot: SlotId, lins: &[usize]) -> Vec<RaceInfo> {
+        if self.suspend > 0 || self.stack.is_empty() || self.is_exempt(slot) || lins.is_empty() {
+            return Vec::new();
+        }
+        let len = lins.iter().copied().max().unwrap_or(0) + 1;
+        let cur = self.cur_access_id();
+        let (cells, stack, accesses, memo) = self.cells_stack_accesses(slot, len);
+        let mut pending: Vec<(usize, RaceKind, AccessId, u32, u32)> = Vec::new();
+        for &lin in lins {
+            let cell = &mut cells[lin];
+            let prior_write = std::mem::replace(&mut cell.write, cur);
+            let (read0, more) = cell.take_reads();
+            let mut hit = None;
+            if prior_write != NO_ACCESS {
+                if let Some((wi, ci)) = memo.check(stack, accesses, prior_write) {
+                    hit = Some((lin, RaceKind::WriteWrite, prior_write, wi, ci));
+                }
+            }
+            if hit.is_none() {
+                for r in reads_iter(read0, &more) {
+                    if let Some((ri, ci)) = memo.check(stack, accesses, r) {
+                        hit = Some((lin, RaceKind::ReadWrite, r, ri, ci));
+                        break;
+                    }
+                }
+            }
+            if let Some(h) = hit {
+                pending.push(h);
+            }
+        }
+        pending
+            .into_iter()
+            .map(|(lin, kind, a, pi, ci)| self.make_race(kind, a, pi, ci, slot, lin))
+            .collect()
     }
 
     /// Count a detected race; in fail-fast mode produce the error that
@@ -577,7 +903,7 @@ mod tests {
     use super::*;
 
     fn access(path: &[PathEntry]) -> Access {
-        Access { path: path.to_vec().into_boxed_slice(), part: 0, span: Span::NONE }
+        Access { path: path.into(), part: 0, span: Span::NONE }
     }
 
     #[test]

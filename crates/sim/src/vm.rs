@@ -1,0 +1,291 @@
+//! The bytecode dispatch loop (DESIGN.md §14).
+//!
+//! This module is a child of [`exec`](super) so it can execute
+//! instructions through the interpreter's own private seams — `load` /
+//! `store_at` (race-detector shadow memory), `bind_access_cost` /
+//! `mem_cost` (placement + paging + fault jitter), `exec_sync`
+//! (cascades, locks, deadlock detection), `invoke` (frames, recursion
+//! guard), and the shared loop schedulers. The VM replaces only the
+//! *walk*: statement dispatch, expression recursion, and static cycle
+//! charges. Everything observable (cycles, stats, outputs, errors, race
+//! reports, fault-RNG draw order) is produced by the same code in the
+//! same order as the tree-walker, which is what makes the two engines
+//! bit-identical — gated by the `vm_identity` tests and the
+//! `vm-vs-interpreter` fuzz lane.
+//!
+//! ## Error stamping
+//!
+//! The interpreter wraps some statement bodies in
+//! `map_err(with_span(span))`. The VM reproduces this with a running
+//! *stamp* set by each [`Instr::Gate`]: every fallible inline op stamps
+//! its error with the current stamp. `with_span` only fills empty
+//! spans, so a `Gate` whose stamp is `Span::NONE` (loops, sync ops —
+//! statements the interpreter does not wrap) makes the stamping a
+//! no-op, and errors that arrive pre-stamped from nested calls pass
+//! through unchanged — exactly the interpreter's behavior.
+
+use super::{err, kerr, with_span, Ctx, Flow, Frame, LoopBlocks, LoopRef, Result, Simulator, Subs};
+use crate::compile::{CompiledUnit, Instr};
+use crate::cost::CostClass;
+use crate::error::{SimError, SimErrorKind};
+use crate::value_ops;
+use cedar_ir::{LoopClass, Span, Value};
+
+impl Simulator<'_> {
+    /// Execute the body of unit `ridx`: compiled bytecode when the
+    /// engine is [`Engine::Vm`](crate::Engine::Vm) (entered from
+    /// `run_main` *and* `invoke`, so callees run compiled no matter how
+    /// they were reached), the IR tree otherwise.
+    pub(super) fn exec_unit_body(
+        &mut self,
+        frame: &mut Frame,
+        ridx: usize,
+        ctx: &mut Ctx,
+    ) -> Result<Flow> {
+        if let Some(cp) = self.compiled.clone() {
+            let cu = &cp.units[ridx];
+            return self.vm_run_range(frame, cu, 0, cu.code.len() as u32, ctx);
+        }
+        let program = self.program;
+        self.exec_block(frame, &program.units[ridx].body, ctx)
+    }
+
+    /// Run the instructions in `[lo, hi)` of a compiled unit with a
+    /// pooled value stack (statement boundaries leave it empty, so
+    /// nested ranges — loop bodies, DO WHILE bodies — use fresh stacks
+    /// without copying).
+    pub(super) fn vm_run_range(
+        &mut self,
+        frame: &mut Frame,
+        cu: &CompiledUnit,
+        lo: u32,
+        hi: u32,
+        ctx: &mut Ctx,
+    ) -> Result<Flow> {
+        let mut stack = self.take_buf(8);
+        let r = self.vm_dispatch(frame, cu, lo, hi, ctx, &mut stack);
+        self.put_buf(stack);
+        r
+    }
+
+    fn vm_dispatch(
+        &mut self,
+        frame: &mut Frame,
+        cu: &CompiledUnit,
+        lo: u32,
+        hi: u32,
+        ctx: &mut Ctx,
+        stack: &mut Vec<Value>,
+    ) -> Result<Flow> {
+        let code = &cu.code[..];
+        let hi = hi as usize;
+        let mut pc = lo as usize;
+        let mut stamp = Span::NONE;
+        while pc < hi {
+            let instr = &code[pc];
+            pc += 1;
+            match instr {
+                Instr::Gate { span, stamp: st } => {
+                    self.statement_gate(*span)?;
+                    stamp = *st;
+                }
+                Instr::PushI(v) => stack.push(Value::I(*v)),
+                Instr::PushR(v) => stack.push(Value::R(*v)),
+                Instr::PushB(b) => stack.push(Value::B(*b)),
+                Instr::LoadScalar(sym) => {
+                    let bind =
+                        self.bind_of(frame, *sym).map_err(|e| with_span(e, stamp))?;
+                    ctx.time += self.costs.get(CostClass::CacheHit);
+                    let slot = self.resolve_slot(bind, ctx.cluster);
+                    let offset = bind.offset;
+                    let v = self.load(slot, offset).map_err(|e| with_span(e, stamp))?;
+                    stack.push(v);
+                }
+                Instr::ChargeIdx => {
+                    self.stats.scalar_ops += 1;
+                    ctx.time += self.costs.get(CostClass::ScalarOp);
+                }
+                Instr::LoadElem { arr, rank } => {
+                    let subs = pop_subs(stack, *rank as usize);
+                    let bind =
+                        self.bind_of(frame, *arr).map_err(|e| with_span(e, stamp))?;
+                    let lin = self
+                        .linearize(frame, *arr, bind, subs.as_slice())
+                        .map_err(|e| with_span(e, stamp))?;
+                    ctx.time += self.bind_access_cost(bind, lin, false, true, ctx);
+                    let slot = self.resolve_slot(bind, ctx.cluster);
+                    let v = self.load(slot, lin).map_err(|e| with_span(e, stamp))?;
+                    stack.push(v);
+                }
+                Instr::Un(op) => {
+                    let v = stack.pop().expect("vm stack: unary operand");
+                    self.stats.scalar_ops += 1;
+                    ctx.time += self.costs.get(CostClass::ScalarOp);
+                    stack.push(value_ops::un(*op, v));
+                }
+                Instr::Bin(op) => {
+                    let r = stack.pop().expect("vm stack: binary rhs");
+                    let l = stack.pop().expect("vm stack: binary lhs");
+                    self.stats.scalar_ops += 1;
+                    ctx.time += self.costs.get(CostClass::ScalarOp);
+                    let v = value_ops::bin(*op, l, r)
+                        .map_err(|e| with_span(SimError::from_op(e, Span::NONE), stamp))?;
+                    stack.push(v);
+                }
+                Instr::EvalTree(i) => {
+                    let v = self
+                        .eval_scalar(frame, &cu.exprs[*i as usize], ctx)
+                        .map_err(|e| with_span(e, stamp))?;
+                    stack.push(v);
+                }
+                Instr::Branch => {
+                    ctx.time += self.costs.get(CostClass::Branch);
+                }
+                Instr::JumpIfFalse(t) => {
+                    let c = stack.pop().expect("vm stack: branch condition");
+                    if !c.as_bool() {
+                        pc = *t as usize;
+                    }
+                }
+                Instr::Jump(t) => pc = *t as usize,
+                Instr::StoreScalar(sym) => {
+                    let v = stack.pop().expect("vm stack: store value");
+                    let bind =
+                        self.bind_of(frame, *sym).map_err(|e| with_span(e, stamp))?;
+                    ctx.time += self.costs.get(CostClass::CacheHit);
+                    let slot = self.resolve_slot(bind, ctx.cluster);
+                    let (offset, ty) = (bind.offset, bind.ty);
+                    self.store_at(slot, offset, v, ty)
+                        .map_err(|e| with_span(e, stamp))?;
+                }
+                Instr::StoreElem { arr, rank } => {
+                    let v = stack.pop().expect("vm stack: store value");
+                    let subs = pop_subs(stack, *rank as usize);
+                    let bind =
+                        self.bind_of(frame, *arr).map_err(|e| with_span(e, stamp))?;
+                    let lin = self
+                        .linearize(frame, *arr, bind, subs.as_slice())
+                        .map_err(|e| with_span(e, stamp))?;
+                    ctx.time += self.bind_access_cost(bind, lin, false, false, ctx);
+                    let slot = self.resolve_slot(bind, ctx.cluster);
+                    let ty = bind.ty;
+                    self.store_at(slot, lin, v, ty)
+                        .map_err(|e| with_span(e, stamp))?;
+                }
+                Instr::LoopStmt(li) => {
+                    let lp = &cu.loops[*li as usize];
+                    // Bounds evaluate unstamped, like the interpreter's
+                    // `exec_loop` (its caller applies no `with_span`).
+                    let start = self.eval_scalar(frame, &lp.start, ctx)?.as_i64();
+                    let end = self.eval_scalar(frame, &lp.end, ctx)?.as_i64();
+                    let step = match &lp.step {
+                        Some(e) => self.eval_scalar(frame, e, ctx)?.as_i64(),
+                        None => 1,
+                    };
+                    if step == 0 {
+                        return err(lp.span, "DO step of zero");
+                    }
+                    let trip = ((end - start + step) / step).max(0) as usize;
+                    let lr = LoopRef {
+                        class: lp.class,
+                        var: lp.var,
+                        locals: &lp.locals,
+                        span: lp.span,
+                        blocks: LoopBlocks::Vm { cu, lp },
+                    };
+                    let flow = if lp.class == LoopClass::Seq {
+                        self.exec_seq_loop(frame, &lr, start, step, trip, ctx)?
+                    } else {
+                        self.exec_parallel_loop(frame, &lr, start, step, trip, ctx)?
+                    };
+                    match flow {
+                        Flow::Normal => pc = lp.end_pc as usize,
+                        other => return Ok(other),
+                    }
+                }
+                Instr::WhileStmt(wi) => {
+                    let w = &cu.whiles[*wi as usize];
+                    let mut iters = 0u64;
+                    let broke = loop {
+                        let c = self
+                            .eval_scalar(frame, &w.cond, ctx)
+                            .map_err(|e| with_span(e, w.span))?;
+                        if !c.as_bool() {
+                            break Flow::Normal;
+                        }
+                        match self.vm_run_range(frame, cu, w.body.0, w.body.1, ctx)? {
+                            Flow::Normal => {}
+                            other => break other,
+                        }
+                        iters += 1;
+                        if iters > self.config.max_while_iters {
+                            return kerr(
+                                SimErrorKind::Limit,
+                                w.span,
+                                "DO WHILE exceeded iteration bound",
+                            );
+                        }
+                    };
+                    match broke {
+                        Flow::Normal => pc = w.end_pc as usize,
+                        other => return Ok(other),
+                    }
+                }
+                Instr::CallSub(ci) => {
+                    let cs = &cu.calls[*ci as usize];
+                    self.invoke(frame, cs.ridx, &cs.args, ctx)
+                        .map_err(|e| with_span(e, cs.span))?;
+                }
+                Instr::Timer { start } => {
+                    if *start {
+                        self.stats.region_open = Some(ctx.time);
+                    } else if let Some(t0) = self.stats.region_open.take() {
+                        self.stats.region_cycles += ctx.time - t0;
+                    }
+                }
+                Instr::SyncStmt(si) => {
+                    self.exec_sync(frame, &cu.syncs[*si as usize], ctx)?;
+                }
+                Instr::TaskWait => {
+                    for t in self.task_ends.drain(..) {
+                        if t > ctx.time {
+                            ctx.time = t;
+                        }
+                    }
+                    if let Some(rd) = self.races.as_mut() {
+                        if rd.in_task_group() {
+                            rd.pop_region();
+                        }
+                    }
+                }
+                Instr::Io => {
+                    self.stats.io_statements += 1;
+                    ctx.time += self.costs.get(CostClass::Io);
+                }
+                Instr::Return => return Ok(Flow::Return),
+                Instr::Stop => return Ok(Flow::Stop),
+                Instr::Interp(i) => {
+                    match self.exec_stmt(frame, &cu.stmts[*i as usize], ctx)? {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+}
+
+/// Pop `rank` subscripts (pushed left to right, so they sit below the
+/// stack top in order) into a fixed subscript buffer. The compiler
+/// rejects rank > 8 statements, so the pushes cannot fail.
+fn pop_subs(stack: &mut Vec<Value>, rank: usize) -> Subs {
+    let base = stack.len() - rank;
+    let mut subs = Subs::new();
+    for v in &stack[base..] {
+        subs.push(v.as_i64())
+            .expect("vm: compiler admitted rank > 8");
+    }
+    stack.truncate(base);
+    subs
+}

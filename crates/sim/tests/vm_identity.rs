@@ -1,0 +1,387 @@
+//! Differential oracle: the bytecode VM vs. the tree-walking
+//! interpreter (DESIGN.md §14).
+//!
+//! Every program here runs under both engines and must be
+//! **bit-identical**: cycle accumulator bits, the full `ExecStats`
+//! record, memory outputs, race reports, fault-injected schedules, and
+//! the whole `SimError` taxonomy (kind + message + span). This is the
+//! repo's standing guarantee that the VM is an optimization, never a
+//! semantic fork — the fuzz `vm-vs-interpreter` lane extends the same
+//! check to generated programs.
+
+use cedar_sim::{Engine, FaultConfig, MachineConfig, SimError, Simulator};
+
+fn cfg(engine: Engine) -> MachineConfig {
+    MachineConfig::cedar_config1().with_engine(engine)
+}
+
+/// Run `src` under one engine with an arbitrary config.
+fn run_with(src: &str, config: MachineConfig) -> Result<Simulator<'static>, SimError> {
+    let p = Box::leak(Box::new(cedar_ir::compile_free(src).unwrap()));
+    cedar_sim::run(p, config)
+}
+
+/// Assert two successful runs are observably bit-identical.
+fn assert_same_sim(interp: &Simulator<'_>, vm: &Simulator<'_>, vars: &[&str], label: &str) {
+    assert_eq!(
+        interp.cycles().to_bits(),
+        vm.cycles().to_bits(),
+        "{label}: cycles diverge (interp {} vs vm {})",
+        interp.cycles(),
+        vm.cycles()
+    );
+    // ExecStats carries every counter the simulator maintains; Debug
+    // formatting covers all fields (it has no PartialEq by design).
+    assert_eq!(
+        format!("{:?}", interp.stats),
+        format!("{:?}", vm.stats),
+        "{label}: stats diverge"
+    );
+    for v in vars {
+        assert_eq!(
+            interp.read_var(v),
+            vm.read_var(v),
+            "{label}: output `{v}` diverges"
+        );
+    }
+}
+
+/// Run `src` under both engines and require bit-identity of cycles,
+/// stats, and the named output variables.
+fn assert_identical(src: &str, vars: &[&str], label: &str) {
+    let i = run_with(src, cfg(Engine::Interp)).unwrap_or_else(|e| {
+        panic!("{label}: interpreter failed: {e}");
+    });
+    let v = run_with(src, cfg(Engine::Vm)).unwrap_or_else(|e| {
+        panic!("{label}: vm failed: {e}");
+    });
+    assert_same_sim(&i, &v, vars, label);
+}
+
+/// Run `src` under both engines expecting failure; require an identical
+/// error (kind, message, span).
+fn assert_same_error(src: &str, label: &str) -> SimError {
+    let ei = run_with(src, cfg(Engine::Interp)).err().unwrap_or_else(|| {
+        panic!("{label}: interpreter unexpectedly succeeded");
+    });
+    let ev = run_with(src, cfg(Engine::Vm)).err().unwrap_or_else(|| {
+        panic!("{label}: vm unexpectedly succeeded");
+    });
+    assert_eq!(ei.kind, ev.kind, "{label}: error kind diverges ({ei} vs {ev})");
+    assert_eq!(ei.msg, ev.msg, "{label}: error message diverges");
+    assert_eq!(ei.span, ev.span, "{label}: error span diverges");
+    ev
+}
+
+// ---------------------------------------------------------------------
+// Success-path identity across the statement/expression repertoire.
+// ---------------------------------------------------------------------
+
+#[test]
+fn straight_line_scalars_and_intrinsics() {
+    assert_identical(
+        "program p\nreal x, y, z\nx = 3.0\ny = x * 2.0 + 1.0\n\
+         z = sqrt(y + 2.0) - abs(-x)\nend\n",
+        &["x", "y", "z"],
+        "straight-line",
+    );
+}
+
+#[test]
+fn sequential_loops_arrays_and_nested_subscripts() {
+    assert_identical(
+        "program p\nparameter (n = 24)\nreal a(n), b(n, 2)\nk = 2\n\
+         do i = 1, n\na(i) = i * 1.5\nb(i, 1) = a(i)\nb(i, k) = a(i) * 2.0\nend do\n\
+         s = 0.0\ndo i = 1, n\ns = s + b(i, 2)\nend do\nend\n",
+        &["a", "b", "s"],
+        "seq loops",
+    );
+}
+
+#[test]
+fn if_elseif_else_chains() {
+    assert_identical(
+        "program p\ns = 0.0\ndo i = 1, 10\nx = i * 1.0 - 5.0\n\
+         if (x .gt. 0.0) then\ns = s + 1.0\nelse if (x .lt. 0.0) then\n\
+         s = s - 1.0\nelse\ns = s + 100.0\nend if\nend do\nend\n",
+        &["s"],
+        "if chain",
+    );
+}
+
+#[test]
+fn do_while_loops() {
+    assert_identical(
+        "program p\nx = 1000.0\nk = 0\ndo while (x .gt. 1.0)\nx = x / 3.0\n\
+         k = k + 1\nend do\nend\n",
+        &["x", "k"],
+        "do while",
+    );
+}
+
+#[test]
+fn cdoall_with_privatized_locals() {
+    assert_identical(
+        "program p\nparameter (n = 128)\nreal a(n), b(n)\nglobal a, b\n\
+         do i = 1, n\nb(i) = i * 1.0\nend do\n\
+         cdoall i = 1, n\nreal t\nt = b(i)\na(i) = t * t + sqrt(t)\nend cdoall\nend\n",
+        &["a"],
+        "cdoall",
+    );
+}
+
+#[test]
+fn sdoall_helper_task_startup() {
+    assert_identical(
+        "program p\nparameter (n = 96)\nreal a(n), b(n)\nglobal a, b\n\
+         do i = 1, n\nb(i) = i * 1.0\nend do\n\
+         sdoall i = 1, n\na(i) = b(i) * 3.0\nend sdoall\nend\n",
+        &["a"],
+        "sdoall",
+    );
+}
+
+#[test]
+fn doacross_await_advance_cascade() {
+    assert_identical(
+        "program p\nparameter (n = 48)\nreal a(n), b(n)\ndo i = 1, n\n\
+         a(i) = i * 1.0\nb(i) = 0.0\nend do\nb(1) = 1.0\n\
+         cdoacross i = 2, n\ncall await(1, 1)\nb(i) = a(i) + b(i - 1)\n\
+         call advance(1)\nend cdoacross\nx = b(n)\nend\n",
+        &["b", "x"],
+        "doacross cascade",
+    );
+}
+
+#[test]
+fn lock_unlock_critical_sections() {
+    assert_identical(
+        "program p\nparameter (n = 64)\nreal a(n)\nglobal a\ns = 0.0\n\
+         do i = 1, n\na(i) = 1.0\nend do\n\
+         cdoall i = 1, n\ncall lock(1)\ns = s + a(i)\ncall unlock(1)\nend cdoall\nend\n",
+        &["s"],
+        "locks",
+    );
+}
+
+#[test]
+fn sections_where_and_reductions_fall_back_identically() {
+    // Section assigns and WHERE run through the interpreter's bulk
+    // paths in both engines (whole-statement fallback) — the charges,
+    // prefetch stats, and element order must still match exactly.
+    assert_identical(
+        "program p\nparameter (n = 64)\nreal a(n), b(n)\nglobal a, b\n\
+         do i = 1, n\nb(i) = i * 1.0 - 32.0\nend do\n\
+         a(1:n) = b(1:n) * 2.0\n\
+         where (a(1:n) .gt. 0.0) a(1:n) = sqrt(a(1:n))\n\
+         s = sum(a(1:n))\nd = dotproduct(a(1:n), b(1:n))\nend\n",
+        &["a", "s", "d"],
+        "sections",
+    );
+}
+
+#[test]
+fn subroutine_and_function_calls_with_aliasing_actuals() {
+    assert_identical(
+        "program p\nparameter (n = 6)\nreal a(n, n)\ndo j = 1, n\ndo i = 1, n\n\
+         a(i, j) = j * 100.0 + i\nend do\nend do\ncall zap(a(1, 2), n)\n\
+         x = f(a(2, 2)) + f(3.0)\nend\n\
+         subroutine zap(col, m)\nreal col(m)\ndo i = 1, m\ncol(i) = 0.0\nend do\nend\n\
+         real function f(v)\nf = v * v + 1.0\nend\n",
+        &["a", "x"],
+        "calls/aliasing",
+    );
+}
+
+#[test]
+fn timer_regions_and_common_blocks() {
+    assert_identical(
+        "program p\ncommon /blk/ w(4), total\ncall tstart\ndo i = 1, 4\n\
+         w(i) = i * 1.0\nend do\ncall addup\ncall tstop\nx = total\nend\n\
+         subroutine addup\ncommon /blk/ v(4), t\nt = v(1) + v(2) + v(3) + v(4)\nend\n",
+        &["x"],
+        "timer/common",
+    );
+}
+
+#[test]
+fn stop_statement_halts_both_engines_alike() {
+    assert_identical(
+        "program p\nx = 1.0\nstop\nx = 2.0\nend\n",
+        &["x"],
+        "stop",
+    );
+}
+
+// ---------------------------------------------------------------------
+// Edge cases: degenerate loops and bounds.
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_loop_bodies() {
+    assert_identical(
+        "program p\ns = 0.0\ndo i = 1, 10\nend do\n\
+         cdoall i = 1, 8\nend cdoall\ns = 1.0\nend\n",
+        &["s"],
+        "empty bodies",
+    );
+}
+
+#[test]
+fn zero_trip_do_loops() {
+    assert_identical(
+        "program p\ns = 0.0\ndo i = 5, 1\ns = s + 1.0\nend do\n\
+         do i = 1, 10, -1\ns = s + 1.0\nend do\nend\n",
+        &["s"],
+        "zero trip",
+    );
+}
+
+#[test]
+fn negative_stride_loops() {
+    assert_identical(
+        "program p\nparameter (n = 16)\nreal a(n)\ndo i = n, 1, -1\n\
+         a(i) = i * 2.0\nend do\ns = 0.0\ndo i = n, 1, -3\ns = s + a(i)\nend do\nend\n",
+        &["a", "s"],
+        "negative stride",
+    );
+}
+
+#[test]
+fn section_aliasing_overlapping_copy() {
+    assert_identical(
+        "program p\nparameter (n = 12)\nreal a(n)\ndo i = 1, n\n\
+         a(i) = i * 1.0\nend do\na(2:9) = a(1:8)\na(1:4) = a(5:8)\nend\n",
+        &["a"],
+        "section aliasing",
+    );
+}
+
+// ---------------------------------------------------------------------
+// Error taxonomy: every failure class must be byte-for-byte the same.
+// ---------------------------------------------------------------------
+
+#[test]
+fn do_step_of_zero_same_error() {
+    let e = assert_same_error(
+        "program p\nk = 0\ndo i = 1, 10, k\nend do\nend\n",
+        "zero step",
+    );
+    assert!(e.msg.contains("DO step of zero"), "{e}");
+}
+
+#[test]
+fn out_of_bounds_subscript_same_error() {
+    assert_same_error(
+        "program p\nreal a(3)\ndo i = 1, 5\na(i) = 0.0\nend do\nend\n",
+        "oob store",
+    );
+    assert_same_error(
+        "program p\nreal a(3)\ns = 0.0\ndo i = 1, 5\ns = s + a(i)\nend do\nend\n",
+        "oob load",
+    );
+}
+
+#[test]
+fn deadlocked_await_same_error() {
+    let e = assert_same_error(
+        "program p\nparameter (n = 16)\nreal a(n), b(n)\ndo i = 1, n\n\
+         a(i) = i * 1.0\nb(i) = 0.0\nend do\nb(1) = 1.0\n\
+         cdoacross i = 2, n\ncall await(1, 1)\nb(i) = a(i) + b(i - 1)\n\
+         end cdoacross\nx = b(n)\nend\n",
+        "deadlocked await",
+    );
+    assert!(e.is_deadlock(), "{e}");
+}
+
+#[test]
+fn do_while_iteration_bound_same_error() {
+    let e = assert_same_error(
+        "program p\nx = 1.0\ndo while (x .gt. 0.0)\nx = x + 1.0\nend do\nend\n",
+        "while bound",
+    );
+    assert!(e.msg.contains("DO WHILE"), "{e}");
+}
+
+#[test]
+fn watchdog_budget_trips_at_the_same_statement() {
+    let src = "program p\ns = 0.0\ndo i = 1, 100000\ns = s + 1.0\nend do\nend\n";
+    let mut ci = cfg(Engine::Interp);
+    ci.watchdog_ops = 500;
+    let mut cv = cfg(Engine::Vm);
+    cv.watchdog_ops = 500;
+    let ei = run_with(src, ci).err().expect("interp watchdog");
+    let ev = run_with(src, cv).err().expect("vm watchdog");
+    assert_eq!(ei.kind, ev.kind);
+    assert_eq!(ei.msg, ev.msg, "ops_executed must advance in lockstep");
+    assert_eq!(ei.span, ev.span);
+}
+
+// ---------------------------------------------------------------------
+// Race detection, fault injection, and the fast-path ablation.
+// ---------------------------------------------------------------------
+
+#[test]
+fn race_reports_are_identical() {
+    let src = "program p\nparameter (n = 64)\nreal a(n), t\n\
+         cdoall i = 1, n\nt = real(i) * 2.0\na(i) = t + 1.0\nend cdoall\nend\n";
+    let p = Box::leak(Box::new(cedar_ir::compile_free(src).unwrap()));
+    let i = cedar_sim::run_collecting_races(p, cfg(Engine::Interp)).unwrap();
+    let v = cedar_sim::run_collecting_races(p, cfg(Engine::Vm)).unwrap();
+    assert_eq!(i.races_detected(), v.races_detected());
+    assert!(v.races_detected() > 0, "the seeded race must be found");
+    assert_eq!(
+        format!("{:?}", i.race_report()),
+        format!("{:?}", v.race_report()),
+        "race endpoints (vars, spans, access kinds) must match"
+    );
+    assert_same_sim(&i, &v, &["a"], "race collect");
+}
+
+#[test]
+fn fault_injected_schedules_are_identical() {
+    let src = "program p\nparameter (n = 256)\nreal a(n), b(n)\nglobal a, b\n\
+         do i = 1, n\nb(i) = i * 1.0\nend do\n\
+         cdoall i = 1, n\na(i) = sqrt(b(i)) + b(i)\nend cdoall\nx = a(100)\nend\n";
+    let p = Box::leak(Box::new(cedar_ir::compile_free(src).unwrap()));
+    for seed in [1u64, 9, 42] {
+        let i =
+            cedar_sim::run_with_faults(p, cfg(Engine::Interp), FaultConfig::legal(seed)).unwrap();
+        let v = cedar_sim::run_with_faults(p, cfg(Engine::Vm), FaultConfig::legal(seed)).unwrap();
+        assert_same_sim(&i, &v, &["a", "x"], &format!("faults seed {seed}"));
+    }
+}
+
+#[test]
+fn without_fast_paths_ablation_matches_across_engines() {
+    // Satellite check: disabling the prepass fast paths must change
+    // both engines the same way — the VM's bulk section ops are the
+    // interpreter's (whole-statement fallback), so one switch governs
+    // both. The ablated runs must also agree with each other.
+    let src = "program p\nparameter (n = 512)\nreal a(n), b(n)\nglobal a, b\n\
+         do i = 1, n\nb(i) = i * 1.0\nend do\na(1:n) = b(1:n) * 2.0\n\
+         s = sum(a(1:n))\nend\n";
+    let fast_i = run_with(src, cfg(Engine::Interp)).unwrap();
+    let fast_v = run_with(src, cfg(Engine::Vm)).unwrap();
+    let slow_i = run_with(src, cfg(Engine::Interp).without_fast_paths()).unwrap();
+    let slow_v = run_with(src, cfg(Engine::Vm).without_fast_paths()).unwrap();
+    assert_same_sim(&fast_i, &fast_v, &["a", "s"], "fast paths on");
+    assert_same_sim(&slow_i, &slow_v, &["a", "s"], "fast paths off");
+    // The metamorphic property itself: fast paths replay the exact
+    // slow-path charge sequence, so the ablation changes *host* time
+    // only — simulated cycles must not move under either engine.
+    assert_same_sim(&fast_v, &slow_v, &["a", "s"], "vm ablation metamorphic");
+}
+
+#[test]
+fn precompiled_artifact_reuse_is_identical_to_fresh_compile() {
+    let src = "program p\nparameter (n = 64)\nreal a(n)\ndo i = 1, n\n\
+         a(i) = i * 1.0\nend do\ns = sum(a(1:n))\nend\n";
+    let p = Box::leak(Box::new(cedar_ir::compile_free(src).unwrap()));
+    let artifact = cedar_sim::compile(p);
+    let fresh = cedar_sim::run(p, cfg(Engine::Vm)).unwrap();
+    for _ in 0..3 {
+        let reused = cedar_sim::run_precompiled(p, cfg(Engine::Vm), &artifact).unwrap();
+        assert_same_sim(&fresh, &reused, &["a", "s"], "artifact reuse");
+    }
+}

@@ -29,8 +29,9 @@
 
 use cedar_ir::{Program, Stmt};
 use cedar_restructure::{restructure, LoopDecision, PassConfig, Report};
-use cedar_sim::{FaultConfig, MachineConfig, RaceInfo, SimError};
+use cedar_sim::{CompiledProgram, Engine, FaultConfig, MachineConfig, RaceInfo, SimError};
 use std::fmt;
+use std::sync::Arc;
 
 /// How hard to shake the program.
 #[derive(Debug, Clone)]
@@ -324,8 +325,14 @@ fn run_watched(
     mc: &MachineConfig,
     faults: Option<FaultConfig>,
     watch: &[&str],
+    artifact: Option<&Arc<CompiledProgram>>,
 ) -> Result<(Watched, f64), SimError> {
-    let mut sim = cedar_sim::Simulator::new(program, mc.clone())?;
+    let mut sim = match artifact {
+        // Compile-once/run-many: the K-seed sweep shares one immutable
+        // bytecode artifact instead of re-lowering the program per run.
+        Some(a) => cedar_sim::Simulator::with_artifact(program, mc.clone(), Arc::clone(a))?,
+        None => cedar_sim::Simulator::new(program, mc.clone())?,
+    };
     if let Some(f) = faults {
         sim.set_faults(f);
     }
@@ -366,30 +373,48 @@ fn check(
     vcfg: &ValidationConfig,
     reference: &Watched,
 ) -> Result<Vec<SeedRun>, Failure> {
-    let (base, _) = run_watched(candidate, mc, None, watch)
+    // One lowering of the candidate serves the base run, the race run,
+    // and every perturbed seed (compile is pure: config-independent).
+    let artifact = (mc.engine == Engine::Vm).then(|| cedar_sim::compile(candidate));
+    let artifact = artifact.as_ref();
+
+    // Base run + third layer in one simulation: the happens-before
+    // detector (collect-all mode, unperturbed schedule) charges zero
+    // cycles and never perturbs results, so the race-collecting run
+    // doubles as the base run. The simulator executes iterations in
+    // host order, so a racy nest can produce matching results yet
+    // still be wrong on a real machine — the detector catches exactly
+    // that, while the divergence check below (reported first, as a
+    // more direct failure) uses the same run's outputs.
+    let (base, first_race) = if vcfg.detect_races {
+        let traced = match artifact {
+            Some(a) => cedar_sim::run_collecting_races_precompiled(candidate, mc.clone(), a),
+            None => cedar_sim::run_collecting_races(candidate, mc.clone()),
+        }
         .map_err(|err| Failure::Sim { seed: None, err })?;
+        let base: Watched = watch
+            .iter()
+            .filter_map(|w| traced.read_f64(w).map(|v| (w.to_string(), v)))
+            .collect();
+        (base, traced.race_report().first().cloned())
+    } else {
+        let (base, _) = run_watched(candidate, mc, None, watch, artifact)
+            .map_err(|err| Failure::Sim { seed: None, err })?;
+        (base, None)
+    };
     let (_, max_rel_err, diff) = compare(reference, &base, vcfg.rel_tol);
     if let Some(diff) = diff {
         return Err(Failure::Divergence { seed: None, diff, max_rel_err });
     }
-
-    // Third layer: the happens-before race detector (collect-all mode,
-    // unperturbed schedule). The simulator executes iterations in host
-    // order, so a racy nest can produce matching results yet still be
-    // wrong on a real machine — the detector catches exactly that.
-    if vcfg.detect_races {
-        let traced = cedar_sim::run_collecting_races(candidate, mc.clone())
-            .map_err(|err| Failure::Sim { seed: None, err })?;
-        if let Some(first) = traced.race_report().first() {
-            return Err(Failure::Race { info: Box::new(first.clone()) });
-        }
+    if let Some(first) = first_race {
+        return Err(Failure::Race { info: Box::new(first) });
     }
 
     // Each perturbed schedule is an independent simulation; results
     // come back in seed order, so collecting into `Result` still
     // reports the first failing seed, exactly as the serial loop did.
     cedar_par::par_map(vcfg.seeds.clone(), |s| {
-        let (got, cycles) = run_watched(candidate, mc, Some(vcfg.profile(s)), watch)
+        let (got, cycles) = run_watched(candidate, mc, Some(vcfg.profile(s)), watch, artifact)
             .map_err(|err| Failure::Sim { seed: Some(s), err })?;
         let (bit_identical, max_rel_err, diff) = compare(&base, &got, vcfg.rel_tol);
         if let Some(diff) = diff {
@@ -473,7 +498,7 @@ pub fn restructure_validated(
     watch: &[&str],
     vcfg: &ValidationConfig,
 ) -> Result<Validated, SimError> {
-    let (reference, _) = run_watched(program, mc, None, watch)?;
+    let (reference, _) = run_watched(program, mc, None, watch, None)?;
 
     let mut cfg = cfg.clone();
     let mut fallbacks: Vec<FallbackNote> = Vec::new();
@@ -786,8 +811,8 @@ mod tests {
         assert!(!v.report.fallbacks.is_empty() || v.validation.degraded_to_serial);
         // And the accepted program still computes the right answer.
         let mc = MachineConfig::cedar_config1_scaled();
-        let (got, _) = run_watched(&v.program, &mc, None, &["x"]).unwrap();
-        let (reference, _) = run_watched(&p, &mc, None, &["x"]).unwrap();
+        let (got, _) = run_watched(&v.program, &mc, None, &["x"], None).unwrap();
+        let (reference, _) = run_watched(&p, &mc, None, &["x"], None).unwrap();
         assert_eq!(got, reference);
     }
 }

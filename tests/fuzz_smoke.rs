@@ -56,3 +56,18 @@ fn single_threaded_campaign_agrees_with_parallel() {
     let serial = cedar_par::with_jobs(1, || run_campaign(&smoke_config()).to_json());
     assert_eq!(ambient, serial, "campaign findings depend on worker count");
 }
+
+#[test]
+fn campaign_is_engine_invariant() {
+    // The campaign digest folds in watched memory bits and simulated
+    // cycles, so identical JSON summaries mean the bytecode VM and the
+    // tree-walking interpreter agreed bit-for-bit on every seed.
+    use cedar_sim::Engine;
+    let mut interp = smoke_config();
+    interp.oracle.mc = interp.oracle.mc.clone().with_engine(Engine::Interp);
+    let mut vm = smoke_config();
+    vm.oracle.mc = vm.oracle.mc.clone().with_engine(Engine::Vm);
+    let a = run_campaign(&interp).to_json();
+    let b = run_campaign(&vm).to_json();
+    assert_eq!(a, b, "campaign summary depends on the execution engine");
+}
