@@ -24,7 +24,9 @@ use std::time::Duration;
 const USAGE: &str = "usage:
   campaign coordinate --addr H:P --seeds A..B --dir DIR [--shard N] [--lease-ms N]
                       [--retry-budget N] [--jobs-check N] [--config manual|auto] [--linger-ms N]
-  campaign work --addr H:P --name NAME [--budget SECS] [--no-shrink] [--poll-ms N]";
+                      [--checkpoint-every N]
+  campaign work --addr H:P --name NAME [--budget SECS] [--no-shrink] [--poll-ms N]
+                [--corpus DIR]";
 
 fn coordinate(args: &[String]) -> Result<ExitCode, String> {
     let mut cfg = CoordinatorConfig::default();
@@ -58,6 +60,9 @@ fn coordinate(args: &[String]) -> Result<ExitCode, String> {
                 dir_given = true;
             }
             "--linger-ms" => linger = Duration::from_millis(parse(&value("--linger-ms")?)?),
+            "--checkpoint-every" => {
+                cfg.checkpoint_every = parse(&value("--checkpoint-every")?)? as usize
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -121,6 +126,7 @@ fn work(args: &[String]) -> Result<ExitCode, String> {
             }
             "--no-shrink" => cfg.shrink = false,
             "--poll-ms" => cfg.poll_base = Duration::from_millis(parse(&value("--poll-ms")?)?),
+            "--corpus" => cfg.corpus_dir = Some(value("--corpus")?.into()),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }

@@ -22,7 +22,7 @@
 //! | `GET /status`           | shard-state counts                           |
 
 use crate::triage;
-use crate::wal::{fnv1a, replay, Record, Wal};
+use crate::wal::{self, fnv1a, replay, Record, Wal};
 use cedar_experiments::jsonio::Json;
 use cedar_experiments::json_escape;
 use cedar_fuzz::shard::{merge_shards, MergedCampaign, ShardSummary, LEAD_DIGESTS};
@@ -54,9 +54,15 @@ pub struct CoordinatorConfig {
     /// Oracle configuration name (`manual` / `auto`) — echoed to
     /// workers in every lease so the whole fleet judges identically.
     pub config_name: String,
-    /// Campaign directory: `journal.jsonl`, `shards/`, `merged.json`,
+    /// Campaign directory: `journal.jsonl`, `shards/`, `results/`
+    /// (the crash-safe shard-result store), `merged.json`,
     /// `triage.json`.
     pub dir: PathBuf,
+    /// Checkpoint-compact the journal after this many shard
+    /// completions (`0` disables): a snapshot record replaces the
+    /// replayed history, so a resumed campaign folds `campaign` +
+    /// `checkpoint` + a short tail instead of the full journal.
+    pub checkpoint_every: usize,
 }
 
 impl Default for CoordinatorConfig {
@@ -70,6 +76,7 @@ impl Default for CoordinatorConfig {
             jobs_check: 4,
             config_name: "manual".into(),
             dir: PathBuf::from("target/campaign"),
+            checkpoint_every: 8,
         }
     }
 }
@@ -135,6 +142,11 @@ pub struct Coordinator {
     wal: Wal,
     workers: BTreeMap<String, WorkerStats>,
     reassignments: u64,
+    /// Crash-safe copy of every accepted shard result, keyed by shard
+    /// index (`dir/results/`). A torn `shards/*.json` file no longer
+    /// re-runs the shard: resume restores the bytes from here.
+    results: cedar_store::Store,
+    completions_since_checkpoint: usize,
 }
 
 impl Coordinator {
@@ -173,6 +185,8 @@ impl Coordinator {
             start = end;
         }
 
+        let results = cedar_store::Store::open(cfg.dir.join("results"))
+            .map_err(|e| format!("open shard-result store: {e}"))?;
         let journal = cfg.dir.join("journal.jsonl");
         let fresh = !journal.exists();
         let mut me = Coordinator {
@@ -181,6 +195,8 @@ impl Coordinator {
             shards,
             workers: BTreeMap::new(),
             reassignments: 0,
+            results,
+            completions_since_checkpoint: 0,
         };
         if fresh {
             me.append(Record::Campaign {
@@ -222,22 +238,44 @@ impl Coordinator {
                 Record::Leased { .. } => {}
                 Record::Completed { shard, file, checksum } => {
                     let k = self.shard_index(*shard)?;
-                    let path = self.cfg.dir.join(file);
-                    match std::fs::read_to_string(&path) {
-                        Ok(text) if format!("{:016x}", fnv1a(text.as_bytes())) == *checksum => {
-                            self.shards[k].state = ShardState::Completed;
-                            resumed += 1;
-                        }
-                        _ => {
-                            // Missing or torn shard file: the record
-                            // lied about durable state, so the shard
-                            // re-runs. Losing work is recoverable;
-                            // merging garbage is not.
-                            eprintln!(
-                                "campaign: shard {shard} file {} failed verification; re-running",
-                                path.display()
-                            );
-                            self.shards[k].state = ShardState::Pending;
+                    if self.restore_completed(k, file, checksum) {
+                        resumed += 1;
+                    }
+                }
+                Record::Checkpoint { reassignments, shards: snaps } => {
+                    // The checkpoint *is* the folded history up to its
+                    // append: reset the table and re-fold from the
+                    // snapshot, then keep walking the tail.
+                    for s in &mut self.shards {
+                        s.state = ShardState::Pending;
+                        s.attempts = 0;
+                        s.errors.clear();
+                    }
+                    resumed = 0;
+                    self.reassignments = *reassignments;
+                    for snap in snaps {
+                        let k = self.shard_index(snap.shard)?;
+                        self.shards[k].attempts =
+                            snap.attempts.try_into().unwrap_or(u32::MAX);
+                        self.shards[k].errors = snap.errors.clone();
+                        match snap.state.as_str() {
+                            "completed" => {
+                                let (Some(file), Some(checksum)) =
+                                    (&snap.file, &snap.checksum)
+                                else {
+                                    return Err(format!(
+                                        "checkpoint marks shard {} completed without file/checksum",
+                                        snap.shard
+                                    ));
+                                };
+                                if self.restore_completed(k, file, checksum) {
+                                    resumed += 1;
+                                }
+                            }
+                            "quarantined" => {
+                                self.shards[k].state = ShardState::Quarantined
+                            }
+                            _ => self.shards[k].state = ShardState::Pending,
                         }
                     }
                 }
@@ -261,6 +299,49 @@ impl Coordinator {
             self.shards.len()
         );
         Ok(())
+    }
+
+    /// Re-establish a completed shard from durable state: the
+    /// `shards/` file when it verifies against the journaled checksum,
+    /// else the crash-safe result store — healing the file back from
+    /// the store copy. Only when **both** copies are gone or torn does
+    /// the shard revert to pending and re-run: losing work is
+    /// recoverable, merging garbage is not.
+    fn restore_completed(&mut self, k: usize, file: &str, checksum: &str) -> bool {
+        let path = self.cfg.dir.join(file);
+        let file_ok = std::fs::read_to_string(&path)
+            .is_ok_and(|text| format!("{:016x}", fnv1a(text.as_bytes())) == checksum);
+        if file_ok {
+            self.shards[k].state = ShardState::Completed;
+            return true;
+        }
+        match self.results.get(k as u64) {
+            Some(bytes) if format!("{:016x}", fnv1a(&bytes)) == checksum => {
+                match cedar_store::atomic_write(&path, &bytes) {
+                    Ok(()) => {
+                        eprintln!(
+                            "campaign: shard {k} file {} was missing/torn; healed from the result store",
+                            path.display()
+                        );
+                        self.shards[k].state = ShardState::Completed;
+                        true
+                    }
+                    Err(e) => {
+                        eprintln!("campaign: shard {k}: could not heal {}: {e}; re-running", path.display());
+                        self.shards[k].state = ShardState::Pending;
+                        false
+                    }
+                }
+            }
+            _ => {
+                eprintln!(
+                    "campaign: shard {k} file {} failed verification and the result store has no good copy; re-running",
+                    path.display()
+                );
+                self.shards[k].state = ShardState::Pending;
+                false
+            }
+        }
     }
 
     fn shard_index(&self, shard: u64) -> Result<usize, String> {
@@ -472,7 +553,14 @@ impl Coordinator {
         }
         let file = format!("shards/shard{k:04}.json");
         let bytes = summary.to_json();
-        if let Err(e) = std::fs::write(self.cfg.dir.join(&file), &bytes) {
+        // Two durable copies, both crash-safe: the checksummed result
+        // store (resume's healing source) and the plain shards/ file
+        // (what merge and downstream tooling read), written atomically
+        // so neither can be observed torn.
+        if let Err(e) = self.results.put(k as u64, bytes.as_bytes()) {
+            return (500, format!("{{\"error\": \"persist shard result: {}\"}}", json_escape(&e.to_string())));
+        }
+        if let Err(e) = cedar_store::atomic_write(&self.cfg.dir.join(&file), bytes.as_bytes()) {
             return (500, format!("{{\"error\": \"persist shard: {}\"}}", json_escape(&e.to_string())));
         }
         let checksum = format!("{:016x}", fnv1a(bytes.as_bytes()));
@@ -481,7 +569,82 @@ impl Coordinator {
         }
         self.shards[k].state = ShardState::Completed;
         self.workers.entry(worker).or_default().completed += 1;
+        self.completions_since_checkpoint += 1;
+        if self.cfg.checkpoint_every > 0
+            && self.completions_since_checkpoint >= self.cfg.checkpoint_every
+        {
+            // Compaction is best-effort: a failure leaves the plain
+            // append-only journal, which replays fine.
+            if let Err(e) = self.checkpoint_compact() {
+                eprintln!("campaign: journal compaction failed (continuing uncompacted): {e}");
+            } else {
+                self.completions_since_checkpoint = 0;
+            }
+        }
         (200, "{\"ok\": true}".into())
+    }
+
+    /// Snapshot the shard table into a [`Record::Checkpoint`] and
+    /// atomically rewrite the journal as `campaign` + `checkpoint`.
+    /// The write goes through [`cedar_store::atomic_write`]
+    /// (tmp + fsync + rename), so a crash mid-compaction leaves either
+    /// the old journal or the new one — never a truncated hybrid — and
+    /// the torn-final-line tolerance of replay still covers an append
+    /// that dies later.
+    fn checkpoint_compact(&mut self) -> Result<(), String> {
+        let snaps: Vec<wal::ShardSnap> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(k, s)| {
+                let state = match s.state {
+                    ShardState::Completed => "completed",
+                    ShardState::Quarantined => "quarantined",
+                    // An in-flight lease snapshots as pending — its
+                    // timer would not survive a restart anyway.
+                    ShardState::Pending | ShardState::Leased { .. } => "pending",
+                };
+                if state == "pending" && s.attempts == 0 && s.errors.is_empty() {
+                    return None;
+                }
+                let (file, checksum) = if state == "completed" {
+                    let file = format!("shards/shard{k:04}.json");
+                    let sum = std::fs::read(self.cfg.dir.join(&file))
+                        .map(|b| format!("{:016x}", fnv1a(&b)))
+                        .ok()?;
+                    (Some(file), Some(sum))
+                } else {
+                    (None, None)
+                };
+                Some(wal::ShardSnap {
+                    shard: k as u64,
+                    state: state.into(),
+                    attempts: u64::from(s.attempts),
+                    file,
+                    checksum,
+                    errors: s.errors.clone(),
+                })
+            })
+            .collect();
+        let mut text = Record::Campaign {
+            seed_start: self.cfg.seed_start,
+            seed_end: self.cfg.seed_end,
+            shard_size: self.cfg.shard_size,
+            config: self.cfg.config_name.clone(),
+            jobs_check: self.cfg.jobs_check as u64,
+            retry_budget: u64::from(self.cfg.retry_budget),
+        }
+        .to_line();
+        text.push_str(
+            &Record::Checkpoint { reassignments: self.reassignments, shards: snaps }.to_line(),
+        );
+        let path = self.wal.path().to_path_buf();
+        cedar_store::atomic_write(&path, text.as_bytes())
+            .map_err(|e| format!("compact journal: {e}"))?;
+        // The old appender's handle points at the renamed-away inode;
+        // reopen so future appends land in the compacted journal.
+        self.wal = Wal::open(&path).map_err(|e| format!("reopen journal: {e}"))?;
+        Ok(())
     }
 
     fn fail(&mut self, body: &str) -> (u16, String) {
@@ -561,7 +724,7 @@ impl Coordinator {
         let merged_path = match &merged {
             Some(m) => {
                 let path = self.cfg.dir.join("merged.json");
-                std::fs::write(&path, m.to_json())
+                cedar_store::atomic_write(&path, m.to_json().as_bytes())
                     .map_err(|e| format!("write {}: {e}", path.display()))?;
                 Some(path)
             }
@@ -576,7 +739,7 @@ impl Coordinator {
             merged.as_ref(),
             &self.workers,
         );
-        std::fs::write(&triage_path, report)
+        cedar_store::atomic_write(&triage_path, report.as_bytes())
             .map_err(|e| format!("write {}: {e}", triage_path.display()))?;
         Ok(Outcome {
             merged,

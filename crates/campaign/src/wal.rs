@@ -74,6 +74,90 @@ pub enum Record {
         /// Last failure reason.
         reason: String,
     },
+    /// A full snapshot of the shard table at a merge milestone. Replay
+    /// **restarts** from the most recent checkpoint: every record
+    /// before it is already folded into the snapshot, which is what
+    /// lets compaction ([`crate::Coordinator`]) truncate the journal
+    /// down to `campaign` + `checkpoint` without losing state. Old
+    /// journals simply contain no checkpoints and replay record by
+    /// record, unchanged.
+    Checkpoint {
+        /// Lease reassignments so far (the counter the triage report
+        /// carries).
+        reassignments: u64,
+        /// Every shard whose state differs from freshly-pending.
+        shards: Vec<ShardSnap>,
+    },
+}
+
+/// One shard's state inside a [`Record::Checkpoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnap {
+    /// Shard index.
+    pub shard: u64,
+    /// `"pending"`, `"completed"`, or `"quarantined"` — an in-flight
+    /// lease snapshots as pending, exactly as replay would revert it.
+    pub state: String,
+    /// Failed attempts so far.
+    pub attempts: u64,
+    /// Shard-summary file (completed shards), relative to the
+    /// campaign directory.
+    pub file: Option<String>,
+    /// FNV-1a of the file bytes, 16 hex digits (completed shards).
+    pub checksum: Option<String>,
+    /// Accumulated failure reasons.
+    pub errors: Vec<String>,
+}
+
+impl ShardSnap {
+    fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"shard\": {}, \"state\": \"{}\", \"attempts\": {}",
+            self.shard,
+            json_escape(&self.state),
+            self.attempts
+        );
+        if let Some(file) = &self.file {
+            s.push_str(&format!(", \"file\": \"{}\"", json_escape(file)));
+        }
+        if let Some(sum) = &self.checksum {
+            s.push_str(&format!(", \"checksum\": \"{sum}\""));
+        }
+        if !self.errors.is_empty() {
+            s.push_str(", \"errors\": [");
+            for (i, e) in self.errors.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{}\"", json_escape(e)));
+            }
+            s.push(']');
+        }
+        s.push('}');
+        s
+    }
+
+    fn parse(v: &Json) -> Result<ShardSnap, String> {
+        let shard = v
+            .get("shard")
+            .and_then(Json::as_f64)
+            .ok_or("checkpoint shard missing index")? as u64;
+        let state = v
+            .get("state")
+            .and_then(Json::as_str)
+            .ok_or("checkpoint shard missing state")?
+            .to_string();
+        let attempts = v.get("attempts").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let text = |key: &str| {
+            v.get(key).and_then(Json::as_str).map(str::to_string)
+        };
+        let errors = v
+            .get("errors")
+            .and_then(Json::as_arr)
+            .map(|arr| arr.iter().filter_map(|e| e.as_str().map(str::to_string)).collect())
+            .unwrap_or_default();
+        Ok(ShardSnap { shard, state, attempts, file: text("file"), checksum: text("checksum"), errors })
+    }
 }
 
 impl Record {
@@ -108,6 +192,13 @@ impl Record {
                 format!(
                     "{{\"rec\": \"quarantined\", \"shard\": {shard}, \"attempts\": {attempts}, \"reason\": \"{}\"}}\n",
                     json_escape(reason),
+                )
+            }
+            Record::Checkpoint { reassignments, shards } => {
+                let snaps: Vec<String> = shards.iter().map(ShardSnap::to_json).collect();
+                format!(
+                    "{{\"rec\": \"checkpoint\", \"reassignments\": {reassignments}, \"shards\": [{}]}}\n",
+                    snaps.join(", "),
                 )
             }
         }
@@ -154,6 +245,16 @@ impl Record {
                 attempts: num("attempts")?,
                 reason: text("reason")?,
             }),
+            Some("checkpoint") => {
+                let shards = v
+                    .get("shards")
+                    .and_then(Json::as_arr)
+                    .ok_or("checkpoint record missing shards array")?
+                    .iter()
+                    .map(ShardSnap::parse)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Record::Checkpoint { reassignments: num("reassignments")?, shards })
+            }
             other => Err(format!("unknown journal record kind {other:?}")),
         }
     }
@@ -242,6 +343,35 @@ mod tests {
             },
             Record::Reassigned { shard: 4, attempts: 1, reason: "lease-expired (w1)".into() },
             Record::Quarantined { shard: 4, attempts: 3, reason: "worker panic:\nboom".into() },
+            Record::Checkpoint {
+                reassignments: 2,
+                shards: vec![
+                    ShardSnap {
+                        shard: 3,
+                        state: "completed".into(),
+                        attempts: 0,
+                        file: Some("shards/shard0003.json".into()),
+                        checksum: Some(format!("{:016x}", fnv1a(b"payload"))),
+                        errors: vec![],
+                    },
+                    ShardSnap {
+                        shard: 4,
+                        state: "quarantined".into(),
+                        attempts: 3,
+                        file: None,
+                        checksum: None,
+                        errors: vec!["lease-expired (w1)".into(), "worker panic:\nboom".into()],
+                    },
+                    ShardSnap {
+                        shard: 5,
+                        state: "pending".into(),
+                        attempts: 1,
+                        file: None,
+                        checksum: None,
+                        errors: vec!["w2: budget".into()],
+                    },
+                ],
+            },
         ]
     }
 

@@ -53,6 +53,12 @@ pub struct WorkerConfig {
     pub die_on_shards: Vec<u64>,
     /// Test hook: report failure instead of running these shards.
     pub fail_on_shards: Vec<u64>,
+    /// Persistent fuzz corpus directory ([`cedar_fuzz::persist`]):
+    /// every shard this worker runs records clean seeds there and keeps
+    /// the rare-combination ones. Give each worker its **own**
+    /// directory — seed files are written atomically, but concurrent
+    /// ledger saves from two processes are last-writer-wins.
+    pub corpus_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for WorkerConfig {
@@ -66,6 +72,7 @@ impl Default for WorkerConfig {
             chaos: None,
             die_on_shards: Vec::new(),
             fail_on_shards: Vec::new(),
+            corpus_dir: None,
         }
     }
 }
@@ -143,8 +150,12 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, String> {
             .and_then(Json::as_f64)
             .ok_or("lease reply has no seed_end")? as u64;
         let lease_ms = v.get("lease_ms").and_then(Json::as_f64).unwrap_or(30_000.0) as u64;
-        let oracle = match v.get("config").and_then(Json::as_str) {
-            Some("auto") => OracleConfig::automatic(),
+        let config_name = match v.get("config").and_then(Json::as_str) {
+            Some("auto") => "auto",
+            _ => "manual",
+        };
+        let oracle = match config_name {
+            "auto" => OracleConfig::automatic(),
             _ => OracleConfig::default(),
         };
 
@@ -199,6 +210,8 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, String> {
             shrink: cfg.shrink,
             bundles: false,
             jobs_check: 0,
+            corpus_dir: cfg.corpus_dir.clone(),
+            corpus_config: config_name.into(),
             ..CampaignConfig::default()
         });
         stop.store(true, Ordering::Relaxed);

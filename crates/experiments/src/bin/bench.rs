@@ -206,6 +206,18 @@ fn main() {
         }
     });
     push(&mut entries, "verify_vm", verify_vm_s, 1);
+    // The VM verify path shares one compiled artifact across the base
+    // run, the race run, and every perturbation seed, and the serial
+    // reference is pinned to the tree-walker — so it must stay inside
+    // the same +25 % gate the baseline check applies between commits.
+    if verify_vm_s > verify_s * 1.25 {
+        eprintln!(
+            "bench: verify_vm {:.1} ms is more than 25% over verify {:.1} ms",
+            verify_vm_s * 1e3,
+            verify_s * 1e3
+        );
+        std::process::exit(cedar_experiments::exitcode::VALIDATION);
+    }
 
     // --- full artifact suite (the `all` binary's work) -----------------
     let suite_s = time(1, || {

@@ -112,6 +112,116 @@ pub fn probe_sticky(seed: u64, cell: &str, phase: &str) -> Option<&'static str> 
     sticky.is_multiple_of(STICKY_MOD).then(|| tag(kind(sticky)))
 }
 
+/// Seeded **filesystem** fault lane for [`cedar_store`] durable writes
+/// (DESIGN.md §15.4).
+///
+/// This lane rides its own environment variable, `CEDAR_CHAOS_FS`,
+/// rather than `CEDAR_CHAOS`: the predicted-behavior chaos tests
+/// enumerate exactly which cells fault under a `CEDAR_CHAOS` seed, and
+/// adding draws to that keyspace would silently shift their
+/// predictions. Like the engine lane, draws here are pure functions —
+/// of `(seed, stage, entry name)` — so a faulting run is exactly
+/// reproducible and tests can *predict* which store writes fail and
+/// how, instead of asserting statistically.
+pub mod fs {
+    use super::fnv;
+    use cedar_store::{FaultHook, FsFault, FsStage};
+    use std::sync::Arc;
+
+    /// One in `FS_MOD` `(stage, entry)` pairs suffers an injected
+    /// fault. Deliberately hot (a store write makes four draws, so
+    /// roughly one write in three is hit somewhere) — the lane only
+    /// exists inside fault tests, where coverage beats realism.
+    const FS_MOD: u64 = 12;
+
+    /// Map a firing draw's hash to a fault. Divisions decorrelate the
+    /// shape from the `% FS_MOD == 0` firing decision, mirroring the
+    /// engine lane's `kind`.
+    fn shape(h: u64) -> FsFault {
+        match (h / 97) % 3 {
+            0 => FsFault::ShortWrite((h / 7) as usize % 48),
+            1 => FsFault::Eio,
+            _ => FsFault::Crash,
+        }
+    }
+
+    /// Decide whether the syscall at `stage` for entry `name` is
+    /// injected under `seed`. Pure; `None` means the syscall proceeds.
+    pub fn draw(seed: u64, stage: FsStage, name: &str) -> Option<FsFault> {
+        let seed_s = seed.to_string();
+        let h = fnv(&["fs", &seed_s, stage.tag(), name]);
+        h.is_multiple_of(FS_MOD).then(|| shape(h))
+    }
+
+    /// Package [`draw`] under a fixed seed as a store fault hook.
+    pub fn hook(seed: u64) -> FaultHook {
+        Arc::new(move |stage, name| draw(seed, stage, name))
+    }
+
+    /// The fault hook `CEDAR_CHAOS_FS` asks for, if set. Accepts the
+    /// same seed syntax as `CEDAR_CHAOS` (decimal, or any string
+    /// hashed to a seed).
+    pub fn hook_from_env() -> Option<FaultHook> {
+        let v = std::env::var("CEDAR_CHAOS_FS").ok()?;
+        super::parse_seed(&v).map(hook)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fs_draws_are_deterministic_and_stage_sensitive() {
+            for seed in 0..50u64 {
+                for stage in FsStage::ALL {
+                    assert_eq!(draw(seed, stage, "0000000000000007"), draw(seed, stage, "0000000000000007"));
+                }
+            }
+            // Stages must draw independently: find a seed where one
+            // stage faults and another doesn't.
+            let split = (0..500u64).any(|s| {
+                let hits: Vec<_> =
+                    FsStage::ALL.iter().map(|st| draw(s, *st, "entry-a").is_some()).collect();
+                hits.iter().any(|h| *h) && hits.iter().any(|h| !*h)
+            });
+            assert!(split, "stages never drew independently in 500 seeds");
+        }
+
+        #[test]
+        fn all_fault_shapes_are_reachable_and_some_writes_are_clean() {
+            let mut seen = (false, false, false);
+            let mut clean = false;
+            for seed in 0..2000u64 {
+                let hits: Vec<_> =
+                    FsStage::ALL.iter().filter_map(|st| draw(seed, *st, "entry-b")).collect();
+                if hits.is_empty() {
+                    clean = true;
+                }
+                for f in hits {
+                    match f {
+                        FsFault::ShortWrite(n) => {
+                            assert!(n < 48);
+                            seen.0 = true;
+                        }
+                        FsFault::Eio => seen.1 = true,
+                        FsFault::Crash => seen.2 = true,
+                    }
+                }
+            }
+            assert_eq!(seen, (true, true, true), "short-write/EIO/crash must all occur");
+            assert!(clean, "every seed faulted entry-b — FS_MOD far too hot");
+        }
+
+        #[test]
+        fn the_hook_matches_the_draw() {
+            let h = hook(42);
+            for stage in FsStage::ALL {
+                assert_eq!(h(stage, "entry-c"), draw(42, stage, "entry-c"));
+            }
+        }
+    }
+}
+
 /// Parse a `CEDAR_CHAOS` value: a decimal integer is used verbatim, any
 /// other non-empty string is hashed to a seed (so `CEDAR_CHAOS=kaboom`
 /// works), and an empty value disables chaos.

@@ -212,7 +212,21 @@ pub struct Supervisor {
     /// Crash-bundle root (`CEDAR_BUNDLE_DIR`, default
     /// `target/crash-bundles`).
     pub bundle_dir: PathBuf,
+    /// Cap on retained bundle directories under `bundle_dir`
+    /// (`CEDAR_BUNDLE_CAP`, default [`DEFAULT_BUNDLE_CAP`]; `0`
+    /// disables). When a quarantine pushes the count over the cap, the
+    /// least-recently-hit bundles are evicted — their hit counts
+    /// survive in the `evicted.txt` ledger, which [`bundle_hits`]
+    /// folds back in, so a long chaos campaign can't fill the disk
+    /// with stale reproducers but also never *forgets* how often a
+    /// failure fired.
+    pub bundle_cap: usize,
 }
+
+/// Default [`Supervisor::bundle_cap`]: enough to hold every distinct
+/// failure a realistic chaos sweep produces, small enough that an
+/// unattended fuzz campaign stays bounded on disk.
+pub const DEFAULT_BUNDLE_CAP: usize = 64;
 
 impl Supervisor {
     /// Read the supervisor configuration from the environment.
@@ -230,7 +244,11 @@ impl Supervisor {
         let bundle_dir = std::env::var("CEDAR_BUNDLE_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("target/crash-bundles"));
-        Supervisor { chaos, deadline, bundle_dir }
+        let bundle_cap = std::env::var("CEDAR_BUNDLE_CAP")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(DEFAULT_BUNDLE_CAP);
+        Supervisor { chaos, deadline, bundle_dir, bundle_cap }
     }
 }
 
@@ -664,7 +682,68 @@ fn write_bundle(
     // bundle's hit count is the line count of this file. Appended
     // `O_APPEND` so concurrent processes never lose counts.
     append_hit(&dir, label)?;
+    if sup.bundle_cap > 0 {
+        enforce_bundle_cap(&sup.bundle_dir, sup.bundle_cap, digest);
+    }
     Some(dir.to_string_lossy().into_owned())
+}
+
+/// Evict least-recently-hit bundle directories until at most `cap`
+/// remain, sparing `keep` (the bundle just written/re-hit). Recency is
+/// the mtime of `hits.txt` — every quarantine touches it, so a bundle
+/// that keeps firing keeps surviving. Each eviction appends
+/// `<digest> <hits>` to `<bundle_dir>/evicted.txt` (`O_APPEND`, one
+/// line, atomic across processes) before the directory is removed, so
+/// the count is preserved: [`bundle_hits`] folds ledger lines back in,
+/// including for a digest whose bundle is later recreated.
+fn enforce_bundle_cap(root: &std::path::Path, cap: usize, keep: u64) {
+    let keep_name = format!("{keep:016x}");
+    let Ok(dirents) = std::fs::read_dir(root) else { return };
+    let mut bundles: Vec<(PathBuf, String, std::time::SystemTime)> = dirents
+        .flatten()
+        .filter_map(|ent| {
+            let name = ent.file_name().to_string_lossy().into_owned();
+            // Only 16-hex bundle directories participate; the ledger
+            // and any stray files are never eviction candidates.
+            let is_digest =
+                name.len() == 16 && name.bytes().all(|b| b.is_ascii_hexdigit());
+            if !is_digest || !ent.path().is_dir() {
+                return None;
+            }
+            let mtime = std::fs::metadata(ent.path().join("hits.txt"))
+                .or_else(|_| ent.metadata())
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::UNIX_EPOCH);
+            Some((ent.path(), name, mtime))
+        })
+        .collect();
+    if bundles.len() <= cap {
+        return;
+    }
+    bundles.sort_by(|a, b| a.2.cmp(&b.2));
+    let mut excess = bundles.len() - cap;
+    for (path, name, _) in bundles {
+        if excess == 0 {
+            break;
+        }
+        if name == keep_name {
+            continue;
+        }
+        let hits = std::fs::read_to_string(path.join("hits.txt"))
+            .map(|s| s.lines().count())
+            .unwrap_or(0);
+        use std::io::Write;
+        if let Ok(mut ledger) = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(root.join("evicted.txt"))
+        {
+            let _ = ledger.write_all(format!("{name} {hits}\n").as_bytes());
+        }
+        if std::fs::remove_dir_all(&path).is_ok() {
+            excess -= 1;
+        }
+    }
 }
 
 /// Public form of the crash-bundle writer for supervising callers that
@@ -680,12 +759,33 @@ pub fn write_quarantine_bundle(
     write_bundle(sup, label, source, attempts)
 }
 
-/// Number of quarantines that have landed in a bundle directory (the
-/// line count of its `hits.txt`); 0 when the directory is missing.
+/// Number of quarantines that have landed in a bundle directory: the
+/// line count of its `hits.txt`, **plus** any counts recorded for the
+/// same digest in the root `evicted.txt` ledger — so evicting a bundle
+/// under [`Supervisor::bundle_cap`] and later recreating it never
+/// resets how often the failure has fired. 0 when nothing is recorded.
 pub fn bundle_hits(bundle_dir: &str) -> usize {
-    std::fs::read_to_string(PathBuf::from(bundle_dir).join("hits.txt"))
+    let dir = PathBuf::from(bundle_dir);
+    let live = std::fs::read_to_string(dir.join("hits.txt"))
         .map(|s| s.lines().count())
-        .unwrap_or(0)
+        .unwrap_or(0);
+    let evicted = match (dir.file_name(), dir.parent()) {
+        (Some(name), Some(root)) => {
+            let name = name.to_string_lossy();
+            std::fs::read_to_string(root.join("evicted.txt"))
+                .map(|s| {
+                    s.lines()
+                        .filter_map(|l| {
+                            let (digest, count) = l.split_once(' ')?;
+                            (digest == name).then(|| count.trim().parse::<usize>().ok())?
+                        })
+                        .sum()
+                })
+                .unwrap_or(0)
+        }
+        _ => 0,
+    };
+    live + evicted
 }
 
 /// Render a `quarantined` JSON array (no trailing newline): embedded by
@@ -751,6 +851,7 @@ mod tests {
             chaos: None,
             deadline: None,
             bundle_dir: PathBuf::from(format!("target/test-crash-bundles/{tag}")),
+            bundle_cap: DEFAULT_BUNDLE_CAP,
         }
     }
 
@@ -876,6 +977,53 @@ mod tests {
         assert_eq!(bundle_hits(dir.to_str().unwrap()), 3);
         let bundle = std::fs::read_to_string(dir.join("bundle.json")).unwrap();
         assert!(bundle.ends_with("}\n"), "metadata written exactly once, intact");
+    }
+
+    #[test]
+    fn bundle_cap_evicts_lru_and_the_ledger_preserves_hit_counts() {
+        let s = Supervisor { bundle_cap: 2, ..sup("cap") };
+        let _ = std::fs::remove_dir_all(&s.bundle_dir);
+        let err = || {
+            vec![(
+                "normal",
+                CellError {
+                    kind: CellErrorKind::Panicked,
+                    msg: "kaboom".into(),
+                    sim: None,
+                    backtrace: None,
+                },
+            )]
+        };
+        // Three distinct failures (distinct sources → distinct digests);
+        // the first is hit three times, then falls LRU when the other
+        // two arrive under a cap of 2.
+        let first =
+            write_quarantine_bundle(&s, "t/a", Some("x = 1\nend\n"), &err()).unwrap();
+        write_quarantine_bundle(&s, "t/a2", Some("x = 1\nend\n"), &err()).unwrap();
+        write_quarantine_bundle(&s, "t/a3", Some("x = 1\nend\n"), &err()).unwrap();
+        assert_eq!(bundle_hits(&first), 3);
+        std::thread::sleep(Duration::from_millis(5));
+        write_quarantine_bundle(&s, "t/b", Some("y = 2\nend\n"), &err()).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        write_quarantine_bundle(&s, "t/c", Some("z = 3\nend\n"), &err()).unwrap();
+
+        let live: Vec<_> = std::fs::read_dir(&s.bundle_dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().is_dir())
+            .collect();
+        assert_eq!(live.len(), 2, "cap of 2 must hold after the third bundle");
+        assert!(
+            !PathBuf::from(&first).exists(),
+            "the least-recently-hit bundle must be the one evicted"
+        );
+        // The ledger keeps the evicted digest's count — both directly
+        // and through a recreated bundle for the same failure.
+        assert_eq!(bundle_hits(&first), 3, "evicted counts must survive in the ledger");
+        let again =
+            write_quarantine_bundle(&s, "t/a4", Some("x = 1\nend\n"), &err()).unwrap();
+        assert_eq!(again, first, "same minimized source → same digest → same dir");
+        assert_eq!(bundle_hits(&again), 4, "ledger + fresh hit");
     }
 
     #[test]

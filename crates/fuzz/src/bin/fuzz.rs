@@ -17,7 +17,7 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: fuzz --seeds A..B [--budget SECS] [--json PATH] [--det-json PATH] \
                      [--config manual|auto] [--no-shrink] [--no-bundles] [--jobs-check N] \
-                     [--emit-corpus DIR]";
+                     [--corpus DIR] [--emit-corpus DIR]";
 
 struct Args {
     cfg: CampaignConfig,
@@ -75,6 +75,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 let v = value("--jobs-check")?;
                 cfg.jobs_check = v.parse().map_err(|e| format!("bad count `{v}`: {e}"))?;
             }
+            "--corpus" => cfg.corpus_dir = Some(value("--corpus")?.into()),
             "--emit-corpus" => emit_corpus = Some(value("--emit-corpus")?),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -82,6 +83,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     if !seeds_given {
         return Err("--seeds A..B is required".into());
     }
+    cfg.corpus_config = config_name.clone();
     Ok(Args { cfg, json, det_json, config_name, emit_corpus })
 }
 

@@ -14,6 +14,7 @@ use crate::coverage::Coverage;
 use crate::gen::GenProgram;
 use crate::latency::Latency;
 use crate::oracle::{run_oracles, OracleConfig, OracleFailure, OracleStats};
+use crate::persist::PersistentCorpus;
 use crate::shrink::shrink;
 use cedar_experiments::json_escape;
 use cedar_experiments::supervise::{run_cells, Cell, Supervisor};
@@ -40,6 +41,14 @@ pub struct CampaignConfig {
     /// How many seeds to re-judge under `with_jobs(1)` for the
     /// CEDAR_JOBS invariance check (0 disables).
     pub jobs_check: usize,
+    /// Persistent corpus directory ([`crate::persist`]): clean seeds
+    /// with rare transform combinations are kept there across runs,
+    /// and the coverage ledger accumulates. `None` (default) disables.
+    pub corpus_dir: Option<std::path::PathBuf>,
+    /// Config name stamped into kept corpus entries (`manual`/`auto`);
+    /// must match [`CampaignConfig::oracle`] so replays use the same
+    /// pipeline.
+    pub corpus_config: String,
 }
 
 impl Default for CampaignConfig {
@@ -53,6 +62,8 @@ impl Default for CampaignConfig {
             max_shrink_checks: 128,
             bundles: true,
             jobs_check: 4,
+            corpus_dir: None,
+            corpus_config: "manual".into(),
         }
     }
 }
@@ -388,6 +399,13 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
     let mut executed = 0u64;
     let mut next = cfg.seed_start;
     let mut latency = Latency::new();
+    // Persistent corpus: best-effort — a corpus that cannot be opened
+    // degrades the campaign to non-persistent, it never fails it.
+    let mut corpus = cfg.corpus_dir.as_ref().and_then(|dir| {
+        PersistentCorpus::open(dir)
+            .map_err(|e| eprintln!("fuzz: corpus disabled: {e}"))
+            .ok()
+    });
 
     // ---- phase 1: parallel sweep, chunked so the wall-clock budget is
     // checked between chunks (each seed is cheap; a chunk is the
@@ -412,6 +430,14 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
             match r {
                 Ok(stats) => {
                     coverage.absorb(&stats.report);
+                    if let Some(pc) = corpus.as_mut() {
+                        let rendered = GenProgram::generate(seed).render();
+                        if let Err(e) =
+                            pc.observe(seed, &cfg.corpus_config, &rendered, &stats.report)
+                        {
+                            eprintln!("fuzz: corpus observe failed: {e}");
+                        }
+                    }
                     known_gaps += stats.known_gaps.len() as u64;
                     for g in stats.known_gaps {
                         if gap_examples.len() < 3 && !gap_examples.contains(&g) {
@@ -428,6 +454,20 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
         }
     }
     let skipped_for_budget = cfg.seed_end - next;
+    if let Some(pc) = &corpus {
+        match pc.save() {
+            Ok(()) => {
+                if pc.kept_this_run() > 0 {
+                    eprintln!(
+                        "fuzz: corpus kept {} novel seed(s) under {}",
+                        pc.kept_this_run(),
+                        pc.dir().display(),
+                    );
+                }
+            }
+            Err(e) => eprintln!("fuzz: corpus ledger save failed: {e}"),
+        }
+    }
 
     // ---- phase 2: shrink failures (serial: failures are rare and each
     // shrink is itself a pipeline-heavy loop) ----

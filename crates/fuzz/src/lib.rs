@@ -29,6 +29,7 @@ pub mod gen;
 pub mod latency;
 pub mod mutate;
 pub mod oracle;
+pub mod persist;
 pub mod rng;
 pub mod shard;
 pub mod shrink;
@@ -40,6 +41,7 @@ pub use gen::{GenProgram, Rendered, Shape, WatchVar};
 pub use latency::Latency;
 pub use mutate::{mutate, mutations};
 pub use oracle::{run_oracles, OracleConfig, OracleFailure, OracleStats, Phase};
+pub use persist::{combo, ComboStats, PersistentCorpus};
 pub use rng::Rng;
 pub use shard::{merge_shards, MergedCampaign, ShardSummary};
 pub use shrink::{shrink, ShrinkOutcome};

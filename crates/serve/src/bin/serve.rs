@@ -1,17 +1,20 @@
 //! `serve` — run the restructurer service until told to drain.
 //!
 //! Configuration comes from the environment (`CEDAR_SERVE_ADDR`,
-//! `CEDAR_SERVE_WORKERS`, `CEDAR_SERVE_QUEUE`, `CEDAR_CHAOS`,
-//! `CEDAR_CELL_DEADLINE`, `CEDAR_BUNDLE_DIR`) with flag overrides.
+//! `CEDAR_SERVE_WORKERS`, `CEDAR_SERVE_QUEUE`, `CEDAR_SERVE_STORE`,
+//! `CEDAR_CHAOS`, `CEDAR_CELL_DEADLINE`, `CEDAR_BUNDLE_DIR`) with
+//! flag overrides.
 //! The process exits when a client POSTs `/shutdown` and the drain
 //! completes.
 
 use cedar_serve::{Server, ServerConfig};
 
-const USAGE: &str = "usage: serve [--addr HOST:PORT] [--workers N] [--queue N]
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] [--store DIR]
   --addr HOST:PORT   bind address (default 127.0.0.1:0, i.e. any free port)
   --workers N        worker threads (default 4)
-  --queue N          admission queue capacity (default 64)";
+  --queue N          admission queue capacity (default 64)
+  --store DIR        persist results in a crash-safe store at DIR; a
+                     restarted server replays them byte-identically";
 
 fn main() {
     let mut cfg = ServerConfig::from_env();
@@ -27,6 +30,7 @@ fn main() {
             "--addr" => cfg.addr = take("--addr"),
             "--workers" => cfg.workers = parse_n(&take("--workers")),
             "--queue" => cfg.queue_cap = parse_n(&take("--queue")),
+            "--store" => cfg.store_dir = Some(take("--store").into()),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;

@@ -51,6 +51,7 @@ impl Default for EngineConfig {
                 chaos: None,
                 deadline: Some(Duration::from_secs(30)),
                 bundle_dir: PathBuf::from("target/crash-bundles"),
+                bundle_cap: supervise::DEFAULT_BUNDLE_CAP,
             },
             backoff_base: Duration::from_millis(10),
             validate_seeds: vec![1, 2],
@@ -416,6 +417,7 @@ mod tests {
                 chaos: None,
                 deadline: None,
                 bundle_dir: PathBuf::from(format!("target/test-serve-bundles/{tag}")),
+                bundle_cap: 64,
             },
             backoff_base: Duration::from_millis(1),
             validate_seeds: vec![1],

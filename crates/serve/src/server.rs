@@ -44,6 +44,12 @@ pub struct ServerConfig {
     pub breaker_threshold: u32,
     /// How long an open breaker skips straight to its rescue rung.
     pub breaker_cooldown: Duration,
+    /// Root of a crash-safe result store ([`cedar_store::Store`]).
+    /// When set, every 200 `/restructure` response is persisted keyed
+    /// by [`ServeRequest::key`], and a restarted server replays stored
+    /// responses byte-identically instead of recomputing. `None`
+    /// (the default) keeps the server fully in-memory.
+    pub store_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -55,13 +61,15 @@ impl Default for ServerConfig {
             engine: EngineConfig::default(),
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_secs(5),
+            store_dir: None,
         }
     }
 }
 
 impl ServerConfig {
     /// Read overrides from the environment: `CEDAR_SERVE_ADDR`,
-    /// `CEDAR_SERVE_WORKERS`, `CEDAR_SERVE_QUEUE`, plus the supervised
+    /// `CEDAR_SERVE_WORKERS`, `CEDAR_SERVE_QUEUE`, `CEDAR_SERVE_STORE`
+    /// (persistent result-store directory), plus the supervised
     /// engine's own `CEDAR_CHAOS` / `CEDAR_CELL_DEADLINE` /
     /// `CEDAR_BUNDLE_DIR`.
     pub fn from_env() -> ServerConfig {
@@ -74,6 +82,11 @@ impl ServerConfig {
         }
         if let Some(n) = env_usize("CEDAR_SERVE_QUEUE") {
             cfg.queue_cap = n.max(1);
+        }
+        if let Ok(dir) = std::env::var("CEDAR_SERVE_STORE") {
+            if !dir.trim().is_empty() {
+                cfg.store_dir = Some(dir.into());
+            }
         }
         cfg.engine.sup = cedar_experiments::Supervisor::from_env();
         cfg
@@ -105,9 +118,19 @@ pub struct Counters {
 }
 
 impl Counters {
-    fn json(&self, draining: bool, breaker: &Breaker) -> String {
+    fn json(&self, draining: bool, breaker: &Breaker, store: Option<&cedar_store::Store>) -> String {
+        let store_json = match store {
+            None => "null".to_string(),
+            Some(s) => {
+                let st = s.stats();
+                format!(
+                    "{{\"hits\": {}, \"misses\": {}, \"corrupt_recovered\": {}, \"puts\": {}, \"entries\": {}}}",
+                    st.hits, st.misses, st.corrupt_recovered, st.puts, s.len(),
+                )
+            }
+        };
         format!(
-            "{{\"schema\": \"cedar-serve-metrics-v1\", \"accepted\": {}, \"served\": {}, \"shed\": {}, \"recovered\": {}, \"quarantined\": {}, \"coalesced\": {}, \"client_errors\": {}, \"draining\": {}, \"breaker\": {}}}",
+            "{{\"schema\": \"cedar-serve-metrics-v1\", \"accepted\": {}, \"served\": {}, \"shed\": {}, \"recovered\": {}, \"quarantined\": {}, \"coalesced\": {}, \"client_errors\": {}, \"draining\": {}, \"breaker\": {}, \"store\": {}}}",
             self.accepted.load(Ordering::Relaxed),
             self.served.load(Ordering::Relaxed),
             self.shed.load(Ordering::Relaxed),
@@ -117,6 +140,7 @@ impl Counters {
             self.client_errors.load(Ordering::Relaxed),
             draining,
             breaker.status_json(),
+            store_json,
         )
     }
 }
@@ -132,6 +156,10 @@ struct Shared {
     /// In-flight `/restructure` computations by request key; the value
     /// holds follower connections awaiting the leader's response.
     flights: Mutex<HashMap<u64, Vec<TcpStream>>>,
+    /// Optional persistent result store: 200 responses keyed by
+    /// [`ServeRequest::key`] survive restarts and are replayed
+    /// byte-identically.
+    store: Option<cedar_store::Store>,
 }
 
 /// A running server; dropping it does **not** stop it — call
@@ -145,7 +173,19 @@ pub struct Server {
 
 impl Server {
     /// Bind and start the acceptor + worker threads.
+    ///
+    /// When [`ServerConfig::store_dir`] is set the result store is
+    /// opened (writable, single-writer) before the listener starts; a
+    /// store that cannot be opened — locked by a live process, or an
+    /// unwritable directory — fails the whole start rather than running
+    /// silently without persistence.
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let store = match &cfg.store_dir {
+            None => None,
+            Some(dir) => Some(cedar_store::Store::open(dir).map_err(|e| {
+                std::io::Error::other(format!("result store {}: {e}", dir.display()))
+            })?),
+        };
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -157,6 +197,7 @@ impl Server {
             draining: AtomicBool::new(false),
             counters: Counters::default(),
             flights: Mutex::new(HashMap::new()),
+            store,
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -311,7 +352,7 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
             }
         }
         ("GET", "/metrics") => {
-            let body = shared.counters.json(draining, &shared.breaker);
+            let body = shared.counters.json(draining, &shared.breaker, shared.store.as_ref());
             http::write_response(stream, 200, &body);
         }
         ("POST", "/shutdown") => {
@@ -361,12 +402,28 @@ fn restructure_endpoint(shared: &Shared, stream: &mut TcpStream, body: &str) {
         }
     };
 
+    // Persistent store first: a previous run (or a previous process —
+    // this is the warm-restart path) may have the finished response on
+    // disk. A verified entry is replayed **verbatim**, so a restarted
+    // server is byte-identical to the one that computed the result; a
+    // torn or corrupt entry is quarantined by `get` and falls through
+    // to recomputation, which re-persists a fresh copy below.
+    let key = sreq.key();
+    if let Some(store) = &shared.store {
+        if let Some(bytes) = store.get(key) {
+            if let Ok(body) = String::from_utf8(bytes) {
+                shared.counters.served.fetch_add(1, Ordering::Relaxed);
+                http::write_response(stream, 200, &body);
+                return;
+            }
+        }
+    }
+
     // Coalescing: if an identical request is already being computed,
     // park this connection on its flight record — the leader answers
     // it. Registration happens under the flights lock, and the leader
     // removes the record and collects waiters under the same lock, so
     // no follower can be orphaned between check and park.
-    let key = sreq.key();
     {
         let mut flights = shared.flights.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(waiters) = flights.get_mut(&key) {
@@ -399,6 +456,15 @@ fn restructure_endpoint(shared: &Shared, stream: &mut TcpStream, body: &str) {
             .fetch_add(1 + follower_count, Ordering::Relaxed);
         if handled.retries > 0 {
             shared.counters.recovered.fetch_add(1, Ordering::Relaxed);
+        }
+        // Persist the leader's body (with `"coalesced": false`) so a
+        // replay after restart matches what the leader's client saw.
+        // Best-effort: a full disk or injected fault degrades the
+        // server to recompute-on-restart, never to a failed response.
+        if let Some(store) = &shared.store {
+            if let Err(e) = store.put(key, handled.body.as_bytes()) {
+                eprintln!("cedar-serve: result store put failed: {e}");
+            }
         }
     } else if handled.quarantined {
         shared.counters.quarantined.fetch_add(1, Ordering::Relaxed);

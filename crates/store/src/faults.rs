@@ -1,0 +1,68 @@
+//! Filesystem fault injection points for the store's durable writes.
+//!
+//! Every [`Store::put`](crate::Store::put) walks a fixed sequence of
+//! stages — write the tmp file, fsync it, rename it into place, fsync
+//! the directory — and consults an optional [`FaultHook`] immediately
+//! before each real syscall. The hook decides, purely from the stage
+//! and the entry name, whether that syscall "fails" and how. The store
+//! itself stays dependency-free: seeded draw policies (the
+//! `CEDAR_CHAOS` fs lane) live upstream and plug in through the hook.
+//!
+//! The injected faults are the honest ones a real filesystem produces:
+//!
+//! * [`FsFault::ShortWrite`] — the write persists only a prefix (torn
+//!   page, out-of-space mid-write);
+//! * [`FsFault::Eio`] — the syscall fails outright, leaving whatever
+//!   state it already created;
+//! * [`FsFault::Crash`] — the process "dies" at this point: nothing
+//!   after the stage happens. At [`FsStage::Rename`] this is the
+//!   classic crash window — the tmp file is fully written and synced
+//!   but the entry never appears.
+
+use std::sync::Arc;
+
+/// A stage of the durable-write sequence, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsStage {
+    /// Writing the entry bytes to the tmp file.
+    Write,
+    /// `fsync` of the tmp file.
+    Sync,
+    /// Atomic rename of the tmp file onto the entry path.
+    Rename,
+    /// `fsync` of the entries directory (persists the rename).
+    DirSync,
+}
+
+impl FsStage {
+    /// Stable lowercase tag, used as the chaos draw key.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FsStage::Write => "write",
+            FsStage::Sync => "sync",
+            FsStage::Rename => "rename",
+            FsStage::DirSync => "dir-sync",
+        }
+    }
+
+    /// Every stage, in the order a put executes them.
+    pub const ALL: [FsStage; 4] = [FsStage::Write, FsStage::Sync, FsStage::Rename, FsStage::DirSync];
+}
+
+/// How an injected stage fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsFault {
+    /// Only the first `n` bytes of the write persist, then the
+    /// operation errors. Meaningful at [`FsStage::Write`]; other
+    /// stages treat it as [`FsFault::Eio`].
+    ShortWrite(usize),
+    /// The syscall fails with an I/O error.
+    Eio,
+    /// The process dies here: the stage and everything after it never
+    /// execute.
+    Crash,
+}
+
+/// Decides whether a syscall at `stage` for entry `name` is injected
+/// with a fault. `None` means the real syscall proceeds.
+pub type FaultHook = Arc<dyn Fn(FsStage, &str) -> Option<FsFault> + Send + Sync>;

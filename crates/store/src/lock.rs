@@ -1,0 +1,117 @@
+//! Single-writer lock file with stale-lock reclaim.
+//!
+//! A writable [`Store`](crate::Store) holds `writer.lock` in the store
+//! root for its whole lifetime. The file is created with `create_new`
+//! (atomic first-writer-wins across processes) and carries the owner's
+//! PID; a second writer finding the file checks whether that PID is
+//! still alive (`/proc/<pid>` on Linux) and reclaims the lock when the
+//! owner died without dropping it — exactly what `kill -9` leaves
+//! behind. Readers never take the lock: entry files are immutable once
+//! renamed into place, so concurrent reads race only with atomic
+//! renames and unlinks, both of which leave a reader seeing either a
+//! complete entry or no entry.
+
+use crate::StoreError;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Held lock; removing the file on drop releases it.
+#[derive(Debug)]
+pub(crate) struct LockGuard {
+    path: PathBuf,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Is a process with this PID alive? Only Linux can answer cheaply;
+/// elsewhere assume it is (never reclaim — the conservative failure).
+fn alive(pid: u64) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+/// Acquire the writer lock under `root`, reclaiming a stale one left by
+/// a dead process.
+pub(crate) fn acquire(root: &Path) -> Result<LockGuard, StoreError> {
+    let path = root.join("writer.lock");
+    // Two attempts: the second one follows a stale-lock reclaim. A
+    // concurrent writer racing the same reclaim loses the `create_new`
+    // and reports the new owner.
+    for _ in 0..2 {
+        match OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{}", std::process::id());
+                let _ = f.sync_all();
+                return Ok(LockGuard { path });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let holder = std::fs::read_to_string(&path).unwrap_or_default();
+                let pid: Option<u64> = holder.trim().parse().ok();
+                match pid {
+                    // A live holder — including this very process via
+                    // another Store handle — keeps the lock.
+                    Some(pid) if alive(pid) => {
+                        return Err(StoreError::Locked { holder: pid.to_string() });
+                    }
+                    // Dead owner (or unreadable garbage from a torn
+                    // lock write): reclaim and retry.
+                    _ => {
+                        let _ = std::fs::remove_file(&path);
+                    }
+                }
+            }
+            Err(err) => return Err(StoreError::io("lock", &path, err)),
+        }
+    }
+    Err(StoreError::Locked { holder: "unknown (reclaim raced)".into() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = PathBuf::from(format!("target/test-store-lock/{tag}"));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn second_writer_is_refused_while_the_first_lives() {
+        let d = dir("refuse");
+        let _g = acquire(&d).unwrap();
+        // Fake a *different live* owner so the same-PID reclaim path
+        // doesn't kick in: PID 1 is always alive on Linux.
+        std::fs::write(d.join("writer.lock"), "1\n").unwrap();
+        match acquire(&d) {
+            Err(StoreError::Locked { holder }) => assert_eq!(holder, "1"),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_pid_is_reclaimed() {
+        let d = dir("stale");
+        // No process can have this PID (beyond pid_max).
+        std::fs::write(d.join("writer.lock"), "4999999\n").unwrap();
+        let g = acquire(&d).unwrap();
+        drop(g);
+        assert!(!d.join("writer.lock").exists(), "drop must release the lock");
+    }
+
+    #[test]
+    fn garbage_lock_content_is_treated_as_stale() {
+        let d = dir("garbage");
+        std::fs::write(d.join("writer.lock"), "not-a-pid").unwrap();
+        acquire(&d).unwrap();
+    }
+}

@@ -59,6 +59,7 @@ fn crashed_worker_loses_no_seeds_and_the_merge_is_byte_identical() {
         retry_budget: 2,
         jobs_check: 2,
         config_name: "manual".into(),
+        checkpoint_every: 0,
         dir: fresh_dir("crash"),
     };
     let dir = cfg.dir.clone();
@@ -131,6 +132,7 @@ fn coordinator_restart_resumes_from_the_journal_without_rerunning_shards() {
         retry_budget: 2,
         jobs_check: 2,
         config_name: "manual".into(),
+        checkpoint_every: 0,
         dir: dir.clone(),
     };
     let now = Instant::now();
@@ -167,6 +169,64 @@ fn coordinator_restart_resumes_from_the_journal_without_rerunning_shards() {
 }
 
 #[test]
+fn checkpoint_compaction_shrinks_the_journal_and_the_result_store_heals_torn_shards() {
+    let dir = fresh_dir("checkpoint");
+    let cfg = CoordinatorConfig {
+        seed_start: 0,
+        seed_end: 24,
+        shard_size: 8, // 3 shards
+        lease: Duration::from_secs(30),
+        retry_budget: 2,
+        jobs_check: 2,
+        config_name: "manual".into(),
+        checkpoint_every: 2,
+        dir: dir.clone(),
+    };
+    let now = Instant::now();
+    {
+        let mut c1 = Coordinator::new(cfg.clone()).unwrap();
+        for (shard, range) in [(0u64, (0u64, 8u64)), (1, (8, 16)), (2, (16, 24))] {
+            let (_, reply) = c1.handle("POST", "/lease", "{\"worker\": \"w1\"}", now);
+            assert!(reply.contains(&format!("\"shard\": {shard}")), "{reply}");
+            let body = complete_body("w1", shard, range.0, range.1);
+            let (status, _) = c1.handle("POST", "/complete", &body, now);
+            assert_eq!(status, 200);
+        }
+    } // coordinator killed here
+
+    // Two completions triggered a checkpoint-compaction; only shard
+    // 2's completion (and its lease) postdate it, so the journal is
+    // campaign + checkpoint + a short tail instead of the full
+    // history.
+    let journal = std::fs::read_to_string(dir.join("journal.jsonl")).unwrap();
+    assert!(journal.starts_with("{\"rec\": \"campaign\""), "{journal}");
+    assert_eq!(journal.matches("\"rec\": \"checkpoint\"").count(), 1, "{journal}");
+    assert_eq!(journal.matches("\"rec\": \"completed\"").count(), 1, "{journal}");
+    assert_eq!(journal.matches("\"rec\": \"leased\"").count(), 1, "{journal}");
+
+    // Maul the plain shard files behind the coordinator's back: one
+    // torn mid-write, one deleted outright. The checksummed result
+    // store still holds both.
+    let shard0 = dir.join("shards/shard0000.json");
+    let full = std::fs::read_to_string(&shard0).unwrap();
+    std::fs::write(&shard0, &full[..full.len() / 2]).unwrap();
+    std::fs::remove_file(dir.join("shards/shard0001.json")).unwrap();
+
+    // Restart: resume folds the checkpoint, heals both files from the
+    // store instead of re-running the shards, and the merge is still
+    // byte-identical to the single-process reference.
+    let mut c2 = Coordinator::new(cfg).unwrap();
+    assert!(
+        c2.finished(),
+        "every shard must resume completed — torn files heal from the result store"
+    );
+    assert_eq!(std::fs::read_to_string(&shard0).unwrap(), full, "healed byte-identically");
+    let outcome = c2.finish().unwrap();
+    assert_eq!(outcome.quarantined, 0);
+    assert_eq!(outcome.merged.unwrap().to_json(), reference_json(0, 24, 2));
+}
+
+#[test]
 fn poison_shards_are_quarantined_and_triaged_without_wedging_the_campaign() {
     let cfg = CoordinatorConfig {
         seed_start: 0,
@@ -176,6 +236,7 @@ fn poison_shards_are_quarantined_and_triaged_without_wedging_the_campaign() {
         retry_budget: 1, // second failure quarantines
         jobs_check: 0,
         config_name: "manual".into(),
+        checkpoint_every: 0,
         dir: fresh_dir("poison"),
     };
     let mut c = Coordinator::new(cfg).unwrap();
@@ -227,6 +288,7 @@ fn heartbeats_extend_leases_and_silence_expires_them() {
         retry_budget: 2,
         jobs_check: 0,
         config_name: "manual".into(),
+        checkpoint_every: 0,
         dir: fresh_dir("heartbeat"),
     };
     let mut c = Coordinator::new(cfg).unwrap();
@@ -277,6 +339,7 @@ fn chaos_injects_worker_crashes_deterministically() {
         retry_budget: 2,
         jobs_check: 0,
         config_name: "manual".into(),
+        checkpoint_every: 0,
         dir: fresh_dir("chaos"),
     };
     let coordinator = Coordinator::new(cfg).unwrap();
