@@ -1,0 +1,18 @@
+//! Cedar Fortran emission — the paper's dialect, and the historical
+//! behaviour of the restructurer before backends existed.
+
+use super::{Backend, BackendKind, EmitInput};
+use cedar_ir::print::print_program;
+
+/// Emits the restructured program verbatim via [`cedar_ir::print`].
+pub struct CedarFortran;
+
+impl Backend for CedarFortran {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Cedar
+    }
+
+    fn emit(&self, input: &EmitInput<'_>) -> String {
+        print_program(input.restructured)
+    }
+}

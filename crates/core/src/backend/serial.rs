@@ -1,0 +1,154 @@
+//! Plain Fortran 77 emission: the serial reference.
+//!
+//! Emits from the *original* program (the restructurer's input), with
+//! anything outside the F77 subset rewritten away so the text is
+//! ordinary sequential Fortran:
+//!
+//! * every concurrent loop class demotes to a plain `DO`;
+//! * loop-local declarations hoist to unit scope (renamed if the name
+//!   is shadowed elsewhere — symbol references are by id, so a rename
+//!   is just a table edit);
+//! * pre/postambles splice around the loop (a serial loop is a
+//!   one-participant schedule, so "once per participant" means once);
+//! * all synchronization disappears (single thread);
+//! * task starts become plain calls, task waits disappear;
+//! * parallel library-reduction variants (`sum$x` …) demote to their
+//!   serial intrinsics, and `global`/`cluster` placements reset so no
+//!   placement lines are emitted.
+
+use super::{Backend, BackendKind, EmitInput};
+use cedar_ir::print::print_program;
+use cedar_ir::visit::{map_stmt_exprs, walk_stmts_mut};
+use cedar_ir::{
+    Expr, LoopClass, ParMode, Placement, Program, Stmt, SymKind, SymbolId, SyncOp, Unit,
+};
+
+/// The serial-F77 backend.
+pub struct SerialF77;
+
+impl Backend for SerialF77 {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Serial
+    }
+
+    fn emit(&self, input: &EmitInput<'_>) -> String {
+        let mut p: Program = input.original.clone();
+        for u in &mut p.units {
+            let mut body = std::mem::take(&mut u.body);
+            serialize_body(u, &mut body);
+            u.body = body;
+            for s in &mut u.symbols {
+                s.placement = Placement::Default;
+            }
+        }
+        print_program(&p)
+    }
+}
+
+/// Rewrite a statement list into the serial subset (see module docs).
+/// Used on whole units here and on individual demoted loops by the
+/// OpenMP backend's serial fallback.
+pub(crate) fn serialize_body(u: &mut Unit, body: &mut Vec<Stmt>) {
+    let mut out = Vec::with_capacity(body.len());
+    for s in body.drain(..) {
+        match s {
+            Stmt::Loop(mut l) => {
+                l.class = LoopClass::Seq;
+                hoist_locals(u, &mut l.locals);
+                serialize_body(u, &mut l.preamble);
+                serialize_body(u, &mut l.body);
+                serialize_body(u, &mut l.postamble);
+                out.append(&mut l.preamble);
+                let mut post = std::mem::take(&mut l.postamble);
+                out.push(Stmt::Loop(l));
+                out.append(&mut post);
+            }
+            Stmt::Sync(_) => {}
+            Stmt::TaskStart { callee, args, span, .. } => {
+                out.push(Stmt::Call { callee, args, span });
+            }
+            Stmt::TaskWait { .. } => {}
+            Stmt::If { cond, mut then_body, elifs, mut else_body, span } => {
+                serialize_body(u, &mut then_body);
+                let elifs = elifs
+                    .into_iter()
+                    .map(|(c, mut b)| {
+                        serialize_body(u, &mut b);
+                        (c, b)
+                    })
+                    .collect();
+                serialize_body(u, &mut else_body);
+                out.push(Stmt::If { cond, then_body, elifs, else_body, span });
+            }
+            Stmt::DoWhile { cond, mut body, span } => {
+                serialize_body(u, &mut body);
+                out.push(Stmt::DoWhile { cond, body, span });
+            }
+            other => out.push(other),
+        }
+    }
+    for s in out.iter_mut() {
+        demote_intr_par(s);
+    }
+    *body = out;
+}
+
+/// Turn a loop's locals into ordinary unit-scope variables. References
+/// are by [`SymbolId`], so only the symbol table changes; a rename is
+/// needed only when the local's name shadows another symbol (the
+/// emitted unit-level declarations must stay unambiguous for re-parse).
+pub(crate) fn hoist_locals(u: &mut Unit, locals: &mut Vec<SymbolId>) {
+    for id in locals.drain(..) {
+        let name = u.symbol(id).name.clone();
+        let shadowed = u
+            .symbols
+            .iter()
+            .enumerate()
+            .any(|(i, s)| i != id.index() && s.name == name);
+        if shadowed {
+            let fresh = u.fresh_name(&name);
+            u.symbol_mut(id).name = fresh;
+        }
+        let s = u.symbol_mut(id);
+        s.kind = SymKind::Local;
+        s.placement = Placement::Default;
+    }
+}
+
+/// Demote every parallel library-reduction intrinsic (`sum$x(..)` …)
+/// in the statement (and its nested bodies) to the serial variant.
+pub(crate) fn demote_intr_par(s: &mut Stmt) {
+    map_stmt_exprs(s, &mut |e| match e {
+        Expr::Intr { f, args, par: _ } => Expr::Intr { f, args, par: ParMode::Serial },
+        other => other,
+    });
+}
+
+/// Strip cascade synchronization (`await`/`advance`) from a demoted
+/// DOACROSS body, nested statements included. Locks are kept — the
+/// caller decides how to spell them.
+pub(crate) fn strip_cascades_deep(body: &mut Vec<Stmt>) {
+    body.retain(|s| !matches!(s, Stmt::Sync(SyncOp::Await { .. } | SyncOp::Advance { .. })));
+    walk_stmts_mut(body, &mut |s| {
+        let nested: Option<&mut Vec<Stmt>> = match s {
+            Stmt::Loop(l) => Some(&mut l.body),
+            Stmt::DoWhile { body, .. } => Some(body),
+            _ => None,
+        };
+        if let Some(b) = nested {
+            b.retain(|s| {
+                !matches!(s, Stmt::Sync(SyncOp::Await { .. } | SyncOp::Advance { .. }))
+            });
+        }
+        if let Stmt::If { then_body, elifs, else_body, .. } = s {
+            for b in std::iter::once(then_body)
+                .chain(elifs.iter_mut().map(|(_, b)| b))
+                .chain(std::iter::once(else_body))
+            {
+                b.retain(|s| {
+                    !matches!(s, Stmt::Sync(SyncOp::Await { .. } | SyncOp::Advance { .. }))
+                });
+            }
+        }
+    });
+}

@@ -1,20 +1,20 @@
-//! The restructuring driver: orchestrates analysis and transformation
-//! per loop nest, mirroring §3's pipeline with §4.1's techniques as
-//! configured extensions.
+//! The restructuring driver: a thin orchestrator that clones the input
+//! program and walks the explicit pass list assembled by
+//! [`crate::passes::pipeline`], mirroring §3's pipeline with §4.1's
+//! techniques as configured extensions.
+//!
+//! All transformation logic lives in `crate::passes::*`; emission to a
+//! concrete dialect lives behind [`crate::backend::Backend`]. The
+//! driver owns neither.
 
-use crate::classes::{self, NestPlan};
-use crate::config::{PassConfig, Target};
-use crate::legality::{self, Verdict};
-use crate::report::{LoopDecision, Report, Technique};
-use crate::{coalesce, fusion, globalize, inline, sync_insert, vectorize};
-use cedar_analysis::induction::{Giv, GivKind, UpdateSite};
-use cedar_analysis::interproc::{summarize, ProgramSummaries};
-use cedar_analysis::reduction::{RedOp, Reduction};
-use cedar_ir::visit::{map_stmt_exprs, substitute_scalar};
-use cedar_ir::{
-    BinOp, Expr, Index, Intrinsic, LValue, Loop, LoopClass, ParMode, Placement, Program, Stmt,
-    SymKind, SymbolId, SyncOp, Ty, Unit,
-};
+use crate::config::PassConfig;
+use crate::passes::{pipeline, PipelineCtx};
+use crate::report::Report;
+use cedar_ir::Program;
+
+// Re-exported here for the passes' users (coalescing calls it on loop
+// bodies; external tools may too).
+pub use crate::passes::privatize::remap_symbol_in_stmts;
 
 /// Output of the restructurer.
 pub struct RestructureResult {
@@ -29,1599 +29,9 @@ pub struct RestructureResult {
 /// report.
 pub fn restructure(p: &Program, cfg: &PassConfig) -> RestructureResult {
     let mut program = p.clone();
-    let mut report = Report::default();
-    if !cfg.parallelize {
-        // Pass-through still honors nest suppression: the validator
-        // must be able to demote a hand-written directive nest it
-        // implicated in a race or divergence even when no transforms
-        // run.
-        if !cfg.suppress_nests.is_empty() {
-            for unit in &mut program.units {
-                let name = unit.name.clone();
-                demote_suppressed_directives(&name, &mut unit.body, cfg, &mut report);
-            }
-        }
-        // Pass-through still audits: the input may carry hand-written
-        // directive loops whose synchronization deserves checking.
-        if cfg.audit_sync {
-            crate::sync_audit::audit(&program, &mut report);
-        }
-        return RestructureResult { program, report };
+    let mut ctx = PipelineCtx::new(cfg);
+    for pass in pipeline(cfg) {
+        pass.run(&mut program, &mut ctx);
     }
-    if cfg.inline_expansion {
-        inline::expand(&mut program);
-    }
-    let summaries = if cfg.interprocedural { Some(summarize(&program)) } else { None };
-
-    for ui in 0..program.units.len() {
-        let fused_lines = if cfg.loop_fusion {
-            fusion::fuse_unit(&mut program.units[ui])
-        } else {
-            Vec::new()
-        };
-        let mut unit = program.units[ui].clone();
-        let body = std::mem::take(&mut unit.body);
-        let mut dctx = DriverCtx {
-            cfg,
-            summaries: summaries.as_ref(),
-            report: &mut report,
-            next_sync_point: 1,
-            next_lock: 100,
-        };
-        unit.body = dctx.transform_block(&mut unit, body);
-        // Credit fusion on the surviving loops' report entries (the
-        // fused loop was classified above under its own header line).
-        for l in report.loops.iter_mut() {
-            if l.unit == unit.name
-                && fused_lines.contains(&l.span.line)
-                && !l.techniques.contains(&Technique::LoopFusion)
-            {
-                l.techniques.push(Technique::LoopFusion);
-            }
-        }
-        program.units[ui] = unit;
-    }
-
-    if cfg.globalize {
-        globalize::run(&mut program, cfg);
-    }
-    if cfg.audit_sync {
-        crate::sync_audit::audit(&program, &mut report);
-    }
-    RestructureResult { program, report }
-}
-
-/// Remove `await`/`advance` statements from a demoted loop body. Stops
-/// at nested *ordered* loops — their cascades still order their own
-/// iterations. Locks stay: serially they only cost cycles, and they may
-/// guard updates shared with other parallel loops.
-fn strip_cascades(body: &mut Vec<Stmt>) {
-    body.retain(|s| !matches!(s, Stmt::Sync(SyncOp::Await { .. } | SyncOp::Advance { .. })));
-    for s in body {
-        match s {
-            Stmt::If { then_body, elifs, else_body, .. } => {
-                strip_cascades(then_body);
-                for (_, b) in elifs {
-                    strip_cascades(b);
-                }
-                strip_cascades(else_body);
-            }
-            Stmt::DoWhile { body, .. } => strip_cascades(body),
-            Stmt::Loop(l) if !l.class.is_ordered() => strip_cascades(&mut l.body),
-            _ => {}
-        }
-    }
-}
-
-/// Demote every suppressed hand-written parallel loop to serial (see
-/// the directive branch of `transform_loop`); used by the
-/// `!parallelize` pass-through, where no driver context exists.
-fn demote_suppressed_directives(
-    unit_name: &str,
-    body: &mut Vec<Stmt>,
-    cfg: &PassConfig,
-    report: &mut Report,
-) {
-    for s in body {
-        match s {
-            Stmt::Loop(l) => {
-                if l.class != LoopClass::Seq && cfg.is_suppressed(unit_name, l.span.line) {
-                    l.class = LoopClass::Seq;
-                    strip_cascades(&mut l.body);
-                    report.record(
-                        unit_name,
-                        l.span,
-                        LoopDecision::Serial {
-                            reason: "directive nest suppressed by differential validation".into(),
-                        },
-                        Vec::new(),
-                    );
-                    report.record_fallback(
-                        unit_name,
-                        l.span,
-                        "directive nest demoted to serial (validation fallback)",
-                    );
-                }
-                demote_suppressed_directives(unit_name, &mut l.body, cfg, report);
-            }
-            Stmt::If { then_body, elifs, else_body, .. } => {
-                demote_suppressed_directives(unit_name, then_body, cfg, report);
-                for (_, b) in elifs {
-                    demote_suppressed_directives(unit_name, b, cfg, report);
-                }
-                demote_suppressed_directives(unit_name, else_body, cfg, report);
-            }
-            Stmt::DoWhile { body, .. } => {
-                demote_suppressed_directives(unit_name, body, cfg, report);
-            }
-            _ => {}
-        }
-    }
-}
-
-struct DriverCtx<'a> {
-    cfg: &'a PassConfig,
-    summaries: Option<&'a ProgramSummaries>,
-    report: &'a mut Report,
-    next_sync_point: u32,
-    next_lock: u32,
-}
-
-impl DriverCtx<'_> {
-    fn transform_block(&mut self, unit: &mut Unit, body: Vec<Stmt>) -> Vec<Stmt> {
-        let mut out = Vec::with_capacity(body.len());
-        for s in body {
-            match s {
-                Stmt::Loop(l) => out.extend(self.transform_loop(unit, l)),
-                Stmt::If { cond, then_body, elifs, else_body, span } => {
-                    out.push(Stmt::If {
-                        cond,
-                        then_body: self.transform_block(unit, then_body),
-                        elifs: elifs
-                            .into_iter()
-                            .map(|(c, b)| (c, self.transform_block(unit, b)))
-                            .collect(),
-                        else_body: self.transform_block(unit, else_body),
-                        span,
-                    });
-                }
-                Stmt::DoWhile { cond, body, span } => {
-                    out.push(Stmt::DoWhile {
-                        cond,
-                        body: self.transform_block(unit, body),
-                        span,
-                    });
-                }
-                other => out.push(other),
-            }
-        }
-        out
-    }
-
-    /// Transform one loop (possibly recursively its children) into its
-    /// replacement statements.
-    fn transform_loop(&mut self, unit: &mut Unit, l: Loop) -> Vec<Stmt> {
-        let mut l = l;
-
-        // A loop that is already parallel in the input is a user
-        // directive (hand-written Cedar Fortran): keep it, but still
-        // visit serial loops nested inside its body. A *suppressed*
-        // directive nest (the validator implicated it in a race or a
-        // divergence) is demoted to serial instead: host order
-        // satisfies every dependence, so its cascades become no-ops —
-        // and must be stripped, since an `await` outside a DOACROSS
-        // schedule would stall.
-        if l.class != LoopClass::Seq {
-            if self.cfg.is_suppressed(&unit.name, l.span.line) {
-                l.class = LoopClass::Seq;
-                strip_cascades(&mut l.body);
-                self.report.record(
-                    &unit.name,
-                    l.span,
-                    LoopDecision::Serial {
-                        reason: "directive nest suppressed by differential validation".into(),
-                    },
-                    Vec::new(),
-                );
-                self.report.record_fallback(
-                    &unit.name,
-                    l.span,
-                    "directive nest demoted to serial (validation fallback)",
-                );
-                return vec![Stmt::Loop(l)];
-            }
-            l.body = self.transform_block(unit, std::mem::take(&mut l.body));
-            return vec![Stmt::Loop(l)];
-        }
-
-        // Suppressed nests (differential-validation fallback) stay
-        // serial wholesale — including their inner loops, so the nest
-        // runs exactly as written.
-        if self.cfg.is_suppressed(&unit.name, l.span.line) {
-            self.report.record(
-                &unit.name,
-                l.span,
-                LoopDecision::Serial { reason: "suppressed by differential validation".into() },
-                Vec::new(),
-            );
-            self.report.record_fallback(
-                &unit.name,
-                l.span,
-                "nest reverted to serial (validation fallback)",
-            );
-            return vec![Stmt::Loop(l)];
-        }
-
-        let mut techniques: Vec<Technique> = Vec::new();
-        let mut pre: Vec<Stmt> = Vec::new();
-        let mut post: Vec<Stmt> = Vec::new();
-
-        let mut verdict = legality::analyze(unit, &l, self.cfg, self.summaries);
-
-        // ---- GIV substitution (§4.1.4) ----
-        // Must fire whenever GIVs were recognized: the legality pass has
-        // already excluded them from the blocking-scalar set on the
-        // assumption that this substitution removes the recurrence.
-        if !verdict.givs.is_empty() {
-            let givs = std::mem::take(&mut verdict.givs);
-            let mut applied = false;
-            let mut failed = false;
-            for g in &givs {
-                if let Some((p, q)) = apply_giv(unit, &mut l, g) {
-                    pre.extend(p);
-                    post.extend(q);
-                    applied = true;
-                } else {
-                    failed = true;
-                }
-            }
-            if applied {
-                techniques.push(Technique::GivSubstitution);
-            }
-            if failed {
-                // Legality assumed the substitution would remove the
-                // recurrence; it could not, so the loop must stay serial.
-                self.report.record(
-                    &unit.name,
-                    l.span,
-                    LoopDecision::Serial {
-                        reason: "induction-variable shape not substitutable".into(),
-                    },
-                    techniques,
-                );
-                let body = std::mem::take(&mut l.body);
-                l.body = self.transform_block(unit, body);
-                let mut out = pre;
-                out.push(Stmt::Loop(l));
-                out.extend(post);
-                return out;
-            }
-            verdict = legality::analyze(unit, &l, self.cfg, self.summaries);
-        }
-
-        if !verdict.private_scalars.is_empty() {
-            techniques.push(Technique::ScalarPrivatization);
-        }
-        if !verdict.private_arrays.is_empty() {
-            techniques.push(Technique::ArrayPrivatization);
-        }
-        for r in &verdict.reductions {
-            techniques.push(if r.is_array || r.n_statements > 1 {
-                Technique::ArrayReduction
-            } else {
-                Technique::ScalarReduction
-            });
-        }
-
-        // ---- whole-loop library reduction (§3.3) ----
-        if verdict.doall && verdict.reductions.len() == 1 && l.body.len() == 1 {
-            let mode = self.reduction_mode(&l);
-            if let Some(stmt) = self.library_reduction(unit, &l, &verdict.reductions[0], mode) {
-                self.report.record(
-                    &unit.name,
-                    l.span,
-                    LoopDecision::LibraryReduction,
-                    techniques,
-                );
-                pre.push(stmt);
-                pre.extend(post);
-                return pre;
-            }
-        }
-
-        // ---- loop distribution (§3.3) ----
-        // "To make use of a library routine, the restructurer must often
-        // distribute an original loop to isolate those computations done
-        // by library code." A DOALL loop mixing reduction statements
-        // with other work splits into a rest-loop plus one loop per
-        // reduction; the rest-loop runs first (its outputs may feed the
-        // accumulations within the same iteration; the reverse cannot
-        // happen because reduction targets are unreferenced elsewhere).
-        if verdict.doall && !verdict.reductions.is_empty() && l.body.len() > 1 {
-            if let Some((rest, red_loops)) = self.distribute(unit, &l, &verdict) {
-                techniques.push(Technique::Distribution);
-                let mut out = pre;
-                // Record the decision once; the recursive transforms add
-                // their own per-loop records.
-                self.report.record(
-                    &unit.name,
-                    l.span,
-                    LoopDecision::Distributed {
-                        parts: red_loops.len() + rest.is_some() as usize,
-                    },
-                    techniques,
-                );
-                if let Some(rl) = rest {
-                    out.extend(self.transform_loop(unit, rl));
-                }
-                for red in red_loops {
-                    out.extend(self.transform_loop(unit, red));
-                }
-                out.extend(post);
-                return out;
-            }
-        }
-
-        if verdict.doall {
-            // Per-participant reduction partials cost P×(init + merge +
-            // lock); on short loops that overhead swamps the gain, so
-            // the loop stays serial (matching the paper's observation
-            // that its restructurer "lowers its estimate of the benefit"
-            // for synchronized constructs).
-            if !verdict.reductions.is_empty()
-                && !self.reductions_profitable(unit, &l, &verdict.reductions)
-            {
-                self.report.record(
-                    &unit.name,
-                    l.span,
-                    LoopDecision::Serial {
-                        reason: "reduction transform overhead exceeds parallel gain".into(),
-                    },
-                    techniques,
-                );
-                let body = std::mem::take(&mut l.body);
-                l.body = self.transform_block(unit, body);
-                let mut out = pre;
-                out.push(Stmt::Loop(l));
-                out.extend(post);
-                return out;
-            }
-            let stmt = self.make_doall(unit, l, &verdict, &mut techniques);
-            let mut out = pre;
-            out.push(stmt);
-            out.extend(post);
-            return out;
-        }
-
-        // ---- loop interchange (§3.4) ----
-        // A perfect 2-nest whose inner loop is parallel can have the
-        // parallel loop moved outward when no (<, >)-direction
-        // dependence exists.
-        if self.cfg.interchange && l.body.len() == 1 {
-            if let Some(Stmt::Loop(inner)) = l.body.first() {
-                let inner_vec = inner.class == LoopClass::Seq
-                    && vectorize::body_vectorizable(unit, inner, &[]);
-                if inner.class == LoopClass::Seq
-                    && inner.locals.is_empty()
-                    && l.locals.is_empty()
-                    && classes::interchange_profitable(unit, &l, inner, inner_vec)
-                    && cedar_analysis::depend::interchange_legal(unit, &l, inner)
-                {
-                    let inner = inner.clone();
-                    let mut swapped = inner.clone();
-                    let mut new_inner = l.clone();
-                    new_inner.body = inner.body;
-                    swapped.body = vec![Stmt::Loop(new_inner)];
-                    let v2 = legality::analyze(unit, &swapped, self.cfg, self.summaries);
-                    if v2.doall {
-                        techniques.push(Technique::Interchange);
-                        let stmt = self.make_doall(unit, swapped, &v2, &mut techniques);
-                        let mut out = pre;
-                        out.push(stmt);
-                        out.extend(post);
-                        return out;
-                    }
-                }
-            }
-        }
-
-        // ---- run-time dependence test (§4.1.5) ----
-        if let Some(pattern) = &verdict.runtime_pattern {
-            if verdict.blockers.len() == 1 {
-                let guard = pattern.guard();
-                let serial = Stmt::Loop(l.clone());
-                let par = self.forced_parallel(unit, l.clone(), &verdict, LoopClass::XDoall);
-                techniques.push(Technique::RuntimeDepTest);
-                self.report
-                    .record(&unit.name, l.span, LoopDecision::TwoVersion, techniques);
-                let mut out = pre;
-                out.push(Stmt::If {
-                    cond: guard,
-                    then_body: vec![par],
-                    elifs: Vec::new(),
-                    else_body: vec![serial],
-                    span: l.span,
-                });
-                out.extend(post);
-                return out;
-            }
-        }
-
-        // ---- critical sections (§4.1.6) ----
-        // Locks serialize the protected updates, so the transform only
-        // pays when the unprotected work dominates (same discount logic
-        // as the DOACROSS delay factor).
-        if !verdict.critical_arrays.is_empty() && verdict.blockers.is_empty() {
-            let locked_region: Vec<Stmt> = l
-                .body
-                .iter()
-                .filter(|s| {
-                    verdict
-                        .critical_arrays
-                        .iter()
-                        .any(|a| crate::sync_insert::stmt_touches_array(s, *a))
-                })
-                .cloned()
-                .collect();
-            if classes::critical_worthwhile(unit, &l, &locked_region, 8.0) {
-                let lock0 = self.next_lock;
-                self.next_lock += verdict.critical_arrays.len() as u32;
-                let locked =
-                    sync_insert::insert_critical_sections(&l, &verdict.critical_arrays, lock0);
-                let stmt = self.forced_parallel(unit, locked, &verdict, LoopClass::CDoall);
-                self.report.record(
-                    &unit.name,
-                    l.span,
-                    LoopDecision::CriticalSection,
-                    techniques,
-                );
-                let mut out = pre;
-                out.push(stmt);
-                out.extend(post);
-                return out;
-            }
-        }
-
-        // ---- DOACROSS (§3.3) ----
-        if !verdict.doacross_deps.is_empty() {
-            let point0 = self.next_sync_point;
-            let (mut dl, spans) = sync_insert::insert_cascade(
-                &l,
-                classes::doacross_class(self.cfg.target),
-                &verdict.doacross_deps,
-                point0,
-            );
-            let region: Vec<Stmt> = spans
-                .iter()
-                .flat_map(|&(f, t)| l.body[f..=t].to_vec())
-                .collect();
-            let procs = 8.0;
-            if classes::doacross_worthwhile(unit, &l, &region, procs) {
-                self.next_sync_point += spans.len().max(1) as u32;
-                self.privatize_scalars(unit, &mut dl, &verdict.private_scalars);
-                self.report.record(
-                    &unit.name,
-                    l.span,
-                    LoopDecision::Doacross { sync_points: spans.len() },
-                    techniques,
-                );
-                let mut out = pre;
-                out.push(Stmt::Loop(dl));
-                out.extend(post);
-                return out;
-            }
-        }
-
-        // ---- serial: recurse into children ----
-        let reason = verdict
-            .blockers
-            .first()
-            .cloned()
-            .unwrap_or_else(|| "no profitable parallel form".to_string());
-        self.report
-            .record(&unit.name, l.span, LoopDecision::Serial { reason }, techniques);
-        let body = std::mem::take(&mut l.body);
-        l.body = self.transform_block(unit, body);
-        let mut out = pre;
-        out.push(Stmt::Loop(l));
-        out.extend(post);
-        out
-    }
-
-    /// Try to distribute a DOALL loop with reductions into a rest loop
-    /// plus per-reduction loops. Returns `None` when the shape is not
-    /// safely splittable (nested accumulations, shared written scalars,
-    /// or nothing to split).
-    fn distribute(
-        &mut self,
-        unit: &Unit,
-        l: &Loop,
-        verdict: &Verdict,
-    ) -> Option<(Option<Loop>, Vec<Loop>)> {
-        use std::collections::BTreeSet;
-        // Collect top-level accumulation indices per reduction; every
-        // accumulation of every target must be at the top level.
-        let mut red_idx: Vec<Vec<usize>> = Vec::new();
-        let mut taken: BTreeSet<usize> = BTreeSet::new();
-        for r in &verdict.reductions {
-            let idx =
-                cedar_analysis::reduction::accumulation_statement_indices(l, r.target);
-            if idx.len() != r.n_statements {
-                return None; // some accumulation is nested
-            }
-            taken.extend(idx.iter().copied());
-            red_idx.push(idx);
-        }
-        let rest_idx: Vec<usize> =
-            (0..l.body.len()).filter(|k| !taken.contains(k)).collect();
-        if rest_idx.is_empty() || taken.is_empty() {
-            return None; // nothing to isolate
-        }
-        // Scalars written in the rest group must not feed accumulation
-        // expressions unless they are privatizable per-iteration values;
-        // conservatively require the accumulations to read no scalar the
-        // rest group writes (arrays are safe: the loop is DOALL-legal).
-        let mut rest_writes: BTreeSet<cedar_ir::SymbolId> = BTreeSet::new();
-        for &k in &rest_idx {
-            if let Stmt::Assign { lhs: LValue::Scalar(v), .. } = &l.body[k] {
-                rest_writes.insert(*v);
-            }
-        }
-        for idx in &red_idx {
-            for &k in idx {
-                let mut reads_rest_scalar = false;
-                cedar_ir::visit::walk_stmt_exprs(&l.body[k], true, &mut |e: &Expr| {
-                    if matches!(e, Expr::Scalar(v) if rest_writes.contains(v)) {
-                        reads_rest_scalar = true;
-                    }
-                });
-                if reads_rest_scalar {
-                    return None;
-                }
-            }
-        }
-        let _ = unit;
-        let mk = |indices: &[usize]| -> Loop {
-            let mut nl = l.clone();
-            nl.body = indices.iter().map(|&k| l.body[k].clone()).collect();
-            nl
-        };
-        let rest = Some(mk(&rest_idx));
-        let red_loops = red_idx.iter().map(|idx| mk(idx)).collect();
-        Some((rest, red_loops))
-    }
-
-    /// Build the DOALL form of a legal loop.
-    fn make_doall(
-        &mut self,
-        unit: &mut Unit,
-        mut l: Loop,
-        verdict: &Verdict,
-        techniques: &mut Vec<Technique>,
-    ) -> Stmt {
-        let have_reductions = !verdict.reductions.is_empty();
-        let have_priv_arrays = !verdict.private_arrays.is_empty();
-
-        // Vector path requires a plain assign-only body.
-        let body_vec = !have_reductions
-            && !have_priv_arrays
-            && vectorize::body_vectorizable(unit, &l, &verdict.private_scalars);
-
-        // Inner-parallel detection (for the SDOALL/CDOALL plan): the
-        // body contains exactly one inner loop, itself DOALL-legal.
-        let inner_info = self.inner_parallel_info(unit, &l);
-
-        // ---- loop coalescing (§4.2.4) ----
-        // A perfect DOALL×DOALL nest whose outer trip count under-fills
-        // the machine becomes one flat XDOALL over the product space;
-        // the 32-CE self-scheduler then balances it.
-        // Gate on a non-vectorizable inner body: when the inner loop
-        // vectorizes, SDOALL + vector strips beats the flat scalar loop
-        // (the recovered subscripts defeat section form).
-        if self.cfg.coalesce
-            && self.cfg.target == Target::Cedar
-            && !have_reductions
-            && !have_priv_arrays
-            && inner_info.as_ref().is_some_and(|i| !i.vectorizable)
-        {
-            let fits = coalesce::perfect_inner(&l)
-                .is_some_and(|inner| coalesce::profitable(&l, inner, classes::MACHINE_CES));
-            if fits {
-                if let Some(mut flat) = coalesce::coalesce(unit, &l) {
-                    techniques.push(Technique::Coalescing);
-                    self.privatize_scalars(unit, &mut flat, &verdict.private_scalars);
-                    flat.class = LoopClass::XDoall;
-                    self.report.record(
-                        &unit.name,
-                        l.span,
-                        LoopDecision::Doall {
-                            classes: vec![LoopClass::XDoall],
-                            vectorized: false,
-                        },
-                        std::mem::take(techniques),
-                    );
-                    return Stmt::Loop(flat);
-                }
-            }
-        }
-        let (plan, considered) = classes::choose_plan(
-            unit,
-            &l,
-            inner_info.is_some(),
-            body_vec,
-            inner_info.as_ref().is_some_and(|i| i.vectorizable),
-            self.cfg,
-        );
-        self.report.versions_considered += considered;
-
-        let plan = if have_reductions {
-            // Reductions need a postamble: force a library-microtasked
-            // class.
-            NestPlan::XdoallScalar
-        } else {
-            plan
-        };
-
-        match plan {
-            NestPlan::XdoallVector | NestPlan::CdoallVector => {
-                techniques.push(Technique::Stripmining);
-                if l.body.iter().any(|s| matches!(s, Stmt::If { .. })) {
-                    techniques.push(Technique::IfToWhere);
-                }
-                let class = if plan == NestPlan::XdoallVector {
-                    LoopClass::XDoall
-                } else {
-                    LoopClass::CDoall
-                };
-                let strip = self.cfg.strip_len;
-                let stmt = vectorize::stripmine(unit, &l, class, strip, &verdict.private_scalars);
-                self.report.record(
-                    &unit.name,
-                    l.span,
-                    LoopDecision::Doall { classes: vec![class], vectorized: true },
-                    std::mem::take(techniques),
-                );
-                stmt
-            }
-            NestPlan::SdoallCdoall { inner_vector } => {
-                let info = inner_info.expect("plan implies inner parallel");
-                // Outer: SDOALL with privatization.
-                self.privatize_scalars(unit, &mut l, &verdict.private_scalars);
-                self.privatize_arrays(unit, &mut l, &verdict.private_arrays);
-                l.class = LoopClass::SDoall;
-                // Inner: replace at the recorded position.
-                let Stmt::Loop(inner) = l.body.remove(info.pos) else { unreachable!() };
-                if inner_vector && info.vectorizable && info.private_scalars.is_empty() {
-                    // §3.2: innermost becomes vector statements.
-                    let stmts = vectorize::vectorize_whole(&inner);
-                    for (k, st) in stmts.into_iter().enumerate() {
-                        l.body.insert(info.pos + k, st);
-                    }
-                } else {
-                    let mut cl = inner;
-                    self.privatize_scalars(unit, &mut cl, &info.private_scalars);
-                    cl.class = LoopClass::CDoall;
-                    l.body.insert(info.pos, Stmt::Loop(cl));
-                }
-                self.report.record(
-                    &unit.name,
-                    l.span,
-                    LoopDecision::Doall {
-                        classes: vec![LoopClass::SDoall, LoopClass::CDoall],
-                        vectorized: inner_vector,
-                    },
-                    std::mem::take(techniques),
-                );
-                Stmt::Loop(l)
-            }
-            NestPlan::XdoallScalar | NestPlan::CdoallScalar => {
-                let any_array_red = verdict.reductions.iter().any(|r| r.is_array);
-                let class = if any_array_red {
-                    // Array partials are merged once per participant:
-                    // one per cluster (SDOALL) keeps the preamble/
-                    // postamble cost linear in 4, not 32.
-                    LoopClass::SDoall
-                } else if plan == NestPlan::XdoallScalar || have_reductions {
-                    LoopClass::XDoall
-                } else {
-                    LoopClass::CDoall
-                };
-                self.privatize_scalars(unit, &mut l, &verdict.private_scalars);
-                self.privatize_arrays(unit, &mut l, &verdict.private_arrays);
-                for r in &verdict.reductions {
-                    self.reduction_partials(unit, &mut l, r);
-                }
-                l.class = class;
-                // Inner serial loops over privatized/plain data still
-                // benefit from the vector pipes (§3.2's third level of
-                // parallelism).
-                self.vectorize_children(unit, &mut l);
-                self.report.record(
-                    &unit.name,
-                    l.span,
-                    LoopDecision::Doall { classes: vec![class], vectorized: false },
-                    std::mem::take(techniques),
-                );
-                Stmt::Loop(l)
-            }
-        }
-    }
-
-    /// Parallel form used by the two-version and critical-section paths:
-    /// privatized scalars/arrays + scalar body (no legality re-check —
-    /// the caller guarantees it).
-    fn forced_parallel(
-        &mut self,
-        unit: &mut Unit,
-        mut l: Loop,
-        verdict: &Verdict,
-        class: LoopClass,
-    ) -> Stmt {
-        self.privatize_scalars(unit, &mut l, &verdict.private_scalars);
-        self.privatize_arrays(unit, &mut l, &verdict.private_arrays);
-        self.vectorize_children(unit, &mut l);
-        l.class = class;
-        Stmt::Loop(l)
-    }
-
-    /// Replace references to each scalar with a fresh loop-local.
-    fn privatize_scalars(&mut self, unit: &mut Unit, l: &mut Loop, scalars: &[SymbolId]) {
-        for &s in scalars {
-            let sym = unit.symbol(s);
-            let name = unit.fresh_name(&format!("{}$p", sym.name));
-            let ty = sym.ty;
-            let local = unit.add_symbol(cedar_ir::Symbol {
-                name,
-                ty,
-                dims: Vec::new(),
-                kind: SymKind::LoopLocal,
-                placement: Placement::Private,
-                init: Vec::new(),
-                span: sym.span,
-            });
-            remap_symbol_in_stmts(&mut l.body, s, local);
-            l.locals.push(local);
-        }
-    }
-
-    /// Replace references to each array with a fresh loop-local copy
-    /// (legality guaranteed by the array-privatization analysis: every
-    /// element is written before read within one iteration, and the
-    /// array is not live-out).
-    fn privatize_arrays(&mut self, unit: &mut Unit, l: &mut Loop, arrays: &[SymbolId]) {
-        for &a in arrays {
-            let sym = unit.symbol(a).clone();
-            let name = unit.fresh_name(&format!("{}$p", sym.name));
-            let local = unit.add_symbol(cedar_ir::Symbol {
-                name,
-                ty: sym.ty,
-                dims: sym.dims.clone(),
-                kind: SymKind::LoopLocal,
-                placement: Placement::Private,
-                init: Vec::new(),
-                span: sym.span,
-            });
-            remap_symbol_in_stmts(&mut l.body, a, local);
-            l.locals.push(local);
-        }
-    }
-
-    /// Transform a recognized reduction into per-participant partial
-    /// accumulation with a lock-protected postamble merge (§3.3).
-    fn reduction_partials(&mut self, unit: &mut Unit, l: &mut Loop, r: &Reduction) {
-        let sym = unit.symbol(r.target).clone();
-        let name = unit.fresh_name(&format!("{}$r", sym.name));
-        let partial = unit.add_symbol(cedar_ir::Symbol {
-            name,
-            ty: sym.ty,
-            dims: sym.dims.clone(),
-            kind: SymKind::LoopLocal,
-            placement: Placement::Private,
-            init: Vec::new(),
-            span: sym.span,
-        });
-        remap_symbol_in_stmts(&mut l.body, r.target, partial);
-        l.locals.push(partial);
-
-        let identity = match (sym.ty, r.op) {
-            (Ty::Int, RedOp::Sum) => Expr::ConstI(0),
-            (Ty::Int, RedOp::Product) => Expr::ConstI(1),
-            (_, op) => Expr::real(op.identity()),
-        };
-        let lock = self.next_lock;
-        self.next_lock += 1;
-
-        if r.is_array {
-            let full = |arr: SymbolId| -> (LValue, Expr) {
-                let idx: Vec<Index> = sym
-                    .dims
-                    .iter()
-                    .map(|_| Index::Range { lo: None, hi: None, step: None })
-                    .collect();
-                (
-                    LValue::Section { arr, idx: idx.clone() },
-                    Expr::Section { arr, idx },
-                )
-            };
-            let (p_lv, p_rd) = full(partial);
-            let (t_lv, t_rd) = full(r.target);
-            l.preamble.push(Stmt::Assign { lhs: p_lv, rhs: identity, span: l.span });
-            let merged = combine(r.op, t_rd, p_rd);
-            l.postamble.push(Stmt::Sync(SyncOp::Lock { id: lock }));
-            l.postamble.push(Stmt::Assign { lhs: t_lv, rhs: merged, span: l.span });
-            l.postamble.push(Stmt::Sync(SyncOp::Unlock { id: lock }));
-        } else {
-            l.preamble.push(Stmt::Assign {
-                lhs: LValue::Scalar(partial),
-                rhs: identity,
-                span: l.span,
-            });
-            let merged = combine(r.op, Expr::Scalar(r.target), Expr::Scalar(partial));
-            l.postamble.push(Stmt::Sync(SyncOp::Lock { id: lock }));
-            l.postamble.push(Stmt::Assign {
-                lhs: LValue::Scalar(r.target),
-                rhs: merged,
-                span: l.span,
-            });
-            l.postamble.push(Stmt::Sync(SyncOp::Unlock { id: lock }));
-        }
-    }
-
-    /// Pick the execution mode of a library reduction from the trip
-    /// count: the two-level Cedar scheme only pays for long vectors.
-    fn reduction_mode(&self, l: &Loop) -> ParMode {
-        let trip = l
-            .start
-            .as_const_int()
-            .zip(l.end.as_const_int())
-            .map(|(a, b)| (b - a + 1).max(0));
-        let mode = match trip {
-            Some(t) if t < 96 => ParMode::Vector,
-            Some(t) if t < 2048 => ParMode::ClusterParallel,
-            Some(_) => ParMode::CedarParallel,
-            None => ParMode::ClusterParallel,
-        };
-        match (self.cfg.target, mode) {
-            (Target::Fx80, ParMode::CedarParallel) => ParMode::ClusterParallel,
-            (_, m) => m,
-        }
-    }
-
-    /// Estimate whether per-participant reduction partials pay off.
-    fn reductions_profitable(&self, unit: &Unit, l: &Loop, reds: &[Reduction]) -> bool {
-        let p = 32.0;
-        let trip = l
-            .start
-            .as_const_int()
-            .zip(l.end.as_const_int())
-            .map(|(a, b)| ((b - a + 1).max(0)) as f64)
-            .unwrap_or(100.0);
-        let body = classes::body_cost(unit, &l.body).max(1.0);
-        let mut overhead = 0.0;
-        for r in reds {
-            let len = if r.is_array {
-                unit.symbol(r.target).const_len().unwrap_or(64) as f64
-            } else {
-                1.0
-            };
-            overhead += p * (2.5 * len + 30.0);
-        }
-        trip * body * (1.0 - 1.0 / p) > 2.0 * overhead
-    }
-
-    /// Replace direct-child sequential loops of a (scalar-bodied)
-    /// parallel loop with vector statements or vector-mode library
-    /// reductions — the third level of Cedar parallelism (§3.2).
-    fn vectorize_children(&mut self, unit: &mut Unit, l: &mut Loop) {
-        let mut k = 0;
-        while k < l.body.len() {
-            let Some(inner) = l.body[k].as_loop() else {
-                k += 1;
-                continue;
-            };
-            if inner.class != LoopClass::Seq {
-                k += 1;
-                continue;
-            }
-            let inner = inner.clone();
-            // Never disturb synchronization the caller inserted.
-            let mut has_sync = false;
-            cedar_ir::visit::walk_stmts(&inner.body, &mut |s| {
-                if matches!(s, Stmt::Sync(_)) {
-                    has_sync = true;
-                }
-            });
-            if has_sync {
-                k += 1;
-                continue;
-            }
-            let v = legality::analyze(unit, &inner, self.cfg, self.summaries);
-            if v.doall
-                && v.reductions.len() == 1
-                && inner.body.len() == 1
-                && !v.reductions[0].is_array
-            {
-                if let Some(stmt) =
-                    self.library_reduction(unit, &inner, &v.reductions[0], ParMode::Vector)
-                {
-                    l.body[k] = stmt;
-                    k += 1;
-                    continue;
-                }
-            }
-            if v.doall
-                && v.reductions.is_empty()
-                && v.private_arrays.is_empty()
-                && v.private_scalars.is_empty()
-                && vectorize::body_vectorizable(unit, &inner, &[])
-            {
-                let stmts = vectorize::vectorize_whole(&inner);
-                let len = stmts.len();
-                l.body.splice(k..k + 1, stmts);
-                k += len;
-                continue;
-            }
-            k += 1;
-        }
-    }
-
-    /// Whole-loop library substitution for a single-statement reduction
-    /// body (§3.3): the dot product that "cut the execution time of the
-    /// whole program in half".
-    fn library_reduction(
-        &self,
-        unit: &Unit,
-        l: &Loop,
-        r: &Reduction,
-        mode: ParMode,
-    ) -> Option<Stmt> {
-        if r.is_array {
-            return None;
-        }
-        let Stmt::Assign { lhs: LValue::Scalar(target), rhs, span } = &l.body[0] else {
-            return None;
-        };
-        if *target != r.target {
-            return None;
-        }
-        // rhs = an accumulation chain over target, or intrinsic min/max.
-        let accum: Expr = match rhs {
-            Expr::Bin(BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div, ..) => {
-                // Chain with the target's occurrence removed; signs are
-                // baked in (`s = s - e` accumulates `-e`).
-                cedar_analysis::reduction::accumulated_expr(rhs, *target, None)?
-            }
-            Expr::Intr { f: Intrinsic::Min | Intrinsic::Max, args, .. } if args.len() == 2 => {
-                if matches!(&args[0], Expr::Scalar(s) if s == target) {
-                    args[1].clone()
-                } else {
-                    args[0].clone()
-                }
-            }
-            _ => return None,
-        };
-        let lib = vectorize::reduction_library_expr(unit, l, &accum, r.op, mode)?;
-        Some(Stmt::Assign {
-            lhs: LValue::Scalar(*target),
-            rhs: combine(r.op, Expr::Scalar(*target), lib),
-            span: *span,
-        })
-    }
-
-    /// Detect a unique inner loop that is itself DOALL-legal.
-    fn inner_parallel_info(&self, unit: &Unit, l: &Loop) -> Option<InnerInfo> {
-        let mut loops = l
-            .body
-            .iter()
-            .enumerate()
-            .filter_map(|(k, s)| s.as_loop().map(|il| (k, il)));
-        let (pos, inner) = loops.next()?;
-        if loops.next().is_some() {
-            return None; // multiple inner loops: keep the simple plan
-        }
-        if inner.class != LoopClass::Seq {
-            return None;
-        }
-        let v = legality::analyze(unit, inner, self.cfg, self.summaries);
-        if !v.doall || !v.reductions.is_empty() || !v.private_arrays.is_empty() {
-            return None;
-        }
-        let vectorizable = vectorize::body_vectorizable(unit, inner, &v.private_scalars);
-        Some(InnerInfo { pos, vectorizable, private_scalars: v.private_scalars })
-    }
-}
-
-struct InnerInfo {
-    pos: usize,
-    vectorizable: bool,
-    private_scalars: Vec<SymbolId>,
-}
-
-fn combine(op: RedOp, target: Expr, partial: Expr) -> Expr {
-    match op {
-        RedOp::Sum => Expr::bin(BinOp::Add, target, partial),
-        RedOp::Product => Expr::bin(BinOp::Mul, target, partial),
-        RedOp::Min => Expr::Intr {
-            f: Intrinsic::Min,
-            args: vec![target, partial],
-            par: ParMode::Serial,
-        },
-        RedOp::Max => Expr::Intr {
-            f: Intrinsic::Max,
-            args: vec![target, partial],
-            par: ParMode::Serial,
-        },
-    }
-}
-
-/// Rewrite all references (reads and writes) of symbol `from` to `to`
-/// within the given statements.
-pub fn remap_symbol_in_stmts(body: &mut [Stmt], from: SymbolId, to: SymbolId) {
-    fn remap_lv(lv: &mut LValue, from: SymbolId, to: SymbolId) {
-        match lv {
-            LValue::Scalar(v) if *v == from => *v = to,
-            LValue::Elem { arr, .. } | LValue::Section { arr, .. } if *arr == from => {
-                *arr = to
-            }
-            _ => {}
-        }
-    }
-    for s in body.iter_mut() {
-        map_stmt_exprs(s, &mut |e| match e {
-            Expr::Scalar(v) if v == from => Expr::Scalar(to),
-            Expr::Elem { arr, idx } if arr == from => Expr::Elem { arr: to, idx },
-            Expr::Section { arr, idx } if arr == from => Expr::Section { arr: to, idx },
-            other => other,
-        });
-        match s {
-            Stmt::Assign { lhs, .. } | Stmt::WhereAssign { lhs, .. } => remap_lv(lhs, from, to),
-            Stmt::Loop(l) => {
-                remap_symbol_in_stmts(&mut l.preamble, from, to);
-                remap_symbol_in_stmts(&mut l.body, from, to);
-                remap_symbol_in_stmts(&mut l.postamble, from, to);
-            }
-            Stmt::If { then_body, elifs, else_body, .. } => {
-                remap_symbol_in_stmts(then_body, from, to);
-                for (_, b) in elifs.iter_mut() {
-                    remap_symbol_in_stmts(b, from, to);
-                }
-                remap_symbol_in_stmts(else_body, from, to);
-            }
-            Stmt::DoWhile { body, .. } => remap_symbol_in_stmts(body, from, to),
-            _ => {}
-        }
-    }
-}
-
-/// Apply one GIV substitution: returns (pre, post) statements or `None`
-/// if the shape is unsupported (non-unit outer step etc.).
-fn apply_giv(unit: &mut Unit, l: &mut Loop, g: &Giv) -> Option<(Vec<Stmt>, Vec<Stmt>)> {
-    if l.step.as_ref().is_some_and(|e| e.as_const_int() != Some(1)) {
-        return None;
-    }
-    let ty = unit.symbol(g.var).ty;
-    let v0_name = unit.fresh_name(&format!("{}$0", unit.symbol(g.var).name));
-    let v0 = unit.add_symbol(cedar_ir::Symbol {
-        name: v0_name,
-        ty,
-        dims: Vec::new(),
-        kind: SymKind::Local,
-        placement: Placement::Default,
-        init: Vec::new(),
-        span: l.span,
-    });
-    let pre = vec![Stmt::Assign {
-        lhs: LValue::Scalar(v0),
-        rhs: Expr::Scalar(g.var),
-        span: l.span,
-    }];
-
-    // Outer normalized index k = i - start.
-    let k = Expr::sub(Expr::Scalar(l.var), l.start.clone());
-    let k1 = Expr::add(k.clone(), Expr::ConstI(1));
-
-    match (&g.kind, g.site) {
-        (GivKind::Additive { .. } | GivKind::Geometric { .. }, UpdateSite::TopLevel(pos)) => {
-            let cf_before = g.closed_form_at(Expr::Scalar(v0), k.clone());
-            let cf_after = g.closed_form_at(Expr::Scalar(v0), k1);
-            for (idx, s) in l.body.iter_mut().enumerate() {
-                if idx == pos {
-                    continue;
-                }
-                let cf = if idx < pos { &cf_before } else { &cf_after };
-                subst_in_stmt(s, g.var, cf);
-            }
-            l.body.remove(pos);
-            // Final value after the loop: closed form at k = trip.
-            let trip = Expr::add(Expr::sub(l.end.clone(), l.start.clone()), Expr::ConstI(1));
-            let post = vec![Stmt::Assign {
-                lhs: LValue::Scalar(g.var),
-                rhs: g.closed_form_at(Expr::Scalar(v0), trip),
-                span: l.span,
-            }];
-            Some((pre, post))
-        }
-        (GivKind::Triangular { inner_var, step, a, b }, UpdateSite::InnerLoop(pos)) => {
-            let inner_var = *inner_var;
-            let (a, b) = (*a, *b);
-            let step = step.clone();
-            let outer_start = l.start.clone();
-            // The recognizer expresses the inner trip count in terms of
-            // the outer loop *variable*: trip(i) = a·i + b. In terms of
-            // the 0-based index t (i = start + t) that is
-            // a·t + (b + a·start), so the count accumulated before
-            // iteration k is S(k) = a·k·(k−1)/2 + (b + a·start)·k.
-            let sum_at = move |k: Expr| -> Expr {
-                let k2 = Expr::bin(
-                    BinOp::Div,
-                    Expr::mul(k.clone(), Expr::sub(k.clone(), Expr::ConstI(1))),
-                    Expr::ConstI(2),
-                );
-                let b_corr = Expr::add(
-                    Expr::ConstI(b),
-                    Expr::mul(Expr::ConstI(a), outer_start.clone()),
-                );
-                Expr::add(
-                    Expr::mul(Expr::ConstI(a), k2),
-                    Expr::mul(b_corr, k),
-                )
-            };
-            let step_for_value = step.clone();
-            let value_at = move |k: Expr| -> Expr {
-                Expr::add(
-                    Expr::Scalar(v0),
-                    Expr::mul(step_for_value.clone(), sum_at(k)),
-                )
-            };
-            // Value before/after the inner loop of iteration k.
-            let cf_outer_before = value_at(k.clone());
-            let cf_outer_after = value_at(k1.clone());
-            // Within the inner loop (index j, start s0): m updates have
-            // happened after the update statement at inner iteration j:
-            // m = j - s0 + 1; before it: m = j - s0.
-            let Stmt::Loop(inner) = &mut l.body[pos] else { return None };
-            if inner.step.as_ref().is_some_and(|e| e.as_const_int() != Some(1)) {
-                return None;
-            }
-            if inner.var != inner_var {
-                return None;
-            }
-            let m_before = Expr::sub(Expr::Scalar(inner_var), inner.start.clone());
-            let m_after = Expr::add(m_before.clone(), Expr::ConstI(1));
-            let step_expr = match &g.kind {
-                GivKind::Triangular { step, .. } => step.clone(),
-                _ => unreachable!(),
-            };
-            let upos = inner
-                .body
-                .iter()
-                .position(|s| matches!(s, Stmt::Assign { lhs: LValue::Scalar(v), .. } if *v == g.var))?;
-            let cf_in = |m: &Expr| {
-                Expr::add(
-                    cf_outer_before.clone(),
-                    Expr::mul(step_expr.clone(), m.clone()),
-                )
-            };
-            for (idx, s) in inner.body.iter_mut().enumerate() {
-                if idx == upos {
-                    continue;
-                }
-                let cf = if idx < upos { cf_in(&m_before) } else { cf_in(&m_after) };
-                subst_in_stmt(s, g.var, &cf);
-            }
-            inner.body.remove(upos);
-            // Outer-body statements around the inner loop.
-            for (idx, s) in l.body.iter_mut().enumerate() {
-                if idx == pos {
-                    continue;
-                }
-                let cf = if idx < pos { &cf_outer_before } else { &cf_outer_after };
-                subst_in_stmt(s, g.var, cf);
-            }
-            let trip = Expr::add(Expr::sub(l.end.clone(), l.start.clone()), Expr::ConstI(1));
-            let post = vec![Stmt::Assign {
-                lhs: LValue::Scalar(g.var),
-                rhs: value_at(trip),
-                span: l.span,
-            }];
-            Some((pre, post))
-        }
-        _ => None,
-    }
-}
-
-fn subst_in_stmt(s: &mut Stmt, var: SymbolId, replacement: &Expr) {
-    map_stmt_exprs(s, &mut |e| match &e {
-        Expr::Scalar(v) if *v == var => replacement.clone(),
-        _ => e,
-    });
-    // Nested statements are covered by map_stmt_exprs' recursion; LHS
-    // bases can never be the substituted scalar (a GIV has exactly one
-    // defining statement, which the caller removes).
-    let _ = substitute_scalar; // (kept for symmetry with other passes)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::PassConfig;
-    use cedar_ir::compile_free;
-    use cedar_sim::MachineConfig;
-
-    /// Restructure `src`, run both versions, compare `watch` variables
-    /// and return (serial_cycles, parallel_cycles, report).
-    fn check_equiv(src: &str, watch: &[&str], cfg: &PassConfig) -> (f64, f64, Report) {
-        let p0 = compile_free(src).unwrap();
-        let r = restructure(&p0, cfg);
-        let mc = MachineConfig::cedar_config1();
-        let s0 = cedar_sim::run(&p0, mc.clone()).unwrap_or_else(|e| panic!("serial: {e}"));
-        let s1 = cedar_sim::run(&r.program, mc).unwrap_or_else(|e| {
-            panic!(
-                "restructured: {e}\n---\n{}",
-                cedar_ir::print::print_program(&r.program)
-            )
-        });
-        for w in watch {
-            let a = s0.read_f64(w).unwrap();
-            let b = s1.read_f64(w).unwrap_or_else(|| panic!("missing {w}"));
-            assert_eq!(a.len(), b.len());
-            for (x, y) in a.iter().zip(&b) {
-                assert!(
-                    (x - y).abs() <= 1e-6 * x.abs().max(1.0),
-                    "{w}: {x} vs {y}\n---\n{}",
-                    cedar_ir::print::print_program(&r.program)
-                );
-            }
-        }
-        (s0.cycles(), s1.cycles(), r.report)
-    }
-
-    #[test]
-    fn simple_loop_parallelizes_with_speedup() {
-        let (ser, par, rep) = check_equiv(
-            "program p\nparameter (n = 4096)\nreal a(n), b(n)\ndo i = 1, n\n\
-             b(i) = i * 0.5\nend do\ndo i = 1, n\na(i) = sqrt(b(i)) + b(i)\nend do\n\
-             s = a(1) + a(n)\nend\n",
-            &["s", "a"],
-            &PassConfig::automatic_1991(),
-        );
-        assert!(rep.parallelized() >= 1, "{rep}");
-        assert!(par < ser, "parallel {par} !< serial {ser}");
-    }
-
-    #[test]
-    fn paper_privatization_example_round_trips() {
-        let (ser, par, rep) = check_equiv(
-            "program p\nparameter (n = 2048)\nreal a(n), b(n)\ndo i = 1, n\n\
-             b(i) = i * 1.0\nend do\ndo i = 1, n\nt = b(i)\na(i) = sqrt(t)\nend do\n\
-             s = a(n)\nend\n",
-            &["s", "a"],
-            &PassConfig::automatic_1991(),
-        );
-        assert!(rep.parallelized() >= 1);
-        assert!(par < ser);
-    }
-
-    #[test]
-    fn short_outer_nest_is_coalesced() {
-        // 3 outer × 64 inner with a per-point serial recurrence (the
-        // body cannot vectorize): the outer trip count under-fills 32
-        // CEs, so the coalescing pass flattens the nest (§4.2.4). The
-        // flat loop must compute the same values and beat serial.
-        let src = "program p\nreal a(64, 3), t\ndo i = 1, 3\ndo j = 1, 64\n\
-                   t = real(i) * 10.0 + real(j)\ndo k = 1, 6\nt = 0.5 * t + 1.0\nend do\n\
-                   a(j, i) = t\nend do\nend do\n\
-                   s = a(64, 3) + a(1, 1)\nend\n";
-        let mut cfg = PassConfig::manual_improved();
-        cfg.coalesce = true;
-        let (ser, par, rep) = check_equiv(src, &["s", "a"], &cfg);
-        assert!(
-            rep.loops.iter().any(|l| l.techniques.contains(&Technique::Coalescing)),
-            "{rep}"
-        );
-        assert!(par < ser);
-
-        // Without coalescing the same nest runs as SDOALL×CDOALL.
-        cfg.coalesce = false;
-        let (_, _, rep2) = check_equiv(src, &["s", "a"], &cfg);
-        assert!(
-            !rep2.loops.iter().any(|l| l.techniques.contains(&Technique::Coalescing)),
-            "{rep2}"
-        );
-    }
-
-    #[test]
-    fn wide_outer_nest_is_not_coalesced() {
-        // 64 outer iterations already fill the machine: no coalescing.
-        let src = "program p\nreal a(8, 64), t\ndo i = 1, 64\ndo j = 1, 8\n\
-                   t = real(i) + real(j)\ndo k = 1, 6\nt = 0.5 * t + 1.0\nend do\n\
-                   a(j, i) = t\nend do\nend do\ns = a(8, 64)\nend\n";
-        let (_, _, rep) = check_equiv(src, &["s", "a"], &PassConfig::manual_improved());
-        assert!(
-            !rep.loops.iter().any(|l| l.techniques.contains(&Technique::Coalescing)),
-            "{rep}"
-        );
-    }
-
-    #[test]
-    fn hand_written_parallel_loops_are_kept_as_directives() {
-        // A loop that is already parallel in the input must survive the
-        // driver untouched (no re-analysis, no serialization), while
-        // serial loops nested inside its body are still processed.
-        let src = "program p\nreal a(64), t\nt = 0.0\n\
-                   xdoall i = 1, 64\ncall lock(1)\nt = t + 1.0\ncall unlock(1)\n\
-                   a(i) = 1.0\nend xdoall\nend\n";
-        let program = compile_free(src).unwrap();
-        let r = restructure(&program, &PassConfig::automatic_1991());
-        let l = r.program.units[0]
-            .body
-            .iter()
-            .find_map(|s| s.as_loop())
-            .expect("loop survives");
-        assert_eq!(l.class, LoopClass::XDoall, "class must be preserved");
-        // The lock/unlock body must still be there (no rewriting).
-        let printed = cedar_ir::print::print_program(&r.program);
-        assert!(printed.contains("lock"), "{printed}");
-    }
-
-    #[test]
-    fn chained_accumulation_uses_library_reduction() {
-        // `s = s + a(i) + b(i)` — the target is a chain leaf, not a
-        // direct operand; the library substitution must produce
-        // sum(a + b), not drag `s` into the vector argument.
-        let src = "program p\nparameter (n = 4096)\nreal a(n), b(n)\ndo i = 1, n\n\
-                   a(i) = 1.0\nb(i) = i * 0.001\nend do\ns = 0.0\ndo i = 1, n\n\
-                   s = s + a(i) + b(i)\nend do\nend\n";
-        let (ser, par, rep) = check_equiv(src, &["s"], &PassConfig::automatic_1991());
-        assert!(rep
-            .loops
-            .iter()
-            .any(|l| matches!(l.decision, LoopDecision::LibraryReduction)));
-        assert!(par < ser);
-    }
-
-    #[test]
-    fn dot_product_uses_library_reduction() {
-        let src = "program p\nparameter (n = 4096)\nreal a(n), b(n)\ndo i = 1, n\n\
-                   a(i) = 1.0\nb(i) = i * 0.001\nend do\ns = 0.0\ndo i = 1, n\n\
-                   s = s + a(i) * b(i)\nend do\nend\n";
-        let (ser, par, rep) = check_equiv(src, &["s"], &PassConfig::automatic_1991());
-        assert!(rep
-            .loops
-            .iter()
-            .any(|l| matches!(l.decision, LoopDecision::LibraryReduction)));
-        assert!(par < ser);
-    }
-
-    #[test]
-    fn recurrence_becomes_doacross() {
-        let src = "program p\nparameter (n = 1024)\nreal a(n), b(n), c(n)\n\
-                   do i = 1, n\na(i) = i * 1.0\nb(i) = 0.0\nc(i) = 0.0\nend do\n\
-                   do i = 2, n\nc(i) = sqrt(a(i)) + a(i) * 2.0 + cos(a(i))\n\
-                   b(i) = b(i - 1) + a(i)\nend do\ns = b(n) + c(n)\nend\n";
-        let (_, _, rep) = check_equiv(src, &["s", "b", "c"], &PassConfig::automatic_1991());
-        assert!(
-            rep.loops
-                .iter()
-                .any(|l| matches!(l.decision, LoopDecision::Doacross { .. })),
-            "{rep}"
-        );
-    }
-
-    #[test]
-    fn nested_nest_gets_sdoall_cdoall() {
-        let src = "program p\nparameter (n = 300)\nreal a(n, n)\n\
-                   do j = 1, n\ndo i = 1, n\na(i, j) = i * 1.0 + j\nend do\nend do\n\
-                   s = a(3, 5)\nend\n";
-        let p0 = compile_free(src).unwrap();
-        let r = restructure(&p0, &PassConfig::automatic_1991());
-        let has_sdoall = cedar_ir::print::print_program(&r.program).contains("sdoall");
-        assert!(has_sdoall, "{}", cedar_ir::print::print_program(&r.program));
-        // Semantics preserved (a(i,j) = i + j has the loop var as value
-        // only inside subscript-free exprs, so inner can't vectorize —
-        // still must be correct).
-        check_equiv(src, &["s", "a"], &PassConfig::automatic_1991());
-    }
-
-    #[test]
-    fn array_privatization_unlocks_mdg_pattern() {
-        let src = "program p\nparameter (n = 256, m = 16)\n\
-                   real a(n), b(n, m), w(m)\n\
-                   do i = 1, n\ndo j = 1, m\nb(i, j) = i * 0.1 + j\nend do\na(i) = 0.0\nend do\n\
-                   do i = 1, n\ndo j = 1, m\nw(j) = b(i, j) * 2.0\nend do\n\
-                   do j = 1, m\na(i) = a(i) + w(j)\nend do\nend do\ns = a(n)\nend\n";
-        // Automatic: the w-loop must stay serial.
-        let p0 = compile_free(src).unwrap();
-        let auto = restructure(&p0, &PassConfig::automatic_1991());
-        let serial_ws = auto
-            .report
-            .loops
-            .iter()
-            .filter(|l| matches!(l.decision, LoopDecision::Serial { .. }))
-            .count();
-        assert!(serial_ws >= 1, "{}", auto.report);
-        // Manual: parallelized with array privatization.
-        let (ser, par, rep) = check_equiv(src, &["s", "a"], &PassConfig::manual_improved());
-        assert!(
-            rep.loops
-                .iter()
-                .any(|l| l.techniques.contains(&Technique::ArrayPrivatization)),
-            "{rep}"
-        );
-        assert!(par < ser);
-    }
-
-    #[test]
-    fn giv_substitution_parallelizes_ocean_pattern() {
-        let src = "program p\nparameter (n = 512)\nreal a(n)\nw = 1.0\n\
-                   do i = 1, n\nw = w * 1.001\na(i) = w * 2.0\nend do\ns = a(n) + w\nend\n";
-        let (_, _, rep) = check_equiv(src, &["s", "a"], &PassConfig::manual_improved());
-        assert!(
-            rep.loops
-                .iter()
-                .any(|l| l.techniques.contains(&Technique::GivSubstitution)),
-            "{rep}"
-        );
-        assert!(rep.parallelized() >= 1, "{rep}");
-    }
-
-    #[test]
-    fn multi_statement_array_reduction_parallelizes() {
-        let src = "program p\nparameter (n = 512, m = 8)\nreal a(m), b(n, m), c(n, m)\n\
-                   do j = 1, m\na(j) = 0.0\nend do\n\
-                   do i = 1, n\ndo j = 1, m\nb(i, j) = i * 0.01\nc(i, j) = j * 1.0\nend do\nend do\n\
-                   do i = 1, n\ndo j = 1, m\na(j) = a(j) + b(i, j)\n\
-                   a(j) = a(j) + c(i, j)\nend do\nend do\ns = a(1) + a(m)\nend\n";
-        let (ser, par, rep) = check_equiv(src, &["s", "a"], &PassConfig::manual_improved());
-        assert!(
-            rep.loops
-                .iter()
-                .any(|l| l.techniques.contains(&Technique::ArrayReduction)),
-            "{rep}"
-        );
-        assert!(par < ser, "par {par} ser {ser}");
-    }
-
-    #[test]
-    fn runtime_test_produces_two_versions() {
-        let src = "program p\nparameter (n = 32, m = 16)\nreal a(n * m)\nmstr = m\n\
-                   do j = 1, n\ndo i = 1, m\na((j - 1) * mstr + i) = j * 100.0 + i\nend do\nend do\n\
-                   s = a(5) + a(n * m)\nend\n";
-        let (_, _, rep) = check_equiv(src, &["s", "a"], &PassConfig::manual_improved());
-        assert!(
-            rep.loops
-                .iter()
-                .any(|l| matches!(l.decision, LoopDecision::TwoVersion)),
-            "{rep}"
-        );
-    }
-
-    #[test]
-    fn critical_sections_for_histogram() {
-        let src = "program p\nparameter (n = 512, m = 16)\nreal h(m), w(n)\ninteger idx(n)\n\
-                   do i = 1, n\nidx(i) = mod(i, m) + 1\nw(i) = i * 0.01\nend do\n\
-                   do j = 1, m\nh(j) = 0.0\nend do\n\
-                   do i = 1, n\nt = 0.0\ndo k = 1, 16\n\
-                   t = t + sqrt(w(i) + k * 0.1)\nend do\n\
-                   h(idx(i)) = h(idx(i)) + t\nend do\n\
-                   s = h(1) + h(m)\nend\n";
-        let (_, _, rep) = check_equiv(src, &["s", "h"], &PassConfig::manual_improved());
-        assert!(
-            rep.loops
-                .iter()
-                .any(|l| matches!(l.decision, LoopDecision::CriticalSection)),
-            "{rep}"
-        );
-    }
-
-    #[test]
-    fn serial_config_is_identity() {
-        let src = "program p\nreal a(10)\ndo i = 1, 10\na(i) = 1.0\nend do\nend\n";
-        let p0 = compile_free(src).unwrap();
-        let r = restructure(&p0, &PassConfig::serial());
-        assert_eq!(
-            cedar_ir::print::print_program(&p0),
-            cedar_ir::print::print_program(&r.program)
-        );
-    }
-
-    #[test]
-    fn fx80_target_uses_cluster_classes() {
-        let src = "program p\nparameter (n = 4096)\nreal a(n), b(n)\ndo i = 1, n\n\
-                   b(i) = i * 0.5\nend do\ndo i = 1, n\na(i) = b(i) * 2.0\nend do\n\
-                   s = a(n)\nend\n";
-        let p0 = compile_free(src).unwrap();
-        let cfg = PassConfig::automatic_1991().for_target(Target::Fx80);
-        let r = restructure(&p0, &cfg);
-        let text = cedar_ir::print::print_program(&r.program);
-        assert!(!text.contains("xdoall") && !text.contains("sdoall"), "{text}");
-        assert!(text.contains("cdoall"), "{text}");
-    }
-
-    #[test]
-    fn if_converts_to_where_in_vector_loop() {
-        let src = "program p\nparameter (n = 1024)\nreal a(n)\nc = 10.0\n\
-                   do i = 1, n\na(i) = i * 0.02\nend do\n\
-                   do i = 1, n\nif (a(i) .gt. c) a(i) = c\nend do\ns = a(1) + a(n)\nend\n";
-        let p0 = compile_free(src).unwrap();
-        let r = restructure(&p0, &PassConfig::automatic_1991());
-        let text = cedar_ir::print::print_program(&r.program);
-        assert!(text.contains("where ("), "{text}");
-        check_equiv(src, &["s", "a"], &PassConfig::automatic_1991());
-    }
-
-    #[test]
-    fn interchange_moves_parallel_loop_outward() {
-        // Outer i carries a(i-1, j); inner j is parallel: interchange
-        // puts j outside and the nest becomes a DOALL.
-        let src = "program p\nparameter (n = 64, m = 96)\nreal a(n, m)\n\
-                   do j = 1, m\na(1, j) = 0.5 + 0.001 * real(j)\nend do\n\
-                   do i = 2, n\ndo j = 1, m\n\
-                   a(i, j) = a(i - 1, j) * 0.99 + 0.0001\nend do\nend do\n\
-                   s = a(n, 1) + a(n, m)\nend\n";
-        let (ser, par, rep) = check_equiv(src, &["s", "a"], &PassConfig::automatic_1991());
-        assert!(
-            rep.loops
-                .iter()
-                .any(|l| l.techniques.contains(&Technique::Interchange)),
-            "{rep}"
-        );
-        assert!(par < ser, "interchanged nest must speed up: {par} vs {ser}");
-    }
-
-    #[test]
-    fn illegal_interchange_is_refused() {
-        // (<, >) dependence: must stay serial (or doacross), never
-        // interchanged into a wrong DOALL.
-        let src = "program p\nparameter (n = 48, m = 48)\nreal a(n + 1, m + 1)\n\
-                   do j = 1, m + 1\ndo i = 1, n + 1\na(i, j) = 0.01 * real(i + j)\nend do\nend do\n\
-                   do i = 1, n\ndo j = 2, m\n\
-                   a(i + 1, j - 1) = a(i, j) + 1.0\nend do\nend do\n\
-                   s = a(n, 2) + a(2, m)\nend\n";
-        let (_, _, rep) = check_equiv(src, &["s", "a"], &PassConfig::automatic_1991());
-        assert!(
-            !rep.loops
-                .iter()
-                .any(|l| l.techniques.contains(&Technique::Interchange)),
-            "{rep}"
-        );
-    }
-
-    #[test]
-    fn mixed_reduction_loop_distributes() {
-        // q(i) = ... plus a dot-product accumulation in one loop: the
-        // restructurer isolates the reduction for the library.
-        let src = "program p\nparameter (n = 2048)\nreal p1(n), q(n)\n\
-                   do i = 1, n\np1(i) = 0.5 + 0.001 * real(i)\nend do\n\
-                   pq = 0.0\ndo i = 1, n\nq(i) = p1(i) * 2.0 + 1.0\n\
-                   pq = pq + p1(i) * q(i)\nend do\ns = pq + q(n)\nend\n";
-        let (ser, par, rep) = check_equiv(src, &["s", "q"], &PassConfig::automatic_1991());
-        assert!(
-            rep.loops
-                .iter()
-                .any(|l| matches!(l.decision, LoopDecision::Distributed { .. })),
-            "{rep}"
-        );
-        assert!(
-            rep.loops
-                .iter()
-                .any(|l| matches!(l.decision, LoopDecision::LibraryReduction)),
-            "distribution must expose the library reduction: {rep}"
-        );
-        assert!(par < ser);
-    }
-
-    #[test]
-    fn triangular_giv_substitutes() {
-        let src = "program p\nparameter (n = 64)\nreal a(n * n)\nk = 0\n\
-                   do i = 1, n\ndo j = 1, i\nk = k + 1\na(k) = i * 100.0 + j\nend do\nend do\n\
-                   s = a(1) + a(k)\nend\n";
-        let (_, _, rep) = check_equiv(src, &["s"], &PassConfig::manual_improved());
-        assert!(
-            rep.loops
-                .iter()
-                .any(|l| l.techniques.contains(&Technique::GivSubstitution)),
-            "{rep}"
-        );
-    }
+    RestructureResult { program, report: ctx.report }
 }

@@ -26,6 +26,7 @@
 //! unless the enabled analyses prove the transformation legal, and every
 //! decision is recorded in the [`report::Report`] for inspection.
 
+pub mod backend;
 pub mod classes;
 pub mod coalesce;
 pub mod config;
@@ -34,11 +35,13 @@ pub mod fusion;
 pub mod globalize;
 pub mod inline;
 pub mod legality;
+pub mod passes;
 pub mod report;
 pub mod sync_audit;
 pub mod sync_insert;
 pub mod vectorize;
 
+pub use backend::{emit_with, Backend, BackendKind, EmitInput};
 pub use config::{PassConfig, Target};
 pub use driver::{restructure, RestructureResult};
 pub use report::{LoopDecision, Report, SyncAuditFinding, Technique};

@@ -720,7 +720,7 @@ fn enforce_bundle_cap(root: &std::path::Path, cap: usize, keep: u64) {
     if bundles.len() <= cap {
         return;
     }
-    bundles.sort_by(|a, b| a.2.cmp(&b.2));
+    bundles.sort_by_key(|b| b.2);
     let mut excess = bundles.len() - cap;
     for (path, name, _) in bundles {
         if excess == 0 {

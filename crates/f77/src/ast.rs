@@ -240,6 +240,15 @@ pub enum StmtKind {
     },
     /// MIL-STD-1753 `DO WHILE (cond) ... END DO`.
     DoWhile { cond: Expr, body: Vec<Stmt> },
+    /// `!$omp parallel do [private(...)] [reduction(op:x)]` applied to
+    /// the sequential `DO` that follows it. Produced by the OpenMP
+    /// emission backend; lowering rewrites it into an `XDOALL` with
+    /// synthesized privatization and reduction machinery.
+    OmpParallelDo {
+        privates: Vec<String>,
+        reductions: Vec<(OmpRedOp, String)>,
+        body: Box<Stmt>,
+    },
     /// `CALL name(args)`.
     Call { name: String, args: Vec<Expr> },
     /// `GOTO label` (parsed; rejected at lowering).
@@ -253,6 +262,20 @@ pub enum StmtKind {
     /// I/O statements are parsed loosely and simulated as no-ops with a
     /// fixed cost; `args` kept for diagnostics.
     Io { kind: IoKind, args: Vec<Expr> },
+}
+
+/// Operator of an OpenMP `reduction(op:var)` clause — the subset our
+/// restructurer can synthesize partials for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OmpRedOp {
+    /// `reduction(+:x)`
+    Add,
+    /// `reduction(*:x)`
+    Mul,
+    /// `reduction(min:x)`
+    Min,
+    /// `reduction(max:x)`
+    Max,
 }
 
 /// Which I/O statement a loosely-parsed [`StmtKind::Io`] came from.

@@ -37,6 +37,31 @@ pub fn assemble_fixed_form(src: &str) -> Result<Vec<LogicalLine>> {
             continue;
         }
         let bytes = line.as_bytes();
+        // OpenMP conditional-compilation sentinel: `!$omp` in columns
+        // 1–5 makes the card a directive, not a comment; `!$omp&` (an
+        // `&` in column 6) continues the previous directive line.
+        if line.get(..5).is_some_and(|p| p.eq_ignore_ascii_case("!$omp")) && line.len() > 5 {
+            let after = &line[5..];
+            if let Some(cont) = after.strip_prefix('&') {
+                let rest = strip_inline_comment(cont);
+                match out.last_mut() {
+                    Some(prev) => {
+                        prev.text.push(' ');
+                        prev.text.push_str(rest.trim());
+                        continue;
+                    }
+                    None => {
+                        return Err(Error::structure(
+                            Span::new(lineno),
+                            "`!$omp&` continuation with no directive to continue",
+                        ))
+                    }
+                }
+            }
+            let text = format!("$omp {}", strip_inline_comment(after).trim());
+            out.push(LogicalLine { label: None, text, line: lineno });
+            continue;
+        }
         match bytes[0] {
             b'C' | b'c' | b'*' | b'!' => continue,
             _ => {}
@@ -97,7 +122,16 @@ pub fn assemble_free_form(src: &str) -> Result<Vec<LogicalLine>> {
     let mut pending_cont = false;
     for (idx, raw) in src.lines().enumerate() {
         let lineno = (idx + 1) as u32;
-        let line = strip_inline_comment(raw).trim().to_string();
+        let t = raw.trim_start();
+        // `!$omp` sentinel (directive, not comment) — same as fixed form;
+        // a trailing `&` continues it through the ordinary mechanism.
+        let line = if t.get(..5).is_some_and(|p| p.eq_ignore_ascii_case("!$omp"))
+            && t.len() > 5
+        {
+            format!("$omp {}", strip_inline_comment(&t[5..]).trim())
+        } else {
+            strip_inline_comment(raw).trim().to_string()
+        };
         if line.is_empty() {
             pending_cont = false;
             continue;

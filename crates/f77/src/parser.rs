@@ -408,6 +408,7 @@ impl Units {
             "if" => self.parse_if(&st)?,
             "do" => self.parse_do(&st, LoopClass::Seq)?,
             "dowhile" => self.parse_do_while(&st)?,
+            "$omp" => self.parse_omp(&st)?,
             "continue" | "return" | "stop" | "call" | "goto" | "where" | "print"
             | "write" | "read" | "assign" => parse_simple_stmt(&st)?,
             _ => {
@@ -547,6 +548,71 @@ impl Units {
         }
         self.next(); // consume END DO / END CDOALL / ...
         Ok(StmtKind::Do { class, var, start, end, step, decls, preamble, body, postamble })
+    }
+
+    /// `!$omp parallel do [private(...)] [reduction(op:x)]` (assembled by
+    /// the lexer into a `$omp ...` statement), annotating the sequential
+    /// `DO` on the next statement. Only the clause subset our OpenMP
+    /// emission backend produces is accepted.
+    fn parse_omp(&mut self, st: &RawStmt) -> Result<StmtKind> {
+        let span = st.span();
+        let mut t = TokParser::new(&st.tokens[1..], span);
+        t.expect_kw("parallel")?;
+        t.expect_kw("do")?;
+        let mut privates = Vec::new();
+        let mut reductions = Vec::new();
+        while !t.at_end() {
+            let clause = t.expect_ident("OpenMP clause name")?;
+            match clause.as_str() {
+                "private" => {
+                    t.expect(&Tok::LParen)?;
+                    loop {
+                        privates.push(t.expect_ident("private variable")?);
+                        if !t.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    t.expect(&Tok::RParen)?;
+                }
+                "reduction" => {
+                    t.expect(&Tok::LParen)?;
+                    let op = if t.eat(&Tok::Plus) {
+                        OmpRedOp::Add
+                    } else if t.eat(&Tok::Star) {
+                        OmpRedOp::Mul
+                    } else if t.eat_kw("min") {
+                        OmpRedOp::Min
+                    } else if t.eat_kw("max") {
+                        OmpRedOp::Max
+                    } else {
+                        return Err(Error::parse(
+                            span,
+                            format!("unsupported reduction operator {}", t.describe_next()),
+                        ));
+                    };
+                    t.expect(&Tok::Colon)?;
+                    reductions.push((op, t.expect_ident("reduction variable")?));
+                    t.expect(&Tok::RParen)?;
+                }
+                other => {
+                    return Err(Error::parse(
+                        span,
+                        format!("unsupported OpenMP clause `{other}`"),
+                    ));
+                }
+            }
+        }
+        match self.peek().and_then(|n| n.keyword()) {
+            Some(k) if k == "do" => {}
+            _ => {
+                return Err(Error::parse(
+                    span,
+                    "`!$omp parallel do` must be followed by a DO loop",
+                ));
+            }
+        }
+        let inner = self.parse_stmt()?;
+        Ok(StmtKind::OmpParallelDo { privates, reductions, body: Box::new(inner) })
     }
 
     /// Does a `loop`/`endloop` marker occur in the current nesting level
@@ -1283,6 +1349,72 @@ mod tests {
     fn stmt1(src: &str) -> Stmt {
         let f = parse_free(&format!("subroutine t\n{src}\nend\n")).unwrap();
         f.units[0].body[0].clone()
+    }
+
+    #[test]
+    fn omp_parallel_do_with_clauses() {
+        let src = "      subroutine s(a, n, t)\n      real a(n), t\n\
+                   !$omp parallel do private(x)\n!$omp&  reduction(+:t)\n\
+                   \x20     do i = 1, n\n      t = t + a(i)\n\
+                   \x20     end do\n      end\n";
+        let f = parse_source(src).unwrap();
+        let StmtKind::OmpParallelDo { privates, reductions, body } =
+            &f.units[0].body[0].kind
+        else {
+            panic!("{:?}", f.units[0].body[0].kind)
+        };
+        assert_eq!(privates, &["x"]);
+        assert_eq!(reductions, &[(OmpRedOp::Add, "t".to_string())]);
+        assert!(matches!(body.kind, StmtKind::Do { class: LoopClass::Seq, .. }));
+    }
+
+    #[test]
+    fn omp_directive_parses_in_free_form_too() {
+        let f = parse_free(
+            "subroutine s(a, n)\nreal a(n)\n!$omp parallel do\ndo i = 1, n\n\
+             a(i) = 0.0\nend do\nend\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            f.units[0].body[0].kind,
+            StmtKind::OmpParallelDo { .. }
+        ));
+    }
+
+    #[test]
+    fn omp_reduction_operators() {
+        for (spelling, op) in
+            [("*", OmpRedOp::Mul), ("min", OmpRedOp::Min), ("max", OmpRedOp::Max)]
+        {
+            let f = parse_free(&format!(
+                "subroutine s(a, n, t)\nreal a(n), t\n\
+                 !$omp parallel do reduction({spelling}:t)\ndo i = 1, n\n\
+                 t = t + a(i)\nend do\nend\n"
+            ))
+            .unwrap();
+            let StmtKind::OmpParallelDo { reductions, .. } = &f.units[0].body[0].kind
+            else {
+                panic!()
+            };
+            assert_eq!(reductions, &[(op, "t".to_string())]);
+        }
+    }
+
+    #[test]
+    fn omp_without_do_is_an_error() {
+        let e = parse_free(
+            "subroutine s(x)\n!$omp parallel do\nx = 1.0\nend\n",
+        );
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn omp_unknown_clause_is_an_error() {
+        let e = parse_free(
+            "subroutine s(a, n)\nreal a(n)\n!$omp parallel do schedule(static)\n\
+             do i = 1, n\na(i) = 0.0\nend do\nend\n",
+        );
+        assert!(e.is_err());
     }
 
     #[test]

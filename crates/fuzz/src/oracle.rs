@@ -1,4 +1,4 @@
-//! The three oracle families every generated program is judged by.
+//! The oracle families every generated program is judged by.
 //!
 //! 1. **Differential** — restructured output must reproduce the serial
 //!    reference memory: bit-for-bit for watch variables the generator
@@ -17,6 +17,10 @@
 //!    output is a finding; a sync-audit finding with no dynamic race is
 //!    recorded as a known gap (the static audit is deliberately
 //!    conservative) rather than a failure.
+//! 4. **Cross-backend** — every emission backend's output, re-parsed
+//!    through the front end and simulated, must agree with the serial
+//!    reference emission ([`cedar_verify::compare_backends`]); an
+//!    emission that fails to re-parse is itself a finding.
 //!
 //! Panics anywhere in the pipeline are caught and converted into
 //! failures — a crashing pass is as much a fuzzing find as a
@@ -52,6 +56,9 @@ pub enum Phase {
     Suppress,
     /// Internal oracle: race detector / sync audit disagreement.
     RaceAudit,
+    /// Cross-backend oracle: some emission backend's re-parsed output
+    /// disagrees with the serial reference emission.
+    BackendDiff,
 }
 
 impl Phase {
@@ -67,6 +74,7 @@ impl Phase {
             Phase::EngineDiff => "engine-diff",
             Phase::Suppress => "suppress",
             Phase::RaceAudit => "race-audit",
+            Phase::BackendDiff => "backend-diff",
         }
     }
 }
@@ -243,8 +251,8 @@ fn digest(snap: &Snapshot, serial_cycles: f64, parallel_cycles: f64) -> u64 {
     h
 }
 
-/// Judge one rendered program under every oracle. `Ok` means all three
-/// families passed; `Err` carries the first failure (the shrinker
+/// Judge one rendered program under every oracle. `Ok` means every
+/// family passed; `Err` carries the first failure (the shrinker
 /// preserves its phase while minimizing).
 pub fn run_oracles(r: &Rendered, cfg: &OracleConfig) -> Result<OracleStats, OracleFailure> {
     // ---- pipeline: parse → lower ----
@@ -366,6 +374,31 @@ pub fn run_oracles(r: &Rendered, cfg: &OracleConfig) -> Result<OracleStats, Orac
     }
     let known_gaps: Vec<String> = audit.iter().map(|a| a.to_string()).collect();
 
+    // ---- oracle 4: every emission backend's re-parsed output agrees
+    // with the serial reference emission ----
+    {
+        let watch: Vec<&str> = r.watch.iter().map(|w| w.name.as_str()).collect();
+        let cmp = cedar_verify::compare_backends(
+            &program,
+            &cfg.pass,
+            &cfg.mc,
+            &watch,
+            cfg.rel_tol,
+        )
+        .map_err(|e| OracleFailure::new(Phase::BackendDiff, e))?;
+        if let Some(bad) = cmp.first_failure() {
+            let diff = match &bad.outcome {
+                cedar_verify::BackendOutcome::Divergence(d) => Some(d.clone()),
+                _ => None,
+            };
+            return Err(OracleFailure {
+                phase: Phase::BackendDiff,
+                detail: format!("backend `{}` {}", bad.backend.name(), bad.outcome),
+                diff,
+            });
+        }
+    }
+
     let d = digest(&parallel, serial_cycles, parallel_cycles);
     Ok(OracleStats {
         report: rr.report,
@@ -417,6 +450,12 @@ mod tests {
             watch: vec![WatchVar { name: "s1".into(), exact: false }],
         };
         run_oracles(&r2, &OracleConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn backend_diff_phase_has_a_stable_tag() {
+        // The campaign ledger and CI lane filters key on this string.
+        assert_eq!(Phase::BackendDiff.tag(), "backend-diff");
     }
 
     #[test]

@@ -79,7 +79,65 @@ pub fn lower(src: &ast::SourceFile) -> Result<Program> {
         let unit = UnitLowerer::new(u, &unit_kinds, &mut program.commons)?.run()?;
         program.units.push(unit);
     }
+
+    // Any OpenMP directive implies the flat shared-memory model: the
+    // emission backend dropped all Cedar placement lines, so cluster
+    // memory must not partition data the directives expect to share.
+    // Globalize every non-private allocation (routine locals stay
+    // call-private — frames allocate per call regardless of placement).
+    if src.units.iter().any(|u| ast_has_omp(&u.body)) {
+        for u in &mut program.units {
+            for s in &mut u.symbols {
+                if matches!(
+                    s.kind,
+                    SymKind::Local | SymKind::FuncResult | SymKind::Common { .. }
+                ) && s.placement == Placement::Default
+                {
+                    s.placement = Placement::Global;
+                }
+            }
+        }
+        for c in program.commons.values_mut() {
+            c.visibility = Visibility::Global;
+        }
+    }
     Ok(program)
+}
+
+/// Does any statement (recursively) carry an OpenMP directive?
+fn ast_has_omp(body: &[ast::Stmt]) -> bool {
+    body.iter().any(|s| match &s.kind {
+        StmtKind::OmpParallelDo { .. } => true,
+        StmtKind::If { then_body, elifs, else_body, .. } => {
+            ast_has_omp(then_body)
+                || elifs.iter().any(|(_, b)| ast_has_omp(b))
+                || ast_has_omp(else_body)
+        }
+        StmtKind::Do { preamble, body, postamble, .. } => {
+            ast_has_omp(preamble) || ast_has_omp(body) || ast_has_omp(postamble)
+        }
+        StmtKind::DoWhile { body, .. } => ast_has_omp(body),
+        _ => false,
+    })
+}
+
+/// Redirect every read and write of scalar `from` to `to` in a lowered
+/// statement list (nested bodies included).
+fn redirect_scalar(body: &mut [Stmt], from: SymbolId, to: SymbolId) {
+    use crate::visit::{map_stmt_exprs, walk_stmts_mut};
+    for s in body.iter_mut() {
+        map_stmt_exprs(s, &mut |e| match e {
+            Expr::Scalar(id) if id == from => Expr::Scalar(to),
+            other => other,
+        });
+    }
+    walk_stmts_mut(body, &mut |s| {
+        if let Stmt::Assign { lhs, .. } | Stmt::WhereAssign { lhs, .. } = s {
+            if *lhs == LValue::Scalar(from) {
+                *lhs = LValue::Scalar(to);
+            }
+        }
+    });
 }
 
 /// Declaration info accumulated before symbol finalization.
@@ -103,6 +161,10 @@ struct UnitLowerer<'a> {
     /// unit-level names; parallel-loop locals push shadowing scopes.
     scopes: Vec<HashMap<String, SymbolId>>,
     externals: HashSet<String>,
+    /// Next lock id for synthesized OpenMP reduction merges. Starts well
+    /// above the restructurer's own lock numbering so re-lowered OpenMP
+    /// output cannot collide with hand-written `lock(n)` calls.
+    omp_lock: u32,
 }
 
 impl<'a> UnitLowerer<'a> {
@@ -131,6 +193,7 @@ impl<'a> UnitLowerer<'a> {
             },
             scopes: vec![HashMap::new()],
             externals: HashSet::new(),
+            omp_lock: 500,
         })
     }
 
@@ -472,6 +535,12 @@ impl<'a> UnitLowerer<'a> {
             ast::Expr::Logical(b) => Expr::ConstB(*b),
             ast::Expr::Str(_) => return err(span, "character expression outside I/O"),
             ast::Expr::Name(n) => {
+                // The printer spells the min/max reduction identities as
+                // `inf` / `(-inf)`, which is not a legal F77 literal:
+                // accept the name as ±infinity when nothing declares it.
+                if n == "inf" && self.resolve(n).is_none() {
+                    return Ok(Expr::real(f64::INFINITY));
+                }
                 let id = self.resolve_or_implicit(n, span)?;
                 let sym = self.unit.symbol(id);
                 if sym.is_array() {
@@ -838,6 +907,19 @@ impl<'a> UnitLowerer<'a> {
                             SyncOp::Unlock { id }
                         })));
                     }
+                    // OpenMP runtime spelling of the same primitives,
+                    // produced by the OpenMP emission backend.
+                    "omp_set_lock" | "omp_unset_lock" => {
+                        if args.len() != 1 {
+                            return err(span, "OMP_SET_LOCK/OMP_UNSET_LOCK take (id)");
+                        }
+                        let id = self.sync_point(&args[0], span)?;
+                        return Ok(Some(Stmt::Sync(if name == "omp_set_lock" {
+                            SyncOp::Lock { id }
+                        } else {
+                            SyncOp::Unlock { id }
+                        })));
+                    }
                     _ => {}
                 }
                 if !self.unit_kinds.contains_key(name)
@@ -852,6 +934,9 @@ impl<'a> UnitLowerer<'a> {
                     .collect::<Result<Vec<_>>>()?;
                 Stmt::Call { callee: name.clone(), args, span }
             }
+            StmtKind::OmpParallelDo { privates, reductions, body } => {
+                return self.lower_omp(privates, reductions, body, span).map(Some);
+            }
             StmtKind::Goto(_) => {
                 return err(
                     span,
@@ -862,6 +947,96 @@ impl<'a> UnitLowerer<'a> {
             StmtKind::Stop => Stmt::Stop,
             StmtKind::Io { .. } => Stmt::Io { span },
         }))
+    }
+
+    /// Rewrite `!$omp parallel do` plus its DO into the equivalent
+    /// `XDOALL`. Clause privates become loop locals; each `reduction`
+    /// clause re-synthesizes the per-participant partial, identity
+    /// preamble and lock-guarded merge postamble that the OpenMP
+    /// emission backend folded into the clause (the inverse of
+    /// `cedar-restructure`'s clause recovery — the identity and combine
+    /// expressions must agree with its `reduction_partials`).
+    fn lower_omp(
+        &mut self,
+        privates: &[String],
+        reductions: &[(ast::OmpRedOp, String)],
+        body: &ast::Stmt,
+        span: Span,
+    ) -> Result<Stmt> {
+        let Some(Stmt::Loop(mut l)) = self.lower_stmt(body)? else {
+            return err(span, "`!$omp parallel do` must annotate a DO loop");
+        };
+        l.class = ast::LoopClass::XDoall;
+        for name in privates {
+            let id = self.resolve(name).ok_or_else(|| LowerError {
+                span,
+                msg: format!("private({name}) names no visible variable"),
+            })?;
+            if id == l.var {
+                // The control variable is per-participant already.
+                continue;
+            }
+            let s = self.unit.symbol_mut(id);
+            s.kind = SymKind::LoopLocal;
+            s.placement = Placement::Private;
+            l.locals.push(id);
+        }
+        for (op, name) in reductions {
+            use ast::OmpRedOp as R;
+            let target = self.resolve(name).ok_or_else(|| LowerError {
+                span,
+                msg: format!("reduction({name}) names no visible variable"),
+            })?;
+            let sym = self.unit.symbol(target);
+            if sym.is_array() {
+                return err(span, "reduction clause on an array is not supported");
+            }
+            let ty = sym.ty;
+            let pname = self.unit.fresh_name(&format!("{name}$r"));
+            let partial = self.unit.add_symbol(Symbol {
+                name: pname,
+                ty,
+                dims: Vec::new(),
+                kind: SymKind::LoopLocal,
+                placement: Placement::Private,
+                init: Vec::new(),
+                span,
+            });
+            l.locals.push(partial);
+            redirect_scalar(&mut l.body, target, partial);
+            let identity = match (ty, op) {
+                (Ty::Int, R::Add) => Expr::ConstI(0),
+                (Ty::Int, R::Mul) => Expr::ConstI(1),
+                (_, R::Add) => Expr::real(0.0),
+                (_, R::Mul) => Expr::real(1.0),
+                (_, R::Min) => Expr::real(f64::INFINITY),
+                (_, R::Max) => Expr::real(f64::NEG_INFINITY),
+            };
+            l.preamble.push(Stmt::Assign {
+                lhs: LValue::Scalar(partial),
+                rhs: identity,
+                span,
+            });
+            let merged = match op {
+                R::Add => Expr::bin(BinOp::Add, Expr::Scalar(target), Expr::Scalar(partial)),
+                R::Mul => Expr::bin(BinOp::Mul, Expr::Scalar(target), Expr::Scalar(partial)),
+                R::Min | R::Max => Expr::Intr {
+                    f: if matches!(op, R::Min) { Intrinsic::Min } else { Intrinsic::Max },
+                    args: vec![Expr::Scalar(target), Expr::Scalar(partial)],
+                    par: ParMode::Serial,
+                },
+            };
+            let id = self.omp_lock;
+            self.omp_lock += 1;
+            l.postamble.push(Stmt::Sync(SyncOp::Lock { id }));
+            l.postamble.push(Stmt::Assign {
+                lhs: LValue::Scalar(target),
+                rhs: merged,
+                span,
+            });
+            l.postamble.push(Stmt::Sync(SyncOp::Unlock { id }));
+        }
+        Ok(Stmt::Loop(l))
     }
 
     fn sync_point(&mut self, e: &ast::Expr, span: Span) -> Result<u32> {
@@ -919,6 +1094,108 @@ pub fn intrinsic_by_name(name: &str) -> Option<(Intrinsic, bool)> {
 mod tests {
     use super::*;
     use crate::compile_free;
+
+    #[test]
+    fn omp_parallel_do_lowers_to_xdoall() {
+        let p = compile_free(
+            "subroutine s(a, b, n)\nreal a(n), b(n)\nreal x\n\
+             !$omp parallel do private(x)\ndo i = 1, n\nx = b(i)\n\
+             a(i) = x * 2.0\nend do\nend\n",
+        )
+        .unwrap();
+        let u = p.unit("s").unwrap();
+        let Stmt::Loop(l) = &u.body[0] else { panic!() };
+        assert_eq!(l.class, ast::LoopClass::XDoall);
+        assert_eq!(l.locals.len(), 1);
+        let x = l.locals[0];
+        assert_eq!(u.symbol(x).kind, SymKind::LoopLocal);
+        assert_eq!(u.symbol(x).placement, Placement::Private);
+    }
+
+    #[test]
+    fn omp_directive_globalizes_shared_data() {
+        let p = compile_free(
+            "subroutine s(n)\ncommon /blk/ c(100)\nreal w(100)\n\
+             !$omp parallel do\ndo i = 1, n\nw(i) = c(i)\nend do\nend\n",
+        )
+        .unwrap();
+        let u = p.unit("s").unwrap();
+        let w = u.find_symbol("w").unwrap();
+        assert_eq!(u.symbol(w).placement, Placement::Global);
+        let c = u.find_symbol("c").unwrap();
+        assert_eq!(u.symbol(c).placement, Placement::Global);
+        assert_eq!(p.commons["blk"].visibility, ast::Visibility::Global);
+        // Without a directive nothing moves.
+        let p = compile_free(
+            "subroutine s(n)\ncommon /blk/ c(100)\nreal w(100)\n\
+             do i = 1, n\nw(i) = c(i)\nend do\nend\n",
+        )
+        .unwrap();
+        let u = p.unit("s").unwrap();
+        let w = u.find_symbol("w").unwrap();
+        assert_eq!(u.symbol(w).placement, Placement::Default);
+        assert_eq!(p.commons["blk"].visibility, ast::Visibility::Cluster);
+    }
+
+    #[test]
+    fn omp_reduction_synthesizes_partials() {
+        let p = compile_free(
+            "subroutine s(a, n, t)\nreal a(n), t\n\
+             !$omp parallel do reduction(+:t)\ndo i = 1, n\n\
+             t = t + a(i)\nend do\nend\n",
+        )
+        .unwrap();
+        let u = p.unit("s").unwrap();
+        let Stmt::Loop(l) = &u.body[0] else { panic!() };
+        assert_eq!(l.class, ast::LoopClass::XDoall);
+        assert_eq!(l.locals.len(), 1);
+        let partial = l.locals[0];
+        // Preamble: partial = identity. Postamble: lock; merge; unlock.
+        assert_eq!(l.preamble.len(), 1);
+        let Stmt::Assign { lhs: pl, rhs: pr, .. } = &l.preamble[0] else { panic!() };
+        assert_eq!(*pl, LValue::Scalar(partial));
+        assert_eq!(*pr, Expr::real(0.0));
+        assert!(matches!(l.postamble[0], Stmt::Sync(SyncOp::Lock { id: 500 })));
+        let Stmt::Assign { lhs, rhs, .. } = &l.postamble[1] else { panic!() };
+        let t = u.find_symbol("t").unwrap();
+        assert_eq!(*lhs, LValue::Scalar(t));
+        assert_eq!(
+            *rhs,
+            Expr::bin(BinOp::Add, Expr::Scalar(t), Expr::Scalar(partial))
+        );
+        assert!(matches!(l.postamble[2], Stmt::Sync(SyncOp::Unlock { id: 500 })));
+        // The body accumulates into the partial, not the target.
+        let Stmt::Assign { lhs, .. } = &l.body[0] else { panic!() };
+        assert_eq!(*lhs, LValue::Scalar(partial));
+    }
+
+    #[test]
+    fn omp_lock_calls_lower_to_sync_ops() {
+        let p = compile_free(
+            "subroutine s(a, n, t)\nreal a(n), t\n!$omp parallel do\n\
+             do i = 1, n\ncall omp_set_lock(3)\nt = t + a(i)\n\
+             call omp_unset_lock(3)\nend do\nend\n",
+        )
+        .unwrap();
+        let u = p.unit("s").unwrap();
+        let Stmt::Loop(l) = &u.body[0] else { panic!() };
+        assert!(matches!(l.body[0], Stmt::Sync(SyncOp::Lock { id: 3 })));
+        assert!(matches!(l.body[2], Stmt::Sync(SyncOp::Unlock { id: 3 })));
+    }
+
+    #[test]
+    fn inf_name_is_the_infinity_literal() {
+        let p = compile_free("subroutine s(x)\nreal x\nx = -inf\nend\n").unwrap();
+        let u = p.unit("s").unwrap();
+        let Stmt::Assign { rhs, .. } = &u.body[0] else { panic!() };
+        let Expr::Un(UnOp::Neg, inner) = rhs else { panic!("{rhs:?}") };
+        assert_eq!(**inner, Expr::real(f64::INFINITY));
+        // ... unless something by that name is declared.
+        let p = compile_free("subroutine s(x)\nreal x, inf\ninf = 1.0\nx = inf\nend\n")
+            .unwrap();
+        let u = p.unit("s").unwrap();
+        assert!(u.find_symbol("inf").is_some());
+    }
 
     #[test]
     fn lowers_scalar_and_array_refs() {

@@ -22,7 +22,7 @@ use crate::error::{self, kind};
 use crate::json::Json;
 use cedar_experiments::supervise::{self, CellError, Rung, Supervisor};
 use cedar_experiments::{cache, json_escape, run_program};
-use cedar_restructure::{PassConfig, Target};
+use cedar_restructure::{BackendKind, EmitInput, PassConfig, Target};
 use cedar_sim::{MachineConfig, SimError};
 use cedar_verify::{restructure_validated, ValidationConfig, ValidationReport};
 use std::hash::{Hash, Hasher};
@@ -70,6 +70,9 @@ pub struct ServeRequest {
     pub config: String,
     /// Machine model: `cedar` (default) or `fx80`.
     pub machine: String,
+    /// Emission dialect for the `restructured` response field:
+    /// `cedar` (default), `openmp`, or `serial`.
+    pub backend: BackendKind,
     /// Variables to report watched results for.
     pub watch: Vec<String>,
     /// Differentially validate the output (perturbed schedules, race
@@ -87,6 +90,7 @@ impl ServeRequest {
             free_form: true,
             config: "auto".into(),
             machine: "cedar".into(),
+            backend: BackendKind::Cedar,
             watch: Vec::new(),
             validate: true,
             deadline_ms: None,
@@ -122,6 +126,10 @@ impl ServeRequest {
                 _ => return Err("`machine` must be \"cedar\" or \"fx80\"".into()),
             }
         }
+        if let Some(b) = v.get("backend") {
+            let s = b.as_str().ok_or("`backend` must be a string")?;
+            req.backend = s.parse().map_err(|e| format!("`backend`: {e}"))?;
+        }
         if let Some(w) = v.get("watch") {
             let items = w.as_arr().ok_or("`watch` must be an array of strings")?;
             for item in items {
@@ -148,11 +156,12 @@ impl ServeRequest {
     /// Serialize back to a request body (clients: load test, tests).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"source\": \"{}\", \"form\": \"{}\", \"config\": \"{}\", \"machine\": \"{}\", \"watch\": [{}], \"validate\": {}{}}}",
+            "{{\"source\": \"{}\", \"form\": \"{}\", \"config\": \"{}\", \"machine\": \"{}\", \"backend\": \"{}\", \"watch\": [{}], \"validate\": {}{}}}",
             json_escape(&self.source),
             if self.free_form { "free" } else { "fixed" },
             self.config,
             self.machine,
+            self.backend,
             self.watch
                 .iter()
                 .map(|w| format!("\"{}\"", json_escape(w)))
@@ -175,6 +184,7 @@ impl ServeRequest {
         self.free_form.hash(&mut h);
         self.config.hash(&mut h);
         self.machine.hash(&mut h);
+        self.backend.hash(&mut h);
         self.watch.hash(&mut h);
         self.validate.hash(&mut h);
         h.finish()
@@ -272,8 +282,13 @@ fn attempt_body(
         )
         .map_err(AttemptFail::Sim)?;
         let out = run_program(&v.program, None, mc, &watch);
+        let emitted = req.backend.backend().emit(&EmitInput {
+            original: &program,
+            restructured: &v.program,
+            report: &v.report,
+        });
         Ok(Output {
-            restructured: cedar_ir::print::print_program(&v.program),
+            restructured: emitted,
             report: v.report.to_string(),
             serial_cycles: serial.cycles,
             parallel_cycles: out.cycles,
@@ -284,8 +299,13 @@ fn attempt_body(
         supervise::gate("restructure");
         let full = cache::restructured_full(&program, &supervise::adjust_pass(pass));
         let out = run_program(&full.0, None, mc, &watch);
+        let emitted = req.backend.backend().emit(&EmitInput {
+            original: &program,
+            restructured: &full.0,
+            report: &full.1,
+        });
         Ok(Output {
-            restructured: cedar_ir::print::print_program(&full.0),
+            restructured: emitted,
             report: full.1.to_string(),
             serial_cycles: serial.cycles,
             parallel_cycles: out.cycles,
@@ -453,6 +473,34 @@ mod tests {
     }
 
     #[test]
+    fn backend_selects_the_emission_dialect() {
+        let cfg = quiet_engine("backend");
+        let breaker = Breaker::new(3, Duration::from_secs(5));
+
+        let mut req = ServeRequest::new(CLEAN);
+        req.backend = BackendKind::OpenMp;
+        let h = handle(&req, &cfg, &breaker);
+        assert_eq!(h.status, 200, "{}", h.body);
+        let v = Json::parse(&h.body).unwrap();
+        let text = v.get("restructured").unwrap().as_str().unwrap().to_string();
+        assert!(text.contains("!$omp parallel do"), "{text}");
+        assert!(!text.contains("doall"), "Cedar dialect leaked:\n{text}");
+
+        let mut serial = ServeRequest::new(CLEAN);
+        serial.backend = BackendKind::Serial;
+        let h = handle(&serial, &cfg, &breaker);
+        assert_eq!(h.status, 200, "{}", h.body);
+        let v = Json::parse(&h.body).unwrap();
+        let text = v.get("restructured").unwrap().as_str().unwrap().to_string();
+        assert!(!text.contains("doall") && !text.contains("!$omp"), "{text}");
+
+        // Backend choice is part of the content key: the coalescer and
+        // caches must not serve one backend's emission for another.
+        assert_ne!(req.key(), serial.key());
+        assert_ne!(req.key(), ServeRequest::new(CLEAN).key());
+    }
+
+    #[test]
     fn request_key_discriminates_and_label_is_stable() {
         let a = ServeRequest::new(CLEAN);
         let mut b = ServeRequest::new(CLEAN);
@@ -483,6 +531,7 @@ mod tests {
             ("{\"source\": \"\"}", "empty"),
             ("{\"source\": \"x\", \"config\": \"fastest\"}", "`config`"),
             ("{\"source\": \"x\", \"machine\": \"cray\"}", "`machine`"),
+            ("{\"source\": \"x\", \"backend\": \"f90\"}", "`backend`"),
             ("{\"source\": \"x\", \"watch\": \"a\"}", "`watch`"),
             ("{\"source\": \"x\", \"deadline_ms\": -5}", "positive"),
         ] {

@@ -27,6 +27,10 @@
 //! perturbations (the property tested in `tests/prop_schedules.rs`);
 //! nests with reductions are compared under [`ValidationConfig::rel_tol`].
 
+pub mod comparator;
+
+pub use comparator::{compare_backends, BackendComparison, BackendOutcome, BackendRun};
+
 use cedar_ir::{Program, Stmt};
 use cedar_restructure::{restructure, LoopDecision, PassConfig, Report};
 use cedar_sim::{CompiledProgram, Engine, FaultConfig, MachineConfig, RaceInfo, SimError};

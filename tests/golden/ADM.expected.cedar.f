@@ -1,0 +1,50 @@
+      program adm
+      integer ncol
+      integer nlev
+      integer nstep
+      real q(48, 192)
+      real chksum
+      integer j
+      integer k
+      integer is
+      integer colphy$nlev
+      integer colphy$ncol
+      real colphy$col(64)
+      integer colphy$k
+      global q, j
+        sdoall j = 1, 192
+          q(1:48, j) = 1.0 + 0.01 * real(iota(1, 48)) + 0.001 * real(j)
+        end sdoall
+        do is = 1, 3
+          sdoall j = 1, 192
+            integer colphy$nlev$p
+            integer colphy$ncol$p
+            real colphy$col$p(64)
+            colphy$nlev$p = 48
+            colphy$ncol$p = 192
+            colphy$col$p(1:colphy$nlev$p) = q(1:colphy$nlev$p, j) * 1.01
+            q(1:colphy$nlev$p, j) = colphy$col$p(1:colphy$nlev$p) +
+     &        0.002 * sqrt(colphy$col$p(1:colphy$nlev$p))
+          end sdoall
+        end do
+        chksum = 0.0
+        chksum = chksum + sum$v(q(1:48, 1) + q(1:48, 192))
+      end
+
+      subroutine colphy(q, j, nlev, ncol)
+      real q(nlev, ncol)
+      integer j
+      integer nlev
+      integer ncol
+      real col(64)
+      integer k
+        cdoall k = 1, nlev, 32
+          integer i3
+          integer upper
+          i3 = min(32, nlev - k + 1)
+          upper = k + i3 - 1
+          col(k:upper) = q(k:upper, j) * 1.01
+          q(k:upper, j) = col(k:upper) + 0.002 * sqrt(col(k:upper))
+        end cdoall
+      end
+

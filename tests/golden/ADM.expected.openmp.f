@@ -1,0 +1,52 @@
+      program adm
+      integer ncol
+      integer nlev
+      integer nstep
+      real q(48, 192)
+      real chksum
+      integer j
+      integer k
+      integer is
+      integer colphy$nlev
+      integer colphy$ncol
+      real colphy$col(64)
+      integer colphy$k
+      integer colphy$nlev$p
+      integer colphy$ncol$p
+      real colphy$col$p(64)
+!$omp parallel do
+        do j = 1, 192
+          q(1:48, j) = 1.0 + 0.01 * real(iota(1, 48)) + 0.001 * real(j)
+        end do
+        do is = 1, 3
+!$omp parallel do private(colphy$nlev$p, colphy$ncol$p, colphy$col$p)
+          do j = 1, 192
+            colphy$nlev$p = 48
+            colphy$ncol$p = 192
+            colphy$col$p(1:colphy$nlev$p) = q(1:colphy$nlev$p, j) * 1.01
+            q(1:colphy$nlev$p, j) = colphy$col$p(1:colphy$nlev$p) +
+     &        0.002 * sqrt(colphy$col$p(1:colphy$nlev$p))
+          end do
+        end do
+        chksum = 0.0
+        chksum = chksum + sum(q(1:48, 1) + q(1:48, 192))
+      end
+
+      subroutine colphy(q, j, nlev, ncol)
+      real q(nlev, ncol)
+      integer j
+      integer nlev
+      integer ncol
+      real col(64)
+      integer k
+      integer i3
+      integer upper
+!$omp parallel do private(i3, upper)
+        do k = 1, nlev, 32
+          i3 = min(32, nlev - k + 1)
+          upper = k + i3 - 1
+          col(k:upper) = q(k:upper, j) * 1.01
+          q(k:upper, j) = col(k:upper) + 0.002 * sqrt(col(k:upper))
+        end do
+      end
+

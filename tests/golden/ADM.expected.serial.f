@@ -1,0 +1,40 @@
+      program adm
+      integer ncol
+      integer nlev
+      integer nstep
+      real q(48, 192)
+      real chksum
+      integer j
+      integer k
+      integer is
+        do j = 1, 192
+          do k = 1, 48
+            q(k, j) = 1.0 + 0.01 * real(k) + 0.001 * real(j)
+          end do
+        end do
+        do is = 1, 3
+          do j = 1, 192
+            call colphy(q(:, :), j, 48, 192)
+          end do
+        end do
+        chksum = 0.0
+        do k = 1, 48
+          chksum = chksum + q(k, 1) + q(k, 192)
+        end do
+      end
+
+      subroutine colphy(q, j, nlev, ncol)
+      real q(nlev, ncol)
+      integer j
+      integer nlev
+      integer ncol
+      real col(64)
+      integer k
+        do k = 1, nlev
+          col(k) = q(k, j) * 1.01
+        end do
+        do k = 1, nlev
+          q(k, j) = col(k) + 0.002 * sqrt(col(k))
+        end do
+      end
+

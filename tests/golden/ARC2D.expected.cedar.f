@@ -1,0 +1,36 @@
+      program arc2d
+      integer nx
+      integer ny
+      integer nstep
+      real u(96, 96)
+      real rhs(96, 96)
+      real pen(96)
+      real chksum
+      integer j
+      integer i
+      integer is
+      global u, rhs, j
+        sdoall j = 1, 96
+          u(1:96, j) = sin(0.07 * real(iota(1, 96))) * cos(0.05 *
+     &      real(j))
+          rhs(1:96, j) = 0.0
+        end sdoall
+        do is = 1, 3
+          sdoall j = 2, 96 - 1
+            rhs(2:96 - 1, j) = u(2 + 1:96 - 1 + 1, j) + u(2 - 1:96 - 1 -
+     &        1, j) + u(2:96 - 1, j + 1) + u(2:96 - 1, j - 1) - 4.0 *
+     &        u(2:96 - 1, j)
+          end sdoall
+          xdoall j = 2, 96 - 1
+            real pen$p(96)
+            pen$p(1:96) = rhs(1:96, j) * 0.25
+            u(2:96 - 1, j) = u(2:96 - 1, j) + pen$p(2:96 - 1) + 0.1 *
+     &        pen$p(2 - 1:96 - 1 - 1)
+          end xdoall
+        end do
+        chksum = 0.0
+        do j = 1, 96
+          chksum = chksum + u(j, j)
+        end do
+      end
+

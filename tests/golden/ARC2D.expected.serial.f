@@ -1,0 +1,39 @@
+      program arc2d
+      integer nx
+      integer ny
+      integer nstep
+      real u(96, 96)
+      real rhs(96, 96)
+      real pen(96)
+      real chksum
+      integer j
+      integer i
+      integer is
+        do j = 1, 96
+          do i = 1, 96
+            u(i, j) = sin(0.07 * real(i)) * cos(0.05 * real(j))
+            rhs(i, j) = 0.0
+          end do
+        end do
+        do is = 1, 3
+          do j = 2, 96 - 1
+            do i = 2, 96 - 1
+              rhs(i, j) = u(i + 1, j) + u(i - 1, j) + u(i, j + 1) + u(i,
+     &          j - 1) - 4.0 * u(i, j)
+            end do
+          end do
+          do j = 2, 96 - 1
+            do i = 1, 96
+              pen(i) = rhs(i, j) * 0.25
+            end do
+            do i = 2, 96 - 1
+              u(i, j) = u(i, j) + pen(i) + 0.1 * pen(i - 1)
+            end do
+          end do
+        end do
+        chksum = 0.0
+        do j = 1, 96
+          chksum = chksum + u(j, j)
+        end do
+      end
+

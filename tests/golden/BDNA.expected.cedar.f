@@ -1,0 +1,56 @@
+      program bdna
+      integer natom
+      integer ndim
+      integer nstep
+      real pos(96)
+      real frc(64)
+      real wrk(64)
+      real cf(64)
+      real chksum
+      integer i
+      integer j
+      integer is
+      global pos, frc, cf, i
+        cdoall i = 1, 96, 32
+          integer i3
+          integer upper
+          i3 = min(32, 96 - i + 1)
+          upper = i + i3 - 1
+          pos(i:upper) = 0.5 + 0.003 * real(iota(i, upper))
+        end cdoall
+        cdoall j = 1, 64, 32
+          integer i3$1
+          integer upper$1
+          i3$1 = min(32, 64 - j + 1)
+          upper$1 = j + i3$1 - 1
+          frc(j:upper$1) = 0.0
+          cf(j:upper$1) = 1.0 / (1.0 + 0.1 * real(iota(j, upper$1)))
+        end cdoall
+        do is = 1, 3
+          sdoall i = 1, 96
+            real wrk$p(64)
+            real frc$r(64)
+            frc$r(:) = 0.0
+          loop
+            wrk$p(1:64) = pos(i) * cf(1:64)
+            frc$r(1:64) = frc$r(1:64) + wrk$p(1:64)
+            frc$r(1:64) = frc$r(1:64) + 0.5 * wrk$p(1:64) * wrk$p(1:64)
+            frc$r(1:64) = frc$r(1:64) - 0.01 * wrk$p(1:64) * pos(i)
+          endloop
+            call lock(100)
+            frc(:) = frc(:) + frc$r(:)
+            call unlock(100)
+          end sdoall
+          cdoall i = 1, 96, 32
+            integer i3$2
+            integer upper$2
+            i3$2 = min(32, 96 - i + 1)
+            upper$2 = i + i3$2 - 1
+            pos(i:upper$2) = pos(i:upper$2) + 1e-5 * frc(mod(iota(i,
+     &        upper$2), 64) + 1)
+          end cdoall
+        end do
+        chksum = 0.0
+        chksum = chksum + sum$v(frc(1:64))
+      end
+

@@ -1,0 +1,56 @@
+      program bdna
+      integer natom
+      integer ndim
+      integer nstep
+      real pos(96)
+      real frc(64)
+      real wrk(64)
+      real cf(64)
+      real chksum
+      integer i
+      integer j
+      integer is
+      integer i3
+      integer upper
+      integer i3$1
+      integer upper$1
+      real wrk$p(64)
+      real frc$r(64)
+      integer i3$2
+      integer upper$2
+!$omp parallel do private(i3, upper)
+        do i = 1, 96, 32
+          i3 = min(32, 96 - i + 1)
+          upper = i + i3 - 1
+          pos(i:upper) = 0.5 + 0.003 * real(iota(i, upper))
+        end do
+!$omp parallel do private(i3$1, upper$1)
+        do j = 1, 64, 32
+          i3$1 = min(32, 64 - j + 1)
+          upper$1 = j + i3$1 - 1
+          frc(j:upper$1) = 0.0
+          cf(j:upper$1) = 1.0 / (1.0 + 0.1 * real(iota(j, upper$1)))
+        end do
+        do is = 1, 3
+          frc$r(:) = 0.0
+          do i = 1, 96
+            wrk$p(1:64) = pos(i) * cf(1:64)
+            frc$r(1:64) = frc$r(1:64) + wrk$p(1:64)
+            frc$r(1:64) = frc$r(1:64) + 0.5 * wrk$p(1:64) * wrk$p(1:64)
+            frc$r(1:64) = frc$r(1:64) - 0.01 * wrk$p(1:64) * pos(i)
+          end do
+          call omp_set_lock(100)
+          frc(:) = frc(:) + frc$r(:)
+          call omp_unset_lock(100)
+!$omp parallel do private(i3$2, upper$2)
+          do i = 1, 96, 32
+            i3$2 = min(32, 96 - i + 1)
+            upper$2 = i + i3$2 - 1
+            pos(i:upper$2) = pos(i:upper$2) + 1e-5 * frc(mod(iota(i,
+     &        upper$2), 64) + 1)
+          end do
+        end do
+        chksum = 0.0
+        chksum = chksum + sum(frc(1:64))
+      end
+

@@ -1,0 +1,38 @@
+      program bdna
+      integer natom
+      integer ndim
+      integer nstep
+      real pos(96)
+      real frc(64)
+      real wrk(64)
+      real cf(64)
+      real chksum
+      integer i
+      integer j
+      integer is
+        do i = 1, 96
+          pos(i) = 0.5 + 0.003 * real(i)
+        end do
+        do j = 1, 64
+          frc(j) = 0.0
+          cf(j) = 1.0 / (1.0 + 0.1 * real(j))
+        end do
+        do is = 1, 3
+          do i = 1, 96
+            do j = 1, 64
+              wrk(j) = pos(i) * cf(j)
+              frc(j) = frc(j) + wrk(j)
+              frc(j) = frc(j) + 0.5 * wrk(j) * wrk(j)
+              frc(j) = frc(j) - 0.01 * wrk(j) * pos(i)
+            end do
+          end do
+          do i = 1, 96
+            pos(i) = pos(i) + 1e-5 * frc(mod(i, 64) + 1)
+          end do
+        end do
+        chksum = 0.0
+        do j = 1, 64
+          chksum = chksum + frc(j)
+        end do
+      end
+

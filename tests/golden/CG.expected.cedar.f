@@ -1,0 +1,145 @@
+      program cgrun
+      integer n
+      integer niter
+      real a(184, 184)
+      real b(184)
+      real x(184)
+      real r(184)
+      real p(184)
+      real q(184)
+      real z(184)
+      real chksum
+      integer j
+      integer i
+      integer cg$n
+      integer cg$niter
+      real cg$rz
+      real cg$rznew
+      real cg$pq
+      real cg$alpha
+      real cg$beta
+      real cg$t
+      integer cg$i
+      integer cg$it
+      integer cg$j
+      global a, b, p, q, j, cg$n, cg$i
+        sdoall j = 1, 184
+          a(1:184, j) = 1.0 / (1.0 + 3.0 * abs(real(iota(1, 184) - j)))
+          a(j, j) = a(j, j) + real(184)
+          b(j) = 1.0 + 0.001 * real(j)
+        end sdoall
+        call tstart
+        cg$n = 184
+        cg$niter = 8
+        cdoall cg$i = 1, cg$n, 32
+          integer i3
+          integer upper
+          i3 = min(32, cg$n - cg$i + 1)
+          upper = cg$i + i3 - 1
+          x(cg$i:upper) = 0.0
+          r(cg$i:upper) = b(cg$i:upper)
+          p(cg$i:upper) = b(cg$i:upper)
+        end cdoall
+        cg$rz = 0.0
+        cg$rz = cg$rz + dotproduct$c(r(1:cg$n), r(1:cg$n))
+        do cg$it = 1, cg$niter
+          xdoall cg$i = 1, cg$n
+            real cg$t$p
+            cg$t$p = 0.0
+            cg$t$p = cg$t$p + dotproduct$v(a(1:cg$n, cg$i), p(1:cg$n))
+            q(cg$i) = cg$t$p
+          end xdoall
+          cg$pq = 0.0
+          cg$pq = cg$pq + dotproduct$c(p(1:cg$n), q(1:cg$n))
+          cg$alpha = cg$rz / cg$pq
+          cdoall cg$i = 1, cg$n, 32
+            integer i3$1
+            integer upper$1
+            i3$1 = min(32, cg$n - cg$i + 1)
+            upper$1 = cg$i + i3$1 - 1
+            x(cg$i:upper$1) = x(cg$i:upper$1) + cg$alpha *
+     &        p(cg$i:upper$1)
+            r(cg$i:upper$1) = r(cg$i:upper$1) - cg$alpha *
+     &        q(cg$i:upper$1)
+          end cdoall
+          cg$rznew = 0.0
+          cg$rznew = cg$rznew + dotproduct$c(r(1:cg$n), r(1:cg$n))
+          cg$beta = cg$rznew / cg$rz
+          cg$rz = cg$rznew
+          cdoall cg$i = 1, cg$n, 32
+            integer i3$2
+            integer upper$2
+            i3$2 = min(32, cg$n - cg$i + 1)
+            upper$2 = cg$i + i3$2 - 1
+            p(cg$i:upper$2) = r(cg$i:upper$2) + cg$beta *
+     &        p(cg$i:upper$2)
+          end cdoall
+        end do
+        call tstop
+        chksum = 0.0
+        chksum = chksum + sum$c(x(1:184))
+      end
+
+      subroutine cg(a, b, x, r, p, q, z, n, niter)
+      real a(n, n)
+      real b(n)
+      real x(n)
+      real r(n)
+      real p(n)
+      real q(n)
+      real z(n)
+      integer n
+      integer niter
+      real rz
+      real rznew
+      real pq
+      real alpha
+      real beta
+      real t
+      integer i
+      integer it
+      integer j
+      global a, b, x, r, p, q, z, n, niter, i
+        cdoall i = 1, n, 32
+          integer i3
+          integer upper
+          i3 = min(32, n - i + 1)
+          upper = i + i3 - 1
+          x(i:upper) = 0.0
+          r(i:upper) = b(i:upper)
+          p(i:upper) = b(i:upper)
+        end cdoall
+        rz = 0.0
+        rz = rz + dotproduct$c(r(1:n), r(1:n))
+        do it = 1, niter
+          xdoall i = 1, n
+            real t$p
+            t$p = 0.0
+            t$p = t$p + dotproduct$v(a(1:n, i), p(1:n))
+            q(i) = t$p
+          end xdoall
+          pq = 0.0
+          pq = pq + dotproduct$c(p(1:n), q(1:n))
+          alpha = rz / pq
+          cdoall i = 1, n, 32
+            integer i3$1
+            integer upper$1
+            i3$1 = min(32, n - i + 1)
+            upper$1 = i + i3$1 - 1
+            x(i:upper$1) = x(i:upper$1) + alpha * p(i:upper$1)
+            r(i:upper$1) = r(i:upper$1) - alpha * q(i:upper$1)
+          end cdoall
+          rznew = 0.0
+          rznew = rznew + dotproduct$c(r(1:n), r(1:n))
+          beta = rznew / rz
+          rz = rznew
+          cdoall i = 1, n, 32
+            integer i3$2
+            integer upper$2
+            i3$2 = min(32, n - i + 1)
+            upper$2 = i + i3$2 - 1
+            p(i:upper$2) = r(i:upper$2) + beta * p(i:upper$2)
+          end cdoall
+        end do
+      end
+

@@ -1,0 +1,88 @@
+      program cgrun
+      integer n
+      integer niter
+      real a(184, 184)
+      real b(184)
+      real x(184)
+      real r(184)
+      real p(184)
+      real q(184)
+      real z(184)
+      real chksum
+      integer j
+      integer i
+        do j = 1, 184
+          do i = 1, 184
+            a(i, j) = 1.0 / (1.0 + 3.0 * abs(real(i - j)))
+          end do
+          a(j, j) = a(j, j) + real(184)
+        end do
+        do i = 1, 184
+          b(i) = 1.0 + 0.001 * real(i)
+        end do
+        call tstart
+        call cg(a(:, :), b(:), x(:), r(:), p(:), q(:), z(:), 184, 8)
+        call tstop
+        chksum = 0.0
+        do i = 1, 184
+          chksum = chksum + x(i)
+        end do
+      end
+
+      subroutine cg(a, b, x, r, p, q, z, n, niter)
+      real a(n, n)
+      real b(n)
+      real x(n)
+      real r(n)
+      real p(n)
+      real q(n)
+      real z(n)
+      integer n
+      integer niter
+      real rz
+      real rznew
+      real pq
+      real alpha
+      real beta
+      real t
+      integer i
+      integer it
+      integer j
+        do i = 1, n
+          x(i) = 0.0
+          r(i) = b(i)
+          p(i) = b(i)
+        end do
+        rz = 0.0
+        do i = 1, n
+          rz = rz + r(i) * r(i)
+        end do
+        do it = 1, niter
+          do i = 1, n
+            t = 0.0
+            do j = 1, n
+              t = t + a(j, i) * p(j)
+            end do
+            q(i) = t
+          end do
+          pq = 0.0
+          do i = 1, n
+            pq = pq + p(i) * q(i)
+          end do
+          alpha = rz / pq
+          do i = 1, n
+            x(i) = x(i) + alpha * p(i)
+            r(i) = r(i) - alpha * q(i)
+          end do
+          rznew = 0.0
+          do i = 1, n
+            rznew = rznew + r(i) * r(i)
+          end do
+          beta = rznew / rz
+          rz = rznew
+          do i = 1, n
+            p(i) = r(i) + beta * p(i)
+          end do
+        end do
+      end
+

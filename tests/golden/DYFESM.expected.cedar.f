@@ -1,0 +1,49 @@
+      program dyfesm
+      integer nelem
+      integer nnode
+      integer nstep
+      real disp(64)
+      real force(64)
+      real ew(8)
+      real chksum
+      real s
+      integer nd
+      integer i
+      integer is
+      integer ie
+      integer k
+        cdoall i = 1, 64, 32
+          integer i3
+          integer upper
+          i3 = min(32, 64 - i + 1)
+          upper = i + i3 - 1
+          disp(i:upper) = 0.01 * real(iota(i, upper))
+          force(i:upper) = 0.0
+        end cdoall
+        do is = 1, 3
+          cdoall ie = 1, 256
+            real s$p
+            integer nd$p
+            real ew$p(8)
+            ew$p(1:8) = disp(mod(ie + iota(1, 8), 64) + 1) * (1.0 + 0.1
+     &        * real(iota(1, 8)))
+            nd$p = mod(ie, 64) + 1
+            s$p = 0.0
+            s$p = s$p + sum$v(ew$p(1:8) * 0.05)
+            call lock(100)
+            force(nd$p) = force(nd$p) + s$p
+            call unlock(100)
+          end cdoall
+          cdoall i = 1, 64, 32
+            integer i3$1
+            integer upper$1
+            i3$1 = min(32, 64 - i + 1)
+            upper$1 = i + i3$1 - 1
+            disp(i:upper$1) = disp(i:upper$1) + 0.0001 *
+     &        force(i:upper$1)
+          end cdoall
+        end do
+        chksum = 0.0
+        chksum = chksum + sum$v(force(1:64) + disp(1:64))
+      end
+

@@ -1,0 +1,40 @@
+      program dyfesm
+      integer nelem
+      integer nnode
+      integer nstep
+      real disp(64)
+      real force(64)
+      real ew(8)
+      real chksum
+      real s
+      integer nd
+      integer i
+      integer is
+      integer ie
+      integer k
+        do i = 1, 64
+          disp(i) = 0.01 * real(i)
+          force(i) = 0.0
+        end do
+        do is = 1, 3
+          do ie = 1, 256
+            do k = 1, 8
+              ew(k) = disp(mod(ie + k, 64) + 1) * (1.0 + 0.1 * real(k))
+            end do
+            nd = mod(ie, 64) + 1
+            s = 0.0
+            do k = 1, 8
+              s = s + ew(k) * 0.05
+            end do
+            force(nd) = force(nd) + s
+          end do
+          do i = 1, 64
+            disp(i) = disp(i) + 0.0001 * force(i)
+          end do
+        end do
+        chksum = 0.0
+        do i = 1, 64
+          chksum = chksum + force(i) + disp(i)
+        end do
+      end
+

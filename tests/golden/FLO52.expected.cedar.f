@@ -1,0 +1,29 @@
+      program flo52
+      integer ni
+      integer nj
+      integer nstep
+      real u(48, 64)
+      real f(48)
+      real g(48)
+      real chksum
+      integer j
+      integer i
+      integer is
+      global u, j
+        sdoall j = 1, 64
+          u(1:48, j) = 1.0 + 0.01 * real(iota(1, 48)) + 0.002 * real(j)
+        end sdoall
+        do is = 1, 12
+          xdoall j = 1, 64
+            real f$p(48)
+            real g$p(48)
+            f$p(1:48) = 0.5 * u(1:48, j)
+            u(1:48, j) = u(1:48, j) + 0.1 * f$p(1:48)
+            g$p(1:48) = u(1:48, j) * u(1:48, j) * 0.001
+            u(1:48, j) = u(1:48, j) - 0.05 * g$p(1:48)
+          end xdoall
+        end do
+        chksum = 0.0
+        chksum = chksum + sum$v(u(1, 1:64) + u(48, 1:64))
+      end
+

@@ -1,0 +1,40 @@
+      program flo52
+      integer ni
+      integer nj
+      integer nstep
+      real u(48, 64)
+      real f(48)
+      real g(48)
+      real chksum
+      integer j
+      integer i
+      integer is
+        do j = 1, 64
+          do i = 1, 48
+            u(i, j) = 1.0 + 0.01 * real(i) + 0.002 * real(j)
+          end do
+        end do
+        do is = 1, 12
+          do j = 1, 64
+            do i = 1, 48
+              f(i) = 0.5 * u(i, j)
+            end do
+            do i = 1, 48
+              u(i, j) = u(i, j) + 0.1 * f(i)
+            end do
+          end do
+          do j = 1, 64
+            do i = 1, 48
+              g(i) = u(i, j) * u(i, j) * 0.001
+            end do
+            do i = 1, 48
+              u(i, j) = u(i, j) - 0.05 * g(i)
+            end do
+          end do
+        end do
+        chksum = 0.0
+        do j = 1, 64
+          chksum = chksum + u(1, j) + u(48, j)
+        end do
+      end
+

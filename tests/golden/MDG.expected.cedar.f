@@ -1,0 +1,55 @@
+      program mdg
+      integer nmol
+      integer nsite
+      integer nstep
+      real x(256)
+      real acc(32)
+      real rs(32)
+      real soff(32)
+      real chksum
+      integer i
+      integer k
+      integer is
+      global x, acc, soff, i
+        cdoall i = 1, 256, 32
+          integer i3
+          integer upper
+          i3 = min(32, 256 - i + 1)
+          upper = i + i3 - 1
+          x(i:upper) = 0.4 + 0.002 * real(iota(i, upper))
+        end cdoall
+        cdoall k = 1, 32, 32
+          integer i3$1
+          integer upper$1
+          i3$1 = min(32, 32 - k + 1)
+          upper$1 = k + i3$1 - 1
+          acc(k:upper$1) = 0.0
+          soff(k:upper$1) = 0.01 * real(iota(k, upper$1))
+        end cdoall
+        do is = 1, 3
+          sdoall i = 1, 256
+            real rs$p(32)
+            real acc$r(32)
+            acc$r(:) = 0.0
+          loop
+            rs$p(1:32) = x(i) + soff(1:32)
+            acc$r(1:32) = acc$r(1:32) + rs$p(1:32) * 0.001
+            acc$r(1:32) = acc$r(1:32) + rs$p(1:32) * rs$p(1:32) * 0.0001
+          endloop
+            call lock(100)
+            acc(:) = acc(:) + acc$r(:)
+            call unlock(100)
+          end sdoall
+          cdoall i = 1, 256, 32
+            integer i3$2
+            integer upper$2
+            i3$2 = min(32, 256 - i + 1)
+            upper$2 = i + i3$2 - 1
+            x(i:upper$2) = x(i:upper$2) + 1e-5 * acc(mod(iota(i,
+     &        upper$2), 32) + 1)
+          end cdoall
+        end do
+        chksum = 0.0
+        chksum = chksum + sum$v(acc(1:32))
+      end
+

@@ -1,0 +1,55 @@
+      program mdg
+      integer nmol
+      integer nsite
+      integer nstep
+      real x(256)
+      real acc(32)
+      real rs(32)
+      real soff(32)
+      real chksum
+      integer i
+      integer k
+      integer is
+      integer i3
+      integer upper
+      integer i3$1
+      integer upper$1
+      real rs$p(32)
+      real acc$r(32)
+      integer i3$2
+      integer upper$2
+!$omp parallel do private(i3, upper)
+        do i = 1, 256, 32
+          i3 = min(32, 256 - i + 1)
+          upper = i + i3 - 1
+          x(i:upper) = 0.4 + 0.002 * real(iota(i, upper))
+        end do
+!$omp parallel do private(i3$1, upper$1)
+        do k = 1, 32, 32
+          i3$1 = min(32, 32 - k + 1)
+          upper$1 = k + i3$1 - 1
+          acc(k:upper$1) = 0.0
+          soff(k:upper$1) = 0.01 * real(iota(k, upper$1))
+        end do
+        do is = 1, 3
+          acc$r(:) = 0.0
+          do i = 1, 256
+            rs$p(1:32) = x(i) + soff(1:32)
+            acc$r(1:32) = acc$r(1:32) + rs$p(1:32) * 0.001
+            acc$r(1:32) = acc$r(1:32) + rs$p(1:32) * rs$p(1:32) * 0.0001
+          end do
+          call omp_set_lock(100)
+          acc(:) = acc(:) + acc$r(:)
+          call omp_unset_lock(100)
+!$omp parallel do private(i3$2, upper$2)
+          do i = 1, 256, 32
+            i3$2 = min(32, 256 - i + 1)
+            upper$2 = i + i3$2 - 1
+            x(i:upper$2) = x(i:upper$2) + 1e-5 * acc(mod(iota(i,
+     &        upper$2), 32) + 1)
+          end do
+        end do
+        chksum = 0.0
+        chksum = chksum + sum(acc(1:32))
+      end
+

@@ -1,0 +1,39 @@
+      program mdg
+      integer nmol
+      integer nsite
+      integer nstep
+      real x(256)
+      real acc(32)
+      real rs(32)
+      real soff(32)
+      real chksum
+      integer i
+      integer k
+      integer is
+        do i = 1, 256
+          x(i) = 0.4 + 0.002 * real(i)
+        end do
+        do k = 1, 32
+          acc(k) = 0.0
+          soff(k) = 0.01 * real(k)
+        end do
+        do is = 1, 3
+          do i = 1, 256
+            do k = 1, 32
+              rs(k) = x(i) + soff(k)
+            end do
+            do k = 1, 32
+              acc(k) = acc(k) + rs(k) * 0.001
+              acc(k) = acc(k) + rs(k) * rs(k) * 0.0001
+            end do
+          end do
+          do i = 1, 256
+            x(i) = x(i) + 1e-5 * acc(mod(i, 32) + 1)
+          end do
+        end do
+        chksum = 0.0
+        do k = 1, 32
+          chksum = chksum + acc(k)
+        end do
+      end
+

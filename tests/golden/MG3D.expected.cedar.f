@@ -1,0 +1,37 @@
+      program mg3d
+      integer nx
+      integer ny
+      integer nz
+      integer nstep
+      real p(32, 32, 32)
+      real penc(32)
+      real chksum
+      integer k
+      integer j
+      integer i
+      integer is
+      global p, k, j, i
+        sdoall k = 1, 32
+          cdoall j = 1, 32
+            do i = 1, 32
+              p(i, j, k) = 0.01 * real(i) + 0.02 * real(j) + 0.005 *
+     &          real(k)
+            end do
+          end cdoall
+        end sdoall
+        do is = 1, 3
+          do k = 1, 32
+            xdoall j = 1, 32
+              real penc$p(32)
+              penc$p(1:32) = p(1:32, j, k) * 0.9
+              p(2:32 - 1, j, k) = penc$p(2:32 - 1) + 0.05 * (penc$p(2 -
+     &          1:32 - 1 - 1) + penc$p(2 + 1:32 - 1 + 1))
+            end xdoall
+          end do
+        end do
+        chksum = 0.0
+        do k = 1, 32
+          chksum = chksum + p(k, k, k)
+        end do
+      end
+

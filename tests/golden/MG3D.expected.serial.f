@@ -1,0 +1,39 @@
+      program mg3d
+      integer nx
+      integer ny
+      integer nz
+      integer nstep
+      real p(32, 32, 32)
+      real penc(32)
+      real chksum
+      integer k
+      integer j
+      integer i
+      integer is
+        do k = 1, 32
+          do j = 1, 32
+            do i = 1, 32
+              p(i, j, k) = 0.01 * real(i) + 0.02 * real(j) + 0.005 *
+     &          real(k)
+            end do
+          end do
+        end do
+        do is = 1, 3
+          do k = 1, 32
+            do j = 1, 32
+              do i = 1, 32
+                penc(i) = p(i, j, k) * 0.9
+              end do
+              do i = 2, 32 - 1
+                p(i, j, k) = penc(i) + 0.05 * (penc(i - 1) + penc(i +
+     &            1))
+              end do
+            end do
+          end do
+        end do
+        chksum = 0.0
+        do k = 1, 32
+          chksum = chksum + p(k, k, k)
+        end do
+      end
+

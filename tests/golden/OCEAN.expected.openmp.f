@@ -1,0 +1,64 @@
+      program ocean
+      integer nn
+      integer mm
+      integer nstep
+      real a(512 * 24)
+      real b(512 * 24)
+      real w(512)
+      real chksum
+      real wf
+      integer mstr
+      integer j
+      integer i
+      integer is
+      integer i3
+      integer upper
+      real wf$0
+      integer i3$1
+      integer upper$1
+        mstr = 24
+        do j = 1, 512
+!$omp parallel do private(i3, upper)
+          do i = 1, 24, 32
+            i3 = min(32, 24 - i + 1)
+            upper = i + i3 - 1
+            a((j - 1) * mstr + i:(j - 1) * mstr + upper) = 0.001 *
+     &        real(iota(i, upper)) + 0.01 * real(j)
+            b((j - 1) * mstr + i:(j - 1) * mstr + upper) = 0.002 *
+     &        real(iota(i, upper)) - 0.01 * real(j)
+          end do
+        end do
+        wf = 1.0
+        wf$0 = wf
+!$omp parallel do private(i3$1, upper$1)
+        do i = 1, 512, 32
+          i3$1 = min(32, 512 - i + 1)
+          upper$1 = i + i3$1 - 1
+          w(i:upper$1) = wf$0 * 1.01 ** (iota(i, upper$1) - 1 + 1)
+        end do
+        wf = wf$0 * 1.01 ** 512
+        do is = 1, 3
+          if (mstr .ge. 1 + (24 - 1 - 2 + 1 - 1)) then
+!$omp parallel do
+            do j = 1, 512
+              a((j - 1) * mstr + 2:(j - 1) * mstr + (24 - 1)) = a((j -
+     &          1) * mstr + 2:(j - 1) * mstr + (24 - 1)) * 0.98 + 0.01 *
+     &          (b((j - 1) * mstr + 2 - 1:(j - 1) * mstr + (24 - 1) - 1)
+     &          + b((j - 1) * mstr + 2 + 1:(j - 1) * mstr + (24 - 1) +
+     &          1)) * w(j)
+            end do
+          else
+            do j = 1, 512
+              do i = 2, 24 - 1
+                a((j - 1) * mstr + i) = a((j - 1) * mstr + i) * 0.98 +
+     &            0.01 * (b((j - 1) * mstr + i - 1) + b((j - 1) * mstr +
+     &            i + 1)) * w(j)
+              end do
+            end do
+          end if
+        end do
+        chksum = 0.0
+        chksum = chksum + sum(a((iota(1, 512) - 1) * mstr + 1) +
+     &    a((iota(1, 512) - 1) * mstr + 24))
+      end
+

@@ -1,0 +1,41 @@
+      program ocean
+      integer nn
+      integer mm
+      integer nstep
+      real a(512 * 24)
+      real b(512 * 24)
+      real w(512)
+      real chksum
+      real wf
+      integer mstr
+      integer j
+      integer i
+      integer is
+        mstr = 24
+        do j = 1, 512
+          do i = 1, 24
+            a((j - 1) * mstr + i) = 0.001 * real(i) + 0.01 * real(j)
+            b((j - 1) * mstr + i) = 0.002 * real(i) - 0.01 * real(j)
+          end do
+        end do
+        wf = 1.0
+        do i = 1, 512
+          wf = wf * 1.01
+          w(i) = wf
+        end do
+        do is = 1, 3
+          do j = 1, 512
+            do i = 2, 24 - 1
+              a((j - 1) * mstr + i) = a((j - 1) * mstr + i) * 0.98 +
+     &          0.01 * (b((j - 1) * mstr + i - 1) + b((j - 1) * mstr + i
+     &          + 1)) * w(j)
+            end do
+          end do
+        end do
+        chksum = 0.0
+        do j = 1, 512
+          chksum = chksum + a((j - 1) * mstr + 1) + a((j - 1) * mstr +
+     &      24)
+        end do
+      end
+

@@ -1,0 +1,51 @@
+      program qcd
+      integer nlink
+      integer nstep
+      real u(512)
+      real s(512)
+      real chksum
+      integer iseed
+      integer ih
+      integer i
+      integer is
+      real w
+      integer k
+        iseed = 4711
+        cdoall i = 1, 512, 32
+          integer i3
+          integer upper
+          i3 = min(32, 512 - i + 1)
+          upper = i + i3 - 1
+          u(i:upper) = 1.0 + 0.001 * real(iota(i, upper))
+        end cdoall
+        do is = 1, 4
+          do i = 1, 512
+            iseed = mod(iseed * 1103 + 12345, 65536)
+            w = 1e-6 * real(iseed)
+            do k = 1, 12
+              w = 0.9 * w + 1e-8 * real(k)
+            end do
+            u(i) = u(i) + w
+          end do
+          cdoall i = 2, 512 - 1, 32
+            integer i3$1
+            integer upper$1
+            i3$1 = min(32, 512 - 1 - i + 1)
+            upper$1 = i + i3$1 - 1
+            s(i:upper$1) = u(i:upper$1) * u(i + 1:upper$1 + 1) +
+     &        u(i:upper$1) * u(i - 1:upper$1 - 1)
+          end cdoall
+          s(1) = u(1)
+          s(512) = u(512)
+          cdoall i = 1, 512, 32
+            integer i3$2
+            integer upper$2
+            i3$2 = min(32, 512 - i + 1)
+            upper$2 = i + i3$2 - 1
+            u(i:upper$2) = u(i:upper$2) * 0.9999 + 1e-7 * s(i:upper$2)
+          end cdoall
+        end do
+        chksum = 0.0
+        chksum = chksum + sum$c(u(1:512))
+      end
+

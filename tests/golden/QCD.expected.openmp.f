@@ -1,0 +1,54 @@
+      program qcd
+      integer nlink
+      integer nstep
+      real u(512)
+      real s(512)
+      real chksum
+      integer iseed
+      integer ih
+      integer i
+      integer is
+      real w
+      integer k
+      integer i3
+      integer upper
+      integer i3$1
+      integer upper$1
+      integer i3$2
+      integer upper$2
+        iseed = 4711
+!$omp parallel do private(i3, upper)
+        do i = 1, 512, 32
+          i3 = min(32, 512 - i + 1)
+          upper = i + i3 - 1
+          u(i:upper) = 1.0 + 0.001 * real(iota(i, upper))
+        end do
+        do is = 1, 4
+          do i = 1, 512
+            iseed = mod(iseed * 1103 + 12345, 65536)
+            w = 1e-6 * real(iseed)
+            do k = 1, 12
+              w = 0.9 * w + 1e-8 * real(k)
+            end do
+            u(i) = u(i) + w
+          end do
+!$omp parallel do private(i3$1, upper$1)
+          do i = 2, 512 - 1, 32
+            i3$1 = min(32, 512 - 1 - i + 1)
+            upper$1 = i + i3$1 - 1
+            s(i:upper$1) = u(i:upper$1) * u(i + 1:upper$1 + 1) +
+     &        u(i:upper$1) * u(i - 1:upper$1 - 1)
+          end do
+          s(1) = u(1)
+          s(512) = u(512)
+!$omp parallel do private(i3$2, upper$2)
+          do i = 1, 512, 32
+            i3$2 = min(32, 512 - i + 1)
+            upper$2 = i + i3$2 - 1
+            u(i:upper$2) = u(i:upper$2) * 0.9999 + 1e-7 * s(i:upper$2)
+          end do
+        end do
+        chksum = 0.0
+        chksum = chksum + sum(u(1:512))
+      end
+

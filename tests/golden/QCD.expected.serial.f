@@ -1,0 +1,40 @@
+      program qcd
+      integer nlink
+      integer nstep
+      real u(512)
+      real s(512)
+      real chksum
+      integer iseed
+      integer ih
+      integer i
+      integer is
+      real w
+      integer k
+        iseed = 4711
+        do i = 1, 512
+          u(i) = 1.0 + 0.001 * real(i)
+        end do
+        do is = 1, 4
+          do i = 1, 512
+            iseed = mod(iseed * 1103 + 12345, 65536)
+            w = 1e-6 * real(iseed)
+            do k = 1, 12
+              w = 0.9 * w + 1e-8 * real(k)
+            end do
+            u(i) = u(i) + w
+          end do
+          do i = 2, 512 - 1
+            s(i) = u(i) * u(i + 1) + u(i) * u(i - 1)
+          end do
+          s(1) = u(1)
+          s(512) = u(512)
+          do i = 1, 512
+            u(i) = u(i) * 0.9999 + 1e-7 * s(i)
+          end do
+        end do
+        chksum = 0.0
+        do i = 1, 512
+          chksum = chksum + u(i)
+        end do
+      end
+

@@ -1,0 +1,55 @@
+      program spec77
+      integer nlat
+      integer nwave
+      integer nstep
+      real fld(96)
+      real spc(48)
+      real leg(48)
+      real plm(48, 96)
+      real chksum
+      real t
+      integer i
+      integer m
+      integer is
+      global fld, spc, plm, i
+        cdoall i = 1, 96, 32
+          integer i3
+          integer upper
+          i3 = min(32, 96 - i + 1)
+          upper = i + i3 - 1
+          fld(i:upper) = sin(0.1 * real(iota(i, upper)))
+        end cdoall
+        cdoall m = 1, 48, 32
+          integer i3$1
+          integer upper$1
+          i3$1 = min(32, 48 - m + 1)
+          upper$1 = m + i3$1 - 1
+          spc(m:upper$1) = 0.0
+        end cdoall
+        sdoall i = 1, 96
+          plm(1:48, i) = cos(0.02 * real(iota(1, 48) * i))
+        end sdoall
+        do is = 1, 3
+          sdoall i = 1, 96
+            real leg$p(48)
+            real spc$r(48)
+            spc$r(:) = 0.0
+          loop
+            leg$p(1:48) = plm(1:48, i) * (1.0 + 0.001 * fld(i))
+            spc$r(1:48) = spc$r(1:48) + fld(i) * leg$p(1:48)
+          endloop
+            call lock(100)
+            spc(:) = spc(:) + spc$r(:)
+            call unlock(100)
+          end sdoall
+          xdoall i = 1, 96
+            real t$p
+            t$p = 0.0
+            t$p = t$p + dotproduct$v(spc(1:48), plm(1:48, i))
+            fld(i) = fld(i) * 0.5 + 0.0001 * t$p
+          end xdoall
+        end do
+        chksum = 0.0
+        chksum = chksum + sum$v(spc(1:48))
+      end
+

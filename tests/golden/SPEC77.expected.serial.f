@@ -1,0 +1,47 @@
+      program spec77
+      integer nlat
+      integer nwave
+      integer nstep
+      real fld(96)
+      real spc(48)
+      real leg(48)
+      real plm(48, 96)
+      real chksum
+      real t
+      integer i
+      integer m
+      integer is
+        do i = 1, 96
+          fld(i) = sin(0.1 * real(i))
+        end do
+        do m = 1, 48
+          spc(m) = 0.0
+        end do
+        do i = 1, 96
+          do m = 1, 48
+            plm(m, i) = cos(0.02 * real(m * i))
+          end do
+        end do
+        do is = 1, 3
+          do i = 1, 96
+            do m = 1, 48
+              leg(m) = plm(m, i) * (1.0 + 0.001 * fld(i))
+            end do
+            do m = 1, 48
+              spc(m) = spc(m) + fld(i) * leg(m)
+            end do
+          end do
+          do i = 1, 96
+            t = 0.0
+            do m = 1, 48
+              t = t + spc(m) * plm(m, i)
+            end do
+            fld(i) = fld(i) * 0.5 + 0.0001 * t
+          end do
+        end do
+        chksum = 0.0
+        do m = 1, 48
+          chksum = chksum + spc(m)
+        end do
+      end
+

@@ -1,0 +1,55 @@
+      program track
+      integer nobs
+      integer ntrk
+      integer nstep
+      real score(48)
+      real obs(384)
+      real chksum
+      real g
+      integer hit(384)
+      integer i
+      integer k
+      integer is
+      integer l
+        cdoall i = 1, 384, 32
+          integer i3
+          integer upper
+          i3 = min(32, 384 - i + 1)
+          upper = i + i3 - 1
+          obs(i:upper) = 0.5 + 0.001 * real(iota(i, upper))
+          hit(i:upper) = mod(iota(i, upper) * 7, 48) + 1
+        end cdoall
+        cdoall k = 1, 48, 32
+          integer i3$1
+          integer upper$1
+          i3$1 = min(32, 48 - k + 1)
+          upper$1 = k + i3$1 - 1
+          score(k:upper$1) = 0.0
+        end cdoall
+        do is = 1, 3
+          cdoall i = 1, 384
+            real g$p
+            g$p = 0.0
+            do l = 1, 24
+              g$p = g$p + sqrt(obs(i) + 0.05 * real(l)) * 0.04
+            end do
+            call lock(100)
+            score(hit(i)) = score(hit(i)) + obs(i) * g$p
+            call unlock(100)
+          end cdoall
+          do k = 2, 48
+            score(k) = score(k) + 0.25 * score(k - 1)
+          end do
+          cdoall i = 1, 384, 32
+            integer i3$2
+            integer upper$2
+            i3$2 = min(32, 384 - i + 1)
+            upper$2 = i + i3$2 - 1
+            obs(i:upper$2) = obs(i:upper$2) * 0.999 + 0.0001 *
+     &        score(hit(i:upper$2))
+          end cdoall
+        end do
+        chksum = 0.0
+        chksum = chksum + sum$v(score(1:48))
+      end
+

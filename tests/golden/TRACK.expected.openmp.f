@@ -1,0 +1,59 @@
+      program track
+      integer nobs
+      integer ntrk
+      integer nstep
+      real score(48)
+      real obs(384)
+      real chksum
+      real g
+      integer hit(384)
+      integer i
+      integer k
+      integer is
+      integer l
+      integer i3
+      integer upper
+      integer i3$1
+      integer upper$1
+      real g$p
+      integer i3$2
+      integer upper$2
+!$omp parallel do private(i3, upper)
+        do i = 1, 384, 32
+          i3 = min(32, 384 - i + 1)
+          upper = i + i3 - 1
+          obs(i:upper) = 0.5 + 0.001 * real(iota(i, upper))
+          hit(i:upper) = mod(iota(i, upper) * 7, 48) + 1
+        end do
+!$omp parallel do private(i3$1, upper$1)
+        do k = 1, 48, 32
+          i3$1 = min(32, 48 - k + 1)
+          upper$1 = k + i3$1 - 1
+          score(k:upper$1) = 0.0
+        end do
+        do is = 1, 3
+!$omp parallel do private(g$p)
+          do i = 1, 384
+            g$p = 0.0
+            do l = 1, 24
+              g$p = g$p + sqrt(obs(i) + 0.05 * real(l)) * 0.04
+            end do
+            call omp_set_lock(100)
+            score(hit(i)) = score(hit(i)) + obs(i) * g$p
+            call omp_unset_lock(100)
+          end do
+          do k = 2, 48
+            score(k) = score(k) + 0.25 * score(k - 1)
+          end do
+!$omp parallel do private(i3$2, upper$2)
+          do i = 1, 384, 32
+            i3$2 = min(32, 384 - i + 1)
+            upper$2 = i + i3$2 - 1
+            obs(i:upper$2) = obs(i:upper$2) * 0.999 + 0.0001 *
+     &        score(hit(i:upper$2))
+          end do
+        end do
+        chksum = 0.0
+        chksum = chksum + sum(score(1:48))
+      end
+

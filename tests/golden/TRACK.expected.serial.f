@@ -1,0 +1,41 @@
+      program track
+      integer nobs
+      integer ntrk
+      integer nstep
+      real score(48)
+      real obs(384)
+      real chksum
+      real g
+      integer hit(384)
+      integer i
+      integer k
+      integer is
+      integer l
+        do i = 1, 384
+          obs(i) = 0.5 + 0.001 * real(i)
+          hit(i) = mod(i * 7, 48) + 1
+        end do
+        do k = 1, 48
+          score(k) = 0.0
+        end do
+        do is = 1, 3
+          do i = 1, 384
+            g = 0.0
+            do l = 1, 24
+              g = g + sqrt(obs(i) + 0.05 * real(l)) * 0.04
+            end do
+            score(hit(i)) = score(hit(i)) + obs(i) * g
+          end do
+          do k = 2, 48
+            score(k) = score(k) + 0.25 * score(k - 1)
+          end do
+          do i = 1, 384
+            obs(i) = obs(i) * 0.999 + 0.0001 * score(hit(i))
+          end do
+        end do
+        chksum = 0.0
+        do k = 1, 48
+          chksum = chksum + score(k)
+        end do
+      end
+

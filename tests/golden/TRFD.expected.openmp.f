@@ -1,0 +1,56 @@
+      program trfd
+      integer nb
+      integer npair
+      integer nstep
+      real v(4656)
+      real xj(96)
+      real sc(96)
+      real tw(96)
+      real chksum
+      real t
+      integer ij
+      integer i
+      integer is
+      integer j
+      integer i3
+      integer upper
+      integer ij$0
+      integer i3$1
+      integer upper$1
+      real t$p
+      real tw$p(96)
+!$omp parallel do private(i3, upper)
+        do i = 1, 96, 32
+          i3 = min(32, 96 - i + 1)
+          upper = i + i3 - 1
+          xj(i:upper) = 0.3 + 0.004 * real(iota(i, upper))
+          sc(i:upper) = 1.0 / (1.0 + 0.05 * real(iota(i, upper)))
+        end do
+        do is = 1, 3
+          ij = 0
+          ij$0 = ij
+          do i = 1, 96
+!$omp parallel do private(i3$1, upper$1)
+            do j = 1, i, 32
+              i3$1 = min(32, i - j + 1)
+              upper$1 = j + i3$1 - 1
+              v(ij$0 + ((i - 1) * (i - 1 - 1) / 2 + (i - 1)) + (j - 1 +
+     &          1):ij$0 + ((i - 1) * (i - 1 - 1) / 2 + (i - 1)) +
+     &          (upper$1 - 1 + 1)) = xj(i) * xj(j:upper$1) + 0.001 *
+     &          real(is)
+            end do
+          end do
+          ij = ij$0 + (9120 / 2 + 96)
+!$omp parallel do private(t$p, tw$p)
+          do i = 1, 96
+            tw$p(1:i) = v(i * (i - 1) / 2 + 1:i * (i - 1) / 2 + i) *
+     &        sc(1:i)
+            t$p = 0.0
+            t$p = t$p + sum(tw$p(1:i))
+            xj(i) = xj(i) + 1e-5 * t$p
+          end do
+        end do
+        chksum = 0.0
+        chksum = chksum + sum(xj(1:96))
+      end
+

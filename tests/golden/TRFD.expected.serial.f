@@ -1,0 +1,43 @@
+      program trfd
+      integer nb
+      integer npair
+      integer nstep
+      real v(4656)
+      real xj(96)
+      real sc(96)
+      real tw(96)
+      real chksum
+      real t
+      integer ij
+      integer i
+      integer is
+      integer j
+        do i = 1, 96
+          xj(i) = 0.3 + 0.004 * real(i)
+          sc(i) = 1.0 / (1.0 + 0.05 * real(i))
+        end do
+        do is = 1, 3
+          ij = 0
+          do i = 1, 96
+            do j = 1, i
+              ij = ij + 1
+              v(ij) = xj(i) * xj(j) + 0.001 * real(is)
+            end do
+          end do
+          do i = 1, 96
+            do j = 1, i
+              tw(j) = v(i * (i - 1) / 2 + j) * sc(j)
+            end do
+            t = 0.0
+            do j = 1, i
+              t = t + tw(j)
+            end do
+            xj(i) = xj(i) + 1e-5 * t
+          end do
+        end do
+        chksum = 0.0
+        do i = 1, 96
+          chksum = chksum + xj(i)
+        end do
+      end
+

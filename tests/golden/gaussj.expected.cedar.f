@@ -1,0 +1,49 @@
+      program gjrun
+      integer n
+      real a(96, 96)
+      real b(96)
+      real rowk(96)
+      real chksum
+      real piv
+      real f
+      real bk
+      integer j
+      integer i
+      integer k
+      global a, b, rowk, bk, j, i, k
+        sdoall j = 1, 96
+          a(1:96, j) = 1.0 / (1.0 + 2.0 * abs(real(iota(1, 96) - j)))
+          a(j, j) = a(j, j) + real(96)
+          b(j) = 1.0 + 0.01 * real(j)
+        end sdoall
+        call tstart
+        do k = 1, 96
+          piv = 1.0 / a(k, k)
+          cdoall j = 1, 96, 32
+            integer i3
+            integer upper
+            i3 = min(32, 96 - j + 1)
+            upper = j + i3 - 1
+            a(k, j:upper) = a(k, j:upper) * piv
+            rowk(j:upper) = a(k, j:upper)
+          end cdoall
+          b(k) = b(k) * piv
+          bk = b(k)
+          sdoall i = 1, k - 1
+            real f$p
+            f$p = a(i, k)
+            a(i, 1:96) = a(i, 1:96) - f$p * rowk(1:96)
+            b(i) = b(i) - f$p * bk
+          end sdoall
+          sdoall i = k + 1, 96
+            real f$p$1
+            f$p$1 = a(i, k)
+            a(i, 1:96) = a(i, 1:96) - f$p$1 * rowk(1:96)
+            b(i) = b(i) - f$p$1 * bk
+          end sdoall
+        end do
+        call tstop
+        chksum = 0.0
+        chksum = chksum + sum$c(b(1:96))
+      end
+

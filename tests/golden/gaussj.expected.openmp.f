@@ -1,0 +1,52 @@
+      program gjrun
+      integer n
+      real a(96, 96)
+      real b(96)
+      real rowk(96)
+      real chksum
+      real piv
+      real f
+      real bk
+      integer j
+      integer i
+      integer k
+      integer i3
+      integer upper
+      real f$p
+      real f$p$1
+!$omp parallel do
+        do j = 1, 96
+          a(1:96, j) = 1.0 / (1.0 + 2.0 * abs(real(iota(1, 96) - j)))
+          a(j, j) = a(j, j) + real(96)
+          b(j) = 1.0 + 0.01 * real(j)
+        end do
+        call tstart
+        do k = 1, 96
+          piv = 1.0 / a(k, k)
+!$omp parallel do private(i3, upper)
+          do j = 1, 96, 32
+            i3 = min(32, 96 - j + 1)
+            upper = j + i3 - 1
+            a(k, j:upper) = a(k, j:upper) * piv
+            rowk(j:upper) = a(k, j:upper)
+          end do
+          b(k) = b(k) * piv
+          bk = b(k)
+!$omp parallel do private(f$p)
+          do i = 1, k - 1
+            f$p = a(i, k)
+            a(i, 1:96) = a(i, 1:96) - f$p * rowk(1:96)
+            b(i) = b(i) - f$p * bk
+          end do
+!$omp parallel do private(f$p$1)
+          do i = k + 1, 96
+            f$p$1 = a(i, k)
+            a(i, 1:96) = a(i, 1:96) - f$p$1 * rowk(1:96)
+            b(i) = b(i) - f$p$1 * bk
+          end do
+        end do
+        call tstop
+        chksum = 0.0
+        chksum = chksum + sum(b(1:96))
+      end
+

@@ -1,0 +1,52 @@
+      program gjrun
+      integer n
+      real a(96, 96)
+      real b(96)
+      real rowk(96)
+      real chksum
+      real piv
+      real f
+      real bk
+      integer j
+      integer i
+      integer k
+        do j = 1, 96
+          do i = 1, 96
+            a(i, j) = 1.0 / (1.0 + 2.0 * abs(real(i - j)))
+          end do
+          a(j, j) = a(j, j) + real(96)
+        end do
+        do i = 1, 96
+          b(i) = 1.0 + 0.01 * real(i)
+        end do
+        call tstart
+        do k = 1, 96
+          piv = 1.0 / a(k, k)
+          do j = 1, 96
+            a(k, j) = a(k, j) * piv
+            rowk(j) = a(k, j)
+          end do
+          b(k) = b(k) * piv
+          bk = b(k)
+          do i = 1, k - 1
+            f = a(i, k)
+            do j = 1, 96
+              a(i, j) = a(i, j) - f * rowk(j)
+            end do
+            b(i) = b(i) - f * bk
+          end do
+          do i = k + 1, 96
+            f = a(i, k)
+            do j = 1, 96
+              a(i, j) = a(i, j) - f * rowk(j)
+            end do
+            b(i) = b(i) - f * bk
+          end do
+        end do
+        call tstop
+        chksum = 0.0
+        do i = 1, 96
+          chksum = chksum + b(i)
+        end do
+      end
+

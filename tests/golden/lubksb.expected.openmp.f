@@ -1,0 +1,55 @@
+      program lbrun
+      integer n
+      real a(128, 128)
+      real b(128)
+      real chksum
+      integer j
+      integer i
+      integer lubksb$n
+      real lubksb$t
+      integer lubksb$i
+      integer lubksb$j
+!$omp parallel do
+        do j = 1, 128
+          a(1:128, j) = 1.0 / (1.0 + 2.0 * abs(real(iota(1, 128) - j)))
+          a(j, j) = a(j, j) + real(128)
+          b(j) = 0.5 + 0.01 * real(j)
+        end do
+        call tstart
+        lubksb$n = 128
+        do lubksb$i = 2, lubksb$n
+          lubksb$t = b(lubksb$i)
+          lubksb$t = lubksb$t + sum(-(a(lubksb$i, 1:lubksb$i - 1) *
+     &      b(1:lubksb$i - 1)))
+          b(lubksb$i) = lubksb$t
+        end do
+        do lubksb$i = lubksb$n, 1, -1
+          lubksb$t = b(lubksb$i)
+          lubksb$t = lubksb$t + sum(-(a(lubksb$i, lubksb$i + 1:lubksb$n)
+     &      * b(lubksb$i + 1:lubksb$n)))
+          b(lubksb$i) = lubksb$t / a(lubksb$i, lubksb$i)
+        end do
+        call tstop
+        chksum = 0.0
+        chksum = chksum + sum(b(1:128))
+      end
+
+      subroutine lubksb(a, b, n)
+      real a(n, n)
+      real b(n)
+      integer n
+      real t
+      integer i
+      integer j
+        do i = 2, n
+          t = b(i)
+          t = t + sum(-(a(i, 1:i - 1) * b(1:i - 1)))
+          b(i) = t
+        end do
+        do i = n, 1, -1
+          t = b(i)
+          t = t + sum(-(a(i, i + 1:n) * b(i + 1:n)))
+          b(i) = t / a(i, i)
+        end do
+      end
+

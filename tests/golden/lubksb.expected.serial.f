@@ -1,0 +1,48 @@
+      program lbrun
+      integer n
+      real a(128, 128)
+      real b(128)
+      real chksum
+      integer j
+      integer i
+        do j = 1, 128
+          do i = 1, 128
+            a(i, j) = 1.0 / (1.0 + 2.0 * abs(real(i - j)))
+          end do
+          a(j, j) = a(j, j) + real(128)
+        end do
+        do i = 1, 128
+          b(i) = 0.5 + 0.01 * real(i)
+        end do
+        call tstart
+        call lubksb(a(:, :), b(:), 128)
+        call tstop
+        chksum = 0.0
+        do i = 1, 128
+          chksum = chksum + b(i)
+        end do
+      end
+
+      subroutine lubksb(a, b, n)
+      real a(n, n)
+      real b(n)
+      integer n
+      real t
+      integer i
+      integer j
+        do i = 2, n
+          t = b(i)
+          do j = 1, i - 1
+            t = t - a(i, j) * b(j)
+          end do
+          b(i) = t
+        end do
+        do i = n, 1, -1
+          t = b(i)
+          do j = i + 1, n
+            t = t - a(i, j) * b(j)
+          end do
+          b(i) = t / a(i, i)
+        end do
+      end
+

@@ -1,0 +1,64 @@
+      program lurun
+      integer n
+      real a(128, 128)
+      real chksum
+      integer j
+      integer i
+      integer ludcmp$n
+      real ludcmp$piv
+      integer ludcmp$k
+      integer ludcmp$i
+      integer ludcmp$j
+      global a, j, ludcmp$n, ludcmp$k, ludcmp$j
+        sdoall j = 1, 128
+          a(1:128, j) = 1.0 / (1.0 + 2.0 * abs(real(iota(1, 128) - j)))
+          a(j, j) = a(j, j) + real(128)
+        end sdoall
+        call tstart
+        ludcmp$n = 128
+        do ludcmp$k = 1, ludcmp$n - 1
+          ludcmp$piv = 1.0 / a(ludcmp$k, ludcmp$k)
+          cdoall ludcmp$i = ludcmp$k + 1, ludcmp$n, 32
+            integer i3
+            integer upper
+            i3 = min(32, ludcmp$n - ludcmp$i + 1)
+            upper = ludcmp$i + i3 - 1
+            a(ludcmp$i:upper, ludcmp$k) = a(ludcmp$i:upper, ludcmp$k) *
+     &        ludcmp$piv
+          end cdoall
+          sdoall ludcmp$j = ludcmp$k + 1, ludcmp$n
+            a(ludcmp$k + 1:ludcmp$n, ludcmp$j) = a(ludcmp$k +
+     &        1:ludcmp$n, ludcmp$j) - a(ludcmp$k + 1:ludcmp$n, ludcmp$k)
+     &        * a(ludcmp$k, ludcmp$j)
+          end sdoall
+        end do
+        call tstop
+        chksum = 0.0
+        do i = 1, 128
+          chksum = chksum + a(i, i)
+        end do
+      end
+
+      subroutine ludcmp(a, n)
+      real a(n, n)
+      integer n
+      real piv
+      integer k
+      integer i
+      integer j
+      global a, n, k, j
+        do k = 1, n - 1
+          piv = 1.0 / a(k, k)
+          cdoall i = k + 1, n, 32
+            integer i3
+            integer upper
+            i3 = min(32, n - i + 1)
+            upper = i + i3 - 1
+            a(i:upper, k) = a(i:upper, k) * piv
+          end cdoall
+          sdoall j = k + 1, n
+            a(k + 1:n, j) = a(k + 1:n, j) - a(k + 1:n, k) * a(k, j)
+          end sdoall
+        end do
+      end
+

@@ -1,0 +1,67 @@
+      program lurun
+      integer n
+      real a(128, 128)
+      real chksum
+      integer j
+      integer i
+      integer ludcmp$n
+      real ludcmp$piv
+      integer ludcmp$k
+      integer ludcmp$i
+      integer ludcmp$j
+      integer i3
+      integer upper
+!$omp parallel do
+        do j = 1, 128
+          a(1:128, j) = 1.0 / (1.0 + 2.0 * abs(real(iota(1, 128) - j)))
+          a(j, j) = a(j, j) + real(128)
+        end do
+        call tstart
+        ludcmp$n = 128
+        do ludcmp$k = 1, ludcmp$n - 1
+          ludcmp$piv = 1.0 / a(ludcmp$k, ludcmp$k)
+!$omp parallel do private(i3, upper)
+          do ludcmp$i = ludcmp$k + 1, ludcmp$n, 32
+            i3 = min(32, ludcmp$n - ludcmp$i + 1)
+            upper = ludcmp$i + i3 - 1
+            a(ludcmp$i:upper, ludcmp$k) = a(ludcmp$i:upper, ludcmp$k) *
+     &        ludcmp$piv
+          end do
+!$omp parallel do
+          do ludcmp$j = ludcmp$k + 1, ludcmp$n
+            a(ludcmp$k + 1:ludcmp$n, ludcmp$j) = a(ludcmp$k +
+     &        1:ludcmp$n, ludcmp$j) - a(ludcmp$k + 1:ludcmp$n, ludcmp$k)
+     &        * a(ludcmp$k, ludcmp$j)
+          end do
+        end do
+        call tstop
+        chksum = 0.0
+        do i = 1, 128
+          chksum = chksum + a(i, i)
+        end do
+      end
+
+      subroutine ludcmp(a, n)
+      real a(n, n)
+      integer n
+      real piv
+      integer k
+      integer i
+      integer j
+      integer i3
+      integer upper
+        do k = 1, n - 1
+          piv = 1.0 / a(k, k)
+!$omp parallel do private(i3, upper)
+          do i = k + 1, n, 32
+            i3 = min(32, n - i + 1)
+            upper = i + i3 - 1
+            a(i:upper, k) = a(i:upper, k) * piv
+          end do
+!$omp parallel do
+          do j = k + 1, n
+            a(k + 1:n, j) = a(k + 1:n, j) - a(k + 1:n, k) * a(k, j)
+          end do
+        end do
+      end
+

@@ -1,0 +1,41 @@
+      program lurun
+      integer n
+      real a(128, 128)
+      real chksum
+      integer j
+      integer i
+        do j = 1, 128
+          do i = 1, 128
+            a(i, j) = 1.0 / (1.0 + 2.0 * abs(real(i - j)))
+          end do
+          a(j, j) = a(j, j) + real(128)
+        end do
+        call tstart
+        call ludcmp(a(:, :), 128)
+        call tstop
+        chksum = 0.0
+        do i = 1, 128
+          chksum = chksum + a(i, i)
+        end do
+      end
+
+      subroutine ludcmp(a, n)
+      real a(n, n)
+      integer n
+      real piv
+      integer k
+      integer i
+      integer j
+        do k = 1, n - 1
+          piv = 1.0 / a(k, k)
+          do i = k + 1, n
+            a(i, k) = a(i, k) * piv
+          end do
+          do j = k + 1, n
+            do i = k + 1, n
+              a(i, j) = a(i, j) - a(i, k) * a(k, j)
+            end do
+          end do
+        end do
+      end
+

@@ -1,0 +1,104 @@
+      program mprun
+      integer n
+      integer niter
+      real a(192, 192)
+      real alud(192, 192)
+      real b(192)
+      real x(192)
+      real r(192)
+      real chksum
+      integer j
+      integer i
+      integer it
+      integer mprove$n
+      real mprove$s
+      real mprove$t
+      integer mprove$i
+      integer mprove$j
+      real mprove$s$p
+      integer i3
+      integer upper
+!$omp parallel do
+        do j = 1, 192
+          a(1:192, j) = 1.0 / (1.0 + 2.0 * abs(real(iota(1, 192) - j)))
+          alud(1:192, j) = a(1:192, j) * 0.01
+          a(j, j) = a(j, j) + real(192)
+          alud(j, j) = a(j, j)
+        end do
+!$omp parallel do
+        do i = 1, 192
+          b(i) = 1.0 + 0.01 * real(i)
+          x(i) = b(i) / a(i, i)
+        end do
+        call tstart
+        do it = 1, 4
+          mprove$n = 192
+!$omp parallel do private(mprove$s$p)
+          do mprove$i = 1, mprove$n
+            mprove$s$p = -b(mprove$i)
+            mprove$s$p = mprove$s$p + dotproduct(a(mprove$i,
+     &        1:mprove$n), x(1:mprove$n))
+            r(mprove$i) = mprove$s$p
+          end do
+          do mprove$i = 2, mprove$n
+            mprove$t = r(mprove$i)
+            mprove$t = mprove$t + sum(-(alud(mprove$i, 1:mprove$i - 1) *
+     &        r(1:mprove$i - 1)))
+            r(mprove$i) = mprove$t
+          end do
+          do mprove$i = mprove$n, 1, -1
+            mprove$t = r(mprove$i)
+            mprove$t = mprove$t + sum(-(alud(mprove$i, mprove$i +
+     &        1:mprove$n) * r(mprove$i + 1:mprove$n)))
+            r(mprove$i) = mprove$t / alud(mprove$i, mprove$i)
+          end do
+!$omp parallel do private(i3, upper)
+          do mprove$i = 1, mprove$n, 32
+            i3 = min(32, mprove$n - mprove$i + 1)
+            upper = mprove$i + i3 - 1
+            x(mprove$i:upper) = x(mprove$i:upper) - r(mprove$i:upper)
+          end do
+        end do
+        call tstop
+        chksum = 0.0
+        chksum = chksum + sum(x(1:192))
+      end
+
+      subroutine mprove(a, alud, b, x, r, n)
+      real a(n, n)
+      real alud(n, n)
+      real b(n)
+      real x(n)
+      real r(n)
+      integer n
+      real s
+      real t
+      integer i
+      integer j
+      real s$p
+      integer i3
+      integer upper
+!$omp parallel do private(s$p)
+        do i = 1, n
+          s$p = -b(i)
+          s$p = s$p + dotproduct(a(i, 1:n), x(1:n))
+          r(i) = s$p
+        end do
+        do i = 2, n
+          t = r(i)
+          t = t + sum(-(alud(i, 1:i - 1) * r(1:i - 1)))
+          r(i) = t
+        end do
+        do i = n, 1, -1
+          t = r(i)
+          t = t + sum(-(alud(i, i + 1:n) * r(i + 1:n)))
+          r(i) = t / alud(i, i)
+        end do
+!$omp parallel do private(i3, upper)
+        do i = 1, n, 32
+          i3 = min(32, n - i + 1)
+          upper = i + i3 - 1
+          x(i:upper) = x(i:upper) - r(i:upper)
+        end do
+      end
+

@@ -1,0 +1,72 @@
+      program mprun
+      integer n
+      integer niter
+      real a(192, 192)
+      real alud(192, 192)
+      real b(192)
+      real x(192)
+      real r(192)
+      real chksum
+      integer j
+      integer i
+      integer it
+        do j = 1, 192
+          do i = 1, 192
+            a(i, j) = 1.0 / (1.0 + 2.0 * abs(real(i - j)))
+            alud(i, j) = a(i, j) * 0.01
+          end do
+          a(j, j) = a(j, j) + real(192)
+          alud(j, j) = a(j, j)
+        end do
+        do i = 1, 192
+          b(i) = 1.0 + 0.01 * real(i)
+          x(i) = b(i) / a(i, i)
+        end do
+        call tstart
+        do it = 1, 4
+          call mprove(a(:, :), alud(:, :), b(:), x(:), r(:), 192)
+        end do
+        call tstop
+        chksum = 0.0
+        do i = 1, 192
+          chksum = chksum + x(i)
+        end do
+      end
+
+      subroutine mprove(a, alud, b, x, r, n)
+      real a(n, n)
+      real alud(n, n)
+      real b(n)
+      real x(n)
+      real r(n)
+      integer n
+      real s
+      real t
+      integer i
+      integer j
+        do i = 1, n
+          s = -b(i)
+          do j = 1, n
+            s = s + a(i, j) * x(j)
+          end do
+          r(i) = s
+        end do
+        do i = 2, n
+          t = r(i)
+          do j = 1, i - 1
+            t = t - alud(i, j) * r(j)
+          end do
+          r(i) = t
+        end do
+        do i = n, 1, -1
+          t = r(i)
+          do j = i + 1, n
+            t = t - alud(i, j) * r(j)
+          end do
+          r(i) = t / alud(i, i)
+        end do
+        do i = 1, n
+          x(i) = x(i) - r(i)
+        end do
+      end
+

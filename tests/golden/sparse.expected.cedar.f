@@ -1,0 +1,94 @@
+      program sprun
+      integer n
+      integer ndiag
+      integer nnz
+      integer niter
+      real val(4096)
+      real x(256)
+      real y(256)
+      real chksum
+      integer col(4096)
+      integer rowst(256 + 1)
+      integer k
+      integer i
+      integer j
+      integer it
+      integer spmv$n
+      real spmv$t
+      integer spmv$i
+      integer spmv$k
+      integer k$0
+      global val, x, y, col, rowst, spmv$n, spmv$i
+        k = 0
+        k$0 = k
+        do i = 1, 256
+          rowst(i) = k$0 + (0 * ((i - 1) * (i - 1 - 1) / 2) + 16 * (i -
+     &      1)) + 1
+          cdoall j = 1, 16, 32
+            integer i3
+            integer upper
+            i3 = min(32, 16 - j + 1)
+            upper = j + i3 - 1
+            col(k$0 + (0 * ((i - 1) * (i - 1 - 1) / 2) + 16 * (i - 1)) +
+     &        (j - 1 + 1):k$0 + (0 * ((i - 1) * (i - 1 - 1) / 2) + 16 *
+     &        (i - 1)) + (upper - 1 + 1)) = mod(i * 3 + iota(j, upper) *
+     &        7, 256) + 1
+            val(k$0 + (0 * ((i - 1) * (i - 1 - 1) / 2) + 16 * (i - 1)) +
+     &        (j - 1 + 1):k$0 + (0 * ((i - 1) * (i - 1 - 1) / 2) + 16 *
+     &        (i - 1)) + (upper - 1 + 1)) = 1.0 / real(i + iota(j,
+     &        upper))
+          end cdoall
+        end do
+        k = k$0 + (0 * (65280 / 2) + 4096)
+        rowst(256 + 1) = k + 1
+        cdoall i = 1, 256, 32
+          integer i3$1
+          integer upper$1
+          i3$1 = min(32, 256 - i + 1)
+          upper$1 = i + i3$1 - 1
+          x(i:upper$1) = 1.0 + 0.001 * real(iota(i, upper$1))
+        end cdoall
+        call tstart
+        do it = 1, 6
+          spmv$n = 256
+          xdoall spmv$i = 1, spmv$n
+            real spmv$t$p
+            spmv$t$p = 0.0
+            spmv$t$p = spmv$t$p +
+     &        dotproduct$v(val(rowst(spmv$i):rowst(spmv$i + 1) - 1),
+     &        x(col(rowst(spmv$i):rowst(spmv$i + 1) - 1)))
+            y(spmv$i) = spmv$t$p
+          end xdoall
+          cdoall i = 1, 256, 32
+            integer i3$2
+            integer upper$2
+            i3$2 = min(32, 256 - i + 1)
+            upper$2 = i + i3$2 - 1
+            x(i:upper$2) = 0.9 * x(i:upper$2) + 0.1 * y(i:upper$2)
+          end cdoall
+        end do
+        call tstop
+        chksum = 0.0
+        chksum = chksum + sum$c(x(1:256))
+      end
+
+      subroutine spmv(val, col, rowst, x, y, n)
+      real val(*)
+      integer col(*)
+      integer rowst(n + 1)
+      real x(n)
+      real y(n)
+      integer n
+      real t
+      integer i
+      integer k
+      global val, col, rowst, x, y, n, i
+        xdoall i = 1, n
+          real t$p
+          t$p = 0.0
+          t$p = t$p + dotproduct$v(val(rowst(i):rowst(i + 1) - 1),
+     &      x(col(rowst(i):rowst(i + 1) - 1)))
+          y(i) = t$p
+        end xdoall
+      end
+

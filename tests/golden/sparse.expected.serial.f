@@ -1,0 +1,61 @@
+      program sprun
+      integer n
+      integer ndiag
+      integer nnz
+      integer niter
+      real val(4096)
+      real x(256)
+      real y(256)
+      real chksum
+      integer col(4096)
+      integer rowst(256 + 1)
+      integer k
+      integer i
+      integer j
+      integer it
+        k = 0
+        do i = 1, 256
+          rowst(i) = k + 1
+          do j = 1, 16
+            k = k + 1
+            col(k) = mod(i * 3 + j * 7, 256) + 1
+            val(k) = 1.0 / real(i + j)
+          end do
+        end do
+        rowst(256 + 1) = k + 1
+        do i = 1, 256
+          x(i) = 1.0 + 0.001 * real(i)
+        end do
+        call tstart
+        do it = 1, 6
+          call spmv(val(:), col(:), rowst(:), x(:), y(:), 256)
+          do i = 1, 256
+            x(i) = 0.9 * x(i) + 0.1 * y(i)
+          end do
+        end do
+        call tstop
+        chksum = 0.0
+        do i = 1, 256
+          chksum = chksum + x(i)
+        end do
+      end
+
+      subroutine spmv(val, col, rowst, x, y, n)
+      real val(*)
+      integer col(*)
+      integer rowst(n + 1)
+      real x(n)
+      real y(n)
+      integer n
+      real t
+      integer i
+      integer k
+        do i = 1, n
+          t = 0.0
+          do k = rowst(i), rowst(i + 1) - 1
+            t = t + val(k) * x(col(k))
+          end do
+          y(i) = t
+        end do
+      end
+

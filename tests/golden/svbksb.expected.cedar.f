@@ -1,0 +1,43 @@
+      program svrun
+      integer n
+      real u(112, 112)
+      real v(112, 112)
+      real w(112)
+      real b(112)
+      real x(112)
+      real tmp(112)
+      real chksum
+      real s
+      integer j
+      integer i
+      integer k
+      global u, v, w, b, x, tmp, j, i
+        sdoall j = 1, 112
+          u(1:112, j) = sin(0.1 * real(iota(1, 112) * j))
+          v(1:112, j) = cos(0.1 * real(iota(1, 112) + j))
+          w(j) = 1.0 + 0.5 * real(j)
+          b(j) = 1.0 / real(j)
+        end sdoall
+        call tstart
+        xdoall j = 1, 112
+          real s$p
+          s$p = 0.0
+          if (w(j) .ne. 0.0) then
+            do i = 1, 112
+              s$p = s$p + u(i, j) * b(i)
+            end do
+            s$p = s$p / w(j)
+          end if
+          tmp(j) = s$p
+        end xdoall
+        xdoall j = 1, 112
+          real s$p$1
+          s$p$1 = 0.0
+          s$p$1 = s$p$1 + dotproduct$v(v(j, 1:112), tmp(1:112))
+          x(j) = s$p$1
+        end xdoall
+        call tstop
+        chksum = 0.0
+        chksum = chksum + sum$c(x(1:112))
+      end
+

@@ -1,0 +1,45 @@
+      program svrun
+      integer n
+      real u(112, 112)
+      real v(112, 112)
+      real w(112)
+      real b(112)
+      real x(112)
+      real tmp(112)
+      real chksum
+      real s
+      integer j
+      integer i
+      integer k
+      real s$p
+      real s$p$1
+!$omp parallel do
+        do j = 1, 112
+          u(1:112, j) = sin(0.1 * real(iota(1, 112) * j))
+          v(1:112, j) = cos(0.1 * real(iota(1, 112) + j))
+          w(j) = 1.0 + 0.5 * real(j)
+          b(j) = 1.0 / real(j)
+        end do
+        call tstart
+!$omp parallel do private(s$p)
+        do j = 1, 112
+          s$p = 0.0
+          if (w(j) .ne. 0.0) then
+            do i = 1, 112
+              s$p = s$p + u(i, j) * b(i)
+            end do
+            s$p = s$p / w(j)
+          end if
+          tmp(j) = s$p
+        end do
+!$omp parallel do private(s$p$1)
+        do j = 1, 112
+          s$p$1 = 0.0
+          s$p$1 = s$p$1 + dotproduct(v(j, 1:112), tmp(1:112))
+          x(j) = s$p$1
+        end do
+        call tstop
+        chksum = 0.0
+        chksum = chksum + sum(x(1:112))
+      end
+

@@ -1,0 +1,48 @@
+      program svrun
+      integer n
+      real u(112, 112)
+      real v(112, 112)
+      real w(112)
+      real b(112)
+      real x(112)
+      real tmp(112)
+      real chksum
+      real s
+      integer j
+      integer i
+      integer k
+        do j = 1, 112
+          do i = 1, 112
+            u(i, j) = sin(0.1 * real(i * j))
+            v(i, j) = cos(0.1 * real(i + j))
+          end do
+        end do
+        do i = 1, 112
+          w(i) = 1.0 + 0.5 * real(i)
+          b(i) = 1.0 / real(i)
+        end do
+        call tstart
+        do j = 1, 112
+          s = 0.0
+          if (w(j) .ne. 0.0) then
+            do i = 1, 112
+              s = s + u(i, j) * b(i)
+            end do
+            s = s / w(j)
+          end if
+          tmp(j) = s
+        end do
+        do j = 1, 112
+          s = 0.0
+          do k = 1, 112
+            s = s + v(j, k) * tmp(k)
+          end do
+          x(j) = s
+        end do
+        call tstop
+        chksum = 0.0
+        do i = 1, 112
+          chksum = chksum + x(i)
+        end do
+      end
+

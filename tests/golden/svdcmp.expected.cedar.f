@@ -1,0 +1,37 @@
+      program sdrun
+      integer n
+      real a(96, 96)
+      real d(96)
+      real chksum
+      real s
+      real beta
+      real t
+      integer j
+      integer i
+      integer k
+      global a, beta, j, k
+        sdoall j = 1, 96
+          a(1:96, j) = sin(0.05 * real(iota(1, 96) * j)) + 2.0 /
+     &      real(iota(1, 96) + j)
+          a(j, j) = a(j, j) + 4.0
+        end sdoall
+        call tstart
+        do k = 1, 96 - 1
+          s = 0.0
+          s = s + dotproduct$c(a(k:96, k), a(k:96, k))
+          d(k) = sqrt(s)
+          beta = 1.0 / (s + 1e-6)
+          xdoall j = k + 1, 96
+            real t$p
+            t$p = 0.0
+            t$p = t$p + dotproduct$v(a(k:96, k), a(k:96, j))
+            t$p = t$p * beta
+            a(k:96, j) = a(k:96, j) - t$p * a(k:96, k)
+          end xdoall
+        end do
+        call tstop
+        d(96) = a(96, 96)
+        chksum = 0.0
+        chksum = chksum + sum$c(d(1:96))
+      end
+

@@ -1,0 +1,44 @@
+      program sdrun
+      integer n
+      real a(96, 96)
+      real d(96)
+      real chksum
+      real s
+      real beta
+      real t
+      integer j
+      integer i
+      integer k
+        do j = 1, 96
+          do i = 1, 96
+            a(i, j) = sin(0.05 * real(i * j)) + 2.0 / real(i + j)
+          end do
+          a(j, j) = a(j, j) + 4.0
+        end do
+        call tstart
+        do k = 1, 96 - 1
+          s = 0.0
+          do i = k, 96
+            s = s + a(i, k) * a(i, k)
+          end do
+          d(k) = sqrt(s)
+          beta = 1.0 / (s + 1e-6)
+          do j = k + 1, 96
+            t = 0.0
+            do i = k, 96
+              t = t + a(i, k) * a(i, j)
+            end do
+            t = t * beta
+            do i = k, 96
+              a(i, j) = a(i, j) - t * a(i, k)
+            end do
+          end do
+        end do
+        call tstop
+        d(96) = a(96, 96)
+        chksum = 0.0
+        do i = 1, 96
+          chksum = chksum + d(i)
+        end do
+      end
+

@@ -1,0 +1,83 @@
+      program tzrun
+      integer n
+      real tr(2 * 192 - 1)
+      real y(192)
+      real x(192)
+      real g(192)
+      real h(192)
+      real chksum
+      real sxn
+      real sgn
+      real denom
+      integer i
+      integer m
+      integer j
+        cdoall i = 1, 2 * 192 - 1, 32
+          integer i3
+          integer upper
+          i3 = min(32, 2 * 192 - 1 - i + 1)
+          upper = i + i3 - 1
+          tr(i:upper) = 1.0 / (1.0 + 0.3 * abs(real(iota(i, upper) -
+     &      192)))
+        end cdoall
+        tr(192) = tr(192) + 4.0
+        cdoall i = 1, 192, 32
+          integer i3$1
+          integer upper$1
+          i3$1 = min(32, 192 - i + 1)
+          upper$1 = i + i3$1 - 1
+          y(i:upper$1) = 1.0 + 0.01 * real(iota(i, upper$1))
+        end cdoall
+        x(1) = y(1) / tr(192)
+        g(1) = tr(192 - 1) / tr(192)
+        call tstart
+        do m = 2, 192
+          sxn = -y(m)
+          sgn = -tr(192 - m + 1)
+          do j = 1, m - 1
+            sxn = sxn + tr(192 + m - j) * x(j)
+            sgn = sgn + tr(192 + m - j) * g(j)
+          end do
+          denom = sgn - tr(192)
+          x(m) = sxn / denom
+          cdoall j = 1, m - 1, 32
+            integer i3$2
+            integer upper$2
+            i3$2 = min(32, m - 1 - j + 1)
+            upper$2 = j + i3$2 - 1
+            h(j:upper$2) = x(j:upper$2) - x(m) * g(j:upper$2)
+          end cdoall
+          cdoall j = 1, m - 1, 32
+            integer i3$3
+            integer upper$3
+            i3$3 = min(32, m - 1 - j + 1)
+            upper$3 = j + i3$3 - 1
+            x(j:upper$3) = h(j:upper$3)
+          end cdoall
+          if (m .lt. 192) then
+            sgn = -tr(192 - m)
+            sgn = sgn + dotproduct$c(tr(192 - m + 1:192 - m + (m - 1)),
+     &        g(1:m - 1))
+            g(m) = sgn / denom
+            cdoall j = 1, m - 1, 32
+              integer i3$4
+              integer upper$4
+              i3$4 = min(32, m - 1 - j + 1)
+              upper$4 = j + i3$4 - 1
+              h(j:upper$4) = g(j:upper$4) - g(m) * g(m - iota(j,
+     &          upper$4))
+            end cdoall
+            cdoall j = 1, m - 1, 32
+              integer i3$5
+              integer upper$5
+              i3$5 = min(32, m - 1 - j + 1)
+              upper$5 = j + i3$5 - 1
+              g(j:upper$5) = h(j:upper$5)
+            end cdoall
+          end if
+        end do
+        call tstop
+        chksum = 0.0
+        chksum = chksum + sum$c(x(1:192))
+      end
+

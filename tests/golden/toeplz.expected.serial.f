@@ -1,0 +1,60 @@
+      program tzrun
+      integer n
+      real tr(2 * 192 - 1)
+      real y(192)
+      real x(192)
+      real g(192)
+      real h(192)
+      real chksum
+      real sxn
+      real sgn
+      real denom
+      integer i
+      integer m
+      integer j
+        do i = 1, 2 * 192 - 1
+          tr(i) = 1.0 / (1.0 + 0.3 * abs(real(i - 192)))
+        end do
+        tr(192) = tr(192) + 4.0
+        do i = 1, 192
+          y(i) = 1.0 + 0.01 * real(i)
+        end do
+        x(1) = y(1) / tr(192)
+        g(1) = tr(192 - 1) / tr(192)
+        call tstart
+        do m = 2, 192
+          sxn = -y(m)
+          sgn = -tr(192 - m + 1)
+          do j = 1, m - 1
+            sxn = sxn + tr(192 + m - j) * x(j)
+            sgn = sgn + tr(192 + m - j) * g(j)
+          end do
+          denom = sgn - tr(192)
+          x(m) = sxn / denom
+          do j = 1, m - 1
+            h(j) = x(j) - x(m) * g(j)
+          end do
+          do j = 1, m - 1
+            x(j) = h(j)
+          end do
+          if (m .lt. 192) then
+            sgn = -tr(192 - m)
+            do j = 1, m - 1
+              sgn = sgn + tr(192 - m + j) * g(j)
+            end do
+            g(m) = sgn / denom
+            do j = 1, m - 1
+              h(j) = g(j) - g(m) * g(m - j)
+            end do
+            do j = 1, m - 1
+              g(j) = h(j)
+            end do
+          end if
+        end do
+        call tstop
+        chksum = 0.0
+        do i = 1, 192
+          chksum = chksum + x(i)
+        end do
+      end
+

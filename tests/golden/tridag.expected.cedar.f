@@ -1,0 +1,75 @@
+      program tdrun
+      integer n
+      integer niter
+      real a(512)
+      real b(512)
+      real c(512)
+      real r(512)
+      real u(512)
+      real gam(512)
+      real chksum
+      integer i
+      integer it
+      integer tridag$n
+      real tridag$bet
+      integer tridag$j
+        cdoall i = 1, 512, 32
+          integer i3
+          integer upper
+          i3 = min(32, 512 - i + 1)
+          upper = i + i3 - 1
+          a(i:upper) = -1.0
+          b(i:upper) = 4.0 + 0.001 * real(iota(i, upper))
+          c(i:upper) = -1.0
+          r(i:upper) = 1.0 + 0.01 * real(iota(i, upper))
+        end cdoall
+        call tstart
+        do it = 1, 10
+          tridag$n = 512
+          tridag$bet = b(1)
+          u(1) = r(1) / tridag$bet
+          do tridag$j = 2, tridag$n
+            gam(tridag$j) = c(tridag$j - 1) / tridag$bet
+            tridag$bet = b(tridag$j) - a(tridag$j) * gam(tridag$j)
+            u(tridag$j) = (r(tridag$j) - a(tridag$j) * u(tridag$j - 1))
+     &        / tridag$bet
+          end do
+          do tridag$j = tridag$n - 1, 1, -1
+            u(tridag$j) = u(tridag$j) - gam(tridag$j + 1) * u(tridag$j +
+     &        1)
+          end do
+          cdoall i = 1, 512, 32
+            integer i3$1
+            integer upper$1
+            i3$1 = min(32, 512 - i + 1)
+            upper$1 = i + i3$1 - 1
+            r(i:upper$1) = 0.5 * r(i:upper$1) + 0.5 * u(i:upper$1)
+          end cdoall
+        end do
+        call tstop
+        chksum = 0.0
+        chksum = chksum + sum$c(u(1:512))
+      end
+
+      subroutine tridag(a, b, c, r, u, gam, n)
+      real a(n)
+      real b(n)
+      real c(n)
+      real r(n)
+      real u(n)
+      real gam(n)
+      integer n
+      real bet
+      integer j
+        bet = b(1)
+        u(1) = r(1) / bet
+        do j = 2, n
+          gam(j) = c(j - 1) / bet
+          bet = b(j) - a(j) * gam(j)
+          u(j) = (r(j) - a(j) * u(j - 1)) / bet
+        end do
+        do j = n - 1, 1, -1
+          u(j) = u(j) - gam(j + 1) * u(j + 1)
+        end do
+      end
+

@@ -1,0 +1,54 @@
+      program tdrun
+      integer n
+      integer niter
+      real a(512)
+      real b(512)
+      real c(512)
+      real r(512)
+      real u(512)
+      real gam(512)
+      real chksum
+      integer i
+      integer it
+        do i = 1, 512
+          a(i) = -1.0
+          b(i) = 4.0 + 0.001 * real(i)
+          c(i) = -1.0
+          r(i) = 1.0 + 0.01 * real(i)
+        end do
+        call tstart
+        do it = 1, 10
+          call tridag(a(:), b(:), c(:), r(:), u(:), gam(:), 512)
+          do i = 1, 512
+            r(i) = 0.5 * r(i) + 0.5 * u(i)
+          end do
+        end do
+        call tstop
+        chksum = 0.0
+        do i = 1, 512
+          chksum = chksum + u(i)
+        end do
+      end
+
+      subroutine tridag(a, b, c, r, u, gam, n)
+      real a(n)
+      real b(n)
+      real c(n)
+      real r(n)
+      real u(n)
+      real gam(n)
+      integer n
+      real bet
+      integer j
+        bet = b(1)
+        u(1) = r(1) / bet
+        do j = 2, n
+          gam(j) = c(j - 1) / bet
+          bet = b(j) - a(j) * gam(j)
+          u(j) = (r(j) - a(j) * u(j - 1)) / bet
+        end do
+        do j = n - 1, 1, -1
+          u(j) = u(j) - gam(j + 1) * u(j + 1)
+        end do
+      end
+
